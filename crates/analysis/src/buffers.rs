@@ -1,0 +1,145 @@
+//! Buffer-space requirements `BF_p` (Eqs. 12–15).
+//!
+//! The equations in the paper express buffer space in megabytes (the
+//! stream-count bracket times `B`); the result tables report **tracks**.
+//! We compute in tracks and convert.
+
+use crate::params::{SchemeParams, SystemParams};
+use crate::streams;
+use mms_disk::Size;
+use mms_sched::SchemeKind;
+
+/// Buffer tracks per stream in normal operation, as counted by the
+/// paper's equations: `2C` for Streaming RAID (double-buffered groups
+/// including parity), `C(C+1)/2 / (C−1)` for Staggered-group (the
+/// Figure 4 staircase), 2 for Non-clustered, `2(C−1)` for
+/// Improved-bandwidth (double-buffered groups, no parity).
+#[must_use]
+pub fn tracks_per_stream(scheme: SchemeKind, c: usize) -> f64 {
+    let c = c as f64;
+    match scheme {
+        SchemeKind::StreamingRaid => 2.0 * c,
+        SchemeKind::StaggeredGroup => c * (c + 1.0) / (2.0 * (c - 1.0)),
+        SchemeKind::NonClustered => 2.0,
+        SchemeKind::ImprovedBandwidth => 2.0 * (c - 1.0),
+    }
+}
+
+/// `BF_p` in tracks with an explicit (possibly fractional) stream count
+/// and disk count — the form the cost model needs for the Figure 9
+/// sweep.
+#[must_use]
+pub fn buffer_tracks_fractional(
+    scheme: SchemeKind,
+    p: &SchemeParams,
+    n_streams: f64,
+    d: f64,
+) -> f64 {
+    match scheme {
+        SchemeKind::StreamingRaid
+        | SchemeKind::StaggeredGroup
+        | SchemeKind::ImprovedBandwidth => tracks_per_stream(scheme, p.c) * n_streams,
+        SchemeKind::NonClustered => {
+            // Eq. 14: 2 tracks per stream plus K_NC buffer servers, each
+            // sized for one degraded cluster's staggered-group profile:
+            // BF_SG / (D'/C) where D' = D(C−1)/C.
+            let c = p.c as f64;
+            let bf_sg = tracks_per_stream(SchemeKind::StaggeredGroup, p.c) * n_streams;
+            let d_prime_over_c = d * (c - 1.0) / c / c;
+            2.0 * n_streams + bf_sg / d_prime_over_c * p.k_nc as f64
+        }
+    }
+}
+
+/// Eqs. 12–15 — `BF_p` in whole tracks at the scheme's own maximum
+/// stream count `N_p` (the tables' "Buffers (in tracks)" rows; the paper
+/// rounds up).
+#[must_use]
+pub fn buffer_tracks(sys: &SystemParams, scheme: SchemeKind, p: &SchemeParams) -> usize {
+    let n = match scheme {
+        // The NC row is computed from the *floored* stream counts (this
+        // is what reproduces the published 2612/3254).
+        SchemeKind::NonClustered => streams::max_streams(sys, scheme, p) as f64,
+        _ => streams::max_streams(sys, scheme, p) as f64,
+    };
+    let tracks = buffer_tracks_fractional(scheme, p, n, sys.d as f64);
+    (tracks - 1e-9).ceil() as usize
+}
+
+/// `BF_p` in bytes.
+#[must_use]
+pub fn buffer_bytes(sys: &SystemParams, scheme: SchemeKind, p: &SchemeParams) -> Size {
+    sys.disk.track_size * buffer_tracks(sys, scheme, p) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_buffer_rows_c5() {
+        let sys = SystemParams::paper_table1();
+        let p = SchemeParams::paper_tables(5);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::StreamingRaid, &p), 10_410);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::StaggeredGroup, &p), 3_623);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::NonClustered, &p), 2_612);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::ImprovedBandwidth, &p), 10_104);
+    }
+
+    #[test]
+    fn table3_buffer_rows_c7() {
+        let sys = SystemParams::paper_table1();
+        let p = SchemeParams::paper_tables(7);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::StreamingRaid, &p), 15_750);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::StaggeredGroup, &p), 4_830);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::NonClustered, &p), 3_254);
+        assert_eq!(buffer_tracks(&sys, SchemeKind::ImprovedBandwidth, &p), 15_276);
+    }
+
+    #[test]
+    fn per_stream_counts_match_measured_schedulers() {
+        // The scheduler tests measure exactly these peaks: SR 2C = 10,
+        // SG staircase C(C+1)/2 per C−1 streams, NC 2, IB 2(C−1) = 8.
+        assert!((tracks_per_stream(SchemeKind::StreamingRaid, 5) - 10.0).abs() < 1e-12);
+        assert!((tracks_per_stream(SchemeKind::StaggeredGroup, 5) - 3.75).abs() < 1e-12);
+        assert!((tracks_per_stream(SchemeKind::NonClustered, 5) - 2.0).abs() < 1e-12);
+        assert!((tracks_per_stream(SchemeKind::ImprovedBandwidth, 5) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staggered_is_roughly_half_of_streaming_raid() {
+        // "it requires approximately 1/2 the memory compared with
+        // Streaming RAID" — per stream: (C+1)/(4(C-1))·2C vs 2C.
+        for c in 3..=10 {
+            let sr = tracks_per_stream(SchemeKind::StreamingRaid, c);
+            let sg = tracks_per_stream(SchemeKind::StaggeredGroup, c);
+            let ratio = sg / sr;
+            assert!((0.25..=0.55).contains(&ratio), "C={c} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn nonclustered_needs_least_memory() {
+        let sys = SystemParams::paper_table1();
+        for c in 3..=10 {
+            let p = SchemeParams::paper_tables(c);
+            let nc = buffer_tracks(&sys, SchemeKind::NonClustered, &p);
+            for s in [
+                SchemeKind::StreamingRaid,
+                SchemeKind::StaggeredGroup,
+                SchemeKind::ImprovedBandwidth,
+            ] {
+                assert!(nc < buffer_tracks(&sys, s, &p), "C={c} vs {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_bytes_conversion() {
+        let sys = SystemParams::paper_table1();
+        let p = SchemeParams::paper_tables(5);
+        let b = buffer_bytes(&sys, SchemeKind::StreamingRaid, &p);
+        // 10 410 tracks × 50 KB = 520.5 MB.
+        assert!((b.as_mb() - 520.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,317 @@
+//! The total-cost model of Section 5 (Eqs. 16–19 and Figure 9).
+//!
+//! For a fixed working set `W`, the minimum disk complement is
+//! `D(W, C) = (W/s_d) · C/(C−1)` (parity inflates the raw requirement by
+//! `C/(C−1)` for every scheme, Eq. 1), and the total cost is
+//!
+//! ```text
+//! Cost_p(C) = c_b · BF_p(MB) + c_d · D(W,C) · s_d
+//! ```
+//!
+//! with `c_b` the price of memory and `c_d` the price of disk, in $/MB.
+//! The paper's Figure 9 uses 1995 prices it does not state explicitly;
+//! the defaults here (`c_b` = 100 $/MB RAM, `c_d` = 1 $/MB disk) bracket
+//! that era and reproduce the figure's *shape*: cost ordering
+//! NC < SG < SR at fixed C, Improved-bandwidth cost increasing in C, and
+//! the stream-capacity crossover that makes IB "the scheme of choice
+//! when bandwidth is scarce".
+
+use crate::buffers;
+use crate::params::{SchemeParams, SystemParams};
+use crate::streams;
+use mms_sched::SchemeKind;
+
+/// Price model for Figure 9.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Memory price `c_b` in $/MB.
+    pub cb_per_mb: f64,
+    /// Disk price `c_d` in $/MB.
+    pub cd_per_mb: f64,
+    /// Working set `W` in MB of real data.
+    pub working_set_mb: f64,
+    /// Round the disk complement up to whole drives.
+    pub whole_disks: bool,
+}
+
+impl CostModel {
+    /// The Figure 9 configuration: `W` = 100 000 MB over 1000 MB drives,
+    /// with the default 1995-era prices.
+    #[must_use]
+    pub fn paper_fig9() -> Self {
+        CostModel {
+            cb_per_mb: 100.0,
+            cd_per_mb: 1.0,
+            working_set_mb: 100_000.0,
+            whole_disks: false,
+        }
+    }
+
+    /// `D(W, C)`: disks needed to hold the working set plus its parity.
+    #[must_use]
+    pub fn disks_for_working_set(&self, sys: &SystemParams, c: usize) -> f64 {
+        let raw = self.working_set_mb / sys.disk.capacity.as_mb();
+        let d = raw * c as f64 / (c as f64 - 1.0);
+        if self.whole_disks {
+            d.ceil()
+        } else {
+            d
+        }
+    }
+
+    /// Eqs. 16–19: total system cost in dollars for scheme `p` at parity
+    /// group size `C`, sized to hold the working set.
+    #[must_use]
+    pub fn total_cost(&self, sys: &SystemParams, scheme: SchemeKind, p: &SchemeParams) -> f64 {
+        let d = self.disks_for_working_set(sys, p.c);
+        let n = streams::max_streams_fractional(sys, scheme, p, d);
+        let buffer_tracks = buffers::buffer_tracks_fractional(scheme, p, n, d);
+        let buffer_mb = buffer_tracks * sys.disk.track_size.as_mb();
+        self.cb_per_mb * buffer_mb + self.cd_per_mb * d * sys.disk.capacity.as_mb()
+    }
+
+    /// The stream capacity at the working-set-sized disk complement
+    /// (Figure 9(b)).
+    #[must_use]
+    pub fn streams_at_working_set(
+        &self,
+        sys: &SystemParams,
+        scheme: SchemeKind,
+        p: &SchemeParams,
+    ) -> f64 {
+        let d = self.disks_for_working_set(sys, p.c);
+        streams::max_streams_fractional(sys, scheme, p, d)
+    }
+
+    /// The cheapest parity-group size (and its cost) that supports at
+    /// least `required_streams`, if any `C` in `c_range` does — the
+    /// paper's "required number of streams is 1200" exercise.
+    #[must_use]
+    pub fn cheapest_for_streams(
+        &self,
+        sys: &SystemParams,
+        scheme: SchemeKind,
+        c_range: std::ops::RangeInclusive<usize>,
+        required_streams: f64,
+        make_params: impl Fn(usize) -> SchemeParams,
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for c in c_range {
+            let p = make_params(c);
+            if self.streams_at_working_set(sys, scheme, &p) < required_streams {
+                continue;
+            }
+            let cost = self.total_cost(sys, scheme, &p);
+            if best.map(|(_, b)| cost < b).unwrap_or(true) {
+                best = Some((c, cost));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemParams, CostModel) {
+        (SystemParams::paper_table1(), CostModel::paper_fig9())
+    }
+
+    #[test]
+    fn disk_complement_shrinks_with_cluster_size() {
+        let (sys, m) = setup();
+        // W = 100 000 MB on 1000 MB disks: 100 data disks + parity.
+        assert!((m.disks_for_working_set(&sys, 2) - 200.0).abs() < 1e-9);
+        assert!((m.disks_for_working_set(&sys, 5) - 125.0).abs() < 1e-9);
+        assert!((m.disks_for_working_set(&sys, 10) - 111.11).abs() < 0.01);
+    }
+
+    #[test]
+    fn whole_disk_rounding() {
+        let (sys, mut m) = setup();
+        m.whole_disks = true;
+        assert!((m.disks_for_working_set(&sys, 10) - 112.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig9a_cost_orderings() {
+        // At every C, the memory-light schemes are cheaper:
+        // NC < SG < SR (same disks, less memory).
+        let (sys, m) = setup();
+        for c in 3..=10 {
+            let p = SchemeParams::paper_fig9(c);
+            let sr = m.total_cost(&sys, SchemeKind::StreamingRaid, &p);
+            let sg = m.total_cost(&sys, SchemeKind::StaggeredGroup, &p);
+            let nc = m.total_cost(&sys, SchemeKind::NonClustered, &p);
+            assert!(nc < sg, "C={c}");
+            assert!(sg < sr, "C={c}");
+        }
+    }
+
+    #[test]
+    fn fig9a_improved_bandwidth_cost_rises_once_memory_dominates() {
+        // The paper: IB "cost … increases with the cluster size (due to
+        // main memory buffer increases)". Under Eqs. 16–19 as printed,
+        // the disk savings of larger C outweigh memory up to C = 4 with
+        // 1995 commodity prices, after which the curve rises steeply —
+        // and with memory prices high enough to dominate (c_b ≥ 500
+        // $/MB) the curve is monotone from C = 2, matching the paper's
+        // "cluster size will always be 2" conclusion. Both regimes are
+        // pinned here; EXPERIMENTS.md records the discrepancy.
+        let (sys, m) = setup();
+        let mut prev = f64::NEG_INFINITY;
+        for c in 4..=10 {
+            let p = SchemeParams::paper_fig9(c);
+            let cost = m.total_cost(&sys, SchemeKind::ImprovedBandwidth, &p);
+            assert!(cost > prev, "C={c}");
+            prev = cost;
+        }
+        let pricey = CostModel {
+            cb_per_mb: 500.0,
+            ..m
+        };
+        let mut prev = f64::NEG_INFINITY;
+        for c in 2..=10 {
+            let p = SchemeParams::paper_fig9(c);
+            let cost = pricey.total_cost(&sys, SchemeKind::ImprovedBandwidth, &p);
+            assert!(cost > prev, "C={c} (memory-dominated)");
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn fig9a_clustered_schemes_have_interior_minima() {
+        // Larger C buys storage efficiency (fewer disks) but more
+        // memory. SG and NC fall steeply from C = 2 and flatten near
+        // C = 6–8 (the paper's curves bottom out around $146.6k /
+        // $128.6k at C = 10; ours reach $145k / $138k); SR's heavier
+        // 2C-per-stream memory turns its curve back up after C = 4 (the
+        // paper's $173.4k minimum; ours $185k).
+        let (sys, m) = setup();
+        for scheme in [
+            SchemeKind::StreamingRaid,
+            SchemeKind::StaggeredGroup,
+            SchemeKind::NonClustered,
+        ] {
+            let costs: Vec<f64> = (2..=10)
+                .map(|c| m.total_cost(&sys, scheme, &SchemeParams::paper_fig9(c)))
+                .collect();
+            let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+            // The curve falls from C = 2 to an interior minimum well
+            // below it (for SR the far end C = 10 climbs back above
+            // C = 2 — its memory term grows as 2C per stream).
+            assert!(min < 0.9 * costs[0], "{scheme:?}");
+        }
+        // For the memory-light schemes C = 2 is the most expensive point.
+        for scheme in [SchemeKind::StaggeredGroup, SchemeKind::NonClustered] {
+            let costs: Vec<f64> = (2..=10)
+                .map(|c| m.total_cost(&sys, scheme, &SchemeParams::paper_fig9(c)))
+                .collect();
+            let max = costs.iter().cloned().fold(0.0, f64::max);
+            assert_eq!(costs[0], max, "{scheme:?}");
+        }
+        // SR's minimum is at C = 4 and the curve rises visibly after it.
+        let sr: Vec<f64> = (2..=10)
+            .map(|c| m.total_cost(&sys, SchemeKind::StreamingRaid, &SchemeParams::paper_fig9(c)))
+            .collect();
+        let (argmin, _) = sr
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(argmin + 2, 4, "SR minimum at C = 4");
+        assert!(sr[8] > 1.2 * sr[2]);
+        // SG/NC stay within 7% of their minimum from C = 5 on (flat
+        // tail, as in the figure).
+        for scheme in [SchemeKind::StaggeredGroup, SchemeKind::NonClustered] {
+            let costs: Vec<f64> = (5..=10)
+                .map(|c| m.total_cost(&sys, scheme, &SchemeParams::paper_fig9(c)))
+                .collect();
+            let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+            for c in &costs {
+                assert!(*c < 1.07 * min, "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig9b_stream_shapes() {
+        let (sys, m) = setup();
+        // IB streams decrease with C (fewer disks as C grows); SR stays
+        // nearly flat; SG/NC flat. IB dominates everywhere.
+        let p2 = SchemeParams::paper_fig9(2);
+        let p10 = SchemeParams::paper_fig9(10);
+        let ib2 = m.streams_at_working_set(&sys, SchemeKind::ImprovedBandwidth, &p2);
+        let ib10 = m.streams_at_working_set(&sys, SchemeKind::ImprovedBandwidth, &p10);
+        assert!(ib2 > ib10);
+        for c in 2..=10 {
+            let p = SchemeParams::paper_fig9(c);
+            let ib = m.streams_at_working_set(&sys, SchemeKind::ImprovedBandwidth, &p);
+            let sr = m.streams_at_working_set(&sys, SchemeKind::StreamingRaid, &p);
+            let sg = m.streams_at_working_set(&sys, SchemeKind::StaggeredGroup, &p);
+            // At C = 2 the SR and SG brackets coincide (k = C−1 = 1).
+            assert!(ib > sr && sr >= sg, "C={c}");
+            if c > 2 {
+                assert!(sr > sg, "C={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn section5_1200_vs_1500_stream_requirement() {
+        // "Since the Improved-bandwidth scheme does so well with stream
+        // capacity, it will generally be the scheme of choice when
+        // bandwidth is scarce (e.g., if the required number of streams …
+        // was 1500). However … if the required number of streams is only
+        // 1200 then the other schemes can meet the requirements at a
+        // lower cost."
+        let (sys, m) = setup();
+        let mk = SchemeParams::paper_fig9;
+
+        // 1500 streams: only IB can serve them at the working-set sizing.
+        for scheme in [
+            SchemeKind::StreamingRaid,
+            SchemeKind::StaggeredGroup,
+            SchemeKind::NonClustered,
+        ] {
+            assert!(
+                m.cheapest_for_streams(&sys, scheme, 2..=10, 1500.0, mk).is_none(),
+                "{scheme:?} should not reach 1500 streams"
+            );
+        }
+        assert!(m
+            .cheapest_for_streams(&sys, SchemeKind::ImprovedBandwidth, 2..=10, 1500.0, mk)
+            .is_some());
+
+        // 1200 streams: a clustered scheme is cheaper than IB's cheapest.
+        let (_, ib_cost) = m
+            .cheapest_for_streams(&sys, SchemeKind::ImprovedBandwidth, 2..=10, 1200.0, mk)
+            .unwrap();
+        let (_, nc_cost) = m
+            .cheapest_for_streams(&sys, SchemeKind::NonClustered, 2..=10, 1200.0, mk)
+            .unwrap();
+        assert!(nc_cost < ib_cost);
+    }
+
+    #[test]
+    fn paper_scheme_choices_for_1200_streams() {
+        // The paper: SR needs C = 4 for ≈1200 streams; SG and NC need
+        // C = 10. Verify the same feasibility thresholds.
+        let (sys, m) = setup();
+        let mk = SchemeParams::paper_fig9;
+        let (sr_c, _) = m
+            .cheapest_for_streams(&sys, SchemeKind::StreamingRaid, 2..=10, 1200.0, mk)
+            .unwrap();
+        assert_eq!(sr_c, 4, "SR's cheapest feasible group size is C = 4");
+        // The paper picks C = 10 for SG/NC; under Eqs. 16–19 as printed
+        // their cost curves are nearly flat past C = 7, so the cheapest
+        // feasible size lands in that flat tail.
+        for scheme in [SchemeKind::StaggeredGroup, SchemeKind::NonClustered] {
+            let (c, _) = m
+                .cheapest_for_streams(&sys, scheme, 2..=10, 1200.0, mk)
+                .unwrap();
+            assert!(c >= 7, "{scheme:?} prefers large group sizes, got {c}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Storage and bandwidth overheads (Eqs. 1–3).
+
+use crate::params::{SchemeParams, SystemParams};
+use mms_disk::Size;
+use mms_sched::SchemeKind;
+
+/// Eq. 1 — the fraction of disk storage dedicated to parity, identical
+/// for all four schemes: `1/C`.
+#[must_use]
+pub fn storage_overhead_fraction(c: usize) -> f64 {
+    1.0 / c as f64
+}
+
+/// Eq. 1 in absolute terms: parity bytes stored across the system,
+/// `S_p = s_d · D / C`.
+#[must_use]
+pub fn storage_overhead_bytes(sys: &SystemParams, c: usize) -> Size {
+    sys.disk.capacity * (sys.d as f64 / c as f64)
+}
+
+/// Eqs. 2–3 — the fraction of aggregate disk bandwidth unavailable for
+/// data delivery: `1/C` for the clustered schemes (the dedicated parity
+/// disks idle in normal operation), `K_IB/D` for Improved-bandwidth
+/// (only the reserved capacity is withheld).
+#[must_use]
+pub fn bandwidth_overhead_fraction(
+    sys: &SystemParams,
+    scheme: SchemeKind,
+    p: &SchemeParams,
+) -> f64 {
+    match scheme {
+        SchemeKind::StreamingRaid | SchemeKind::StaggeredGroup | SchemeKind::NonClustered => {
+            1.0 / p.c as f64
+        }
+        SchemeKind::ImprovedBandwidth => p.k_ib as f64 / sys.d as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_overheads_c5() {
+        let sys = SystemParams::paper_table1();
+        let p = SchemeParams::paper_tables(5);
+        assert!((storage_overhead_fraction(5) - 0.20).abs() < 1e-12);
+        for s in [
+            SchemeKind::StreamingRaid,
+            SchemeKind::StaggeredGroup,
+            SchemeKind::NonClustered,
+        ] {
+            assert!((bandwidth_overhead_fraction(&sys, s, &p) - 0.20).abs() < 1e-12);
+        }
+        // Table 2's IB row: 3.0% with K_IB = 3 and D = 100.
+        assert!(
+            (bandwidth_overhead_fraction(&sys, SchemeKind::ImprovedBandwidth, &p) - 0.03).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn table3_overheads_c7() {
+        let sys = SystemParams::paper_table1();
+        let p = SchemeParams::paper_tables(7);
+        // 14.3%.
+        assert!((storage_overhead_fraction(7) - 1.0 / 7.0).abs() < 1e-12);
+        assert!(
+            (bandwidth_overhead_fraction(&sys, SchemeKind::NonClustered, &p) - 1.0 / 7.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (bandwidth_overhead_fraction(&sys, SchemeKind::ImprovedBandwidth, &p) - 0.03).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn absolute_parity_bytes() {
+        let sys = SystemParams::paper_table1();
+        // 100 disks of 1000 MB at C = 5: 20 000 MB of parity.
+        let s = storage_overhead_bytes(&sys, 5);
+        assert!((s.as_mb() - 20_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,114 @@
+//! System and scheme parameters (Table 1 and the Section 5 knobs).
+
+use mms_disk::{Bandwidth, DiskParams, ReliabilityParams};
+
+/// The system-wide parameters of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemParams {
+    /// Disk model (`B`, `τ_seek`, `τ_trk`, `s_d`).
+    pub disk: DiskParams,
+    /// Object bandwidth `b₀`.
+    pub b0: Bandwidth,
+    /// Total disks `D`.
+    pub d: usize,
+    /// Per-disk failure/repair parameters.
+    pub rel: ReliabilityParams,
+}
+
+impl SystemParams {
+    /// Table 1 exactly: `b₀` = 1.5 Mb/s, `B` = 50 KB, `τ_seek` = 25 ms,
+    /// `τ_trk` = 20 ms, `D` = 100, MTTF = 300 000 h, MTTR = 1 h.
+    #[must_use]
+    pub fn paper_table1() -> Self {
+        SystemParams {
+            disk: DiskParams::paper_table1(),
+            b0: Bandwidth::from_megabits(1.5),
+            d: 100,
+            rel: ReliabilityParams::paper(),
+        }
+    }
+
+    /// The Section 2 worked example (`τ_seek` = 30 ms, `τ_trk` = 10 ms,
+    /// `B` = 100 KB) at the given object bandwidth.
+    #[must_use]
+    pub fn section2(b0: Bandwidth) -> Self {
+        SystemParams {
+            disk: DiskParams::section2_example(),
+            b0,
+            d: 100,
+            rel: ReliabilityParams::paper(),
+        }
+    }
+
+    /// The paper's data disks `D'` for a clustered scheme:
+    /// `D' = D·(C−1)/C` (dedicated parity disks do not serve data).
+    #[must_use]
+    pub fn data_disks_clustered(&self, c: usize) -> f64 {
+        self.d as f64 * (c as f64 - 1.0) / c as f64
+    }
+}
+
+/// The per-scheme knobs swept in Section 5.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeParams {
+    /// Parity-group size `C` (data blocks + parity).
+    pub c: usize,
+    /// `K_NC`: buffer servers provisioned for the Non-clustered scheme.
+    pub k_nc: usize,
+    /// `K_IB`: disks' worth of bandwidth reserved for the
+    /// Improved-bandwidth scheme.
+    pub k_ib: usize,
+    /// `k` in Eq. 6's product: concurrent failures masked before
+    /// degradation of service (the published tables evaluate Eq. 6 with
+    /// this set to 2 even while quoting `K = 5` in the Figure 9 prose —
+    /// see DESIGN.md).
+    pub k_mttds: usize,
+}
+
+impl SchemeParams {
+    /// The parameter choices that reproduce the published Tables 2 and 3:
+    /// `K_NC = K_IB = 3` and Eq. 6 evaluated with `k = 2`.
+    #[must_use]
+    pub fn paper_tables(c: usize) -> Self {
+        SchemeParams {
+            c,
+            k_nc: 3,
+            k_ib: 3,
+            k_mttds: 2,
+        }
+    }
+
+    /// The Figure 9 prose parameters: `K_NC = K_IB = 5`.
+    #[must_use]
+    pub fn paper_fig9(c: usize) -> Self {
+        SchemeParams {
+            c,
+            k_nc: 5,
+            k_ib: 5,
+            k_mttds: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let p = SystemParams::paper_table1();
+        assert_eq!(p.d, 100);
+        assert!((p.b0.as_megabits() - 1.5).abs() < 1e-12);
+        assert!((p.disk.track_size.as_kb() - 50.0).abs() < 1e-9);
+        assert!((p.disk.seek.as_millis() - 25.0).abs() < 1e-9);
+        assert!((p.disk.track_time.as_millis() - 20.0).abs() < 1e-9);
+        assert!((p.rel.mttf.as_hours() - 300_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn data_disks_fraction() {
+        let p = SystemParams::paper_table1();
+        assert!((p.data_disks_clustered(5) - 80.0).abs() < 1e-9);
+        assert!((p.data_disks_clustered(7) - 600.0 / 7.0).abs() < 1e-9);
+    }
+}

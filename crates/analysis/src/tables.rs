@@ -1,0 +1,204 @@
+//! Typed generators for every table and figure in the paper.
+
+use crate::buffers;
+use crate::cost::CostModel;
+use crate::overhead;
+use crate::params::{SchemeParams, SystemParams};
+use crate::streams;
+use mms_disk::Bandwidth;
+use mms_reliability::formulas;
+use mms_sched::SchemeKind;
+
+/// One row of the Section 2 in-text table: the streams-per-disk bound at
+/// a given `k` (with `k = k'`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Section2Row {
+    /// Tracks read per read cycle.
+    pub k: usize,
+    /// The bound `N/D'`.
+    pub streams_per_disk: f64,
+}
+
+/// Generate the Section 2 in-text table for a bandwidth class.
+#[must_use]
+pub fn section2_rows(b0: Bandwidth, ks: &[usize]) -> Vec<Section2Row> {
+    let sys = SystemParams::section2(b0);
+    ks.iter()
+        .map(|&k| Section2Row {
+            k,
+            streams_per_disk: streams::streams_per_disk_bound(&sys.disk, sys.b0, k, k),
+        })
+        .collect()
+}
+
+/// One row of Table 2 / Table 3: all six metrics for one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// The scheme.
+    pub scheme: SchemeKind,
+    /// Disk storage overhead, fraction.
+    pub storage_overhead: f64,
+    /// Disk bandwidth overhead, fraction.
+    pub bandwidth_overhead: f64,
+    /// Mean time to catastrophic failure, years.
+    pub mttf_years: f64,
+    /// Mean time to degradation of service, years.
+    pub mttds_years: f64,
+    /// Maximum concurrent streams.
+    pub streams: usize,
+    /// Buffer requirement in tracks.
+    pub buffers_tracks: usize,
+}
+
+/// Generate the four rows of Table 2 (`c = 5`) or Table 3 (`c = 7`) — or
+/// any other parity-group size.
+#[must_use]
+pub fn table_rows(sys: &SystemParams, p: &SchemeParams) -> Vec<TableRow> {
+    SchemeKind::ALL
+        .into_iter()
+        .map(|scheme| {
+            let mttf = match scheme {
+                SchemeKind::ImprovedBandwidth => formulas::mttf_improved(sys.d, p.c, sys.rel),
+                _ => formulas::mttf_raid(sys.d, p.c, sys.rel),
+            };
+            // SR/SG degrade exactly when they lose data; NC/IB push
+            // degradation out to the exhaustion of the shared reserves.
+            let mttds = match scheme {
+                SchemeKind::StreamingRaid | SchemeKind::StaggeredGroup => mttf,
+                SchemeKind::NonClustered | SchemeKind::ImprovedBandwidth => {
+                    formulas::mttds_shared(sys.d, p.k_mttds, sys.rel)
+                }
+            };
+            TableRow {
+                scheme,
+                storage_overhead: overhead::storage_overhead_fraction(p.c),
+                bandwidth_overhead: overhead::bandwidth_overhead_fraction(sys, scheme, p),
+                mttf_years: mttf.as_years(),
+                mttds_years: mttds.as_years(),
+                streams: streams::max_streams(sys, scheme, p),
+                buffers_tracks: buffers::buffer_tracks(sys, scheme, p),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 9 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Parity-group size.
+    pub c: usize,
+    /// Disks required for the working set.
+    pub disks: f64,
+    /// Total cost per scheme, dollars, in `SchemeKind::ALL` order.
+    pub cost: [f64; 4],
+    /// Stream capacity per scheme, in `SchemeKind::ALL` order.
+    pub streams: [f64; 4],
+}
+
+/// Generate the Figure 9(a)+(b) sweep over parity-group sizes.
+#[must_use]
+pub fn fig9_rows(
+    sys: &SystemParams,
+    model: &CostModel,
+    c_range: std::ops::RangeInclusive<usize>,
+) -> Vec<Fig9Row> {
+    c_range
+        .map(|c| {
+            let p = SchemeParams::paper_fig9(c);
+            let mut cost = [0.0; 4];
+            let mut streams = [0.0; 4];
+            for (i, scheme) in SchemeKind::ALL.into_iter().enumerate() {
+                cost[i] = model.total_cost(sys, scheme, &p);
+                streams[i] = model.streams_at_working_set(sys, scheme, &p);
+            }
+            Fig9Row {
+                c,
+                disks: model.disks_for_working_set(sys, c),
+                cost,
+                streams,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2 of the paper, transcribed.
+    const TABLE2: [(SchemeKind, f64, f64, f64, f64, usize, usize); 4] = [
+        (SchemeKind::StreamingRaid, 0.20, 0.20, 25_684.9, 25_684.9, 1041, 10_410),
+        (SchemeKind::StaggeredGroup, 0.20, 0.20, 25_684.9, 25_684.9, 966, 3_623),
+        (SchemeKind::NonClustered, 0.20, 0.20, 25_684.9, 3_176_862.3, 966, 2_612),
+        (SchemeKind::ImprovedBandwidth, 0.20, 0.03, 11_415.5, 3_176_862.3, 1263, 10_104),
+    ];
+
+    /// Table 3 of the paper, transcribed.
+    const TABLE3: [(SchemeKind, f64, f64, f64, f64, usize, usize); 4] = [
+        (SchemeKind::StreamingRaid, 1.0 / 7.0, 1.0 / 7.0, 17_123.3, 17_123.3, 1125, 15_750),
+        (SchemeKind::StaggeredGroup, 1.0 / 7.0, 1.0 / 7.0, 17_123.3, 17_123.3, 1035, 4_830),
+        (SchemeKind::NonClustered, 1.0 / 7.0, 1.0 / 7.0, 17_123.3, 3_176_862.3, 1035, 3_254),
+        (SchemeKind::ImprovedBandwidth, 1.0 / 7.0, 0.03, 7_903.1, 3_176_862.3, 1273, 15_276),
+    ];
+
+    fn check(c: usize, expected: &[(SchemeKind, f64, f64, f64, f64, usize, usize); 4]) {
+        let sys = SystemParams::paper_table1();
+        let rows = table_rows(&sys, &SchemeParams::paper_tables(c));
+        for (row, exp) in rows.iter().zip(expected) {
+            assert_eq!(row.scheme, exp.0);
+            assert!((row.storage_overhead - exp.1).abs() < 1e-6, "{:?}", row.scheme);
+            assert!((row.bandwidth_overhead - exp.2).abs() < 1e-6, "{:?}", row.scheme);
+            assert!(
+                (row.mttf_years - exp.3).abs() < 0.5,
+                "{:?} mttf {} vs {}",
+                row.scheme,
+                row.mttf_years,
+                exp.3
+            );
+            assert!(
+                (row.mttds_years - exp.4).abs() < 0.5,
+                "{:?} mttds {} vs {}",
+                row.scheme,
+                row.mttds_years,
+                exp.4
+            );
+            assert_eq!(row.streams, exp.5, "{:?} streams", row.scheme);
+            assert_eq!(row.buffers_tracks, exp.6, "{:?} buffers", row.scheme);
+        }
+    }
+
+    #[test]
+    fn table2_reproduced_exactly() {
+        check(5, &TABLE2);
+    }
+
+    #[test]
+    fn table3_reproduced_exactly() {
+        check(7, &TABLE3);
+    }
+
+    #[test]
+    fn section2_rows_both_bandwidths() {
+        let mpeg1 = section2_rows(Bandwidth::from_megabits(1.5), &[1, 2, 10]);
+        assert_eq!(mpeg1.len(), 3);
+        assert!((mpeg1[0].streams_per_disk - 50.333).abs() < 0.01);
+        let mpeg2 = section2_rows(Bandwidth::from_megabits(4.5), &[1, 2, 10]);
+        assert!((mpeg2[0].streams_per_disk - 14.777).abs() < 0.01);
+        assert!((mpeg2[2].streams_per_disk - 17.477).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig9_sweep_is_complete() {
+        let sys = SystemParams::paper_table1();
+        let rows = fig9_rows(&sys, &CostModel::paper_fig9(), 2..=10);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].c, 2);
+        assert!((rows[0].disks - 200.0).abs() < 1e-9);
+        for row in &rows {
+            for i in 0..4 {
+                assert!(row.cost[i] > 0.0);
+                assert!(row.streams[i] > 0.0);
+            }
+        }
+    }
+}

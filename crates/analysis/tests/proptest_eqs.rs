@@ -1,0 +1,130 @@
+//! Property tests over the analytical model: the monotonicity and
+//! ordering relations the paper's comparison arguments rest on must hold
+//! across the whole parameter space, not just at C = 5 and 7.
+
+use mms_analysis::{
+    buffers, cost::CostModel, overhead, streams, SchemeKind, SchemeParams, SystemParams,
+};
+use mms_disk::{Bandwidth, DiskParams, ReliabilityParams, Size, Time};
+use proptest::prelude::*;
+
+fn arb_sys() -> impl Strategy<Value = SystemParams> {
+    (
+        5.0f64..=60.0,   // seek ms
+        5.0f64..=40.0,   // track ms
+        20.0f64..=200.0, // track KB
+        0.8f64..=8.0,    // b0 Mb/s
+        20usize..=2000,  // D
+    )
+        .prop_map(|(seek, trk, kb, mbps, d)| SystemParams {
+            disk: DiskParams {
+                seek: Time::from_millis(seek),
+                track_time: Time::from_millis(trk),
+                track_size: Size::from_kb(kb),
+                capacity: Size::from_mb(1000.0),
+            },
+            b0: Bandwidth::from_megabits(mbps),
+            d,
+            rel: ReliabilityParams::paper(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Streams scale linearly in D; SR ≥ SG = NC; IB beats SR whenever
+    /// the per-disk bound is positive (all of Section 5's orderings).
+    #[test]
+    fn stream_orderings_hold_everywhere(sys in arb_sys(), c in 3usize..=12) {
+        let p = SchemeParams::paper_tables(c);
+        let sr = streams::max_streams_fractional(&sys, SchemeKind::StreamingRaid, &p, sys.d as f64);
+        let sg = streams::max_streams_fractional(&sys, SchemeKind::StaggeredGroup, &p, sys.d as f64);
+        let nc = streams::max_streams_fractional(&sys, SchemeKind::NonClustered, &p, sys.d as f64);
+        let ib = streams::max_streams_fractional(&sys, SchemeKind::ImprovedBandwidth, &p, sys.d as f64);
+        prop_assume!(sg > 0.0); // degenerate regimes (too-slow disks) excluded
+        prop_assert!(sr >= sg - 1e-9);
+        prop_assert!((sg - nc).abs() < 1e-9);
+        prop_assert!(ib >= sr * (sys.d as f64 - p.k_ib as f64) / (sys.d as f64) * (c as f64 - 1.0) / c as f64 - 1e-6);
+        // Linear in D.
+        let sr2 = streams::max_streams_fractional(&sys, SchemeKind::StreamingRaid, &p, 2.0 * sys.d as f64);
+        prop_assert!((sr2 - 2.0 * sr).abs() < 1e-6 * sr.max(1.0));
+    }
+
+    /// Buffer hierarchy: NC < SG < SR per stream, IB < SR per stream.
+    #[test]
+    fn buffer_hierarchy_holds(c in 3usize..=12) {
+        let sr = buffers::tracks_per_stream(SchemeKind::StreamingRaid, c);
+        let sg = buffers::tracks_per_stream(SchemeKind::StaggeredGroup, c);
+        let nc = buffers::tracks_per_stream(SchemeKind::NonClustered, c);
+        let ib = buffers::tracks_per_stream(SchemeKind::ImprovedBandwidth, c);
+        prop_assert!(nc < sg);
+        prop_assert!(sg < sr);
+        prop_assert!(ib < sr);
+        prop_assert!(nc <= ib);
+    }
+
+    /// Overheads: storage overhead is 1/C for all schemes and decreasing
+    /// in C; IB's bandwidth overhead is independent of C.
+    #[test]
+    fn overheads_behave(sys in arb_sys(), c in 3usize..=12) {
+        let p = SchemeParams::paper_tables(c);
+        prop_assert!((overhead::storage_overhead_fraction(c) - 1.0 / c as f64).abs() < 1e-12);
+        prop_assert!(
+            overhead::storage_overhead_fraction(c + 1) < overhead::storage_overhead_fraction(c)
+        );
+        let ib = overhead::bandwidth_overhead_fraction(&sys, SchemeKind::ImprovedBandwidth, &p);
+        prop_assert!((ib - p.k_ib as f64 / sys.d as f64).abs() < 1e-12);
+        for s in [SchemeKind::StreamingRaid, SchemeKind::StaggeredGroup, SchemeKind::NonClustered] {
+            prop_assert!(
+                (overhead::bandwidth_overhead_fraction(&sys, s, &p) - 1.0 / c as f64).abs() < 1e-12
+            );
+        }
+    }
+
+    /// Cost decomposition: total cost equals memory cost plus disk cost,
+    /// and is monotone in both prices.
+    #[test]
+    fn cost_is_monotone_in_prices(
+        c in 2usize..=10,
+        cb in 10.0f64..500.0,
+        cd in 0.2f64..5.0,
+        scheme_ix in 0usize..4,
+    ) {
+        let sys = SystemParams::paper_table1();
+        let scheme = SchemeKind::ALL[scheme_ix];
+        let p = SchemeParams::paper_fig9(c);
+        let base = CostModel { cb_per_mb: cb, cd_per_mb: cd, working_set_mb: 100_000.0, whole_disks: false };
+        let more_mem = CostModel { cb_per_mb: cb * 1.5, ..base };
+        let more_disk = CostModel { cd_per_mb: cd * 1.5, ..base };
+        let c0 = base.total_cost(&sys, scheme, &p);
+        prop_assert!(c0 > 0.0);
+        prop_assert!(more_mem.total_cost(&sys, scheme, &p) > c0);
+        prop_assert!(more_disk.total_cost(&sys, scheme, &p) > c0);
+        // Decomposition: zeroing one price leaves the other component.
+        let mem_only = CostModel { cd_per_mb: 0.0, ..base }.total_cost(&sys, scheme, &p);
+        let disk_only = CostModel { cb_per_mb: 0.0, ..base }.total_cost(&sys, scheme, &p);
+        prop_assert!((mem_only + disk_only - c0).abs() < 1e-6 * c0);
+    }
+
+    /// The discrete table generator never panics and keeps SG = NC across
+    /// arbitrary parity-group sizes.
+    #[test]
+    fn table_rows_are_total(c in 2usize..=20) {
+        let sys = SystemParams::paper_table1();
+        let rows = mms_analysis::table_rows(&sys, &SchemeParams::paper_tables(c));
+        prop_assert_eq!(rows.len(), 4);
+        prop_assert_eq!(rows[1].streams, rows[2].streams); // SG == NC
+        // SR/SG degrade exactly when they lose data; NC/IB push
+        // degradation far beyond it.
+        for r in &rows {
+            match r.scheme {
+                SchemeKind::StreamingRaid | SchemeKind::StaggeredGroup => {
+                    prop_assert!((r.mttds_years - r.mttf_years).abs() < 1e-9);
+                }
+                SchemeKind::NonClustered | SchemeKind::ImprovedBandwidth => {
+                    prop_assert!(r.mttds_years > 10.0 * r.mttf_years);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Analytical-model evaluation cost: generating the paper's tables and
+//! the Figure 9 sweep (these back the `table2`/`table3`/`fig9_cost`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mms_server::analysis::{fig9_rows, table_rows, CostModel, SchemeParams, SystemParams};
+
+fn bench_analysis(c: &mut Criterion) {
+    let sys = SystemParams::paper_table1();
+    c.bench_function("table_rows_c5", |b| {
+        b.iter(|| table_rows(&sys, &SchemeParams::paper_tables(5)))
+    });
+    let model = CostModel::paper_fig9();
+    c.bench_function("fig9_sweep_2_to_10", |b| {
+        b.iter(|| fig9_rows(&sys, &model, 2..=10))
+    });
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

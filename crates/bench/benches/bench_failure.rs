@@ -1,0 +1,66 @@
+//! Failure-handling latency: how long a scheduler takes to compute its
+//! reaction to a disk failure at Table-2 scale. Observation 2 gives the
+//! XOR a whole cycle of slack; the *planning* must be similarly cheap for
+//! the degraded switch to be seamless.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mms_server::disk::{Bandwidth, DiskId, DiskParams};
+use mms_server::layout::{
+    BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
+};
+use mms_server::sched::{
+    CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy,
+};
+
+fn loaded_nc(policy: TransitionPolicy) -> (NonClusteredScheduler, u64) {
+    let geo = Geometry::clustered(100, 5).unwrap();
+    let mut catalog = Catalog::new(ClusteredLayout::new(geo), 1_000_000);
+    catalog
+        .add(MediaObject::new(
+            ObjectId(0),
+            "m",
+            1_000_000,
+            BandwidthClass::Mpeg1,
+        ))
+        .unwrap();
+    let cfg = CycleConfig::new(
+        DiskParams::paper_table1(),
+        Bandwidth::from_megabits(1.5),
+        1,
+        1,
+    );
+    let mut s = NonClusteredScheduler::new(cfg, catalog, policy, 5);
+    // Fill to capacity (Table 2's 966-ish streams).
+    let mut t = 0u64;
+    let mut denied = 0;
+    while denied < 8 {
+        if s.admit(ObjectId(0), t).is_ok() {
+            denied = 0;
+        } else {
+            denied += 1;
+            s.plan_cycle(t);
+            t += 1;
+        }
+    }
+    (s, t)
+}
+
+fn bench_failure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nc_failure_transition");
+    for policy in [TransitionPolicy::Simple, TransitionPolicy::Delayed] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter_batched(
+                || loaded_nc(policy),
+                |(mut s, next_cycle)| {
+                    let _ = s.on_disk_failure(DiskId(2), next_cycle, false);
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure);
+criterion_main!(benches);

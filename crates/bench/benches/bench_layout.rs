@@ -1,0 +1,45 @@
+//! Layout and catalog throughput: block placement is on the per-cycle
+//! planning path (every read resolves one), and catalog registration is
+//! the tertiary staging path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mms_server::layout::{
+    BandwidthClass, Catalog, ClusteredLayout, Geometry, ImprovedLayout, Layout, MediaObject,
+    ObjectId,
+};
+
+fn bench_layout(c: &mut Criterion) {
+    let clustered = ClusteredLayout::new(Geometry::clustered(1000, 10).unwrap());
+    let improved = ImprovedLayout::new(Geometry::improved(999, 10).unwrap());
+    c.bench_function("placement_clustered_1000_disks", |b| {
+        let mut g = 0u64;
+        b.iter(|| {
+            g = g.wrapping_add(1);
+            std::hint::black_box(clustered.data_placement(7, g, (g % 9) as u32))
+        })
+    });
+    c.bench_function("placement_improved_999_disks", |b| {
+        let mut g = 0u64;
+        b.iter(|| {
+            g = g.wrapping_add(1);
+            std::hint::black_box(improved.parity_placement(7, g))
+        })
+    });
+    c.bench_function("catalog_register_90min_movie", |b| {
+        let mut next = 0u64;
+        let mut catalog = Catalog::new(clustered, u64::MAX);
+        b.iter(|| {
+            let obj = MediaObject::new(
+                ObjectId(next),
+                "m",
+                20_250, // 90-minute MPEG-1 feature
+                BandwidthClass::Mpeg1,
+            );
+            next += 1;
+            catalog.add(obj).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

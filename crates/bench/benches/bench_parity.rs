@@ -1,0 +1,48 @@
+//! XOR codec throughput: the feasibility basis of Observation 2 ("the
+//! exclusive OR calculations can be carried out in a short enough time
+//! that the reconstructed data can be delivered to the viewer with no
+//! interruption"). A 50 KB track at MPEG-1 rate must be reconstructed in
+//! well under its 267 ms cycle; this bench shows the codec is orders of
+//! magnitude faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mms_server::parity::{codec, Block, XorAccumulator};
+
+fn bench_parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity");
+    for &members in &[4usize, 9] {
+        let track = 50_000usize; // 50 KB tracks, as in Table 1
+        let blocks: Vec<Block> = (0..members as u64)
+            .map(|i| Block::synthetic(1, i, track))
+            .collect();
+        let parity = codec::parity_of(blocks.iter());
+        group.throughput(Throughput::Bytes((track * members) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_group", members),
+            &blocks,
+            |b, blocks| b.iter(|| codec::parity_of(blocks.iter())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_one", members),
+            &(blocks.clone(), parity.clone()),
+            |b, (blocks, parity)| b.iter(|| codec::reconstruct(1, blocks, parity).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delayed_accumulate", members),
+            &blocks,
+            |b, blocks| {
+                b.iter(|| {
+                    let mut acc = XorAccumulator::new(track);
+                    for blk in &blocks[..members - 1] {
+                        acc.absorb(blk);
+                    }
+                    acc.finish_reconstruct([&blocks[members - 1]], &parity)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parity);
+criterion_main!(benches);

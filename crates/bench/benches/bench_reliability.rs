@@ -1,0 +1,27 @@
+//! Monte-Carlo reliability trial rate: one trial simulates the full
+//! failure/repair history of a disk farm until catastrophe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mms_server::disk::{ReliabilityParams, Time};
+use mms_server::reliability::{CatastropheRule, MonteCarlo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reliability(c: &mut Criterion) {
+    let fast = ReliabilityParams {
+        mttf: Time::from_hours(1_000.0),
+        mttr: Time::from_hours(1.0),
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mc = MonteCarlo {
+        d: 20,
+        rel: fast,
+        rule: CatastropheRule::SameCluster { c: 5 },
+    };
+    c.bench_function("mc_trial_same_cluster_d20", |b| {
+        b.iter(|| mc.trial(&mut rng))
+    });
+}
+
+criterion_group!(benches, bench_reliability);
+criterion_main!(benches);

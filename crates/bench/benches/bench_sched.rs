@@ -1,0 +1,49 @@
+//! Scheduler cycle-planning throughput at Table-2 scale (D = 100,
+//! C = 5, near-capacity stream population) for all four schemes. One
+//! plan per T_cyc (0.27-1.07 s) is the real-time budget; these run in
+//! microseconds to milliseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mms_server::layout::{BandwidthClass, MediaObject, ObjectId};
+use mms_server::sim::DataMode;
+use mms_server::{MultimediaServer, Scheme, ServerBuilder};
+
+fn capacity_server(scheme: Scheme) -> MultimediaServer {
+    let disks = if scheme == Scheme::ImprovedBandwidth { 96 } else { 100 };
+    let mut s = ServerBuilder::new(scheme)
+        .disks(disks)
+        .parity_group(5)
+        .object(MediaObject::new(
+            ObjectId(0),
+            "m",
+            100_000,
+            BandwidthClass::Mpeg1,
+        ))
+        .data_mode(DataMode::MetadataOnly)
+        .build()
+        .unwrap();
+    let m = s.objects()[0];
+    // Fill to capacity, spreading admissions over cycles for balance.
+    let mut denied = 0;
+    while denied < 64 {
+        if s.admit(m).is_err() {
+            denied += 1;
+            s.step().unwrap();
+        }
+    }
+    s
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cycle_at_capacity");
+    for scheme in Scheme::ALL {
+        let mut server = capacity_server(scheme);
+        group.bench_function(scheme.abbrev(), |b| {
+            b.iter(|| server.step().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Full simulator step throughput: verified (real XOR over synthetic
+//! bytes) vs metadata-only, on a degraded cluster so every cycle
+//! reconstructs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mms_server::disk::DiskId;
+use mms_server::layout::{BandwidthClass, MediaObject, ObjectId};
+use mms_server::sim::DataMode;
+use mms_server::{Scheme, ServerBuilder};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_step");
+    for (label, mode) in [
+        ("verified_50kb", DataMode::Verified { track_bytes: 50_000 }),
+        ("metadata_only", DataMode::MetadataOnly),
+    ] {
+        let mut server = ServerBuilder::new(Scheme::StreamingRaid)
+            .disks(100)
+            .parity_group(5)
+            .object(MediaObject::new(
+                ObjectId(0),
+                "m",
+                1_000_000, // long enough that streams outlive the run
+                BandwidthClass::Mpeg1,
+            ))
+            .data_mode(mode)
+            .build()
+            .unwrap();
+        let m = server.objects()[0];
+        for _ in 0..20 {
+            let _ = server.admit(m);
+        }
+        server.fail_disk(DiskId(1)).unwrap();
+        group.bench_function(label, |b| b.iter(|| server.step().unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Design-space explorer: the Section 5 "simple system design work" as a
+//! tool. Ranks every (scheme, C) configuration by cost for a working set,
+//! finds the cheapest design for a stream target, and splits a farm
+//! between MPEG-1 and MPEG-2 classes (the Section 1 mixed-catalog
+//! arithmetic).
+//!
+//! Usage: `design_space [required_streams] [mpeg1_streams] [mpeg2_streams]`
+
+use mms_server::analysis::{
+    best_design, design_space, partition_classes, ClassDemand, CostModel, SchemeKind,
+    SchemeParams, SystemParams,
+};
+use mms_server::disk::Bandwidth;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let required: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1200.0);
+    let mpeg1: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2000.0);
+    let mpeg2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(650.0);
+
+    let sys = SystemParams::paper_table1();
+    let model = CostModel::paper_fig9();
+
+    println!("== Ten cheapest designs for W = {:.0} GB ==\n", model.working_set_mb / 1000.0);
+    println!(
+        "{:<20} {:>3} {:>8} {:>9} {:>10} {:>10}",
+        "scheme", "C", "disks", "streams", "buf trk", "cost $"
+    );
+    for p in design_space(&sys, &model, 2..=10, SchemeParams::paper_fig9)
+        .into_iter()
+        .take(10)
+    {
+        println!(
+            "{:<20} {:>3} {:>8.1} {:>9.0} {:>10.0} {:>10.0}",
+            p.scheme.to_string(),
+            p.c,
+            p.disks,
+            p.streams,
+            p.buffer_tracks,
+            p.cost
+        );
+    }
+
+    println!("\n== Cheapest design for {required:.0} concurrent streams ==\n");
+    match best_design(&sys, &model, 2..=10, required, SchemeParams::paper_fig9) {
+        Some(p) => println!(
+            "{} with C = {}: ${:.0} ({:.0} streams on {:.1} disks, {:.0} buffer tracks)",
+            p.scheme, p.c, p.cost, p.streams, p.disks, p.buffer_tracks
+        ),
+        None => println!("infeasible at this working set — buy disks beyond the catalog's needs"),
+    }
+
+    println!(
+        "\n== Farm split for {mpeg1:.0} MPEG-1 + {mpeg2:.0} MPEG-2 streams (SR, C = 5) ==\n"
+    );
+    let allocs = partition_classes(
+        &sys,
+        SchemeKind::StreamingRaid,
+        &SchemeParams::paper_tables(5),
+        &[
+            ClassDemand {
+                b0: Bandwidth::mpeg1(),
+                required_streams: mpeg1,
+            },
+            ClassDemand {
+                b0: Bandwidth::mpeg2(),
+                required_streams: mpeg2,
+            },
+        ],
+    );
+    let mut total = 0.0;
+    for a in &allocs {
+        println!(
+            "{:>9} @ {}: {:>7.1} data disks, {:>7.1} total",
+            a.required_streams,
+            a.b0,
+            a.data_disks,
+            a.total_disks
+        );
+        total += a.total_disks;
+    }
+    println!("{:>10} {total:.1} disks", "farm total:");
+    println!(
+        "\n(Section 1's yardstick: 1000 drives ≈ 6500 MPEG-2 or 20,000 MPEG-1\nstreams, 'or some combination of the two'.)"
+    );
+}

@@ -1,0 +1,47 @@
+//! Reproduces Figure 8: the Improved-bandwidth layout. No dedicated
+//! parity disks; the parity of cluster i's groups is distributed over the
+//! disks of cluster i+1 (X0p/Y0p/Z0p staircase).
+
+use mms_server::disk::DiskId;
+use mms_server::layout::{
+    BandwidthClass, BlockKind, Catalog, Geometry, ImprovedLayout, MediaObject, ObjectId,
+};
+
+fn main() {
+    let geo = Geometry::improved(8, 5).unwrap();
+    // Figure 8 places objects X, Y, Z starting on cluster 0 with their
+    // parity staircased across cluster 1; the salt models that staircase.
+    println!("Figure 8 — Improved-bandwidth layout (cluster 0: disks 0-3, cluster 1: disks 4-7)\n");
+    let names = ["X", "Y", "Z"];
+    print!("{:>6}", "");
+    for d in 0..8 {
+        print!(" {:>13}", format!("disk{d}"));
+    }
+    println!();
+    for (i, name) in names.iter().enumerate() {
+        let layout = ImprovedLayout::with_salt(geo, i as u32);
+        let mut catalog = Catalog::new(layout, 10_000);
+        catalog
+            .add_at(
+                MediaObject::new(ObjectId(i as u64), *name, 16, BandwidthClass::Mpeg1),
+                0,
+            )
+            .unwrap();
+        print!("{name:>4}: ");
+        for d in 0..8u32 {
+            let blocks = catalog.blocks_on_disk(DiskId(d));
+            let cell: Vec<String> = blocks
+                .iter()
+                .map(|b| match b.kind {
+                    BlockKind::Data(_) => format!("{name}{}", b.track_number(4).unwrap()),
+                    BlockKind::Parity => format!("{name}{}p", b.group * 4),
+                })
+                .collect();
+            print!(" {:>13}", cell.join(","));
+        }
+        println!();
+    }
+    println!("\nEvery disk serves data in normal operation; disk 4 is both a");
+    println!("data disk for cluster 1 and the parity host for X's cluster-0");
+    println!("group — the dual membership that halves the scheme's MTTF (Eq. 5).");
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 2 of the paper: all six metrics for the four schemes
+//! at parity-group size C = 5 (Table 1 parameters, D = 100).
+//!
+//! Paper row (SR): 20.0% / 20.0% / 25684.9 / 25684.9 / 1041 / 10410.
+
+fn main() {
+    println!("Table 2 — results with C = 5 (Table 1 parameters, D = 100)\n");
+    mms_bench::print_scheme_table(5);
+    println!("\nPaper's Table 2 for comparison:");
+    println!("  SR: 20.0% 20.0% 25684.9 25684.9 1041 10410");
+    println!("  SG: 20.0% 20.0% 25684.9 25684.9  966  3623");
+    println!("  NC: 20.0% 20.0% 25684.9 3176862.3  966  2612");
+    println!("  IB: 20.0%  3.0% 11415   3176862.3 1263 10104");
+}

@@ -1,0 +1,12 @@
+//! Reproduces Table 3 of the paper: all six metrics for the four schemes
+//! at parity-group size C = 7 (Table 1 parameters, D = 100).
+
+fn main() {
+    println!("Table 3 — results with C = 7 (Table 1 parameters, D = 100)\n");
+    mms_bench::print_scheme_table(7);
+    println!("\nPaper's Table 3 for comparison:");
+    println!("  SR: 14.3% 14.3% 17123.3 17123.3 1125 15750");
+    println!("  SG: 14.3% 14.3% 17123.3 17123.3 1035  4830");
+    println!("  NC: 14.3% 14.3% 17123.3 3176862.3 1035  3254");
+    println!("  IB: 14.3%  3.0%  7903.1 3176862.3 1273 15276");
+}

@@ -1,0 +1,132 @@
+//! # mms-bench — benchmark and reproduction harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run -p mms-bench --bin <name>`), plus Criterion benches for the
+//! performance-critical substrate paths (`cargo bench -p mms-bench`).
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `section2_table` | §2 in-text streams/disk table |
+//! | `table2` / `table3` | Tables 2 and 3 (all six metrics, four schemes) |
+//! | `fig2_schedule` | Figure 2 (k/k′ read vs transmission cycles) |
+//! | `fig3_layout` | Figure 3 (Streaming RAID layout) |
+//! | `fig4_memory` | Figure 4 (staggered-group memory profile) |
+//! | `fig5_schedule` | Figure 5 (NC normal-mode schedule) |
+//! | `fig6_transition` | Figure 6 (NC simple transition) |
+//! | `fig7_transition` | Figure 7 (NC delayed transition) |
+//! | `fig8_layout` | Figure 8 (improved-bandwidth layout) |
+//! | `fig9_cost` | Figure 9(a)+(b) cost and stream sweeps |
+//! | `reliability_mc` | §2/§3/§4 MTTF quotes, formula vs Monte Carlo |
+//! | `baseline_vs_schemes` | §1's no-fault-tolerance motivation, measured |
+//! | `ablation_transition` | NC transition losses across C × failed disk × policy |
+//! | `ablation_ib_reserve` | IB reserved capacity vs dropped streams at full load |
+//! | `ablation_kprime` | the k′ continuum between SR and SG |
+//! | `design_space` | §5 design exercise + §1 mixed-class farm split |
+
+use mms_server::disk::{Bandwidth, DiskParams};
+use mms_server::layout::{
+    BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
+};
+use mms_server::sched::{CycleConfig, NonClusteredScheduler, TransitionPolicy};
+use std::collections::BTreeMap;
+
+/// Stream names used by the Figure 5/6/7 scenario.
+pub const FIGURE_NAMES: [(u64, &str); 8] = [
+    (0, "U"),
+    (1, "W"),
+    (2, "Y"),
+    (3, "A"),
+    (4, "C"),
+    (5, "E"),
+    (6, "G"),
+    (7, "I"),
+];
+
+/// Admission cycles for the figure streams (mapping the figures' cycle 1
+/// to scheduler cycle 4).
+pub const FIGURE_STARTS: [(u64, u64); 8] = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 4),
+    (4, 5),
+    (5, 6),
+    (6, 7),
+    (7, 8),
+];
+
+/// The cycle at which disk 2 fails in the figure scenario (the figures'
+/// "just before the start of cycle 1").
+pub const FIGURE_FAIL_CYCLE: u64 = 4;
+
+/// Build the Figures 5–7 Non-clustered scenario: one cluster of five
+/// disks, one slot per disk per cycle, four-track objects.
+#[must_use]
+pub fn figure_scheduler(policy: TransitionPolicy) -> NonClusteredScheduler {
+    let geo = Geometry::clustered(5, 5).unwrap();
+    let mut catalog = Catalog::new(ClusteredLayout::new(geo), 10_000);
+    for (id, name) in FIGURE_NAMES {
+        catalog
+            .add(MediaObject::new(
+                ObjectId(id),
+                name,
+                4,
+                BandwidthClass::Custom(Bandwidth::from_megabytes(1.0)),
+            ))
+            .unwrap();
+    }
+    let cfg = CycleConfig::new(
+        DiskParams::paper_table1(),
+        Bandwidth::from_megabytes(1.0),
+        1,
+        1,
+    );
+    NonClusteredScheduler::new(cfg, catalog, policy, 1)
+}
+
+/// The figure name map for trace rendering.
+#[must_use]
+pub fn figure_name_map() -> BTreeMap<u64, &'static str> {
+    FIGURE_NAMES.into_iter().collect()
+}
+
+/// Print a Table 2/3-style metrics table for parity-group size `c` to
+/// stdout, returning the rows.
+pub fn print_scheme_table(c: usize) -> Vec<mms_server::analysis::TableRow> {
+    use mms_server::analysis::{table_rows, SchemeParams, SystemParams};
+    let sys = SystemParams::paper_table1();
+    let rows = table_rows(&sys, &SchemeParams::paper_tables(c));
+    println!(
+        "{:<20} {:>9} {:>9} {:>12} {:>14} {:>8} {:>9}",
+        "scheme", "stor ovhd", "bw ovhd", "MTTF (yr)", "MTTDS (yr)", "streams", "buffers"
+    );
+    for row in &rows {
+        println!(
+            "{:<20} {:>8.1}% {:>8.1}% {:>12.1} {:>14.1} {:>8} {:>9}",
+            row.scheme.to_string(),
+            row.storage_overhead * 100.0,
+            row.bandwidth_overhead * 100.0,
+            row.mttf_years,
+            row.mttds_years,
+            row.streams,
+            row.buffers_tracks
+        );
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_server::sched::SchemeScheduler;
+
+    #[test]
+    fn figure_scenario_builds() {
+        let mut s = figure_scheduler(TransitionPolicy::Simple);
+        for (obj, at) in FIGURE_STARTS.iter().take(3) {
+            s.admit(ObjectId(*obj), *at).unwrap();
+        }
+        assert_eq!(s.active_streams(), 3);
+        assert_eq!(s.config().slots_per_disk(), 1);
+    }
+}

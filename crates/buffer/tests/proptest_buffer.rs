@@ -1,0 +1,90 @@
+//! Property tests for the buffer pool: conservation, bounds, and
+//! high-water monotonicity under arbitrary alloc/free sequences.
+
+use mms_buffer::{BufferPool, OwnerId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u8, u8),
+    Free(u8, u8),
+    FreeAll(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(o, n)| Op::Alloc(o % 8, n % 32)),
+            (any::<u8>(), any::<u8>()).prop_map(|(o, n)| Op::Free(o % 8, n % 32)),
+            any::<u8>().prop_map(|o| Op::FreeAll(o % 8)),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The pool's accounting always matches a reference model, capacity is
+    /// never exceeded, and the high-water mark is the true running max.
+    #[test]
+    fn pool_matches_reference_model(ops in arb_ops(), capacity in 1usize..200) {
+        let mut pool = BufferPool::bounded(capacity);
+        let mut model: BTreeMap<u8, usize> = BTreeMap::new();
+        let mut model_peak = 0usize;
+        for op in ops {
+            let total: usize = model.values().sum();
+            match op {
+                Op::Alloc(o, n) => {
+                    let n = n as usize;
+                    let ok = pool.alloc(OwnerId(o as u64), n).is_ok();
+                    let fits = total + n <= capacity;
+                    prop_assert_eq!(ok, fits || n == 0);
+                    if ok && n > 0 {
+                        *model.entry(o).or_default() += n;
+                    }
+                }
+                Op::Free(o, n) => {
+                    let n = n as usize;
+                    let held = model.get(&o).copied().unwrap_or(0);
+                    let ok = pool.free(OwnerId(o as u64), n).is_ok();
+                    prop_assert_eq!(ok, n <= held);
+                    if ok && n > 0 {
+                        let h = model.get_mut(&o).unwrap();
+                        *h -= n;
+                        if *h == 0 {
+                            model.remove(&o);
+                        }
+                    }
+                }
+                Op::FreeAll(o) => {
+                    let held = model.remove(&o).unwrap_or(0);
+                    prop_assert_eq!(pool.free_all(OwnerId(o as u64)), held);
+                }
+            }
+            let total: usize = model.values().sum();
+            model_peak = model_peak.max(total);
+            prop_assert_eq!(pool.in_use(), total);
+            prop_assert!(pool.in_use() <= capacity);
+            prop_assert_eq!(pool.high_water(), model_peak);
+            prop_assert_eq!(pool.owner_count(), model.len());
+            for (&o, &h) in &model {
+                prop_assert_eq!(pool.held_by(OwnerId(o as u64)), h);
+            }
+        }
+    }
+
+    /// Unbounded pools accept everything and never report exhaustion.
+    #[test]
+    fn unbounded_never_rejects(allocs in proptest::collection::vec((any::<u8>(), 0usize..1000), 1..50)) {
+        let mut pool = BufferPool::unbounded();
+        let mut total = 0usize;
+        for (o, n) in allocs {
+            prop_assert!(pool.alloc(OwnerId(o as u64), n).is_ok());
+            total += n;
+        }
+        prop_assert_eq!(pool.in_use(), total);
+        prop_assert_eq!(pool.high_water(), total);
+    }
+}

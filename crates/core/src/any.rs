@@ -1,0 +1,178 @@
+//! Scheme-erased scheduler.
+
+use mms_disk::DiskId;
+use mms_layout::ObjectId;
+use mms_sched::{
+    AdmissionError, CycleConfig, CyclePlan, FailureReport, ImprovedScheduler,
+    NonClusteredScheduler, SchemeKind, SchemeScheduler, StaggeredScheduler, StreamId, StreamInfo,
+    StreamingRaidScheduler,
+};
+
+/// A scheduler for any of the four schemes, so [`crate::MultimediaServer`]
+/// is a single concrete type.
+///
+/// An enum (rather than `Box<dyn SchemeScheduler>`) keeps the concrete
+/// schedulers inspectable — e.g. the Non-clustered buffer-server pool —
+/// without downcasting.
+#[derive(Debug)]
+pub enum AnyScheduler {
+    /// Streaming RAID.
+    StreamingRaid(StreamingRaidScheduler),
+    /// Staggered-group.
+    Staggered(StaggeredScheduler),
+    /// Non-clustered with buffer pool.
+    NonClustered(NonClusteredScheduler),
+    /// Improved-bandwidth.
+    Improved(ImprovedScheduler),
+}
+
+macro_rules! delegate {
+    ($self:ident, $s:ident => $body:expr) => {
+        match $self {
+            AnyScheduler::StreamingRaid($s) => $body,
+            AnyScheduler::Staggered($s) => $body,
+            AnyScheduler::NonClustered($s) => $body,
+            AnyScheduler::Improved($s) => $body,
+        }
+    };
+}
+
+impl AnyScheduler {
+    /// The Non-clustered scheduler, if that is the configured scheme.
+    #[must_use]
+    pub fn as_non_clustered(&self) -> Option<&NonClusteredScheduler> {
+        match self {
+            AnyScheduler::NonClustered(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The Improved-bandwidth scheduler, if that is the configured scheme.
+    #[must_use]
+    pub fn as_improved(&self) -> Option<&ImprovedScheduler> {
+        match self {
+            AnyScheduler::Improved(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Source disks and track count for rebuilding `disk` from parity:
+    /// the other disks of its cluster (whose surviving group members and
+    /// parity XOR back to the lost contents), plus — for the improved
+    /// layout — the next cluster's disks, which host this cluster's
+    /// parity blocks.
+    #[must_use]
+    pub fn rebuild_spec(&self, disk: DiskId) -> (Vec<DiskId>, u64) {
+        use mms_layout::Layout;
+        fn cluster_sources(
+            geo: &mms_layout::Geometry,
+            disk: DiskId,
+            include_next: bool,
+        ) -> Vec<DiskId> {
+            let cluster = geo.cluster_of(disk);
+            let mut v: Vec<DiskId> = geo
+                .cluster_disks(cluster)
+                .into_iter()
+                .filter(|&d| d != disk)
+                .collect();
+            if include_next {
+                v.extend(geo.cluster_disks(geo.next_cluster(cluster)));
+            }
+            v
+        }
+        match self {
+            AnyScheduler::StreamingRaid(s) => {
+                let geo = s.catalog().layout().geometry();
+                (
+                    cluster_sources(geo, disk, false),
+                    s.catalog().blocks_on_disk(disk).len() as u64,
+                )
+            }
+            AnyScheduler::Staggered(s) => {
+                let geo = s.catalog().layout().geometry();
+                (
+                    cluster_sources(geo, disk, false),
+                    s.catalog().blocks_on_disk(disk).len() as u64,
+                )
+            }
+            AnyScheduler::NonClustered(s) => {
+                let geo = s.catalog().layout().geometry();
+                (
+                    cluster_sources(geo, disk, false),
+                    s.catalog().blocks_on_disk(disk).len() as u64,
+                )
+            }
+            AnyScheduler::Improved(s) => {
+                let geo = s.catalog().layout().geometry();
+                (
+                    cluster_sources(geo, disk, true),
+                    s.catalog().blocks_on_disk(disk).len() as u64,
+                )
+            }
+        }
+    }
+}
+
+impl AnyScheduler {
+    /// Register a newly staged object in whichever scheme's catalog.
+    pub fn register_object(
+        &mut self,
+        object: mms_layout::MediaObject,
+    ) -> Result<(), mms_layout::CatalogError> {
+        delegate!(self, s => s.register_object(object))
+    }
+
+    /// Retire an object from whichever scheme's catalog.
+    pub fn retire_object(
+        &mut self,
+        object: ObjectId,
+    ) -> Result<(), mms_sched::RetireError> {
+        delegate!(self, s => s.retire_object(object))
+    }
+}
+
+impl SchemeScheduler for AnyScheduler {
+    fn scheme(&self) -> SchemeKind {
+        delegate!(self, s => s.scheme())
+    }
+
+    fn config(&self) -> &CycleConfig {
+        delegate!(self, s => s.config())
+    }
+
+    fn admit(&mut self, object: ObjectId, at_cycle: u64) -> Result<StreamId, AdmissionError> {
+        delegate!(self, s => s.admit(object, at_cycle))
+    }
+
+    fn stream_capacity(&self) -> usize {
+        delegate!(self, s => s.stream_capacity())
+    }
+
+    fn active_streams(&self) -> usize {
+        delegate!(self, s => s.active_streams())
+    }
+
+    fn stream_info(&self, id: StreamId) -> Option<StreamInfo> {
+        delegate!(self, s => s.stream_info(id))
+    }
+
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+        delegate!(self, s => s.plan_cycle(cycle))
+    }
+
+    fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, mid_cycle: bool) -> FailureReport {
+        delegate!(self, s => s.on_disk_failure(disk, cycle, mid_cycle))
+    }
+
+    fn on_disk_repair(&mut self, disk: DiskId, cycle: u64) {
+        delegate!(self, s => s.on_disk_repair(disk, cycle))
+    }
+
+    fn buffer_in_use(&self) -> usize {
+        delegate!(self, s => s.buffer_in_use())
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        delegate!(self, s => s.buffer_high_water())
+    }
+}

@@ -1,0 +1,65 @@
+//! # mms-server — fault-tolerant multimedia server
+//!
+//! The top-level library of this reproduction of *Berson, Golubchik &
+//! Muntz, "Fault Tolerant Design of Multimedia Servers" (SIGMOD 1995)*.
+//! It assembles the substrate crates into one facade:
+//!
+//! * [`ServerBuilder`] / [`MultimediaServer`] — configure a parity
+//!   scheme, register movies, admit viewers, run delivery cycles, inject
+//!   disk failures, and read metrics.
+//! * [`AnyScheduler`] — a scheme-erased scheduler so all four schemes
+//!   share one server type.
+//! * Re-exports of every substrate (`disk`, `parity`, `layout`,
+//!   `buffer`, `sched`, `reliability`, `analysis`, `sim`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mms_server::{Scheme, ServerBuilder};
+//! use mms_server::layout::BandwidthClass;
+//!
+//! let mut server = ServerBuilder::new(Scheme::StreamingRaid)
+//!     .disks(10)
+//!     .parity_group(5)
+//!     .movie("feature", 1.0, BandwidthClass::Mpeg1) // 1-minute short
+//!     .build()
+//!     .unwrap();
+//!
+//! let movie = server.objects()[0];
+//! server.admit(movie).unwrap();
+//! // One disk dies mid-movie; Streaming RAID masks it completely.
+//! server.fail_disk(mms_server::disk::DiskId(2)).unwrap();
+//! server.run(40).unwrap();
+//! assert_eq!(server.metrics().total_hiccups(), 0);
+//! assert!(server.metrics().reconstructed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod any;
+mod builder;
+mod library;
+mod server;
+
+pub use any::AnyScheduler;
+pub use builder::{BuildError, Scheme, ServerBuilder};
+pub use library::{Librarian, StagingJob};
+pub use server::MultimediaServer;
+
+/// Disk substrate ([`mms_disk`]).
+pub use mms_disk as disk;
+/// XOR parity substrate ([`mms_parity`]).
+pub use mms_parity as parity;
+/// Data-layout substrate ([`mms_layout`]).
+pub use mms_layout as layout;
+/// Buffer-memory substrate ([`mms_buffer`]).
+pub use mms_buffer as buffer;
+/// Scheduling substrate ([`mms_sched`]).
+pub use mms_sched as sched;
+/// Reliability analysis ([`mms_reliability`]).
+pub use mms_reliability as reliability;
+/// The paper's analytical model ([`mms_analysis`]).
+pub use mms_analysis as analysis;
+/// Discrete-event simulation ([`mms_sim`]).
+pub use mms_sim as sim;

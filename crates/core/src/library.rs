@@ -1,0 +1,175 @@
+//! Tertiary-storage staging — the top of Figure 1's storage hierarchy.
+//!
+//! "The entire database permanently resides on tertiary storage, from
+//! which objects are retrieved and placed on disk drives for delivery on
+//! demand. … If the secondary storage capacity is exhausted when an
+//! object, which is not on the disks, is requested then one or more
+//! disk-resident objects must be purged to make space for the requested
+//! object. The long latency times and high bandwidth cost of tertiary
+//! devices precludes objects from being transmitted directly from the
+//! tertiary store."
+//!
+//! The [`Librarian`] models that tape robot: requested objects stage onto
+//! disk at tape bandwidth (one job at a time — a library has few drives),
+//! become admittable when fully resident, and can be purged (LRU) when
+//! the disks fill up.
+
+use mms_layout::{MediaObject, ObjectId};
+use std::collections::VecDeque;
+
+/// A staging job in the tape queue.
+#[derive(Debug, Clone)]
+pub struct StagingJob {
+    /// The object being loaded.
+    pub object: MediaObject,
+    /// Tracks already copied to disk.
+    pub staged_tracks: u64,
+    /// Whether the last placement attempt failed for lack of disk space
+    /// (a purge is needed before the job can finish).
+    pub blocked: bool,
+}
+
+impl StagingJob {
+    /// Fraction staged, in `[0, 1]`.
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        if self.object.tracks == 0 {
+            return 1.0;
+        }
+        (self.staged_tracks as f64 / self.object.tracks as f64).min(1.0)
+    }
+}
+
+/// The tertiary library: a queue of staging jobs drained at tape speed.
+#[derive(Debug, Clone)]
+pub struct Librarian {
+    tape_tracks_per_cycle: u64,
+    queue: VecDeque<StagingJob>,
+}
+
+impl Librarian {
+    /// A librarian with the given tape bandwidth (tracks per cycle). The
+    /// paper's footnote prices tape at ~4 Mb/s ≈ 1/8 of a disk; at
+    /// MPEG-1 cycle lengths that is about one 50 KB track per cycle.
+    #[must_use]
+    pub fn new(tape_tracks_per_cycle: u64) -> Self {
+        assert!(tape_tracks_per_cycle > 0, "tape must make progress");
+        Librarian {
+            tape_tracks_per_cycle,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Enqueue a staging request.
+    pub fn request(&mut self, object: MediaObject) {
+        self.queue.push_back(StagingJob {
+            object,
+            staged_tracks: 0,
+            blocked: false,
+        });
+    }
+
+    /// The pending jobs, front first.
+    #[must_use]
+    pub fn queue(&self) -> &VecDeque<StagingJob> {
+        &self.queue
+    }
+
+    /// Whether an object is somewhere in the staging queue.
+    #[must_use]
+    pub fn is_staging(&self, id: ObjectId) -> bool {
+        self.queue.iter().any(|j| j.object.id == id)
+    }
+
+    /// Advance one cycle of tape transfer. When the front job completes,
+    /// `place` is called with the finished object; if placement fails
+    /// (disk full), the job stays at the front marked `blocked` and is
+    /// retried on subsequent cycles (after the caller purges something).
+    /// Returns the object placed this cycle, if any.
+    pub fn advance<F>(&mut self, mut place: F) -> Option<ObjectId>
+    where
+        F: FnMut(MediaObject) -> bool,
+    {
+        let job = self.queue.front_mut()?;
+        if job.blocked {
+            // Waiting for the caller to purge something and unblock.
+            return None;
+        }
+        job.staged_tracks =
+            (job.staged_tracks + self.tape_tracks_per_cycle).min(job.object.tracks);
+        if job.staged_tracks >= job.object.tracks {
+            let object = job.object.clone();
+            let id = object.id;
+            if place(object) {
+                self.queue.pop_front();
+                return Some(id);
+            }
+            job.blocked = true;
+        }
+        None
+    }
+
+    /// Clear a front job's blocked flag after the caller made room.
+    pub fn unblock(&mut self) {
+        if let Some(job) = self.queue.front_mut() {
+            job.blocked = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_layout::BandwidthClass;
+
+    fn movie(id: u64, tracks: u64) -> MediaObject {
+        MediaObject::new(ObjectId(id), format!("m{id}"), tracks, BandwidthClass::Mpeg1)
+    }
+
+    #[test]
+    fn staging_takes_tracks_over_tape_rate_cycles() {
+        let mut lib = Librarian::new(3);
+        lib.request(movie(1, 10));
+        assert!(lib.is_staging(ObjectId(1)));
+        let mut placed = Vec::new();
+        for _ in 0..4 {
+            if let Some(id) = lib.advance(|_| true) {
+                placed.push(id);
+            }
+        }
+        // ceil(10 / 3) = 4 cycles.
+        assert_eq!(placed, vec![ObjectId(1)]);
+        assert!(!lib.is_staging(ObjectId(1)));
+    }
+
+    #[test]
+    fn jobs_are_fifo() {
+        let mut lib = Librarian::new(100);
+        lib.request(movie(1, 10));
+        lib.request(movie(2, 10));
+        assert_eq!(lib.advance(|_| true), Some(ObjectId(1)));
+        assert_eq!(lib.advance(|_| true), Some(ObjectId(2)));
+        assert_eq!(lib.advance(|_| true), None);
+    }
+
+    #[test]
+    fn blocked_jobs_wait_for_room() {
+        let mut lib = Librarian::new(100);
+        lib.request(movie(1, 5));
+        // Placement fails: disks full.
+        assert_eq!(lib.advance(|_| false), None);
+        assert!(lib.queue()[0].blocked);
+        // Still blocked: no retries until unblocked.
+        assert_eq!(lib.advance(|_| true), None);
+        lib.unblock();
+        assert_eq!(lib.advance(|_| true), Some(ObjectId(1)));
+    }
+
+    #[test]
+    fn progress_reporting() {
+        let mut lib = Librarian::new(2);
+        lib.request(movie(1, 8));
+        lib.advance(|_| true);
+        assert!((lib.queue()[0].progress() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! The multimedia-server facade.
+
+use crate::any::AnyScheduler;
+use crate::library::Librarian;
+use mms_disk::DiskId;
+use mms_layout::{CatalogError, MediaObject, ObjectId};
+use mms_sched::{
+    AdmissionError, CycleConfig, FailureReport, SchemeKind, SchemeScheduler, StreamId, StreamInfo,
+};
+use mms_sim::{
+    CycleReport, FailureSchedule, Metrics, RebuildSource, SimError, Simulator, WorkloadGen,
+};
+use rand::Rng;
+
+/// A fault-tolerant multimedia on-demand server (Figure 1 of the paper,
+/// minus the network): a disk farm, a parity scheme, cycle-based stream
+/// scheduling, and failure handling — driven in simulated time.
+#[derive(Debug)]
+pub struct MultimediaServer {
+    sim: Simulator<AnyScheduler>,
+    objects: Vec<ObjectId>,
+    librarian: Librarian,
+    /// Last cycle each resident object was admitted (for LRU purging).
+    last_use: std::collections::BTreeMap<ObjectId, u64>,
+}
+
+impl MultimediaServer {
+    pub(crate) fn from_parts(sim: Simulator<AnyScheduler>, objects: Vec<ObjectId>) -> Self {
+        let last_use = objects.iter().map(|&o| (o, 0)).collect();
+        MultimediaServer {
+            sim,
+            objects,
+            librarian: Librarian::new(1),
+            last_use,
+        }
+    }
+
+    /// The configured scheme.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeKind {
+        self.sim.scheduler().scheme()
+    }
+
+    /// The cycle configuration (length, slots, `k`, `k'`).
+    #[must_use]
+    pub fn cycle_config(&self) -> &CycleConfig {
+        self.sim.scheduler().config()
+    }
+
+    /// Registered objects, in registration order.
+    #[must_use]
+    pub fn objects(&self) -> &[ObjectId] {
+        &self.objects
+    }
+
+    /// Begin delivering `object` to a new viewer.
+    pub fn admit(&mut self, object: ObjectId) -> Result<StreamId, AdmissionError> {
+        let id = self.sim.admit(object)?;
+        let cycle = self.sim.cycle();
+        self.last_use.insert(object, cycle);
+        Ok(id)
+    }
+
+    /// Maximum concurrent streams the scheme admits.
+    #[must_use]
+    pub fn stream_capacity(&self) -> usize {
+        self.sim.scheduler().stream_capacity()
+    }
+
+    /// Active streams right now.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.sim.scheduler().active_streams()
+    }
+
+    /// Snapshot of one stream.
+    #[must_use]
+    pub fn stream_info(&self, id: StreamId) -> Option<StreamInfo> {
+        self.sim.scheduler().stream_info(id)
+    }
+
+    /// Simulate one delivery cycle (advancing any tertiary staging by one
+    /// tape cycle first).
+    pub fn step(&mut self) -> Result<CycleReport, SimError> {
+        let cycle = self.sim.cycle();
+        let (scheduler, oracle) = self.sim.scheduler_and_oracle();
+        let mut placed_meta: Option<(ObjectId, u64)> = None;
+        let placed = self.librarian.advance(|object| {
+            let meta = (object.id, object.tracks);
+            match scheduler.register_object(object) {
+                Ok(()) => {
+                    placed_meta = Some(meta);
+                    true
+                }
+                Err(_) => false,
+            }
+        });
+        if let Some((id, tracks)) = placed_meta {
+            if let Some(oracle) = oracle {
+                oracle.insert_object(id, tracks);
+            }
+            self.objects.push(id);
+            self.last_use.insert(id, cycle);
+        }
+        debug_assert_eq!(placed.is_some(), placed_meta.is_some());
+        self.sim.step()
+    }
+
+    /// Simulate `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        self.sim.run(cycles)
+    }
+
+    /// Simulate with Poisson arrivals; returns rejected admissions.
+    pub fn run_with_workload<R: Rng + ?Sized>(
+        &mut self,
+        cycles: u64,
+        workload: &WorkloadGen,
+        rng: &mut R,
+    ) -> Result<u64, SimError> {
+        self.sim.run_with_workload(cycles, workload, rng)
+    }
+
+    /// Fail a disk effective next cycle.
+    pub fn fail_disk(&mut self, disk: DiskId) -> Result<FailureReport, SimError> {
+        self.sim.fail_disk_now(disk, false)
+    }
+
+    /// Fail a disk mid-cycle (after the current read schedule committed).
+    pub fn fail_disk_mid_cycle(&mut self, disk: DiskId) -> Result<FailureReport, SimError> {
+        self.sim.fail_disk_now(disk, true)
+    }
+
+    /// Repair a disk effective next cycle.
+    pub fn repair_disk(&mut self, disk: DiskId) -> Result<(), SimError> {
+        self.sim.repair_disk_now(disk)
+    }
+
+    /// Install a failure/repair schedule.
+    pub fn set_failures(&mut self, failures: FailureSchedule) {
+        self.sim.set_failures(failures);
+    }
+
+    /// Begin rebuilding a failed disk from parity onto a spare. The
+    /// rebuild runs in the background, consuming only the read slots the
+    /// delivery schedule leaves idle on the surviving source disks;
+    /// streams are never slowed. On completion the disk returns to
+    /// service automatically.
+    pub fn start_parity_rebuild(&mut self, disk: DiskId) -> Result<(), SimError> {
+        let (sources, tracks) = self.sim.scheduler().rebuild_spec(disk);
+        self.sim
+            .start_rebuild(disk, tracks, RebuildSource::Parity { sources })
+    }
+
+    /// Begin rebuilding a failed disk from tertiary storage at
+    /// `tracks_per_cycle` (tape bandwidth / track size) — the slow path
+    /// after a catastrophic failure ("many tapes may need to be
+    /// referenced and that is very time consuming").
+    pub fn start_tertiary_rebuild(
+        &mut self,
+        disk: DiskId,
+        tracks_per_cycle: u64,
+    ) -> Result<(), SimError> {
+        let (_, tracks) = self.sim.scheduler().rebuild_spec(disk);
+        self.sim
+            .start_rebuild(disk, tracks, RebuildSource::Tertiary { tracks_per_cycle })
+    }
+
+    /// Request that an object be staged from tertiary storage onto disk.
+    /// It becomes admittable once fully resident (watch `objects()` or
+    /// [`MultimediaServer::is_resident`]). Staging runs at tape speed, one
+    /// object at a time, and never competes with delivery bandwidth (the
+    /// paper's tertiary store is a separate device).
+    pub fn request_from_tertiary(&mut self, object: MediaObject) -> Result<(), CatalogError> {
+        if self.objects.contains(&object.id) || self.librarian.is_staging(object.id) {
+            return Err(CatalogError::Duplicate { id: object.id });
+        }
+        self.librarian.request(object);
+        Ok(())
+    }
+
+    /// Tape bandwidth in tracks per cycle (default 1 — the paper's ~4 Mb/s
+    /// tape against a 50 KB track at MPEG-1 cycle length).
+    pub fn set_tape_rate(&mut self, tracks_per_cycle: u64) {
+        self.librarian = Librarian::new(tracks_per_cycle);
+    }
+
+    /// Whether an object is resident on disk (admittable).
+    #[must_use]
+    pub fn is_resident(&self, id: ObjectId) -> bool {
+        self.objects.contains(&id)
+    }
+
+    /// The staging queue (front job first).
+    #[must_use]
+    pub fn staging(&self) -> &Librarian {
+        &self.librarian
+    }
+
+    /// Purge a resident object to reclaim disk space; refuses while any
+    /// stream is still delivering it.
+    pub fn purge_object(&mut self, id: ObjectId) -> Result<(), mms_sched::RetireError> {
+        let (scheduler, oracle) = self.sim.scheduler_and_oracle();
+        scheduler.retire_object(id)?;
+        if let Some(oracle) = oracle {
+            oracle.remove_object(id);
+        }
+        self.objects.retain(|&o| o != id);
+        self.last_use.remove(&id);
+        // A blocked staging job may now fit.
+        self.librarian.unblock();
+        Ok(())
+    }
+
+    /// Purge the least-recently-admitted object with no active viewers.
+    /// Returns the victim, or `None` if every resident object is busy.
+    pub fn purge_lru(&mut self) -> Option<ObjectId> {
+        let mut candidates: Vec<(u64, ObjectId)> = self
+            .objects
+            .iter()
+            .map(|&o| (self.last_use.get(&o).copied().unwrap_or(0), o))
+            .collect();
+        candidates.sort_unstable();
+        candidates
+            .into_iter()
+            .map(|(_, id)| id)
+            .find(|&id| self.purge_object(id).is_ok())
+    }
+
+    /// Cumulative metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// The underlying simulator (trace retention, disk inspection).
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator<AnyScheduler> {
+        &self.sim
+    }
+
+    /// Mutable access to the simulator for advanced drivers.
+    pub fn simulator_mut(&mut self) -> &mut Simulator<AnyScheduler> {
+        &mut self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Scheme, ServerBuilder};
+    use mms_layout::BandwidthClass;
+
+    fn server(scheme: Scheme) -> MultimediaServer {
+        let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+        ServerBuilder::new(scheme)
+            .disks(disks)
+            .parity_group(5)
+            .movie("short", 0.5, BandwidthClass::Mpeg1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_scheme_plays_a_movie_to_completion() {
+        for scheme in Scheme::ALL {
+            let mut s = server(scheme);
+            let movie = s.objects()[0];
+            let id = s.admit(movie).unwrap();
+            assert_eq!(s.active_streams(), 1);
+            // 0.5 min MPEG-1 at 50 KB tracks = 113 tracks.
+            s.run(200).unwrap();
+            assert_eq!(s.active_streams(), 0, "{scheme:?}");
+            assert_eq!(s.metrics().streams_finished, 1, "{scheme:?}");
+            assert_eq!(s.metrics().total_hiccups(), 0, "{scheme:?}");
+            assert!(s.metrics().delivered >= 113, "{scheme:?}");
+            assert!(s.stream_info(id).is_none());
+        }
+    }
+
+    #[test]
+    fn every_scheme_masks_a_single_failure_after_transition() {
+        // SR, SG, and IB mask a single disk failure with zero hiccups;
+        // NC loses only its bounded transition set.
+        for scheme in Scheme::ALL {
+            let mut s = server(scheme);
+            let movie = s.objects()[0];
+            s.admit(movie).unwrap();
+            s.run(3).unwrap();
+            s.fail_disk(DiskId(1)).unwrap();
+            s.run(200).unwrap();
+            let m = s.metrics();
+            assert_eq!(m.streams_finished, 1, "{scheme:?}");
+            match scheme {
+                Scheme::NonClustered => {
+                    assert!(m.total_hiccups() <= 2, "{scheme:?}: {}", m.total_hiccups());
+                }
+                _ => assert_eq!(m.total_hiccups(), 0, "{scheme:?}"),
+            }
+            assert!(m.reconstructed > 0, "{scheme:?}");
+            assert_eq!(m.catastrophes, 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_and_capacity_are_exposed() {
+        let s = server(Scheme::StreamingRaid);
+        assert!(s.stream_capacity() > 0);
+        assert_eq!(s.metrics().cycles, 0);
+        assert_eq!(s.cycle_config().k, 4);
+    }
+}

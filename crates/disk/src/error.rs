@@ -1,0 +1,84 @@
+//! Error type for disk operations.
+
+use crate::disk::DiskId;
+use std::fmt;
+
+/// Errors raised by the disk substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// A read was issued to a disk that is failed or rebuilding.
+    NotOperational {
+        /// The disk that was addressed.
+        disk: DiskId,
+    },
+    /// A read batch exceeded the per-cycle slot capacity of the disk.
+    CycleOverload {
+        /// The disk that was addressed.
+        disk: DiskId,
+        /// Tracks requested in the cycle.
+        requested: usize,
+        /// Slot capacity of the cycle.
+        capacity: usize,
+    },
+    /// A disk id outside the array was addressed.
+    NoSuchDisk {
+        /// The offending id.
+        disk: DiskId,
+    },
+    /// Attempted to fail a disk that is already down.
+    AlreadyFailed {
+        /// The disk that was addressed.
+        disk: DiskId,
+    },
+    /// Attempted to repair a disk that is operational.
+    NotFailed {
+        /// The disk that was addressed.
+        disk: DiskId,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::NotOperational { disk } => {
+                write!(f, "disk {disk} is not operational")
+            }
+            DiskError::CycleOverload {
+                disk,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "disk {disk} overloaded: {requested} tracks requested in a \
+                 cycle with capacity {capacity}"
+            ),
+            DiskError::NoSuchDisk { disk } => write!(f, "no such disk {disk}"),
+            DiskError::AlreadyFailed { disk } => {
+                write!(f, "disk {disk} already failed")
+            }
+            DiskError::NotFailed { disk } => {
+                write!(f, "disk {disk} is not failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DiskError::CycleOverload {
+            disk: DiskId(3),
+            requested: 14,
+            capacity: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("disk 3"));
+        assert!(s.contains("14"));
+        assert!(s.contains("12"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Stochastic failure and repair processes.
+//!
+//! The paper's reliability algebra ("if we assume that disks fail
+//! independently…") models each drive's lifetime as exponential with mean
+//! `MTTF(disk)` and each repair as taking `MTTR(disk)`. This module samples
+//! those processes so the Monte-Carlo reliability simulator in
+//! `mms-reliability` and the failure injector in `mms-sim` share one
+//! implementation.
+//!
+//! We sample the exponential by inversion (`-ln(U)/λ`), which needs only a
+//! uniform source and keeps the crate's `rand` surface minimal.
+
+use crate::params::ReliabilityParams;
+use crate::units::Time;
+use rand::Rng;
+
+/// Sample an exponential deviate with the given mean.
+///
+/// Uses inversion sampling; `mean` must be positive.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: Time) -> Time {
+    debug_assert!(mean.as_secs() > 0.0, "exponential mean must be positive");
+    // gen::<f64>() is in [0, 1); use 1-u to avoid ln(0).
+    let u: f64 = rng.gen();
+    Time::from_secs(-(1.0 - u).ln() * mean.as_secs())
+}
+
+/// A per-disk failure/repair process.
+///
+/// `next_failure` samples the time *from now* until the disk's next
+/// failure; `repair_time` samples the repair duration. Repairs are modeled
+/// as exponential with mean MTTR (the paper only uses the mean, so any
+/// distribution with that mean reproduces its algebra; exponential keeps
+/// the Markov cross-check exact).
+#[derive(Debug, Clone, Copy)]
+pub struct FailureProcess {
+    params: ReliabilityParams,
+}
+
+impl FailureProcess {
+    /// Build from reliability parameters.
+    #[must_use]
+    pub fn new(params: ReliabilityParams) -> Self {
+        FailureProcess { params }
+    }
+
+    /// The underlying parameters.
+    #[must_use]
+    pub fn params(&self) -> ReliabilityParams {
+        self.params
+    }
+
+    /// Sample the time until the next failure of one disk.
+    pub fn next_failure<R: Rng + ?Sized>(&self, rng: &mut R) -> Time {
+        sample_exponential(rng, self.params.mttf)
+    }
+
+    /// Sample a repair duration.
+    pub fn repair_time<R: Rng + ?Sized>(&self, rng: &mut R) -> Time {
+        sample_exponential(rng, self.params.mttr)
+    }
+
+    /// Sample the time until the *first* failure among `d` independent
+    /// disks (exponential with rate `d·λ`).
+    pub fn next_failure_among<R: Rng + ?Sized>(&self, rng: &mut R, d: usize) -> Time {
+        debug_assert!(d > 0);
+        sample_exponential(rng, Time::from_secs(self.params.mttf.as_secs() / d as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = Time::from_hours(100.0);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, mean).as_hours())
+            .sum();
+        let avg = total / f64::from(n);
+        // Standard error ~ 100/sqrt(20000) ≈ 0.7; allow 4 sigma.
+        assert!((avg - 100.0).abs() < 3.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = FailureProcess::new(ReliabilityParams::paper());
+        for _ in 0..1000 {
+            assert!(p.next_failure(&mut rng).as_secs() > 0.0);
+            assert!(p.repair_time(&mut rng).as_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pooled_failure_scales_with_population() {
+        // MTTF of "some disk in a 1000 disk system" is MTTF/1000 — the
+        // paper's 300 000 h / 1000 = 300 h ≈ 12 days example.
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = FailureProcess::new(ReliabilityParams::paper());
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| p.next_failure_among(&mut rng, 1000).as_hours())
+            .sum();
+        let avg = total / f64::from(n);
+        assert!((avg - 300.0).abs() < 10.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = FailureProcess::new(ReliabilityParams::paper());
+        let a = p.next_failure(&mut StdRng::seed_from_u64(42));
+        let b = p.next_failure(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! # mms-disk — disk subsystem substrate
+//!
+//! This crate implements the disk model from Section 2 ("Simple disk model")
+//! of *Berson, Golubchik & Muntz, "Fault Tolerant Design of Multimedia
+//! Servers", SIGMOD 1995*, plus the operational machinery the paper assumes
+//! around it:
+//!
+//! * [`DiskParams`] — the paper's `τ_seek`, `τ_trk`, track size `B`, and
+//!   disk capacity, with the service-time law `T(r) = τ_seek + r·τ_trk`.
+//! * [`Disk`] — a single drive with a normal / failed / rebuilding state
+//!   machine and per-cycle read accounting.
+//! * [`DiskArray`] — the disk farm: failure injection, repair, and aggregate
+//!   statistics.
+//! * [`failure`] — stochastic failure and repair processes (exponential
+//!   lifetimes with the paper's MTTF/MTTR figures).
+//! * [`DetailedDiskModel`] — a Ruemmler & Wilkes-style drive model (the
+//!   paper's reference \[9\]) that validates the simple model's effective
+//!   `τ_trk` and quantifies what track-aligned I/O saves.
+//!
+//! The unit of disk I/O is one **track**, as in the paper: "We will assume
+//! from now on that the unit of disk I/O is a track. This is motivated by
+//! the reduction in rotational latency achieved."
+//!
+//! ## Example
+//!
+//! ```
+//! use mms_disk::{DiskParams, Time};
+//!
+//! // Table 1 of the paper: τ_seek = 25 ms, τ_trk = 20 ms, B = 50 KB.
+//! let p = DiskParams::paper_table1();
+//! // Reading 5 tracks costs one max seek plus 5 track times.
+//! assert_eq!(p.service_time(5), Time::from_millis(25.0 + 5.0 * 20.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod detailed;
+mod disk;
+mod error;
+pub mod failure;
+mod params;
+mod units;
+
+pub use array::{ArrayStats, DiskArray};
+pub use detailed::DetailedDiskModel;
+pub use disk::{Disk, DiskId, DiskState, DiskStats};
+pub use error::DiskError;
+pub use params::{DiskParams, ReliabilityParams};
+pub use units::{Bandwidth, Size, Time};

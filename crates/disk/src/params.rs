@@ -1,0 +1,201 @@
+//! Disk parameter sets and the paper's service-time law.
+
+use crate::units::{Bandwidth, Size, Time};
+
+/// Parameters of the paper's "simple disk model" (Section 2).
+///
+/// The model is
+///
+/// ```text
+/// T(r) = τ_seek + r · τ_trk
+/// ```
+///
+/// where `τ_seek` is the maximum seek between the extreme inner and outer
+/// cylinders and `τ_trk` is the maximum time attributable to reading one
+/// track *including* the slowdown/speedup fraction of a seek (the paper
+/// takes "the point of view that this cost is associated with the reading
+/// of the track as opposed to part of the seek cost").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskParams {
+    /// `τ_seek`: maximum seek time between the extreme cylinders.
+    pub seek: Time,
+    /// `τ_trk`: per-track read time including start/stop seek fractions.
+    pub track_time: Time,
+    /// `B`: bytes per track — the unit of disk I/O.
+    pub track_size: Size,
+    /// `s_d`: usable capacity of one disk.
+    pub capacity: Size,
+}
+
+impl DiskParams {
+    /// The parameter set of **Table 1** in the paper, "similar to those of
+    /// a Seagate ST31200N drive": `τ_seek` = 25 ms, `τ_trk` = 20 ms,
+    /// `B` = 50 KB, `s_d` = 1000 MB (from the Figure 9 sizing example).
+    #[must_use]
+    pub fn paper_table1() -> Self {
+        DiskParams {
+            seek: Time::from_millis(25.0),
+            track_time: Time::from_millis(20.0),
+            track_size: Size::from_kb(50.0),
+            capacity: Size::from_mb(1_000.0),
+        }
+    }
+
+    /// The parameter set of the Section 2 worked example: `τ_seek` = 30 ms,
+    /// `τ_trk` = 10 ms, `B` = 100 KB (used for the in-text streams/disk
+    /// table at `b₀` = 1.5 and 4.5 Mb/s).
+    #[must_use]
+    pub fn section2_example() -> Self {
+        DiskParams {
+            seek: Time::from_millis(30.0),
+            track_time: Time::from_millis(10.0),
+            track_size: Size::from_kb(100.0),
+            capacity: Size::from_mb(1_000.0),
+        }
+    }
+
+    /// `T(r) = τ_seek + r · τ_trk`: maximum time to read `r` tracks in one
+    /// sweep (the cycle-based scheduler sorts reads so a single max seek
+    /// bound suffices).
+    #[must_use]
+    pub fn service_time(&self, tracks: usize) -> Time {
+        self.seek + self.track_time * tracks as f64
+    }
+
+    /// Sustained transfer bandwidth of the drive, `B / τ_trk`.
+    ///
+    /// With Table 1 values this is 50 KB / 20 ms = 2.5 MB/s = 20 Mb/s —
+    /// consistent with the paper's footnote that a disk has "a bandwidth of
+    /// approximately 32 mbps" (theirs includes no start/stop overhead).
+    #[must_use]
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.track_size / self.track_time
+    }
+
+    /// Number of tracks the drive can hold.
+    #[must_use]
+    pub fn tracks_per_disk(&self) -> u64 {
+        (self.capacity / self.track_size).floor() as u64
+    }
+
+    /// Maximum whole tracks readable within a cycle of length `t_cyc`,
+    /// i.e. the per-disk, per-cycle **slot count**: largest `r` with
+    /// `T(r) ≤ t_cyc`.
+    ///
+    /// Returns 0 if even the seek does not fit.
+    #[must_use]
+    pub fn slots_per_cycle(&self, t_cyc: Time) -> usize {
+        let budget = t_cyc.saturating_sub(self.seek);
+        if self.track_time <= Time::ZERO {
+            return 0;
+        }
+        // Guard against floating point edge: 3.9999999 tracks is 3 slots,
+        // but 4.0 - 1e-12 from rounding noise should count as 4.
+        let r = budget / self.track_time;
+        (r + 1e-9).floor().max(0.0) as usize
+    }
+
+    /// The cycle length dictated by delivering `k'` tracks per cycle at
+    /// object bandwidth `b₀`: `T_cyc = k'·B / b₀` (Section 2).
+    #[must_use]
+    pub fn cycle_time(&self, k_prime: usize, b0: Bandwidth) -> Time {
+        (self.track_size * k_prime as f64) / b0
+    }
+}
+
+/// Stochastic reliability parameters of a single drive.
+///
+/// The paper assumes `MTTF(disk)` = 300 000 hours and `MTTR(disk)` = 1 hour
+/// throughout, with independent exponential failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityParams {
+    /// Mean time to failure of one disk.
+    pub mttf: Time,
+    /// Mean time to repair (replace and reload) one disk.
+    pub mttr: Time,
+}
+
+impl ReliabilityParams {
+    /// The paper's figures: MTTF = 300 000 h, MTTR = 1 h.
+    #[must_use]
+    pub fn paper() -> Self {
+        ReliabilityParams {
+            mttf: Time::from_hours(300_000.0),
+            mttr: Time::from_hours(1.0),
+        }
+    }
+
+    /// Per-hour failure rate λ = 1/MTTF.
+    #[must_use]
+    pub fn failure_rate_per_hour(&self) -> f64 {
+        1.0 / self.mttf.as_hours()
+    }
+
+    /// Per-hour repair rate μ = 1/MTTR.
+    #[must_use]
+    pub fn repair_rate_per_hour(&self) -> f64 {
+        1.0 / self.mttr.as_hours()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_is_affine() {
+        let p = DiskParams::paper_table1();
+        assert_eq!(p.service_time(0), Time::from_millis(25.0));
+        assert_eq!(p.service_time(1), Time::from_millis(45.0));
+        assert_eq!(p.service_time(10), Time::from_millis(225.0));
+    }
+
+    #[test]
+    fn table1_bandwidth() {
+        let p = DiskParams::paper_table1();
+        assert!((p.bandwidth().as_megabytes() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_time_matches_definition() {
+        // T_cyc = k'·B/b0. For k' = 1, B = 50 KB, b0 = 1.5 Mb/s:
+        // 0.05 MB / 0.1875 MB/s = 0.2667 s.
+        let p = DiskParams::paper_table1();
+        let t = p.cycle_time(1, Bandwidth::from_megabits(1.5));
+        assert!((t.as_secs() - 0.05 / 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_per_cycle_floor_semantics() {
+        let p = DiskParams::paper_table1();
+        // Budget exactly covers the seek: zero slots.
+        assert_eq!(p.slots_per_cycle(Time::from_millis(25.0)), 0);
+        // Seek + 1 track.
+        assert_eq!(p.slots_per_cycle(Time::from_millis(45.0)), 1);
+        // Just under two tracks.
+        assert_eq!(p.slots_per_cycle(Time::from_millis(64.9)), 1);
+        // T_cyc for k'=1, MPEG-1: 266.7 ms -> (266.7-25)/20 = 12.08 -> 12.
+        let t = p.cycle_time(1, Bandwidth::from_megabits(1.5));
+        assert_eq!(p.slots_per_cycle(t), 12);
+    }
+
+    #[test]
+    fn slots_never_negative_for_tiny_cycles() {
+        let p = DiskParams::paper_table1();
+        assert_eq!(p.slots_per_cycle(Time::ZERO), 0);
+        assert_eq!(p.slots_per_cycle(Time::from_millis(1.0)), 0);
+    }
+
+    #[test]
+    fn tracks_per_disk_table1() {
+        // 1000 MB / 50 KB = 20 000 tracks.
+        assert_eq!(DiskParams::paper_table1().tracks_per_disk(), 20_000);
+    }
+
+    #[test]
+    fn reliability_rates() {
+        let r = ReliabilityParams::paper();
+        assert!((r.failure_rate_per_hour() - 1.0 / 300_000.0).abs() < 1e-18);
+        assert!((r.repair_rate_per_hour() - 1.0).abs() < 1e-12);
+    }
+}

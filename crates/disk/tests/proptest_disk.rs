@@ -1,0 +1,110 @@
+//! Property tests for the disk model: the service-time law, slot
+//! arithmetic, and the state machine under arbitrary operation sequences.
+
+use mms_disk::{Bandwidth, Disk, DiskId, DiskParams, Size, Time};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = DiskParams> {
+    // Seek 1..=50 ms, track time 1..=40 ms, track 10..=200 KB.
+    (1.0f64..=50.0, 1.0f64..=40.0, 10.0f64..=200.0).prop_map(|(seek, trk, kb)| DiskParams {
+        seek: Time::from_millis(seek),
+        track_time: Time::from_millis(trk),
+        track_size: Size::from_kb(kb),
+        capacity: Size::from_mb(1000.0),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// T(r) is affine and strictly increasing in r.
+    #[test]
+    fn service_time_is_affine(p in arb_params(), r in 0usize..1000) {
+        let t0 = p.service_time(0).as_secs();
+        let t1 = p.service_time(r).as_secs();
+        let t2 = p.service_time(r + 1).as_secs();
+        prop_assert!((t0 - p.seek.as_secs()).abs() < 1e-12);
+        prop_assert!(t2 > t1);
+        let slope = t2 - t1;
+        prop_assert!((slope - p.track_time.as_secs()).abs() < 1e-9);
+    }
+
+    /// The slot count is the largest r with T(r) <= T_cyc: both the
+    /// admitted batch and the next larger one behave consistently.
+    #[test]
+    fn slots_are_maximal(p in arb_params(), cyc_ms in 1.0f64..2000.0) {
+        let t_cyc = Time::from_millis(cyc_ms);
+        let slots = p.slots_per_cycle(t_cyc);
+        // T(slots) fits (within float tolerance) — vacuous at slots = 0,
+        // where the drive simply issues no reads (a zero batch skips the
+        // seek entirely, see `Disk::read_tracks`).
+        if slots > 0 {
+            prop_assert!(p.service_time(slots).as_secs() <= t_cyc.as_secs() + 1e-9);
+        }
+        // …and T(slots + 1) does not fit.
+        prop_assert!(p.service_time(slots + 1).as_secs() > t_cyc.as_secs() - 1e-9);
+    }
+
+    /// Slot count is monotone in the cycle length.
+    #[test]
+    fn slots_monotone_in_cycle(p in arb_params(), a in 1.0f64..1000.0, b in 0.0f64..1000.0) {
+        let s1 = p.slots_per_cycle(Time::from_millis(a));
+        let s2 = p.slots_per_cycle(Time::from_millis(a + b));
+        prop_assert!(s2 >= s1);
+    }
+
+    /// Cycle time scales linearly with k' and inversely with bandwidth.
+    #[test]
+    fn cycle_time_scaling(p in arb_params(), k in 1usize..16, mbps in 0.5f64..20.0) {
+        let b0 = Bandwidth::from_megabits(mbps);
+        let t1 = p.cycle_time(1, b0).as_secs();
+        let tk = p.cycle_time(k, b0).as_secs();
+        prop_assert!((tk - t1 * k as f64).abs() < 1e-9);
+        let t_double = p.cycle_time(1, Bandwidth::from_megabits(mbps * 2.0)).as_secs();
+        prop_assert!((t_double - t1 / 2.0).abs() < 1e-9);
+    }
+
+    /// The drive state machine never reaches an inconsistent state under
+    /// random operation sequences, and stats add up.
+    #[test]
+    fn disk_state_machine_is_consistent(ops in proptest::collection::vec(0u8..5, 1..60)) {
+        let params = DiskParams::paper_table1();
+        let mut d = Disk::new(DiskId(0), params);
+        let t_cyc = Time::from_millis(266.0);
+        let mut expected_reads = 0u64;
+        let mut expected_failures = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let r = d.read_tracks(3, t_cyc);
+                    if d.is_operational() {
+                        prop_assert!(r.is_ok());
+                        expected_reads += 3;
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                1 => {
+                    let was_normal = d.is_operational();
+                    let r = d.fail(Time::ZERO);
+                    prop_assert_eq!(r.is_ok(), was_normal);
+                    if was_normal {
+                        expected_failures += 1;
+                    }
+                }
+                2 => {
+                    let was_down = !d.is_operational();
+                    prop_assert_eq!(d.repair().is_ok(), was_down);
+                }
+                3 => {
+                    let _ = d.start_rebuild(Time::ZERO);
+                }
+                _ => {
+                    let _ = d.advance_rebuild(0.6);
+                }
+            }
+        }
+        prop_assert_eq!(d.stats().tracks_read, expected_reads);
+        prop_assert_eq!(d.stats().failures, expected_failures);
+    }
+}

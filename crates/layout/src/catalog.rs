@@ -1,0 +1,351 @@
+//! Object catalog: binds media objects to a layout and tracks occupancy.
+
+use crate::geometry::ClusterId;
+use crate::object::{MediaObject, ObjectId};
+use crate::placement::{BlockAddr, BlockKind, Placement};
+use crate::Layout;
+use mms_disk::DiskId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The object id is already registered.
+    Duplicate {
+        /// The conflicting id.
+        id: ObjectId,
+    },
+    /// Placing the object would exceed some disk's track capacity.
+    Full {
+        /// The object that did not fit.
+        id: ObjectId,
+        /// The first disk that would overflow.
+        disk: DiskId,
+        /// That disk's capacity in tracks.
+        capacity: u64,
+    },
+    /// The object id is not registered.
+    NotFound {
+        /// The missing id.
+        id: ObjectId,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Duplicate { id } => write!(f, "object {id} already in catalog"),
+            CatalogError::Full { id, disk, capacity } => write!(
+                f,
+                "object {id} does not fit: disk {disk} exceeds {capacity} tracks"
+            ),
+            CatalogError::NotFound { id } => write!(f, "object {id} not in catalog"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A registered object together with its placement parameters.
+#[derive(Debug, Clone)]
+pub struct PlacedObject {
+    /// The media object.
+    pub object: MediaObject,
+    /// The cluster holding the object's first parity group (the paper's
+    /// `h`).
+    pub start_cluster: u32,
+    /// Number of parity groups (`⌈tracks / (C−1)⌉`).
+    pub groups: u64,
+}
+
+/// The server's object catalog over a specific layout.
+///
+/// Assigns start clusters round-robin (objects `0, 1, 2, …` start on
+/// clusters `0, 1, 2, …` mod `N_C`) — this spreads load and, for the
+/// improved layout, produces Figure 8's parity staircase. Tracks per-disk
+/// occupancy and rejects objects that would overflow a disk.
+#[derive(Debug, Clone)]
+pub struct Catalog<L: Layout> {
+    layout: L,
+    capacity_tracks: u64,
+    objects: BTreeMap<ObjectId, PlacedObject>,
+    occupancy: Vec<u64>,
+    next_start: u32,
+}
+
+impl<L: Layout> Catalog<L> {
+    /// Create an empty catalog. `capacity_tracks` is each disk's track
+    /// capacity (`DiskParams::tracks_per_disk`).
+    #[must_use]
+    pub fn new(layout: L, capacity_tracks: u64) -> Self {
+        let disks = layout.geometry().disks() as usize;
+        Catalog {
+            layout,
+            capacity_tracks,
+            objects: BTreeMap::new(),
+            occupancy: vec![0; disks],
+            next_start: 0,
+        }
+    }
+
+    /// The layout the catalog places objects on.
+    #[must_use]
+    pub fn layout(&self) -> &L {
+        &self.layout
+    }
+
+    /// Number of registered objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Register an object, assigning its start cluster round-robin.
+    pub fn add(&mut self, object: MediaObject) -> Result<&PlacedObject, CatalogError> {
+        let start = self.next_start;
+        let id = object.id;
+        self.place(object, start)?;
+        self.next_start = (start + 1) % self.layout.geometry().clusters();
+        Ok(&self.objects[&id])
+    }
+
+    /// Register an object at an explicit start cluster.
+    pub fn add_at(
+        &mut self,
+        object: MediaObject,
+        start_cluster: u32,
+    ) -> Result<&PlacedObject, CatalogError> {
+        let id = object.id;
+        self.place(object, start_cluster)?;
+        Ok(&self.objects[&id])
+    }
+
+    fn place(&mut self, object: MediaObject, start_cluster: u32) -> Result<(), CatalogError> {
+        let id = object.id;
+        if self.objects.contains_key(&id) {
+            return Err(CatalogError::Duplicate { id });
+        }
+        let bpg = u64::from(self.layout.blocks_per_group());
+        let groups = object.tracks.div_ceil(bpg);
+
+        // Dry-run occupancy to find overflow before mutating.
+        let mut delta = vec![0u64; self.occupancy.len()];
+        for g in 0..groups {
+            for i in 0..self.layout.blocks_per_group() {
+                let p = self.layout.data_placement(start_cluster, g, i);
+                delta[p.disk.index()] += 1;
+            }
+            let pp = self.layout.parity_placement(start_cluster, g);
+            delta[pp.disk.index()] += 1;
+        }
+        for (d, add) in delta.iter().enumerate() {
+            if self.occupancy[d] + add > self.capacity_tracks {
+                return Err(CatalogError::Full {
+                    id,
+                    disk: DiskId(d as u32),
+                    capacity: self.capacity_tracks,
+                });
+            }
+        }
+        for (occ, add) in self.occupancy.iter_mut().zip(delta) {
+            *occ += add;
+        }
+        let placed = PlacedObject {
+            object,
+            start_cluster,
+            groups,
+        };
+        self.objects.insert(id, placed);
+        Ok(())
+    }
+
+    /// Look up a placed object.
+    pub fn get(&self, id: ObjectId) -> Result<&PlacedObject, CatalogError> {
+        self.objects.get(&id).ok_or(CatalogError::NotFound { id })
+    }
+
+    /// Remove an object from the catalog, releasing its disk occupancy —
+    /// the paper's purge path: "if the secondary storage capacity is
+    /// exhausted when an object … is requested then one or more
+    /// disk-resident objects must be purged".
+    pub fn remove(&mut self, id: ObjectId) -> Result<PlacedObject, CatalogError> {
+        let placed = self
+            .objects
+            .remove(&id)
+            .ok_or(CatalogError::NotFound { id })?;
+        for g in 0..placed.groups {
+            for i in 0..self.layout.blocks_per_group() {
+                let p = self.layout.data_placement(placed.start_cluster, g, i);
+                self.occupancy[p.disk.index()] -= 1;
+            }
+            let pp = self.layout.parity_placement(placed.start_cluster, g);
+            self.occupancy[pp.disk.index()] -= 1;
+        }
+        Ok(placed)
+    }
+
+    /// Iterate over all placed objects.
+    pub fn iter(&self) -> impl Iterator<Item = &PlacedObject> {
+        self.objects.values()
+    }
+
+    /// Physical placement of a block of a registered object.
+    pub fn placement(&self, addr: BlockAddr) -> Result<Placement, CatalogError> {
+        let po = self.get(addr.object)?;
+        Ok(match addr.kind {
+            BlockKind::Data(i) => self.layout.data_placement(po.start_cluster, addr.group, i),
+            BlockKind::Parity => self.layout.parity_placement(po.start_cluster, addr.group),
+        })
+    }
+
+    /// The cluster holding the data blocks of group `group` of an object.
+    pub fn data_cluster(&self, id: ObjectId, group: u64) -> Result<ClusterId, CatalogError> {
+        let po = self.get(id)?;
+        Ok(self.layout.data_cluster(po.start_cluster, group))
+    }
+
+    /// Tracks currently stored on each disk (data + parity), indexed by
+    /// `DiskId`.
+    #[must_use]
+    pub fn occupancy(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    /// Every block stored on `disk` (inverse map). Linear in the total
+    /// number of blocks; intended for rebuild planning and tests, not hot
+    /// paths.
+    #[must_use]
+    pub fn blocks_on_disk(&self, disk: DiskId) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        for po in self.objects.values() {
+            for g in 0..po.groups {
+                for i in 0..self.layout.blocks_per_group() {
+                    if self.layout.data_placement(po.start_cluster, g, i).disk == disk {
+                        out.push(BlockAddr::data(po.object.id, g, i));
+                    }
+                }
+                if self.layout.parity_placement(po.start_cluster, g).disk == disk {
+                    out.push(BlockAddr::parity(po.object.id, g));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustered::ClusteredLayout;
+    use crate::geometry::Geometry;
+    use crate::object::BandwidthClass;
+
+    fn catalog() -> Catalog<ClusteredLayout> {
+        let layout = ClusteredLayout::new(Geometry::clustered(10, 5).unwrap());
+        Catalog::new(layout, 1_000)
+    }
+
+    fn obj(id: u64, tracks: u64) -> MediaObject {
+        MediaObject::new(ObjectId(id), format!("o{id}"), tracks, BandwidthClass::Mpeg1)
+    }
+
+    #[test]
+    fn add_assigns_round_robin_start_clusters() {
+        let mut c = catalog();
+        assert_eq!(c.add(obj(0, 8)).unwrap().start_cluster, 0);
+        assert_eq!(c.add(obj(1, 8)).unwrap().start_cluster, 1);
+        assert_eq!(c.add(obj(2, 8)).unwrap().start_cluster, 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn groups_are_ceiling_of_tracks_over_c_minus_1() {
+        let mut c = catalog();
+        assert_eq!(c.add(obj(0, 8)).unwrap().groups, 2);
+        assert_eq!(c.add(obj(1, 9)).unwrap().groups, 3);
+        assert_eq!(c.add(obj(2, 1)).unwrap().groups, 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = catalog();
+        c.add(obj(0, 4)).unwrap();
+        assert!(matches!(
+            c.add(obj(0, 4)),
+            Err(CatalogError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn occupancy_counts_data_and_parity() {
+        let mut c = catalog();
+        // 8 tracks = 2 groups on clusters 0 and 1: each data disk of both
+        // clusters gets 1 track, each parity disk 1 track.
+        c.add(obj(0, 8)).unwrap();
+        assert_eq!(c.occupancy(), &[1u64; 10][..]);
+    }
+
+    #[test]
+    fn capacity_overflow_rejected_atomically() {
+        let layout = ClusteredLayout::new(Geometry::clustered(10, 5).unwrap());
+        let mut c = Catalog::new(layout, 2);
+        c.add(obj(0, 16)).unwrap(); // 4 groups -> 2 per cluster: full
+        let before = c.occupancy().to_vec();
+        assert!(matches!(c.add(obj(1, 8)), Err(CatalogError::Full { .. })));
+        assert_eq!(c.occupancy(), &before[..], "failed add must not mutate");
+    }
+
+    #[test]
+    fn placement_resolves_through_start_cluster() {
+        let mut c = catalog();
+        c.add(obj(0, 8)).unwrap(); // start 0
+        c.add(obj(1, 8)).unwrap(); // start 1
+        let p = c.placement(BlockAddr::data(ObjectId(1), 0, 0)).unwrap();
+        assert_eq!(p.cluster, ClusterId(1));
+        assert_eq!(p.disk, DiskId(5));
+    }
+
+    #[test]
+    fn blocks_on_disk_inverse_map() {
+        let mut c = catalog();
+        c.add(obj(0, 8)).unwrap();
+        // Disk 0 holds data block 0 of group 0 (cluster 0 groups: 0, then 2…).
+        let blocks = c.blocks_on_disk(DiskId(0));
+        assert_eq!(blocks, vec![BlockAddr::data(ObjectId(0), 0, 0)]);
+        // Parity disk of cluster 1 holds group 1's parity.
+        let blocks = c.blocks_on_disk(DiskId(9));
+        assert_eq!(blocks, vec![BlockAddr::parity(ObjectId(0), 1)]);
+    }
+
+    #[test]
+    fn remove_releases_occupancy() {
+        let mut c = catalog();
+        c.add(obj(0, 8)).unwrap();
+        c.add(obj(1, 8)).unwrap();
+        let before: u64 = c.occupancy().iter().sum();
+        let placed = c.remove(ObjectId(0)).unwrap();
+        assert_eq!(placed.object.id, ObjectId(0));
+        let after: u64 = c.occupancy().iter().sum();
+        assert_eq!(before - after, 2 * 5); // 2 groups × (4 data + parity)
+        assert!(c.get(ObjectId(0)).is_err());
+        assert!(c.remove(ObjectId(0)).is_err());
+        // The freed space is reusable.
+        c.add(obj(2, 8)).unwrap();
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let c = catalog();
+        assert!(matches!(
+            c.get(ObjectId(9)),
+            Err(CatalogError::NotFound { .. })
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! The Streaming-RAID layout (shared by SR, SG, and NC scheduling).
+
+use crate::geometry::{ClusterId, Geometry};
+use crate::placement::Placement;
+use crate::Layout;
+
+/// The clustered layout of the paper's Figure 3.
+///
+/// "For fault tolerance, disks are grouped into fixed sized clusters of `C`
+/// disks each with one parity disk and `C − 1` data disks. … Each object is
+/// striped over all the data disks. The sequence of parity groups
+/// associated with an object are allocated in a round-robin fashion over
+/// all of the clusters; so, for example, if the first parity group for an
+/// object is located on cluster `h`, then the `j`-th parity group for that
+/// object is located on cluster `h + j mod N_C`."
+///
+/// Within a cluster, data block `i` of a group sits on the cluster's
+/// `i`-th data disk and the parity block on the dedicated parity disk —
+/// exactly the columns of Figure 3.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusteredLayout {
+    geometry: Geometry,
+}
+
+impl ClusteredLayout {
+    /// Build over a clustered geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry lacks dedicated parity disks (i.e. was built
+    /// with [`Geometry::improved`]).
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Self {
+        assert!(
+            geometry.has_parity_disk(),
+            "ClusteredLayout requires a clustered geometry"
+        );
+        ClusteredLayout { geometry }
+    }
+}
+
+impl Layout for ClusteredLayout {
+    fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    fn data_placement(&self, start_cluster: u32, group: u64, index: u32) -> Placement {
+        debug_assert!(index < self.blocks_per_group());
+        let cluster = self.data_cluster(start_cluster, group);
+        Placement {
+            cluster,
+            disk: self.geometry.disk_at(cluster, index),
+        }
+    }
+
+    fn parity_placement(&self, start_cluster: u32, group: u64) -> Placement {
+        let cluster = self.data_cluster(start_cluster, group);
+        let disk = self
+            .geometry
+            .parity_disk(cluster)
+            .expect("clustered geometry has a parity disk");
+        Placement { cluster, disk }
+    }
+
+    fn data_cluster(&self, start_cluster: u32, group: u64) -> ClusterId {
+        let nc = u64::from(self.geometry.clusters());
+        ClusterId(((u64::from(start_cluster) + group) % nc) as u32)
+    }
+
+    fn blocks_per_group(&self) -> u32 {
+        self.geometry.data_blocks_per_group()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_disk::DiskId;
+
+    fn layout() -> ClusteredLayout {
+        ClusteredLayout::new(Geometry::clustered(10, 5).unwrap())
+    }
+
+    #[test]
+    fn figure3_group0_on_cluster0() {
+        // Figure 3: X0..X3 on disks 0..3, X0p on disk 4.
+        let l = layout();
+        for i in 0..4 {
+            let p = l.data_placement(0, 0, i);
+            assert_eq!(p.cluster, ClusterId(0));
+            assert_eq!(p.disk, DiskId(i));
+        }
+        let pp = l.parity_placement(0, 0);
+        assert_eq!(pp.disk, DiskId(4));
+    }
+
+    #[test]
+    fn figure3_group1_on_cluster1() {
+        // Figure 3: X4..X7 on disks 5..8, X4p on disk 9.
+        let l = layout();
+        for i in 0..4 {
+            let p = l.data_placement(0, 1, i);
+            assert_eq!(p.cluster, ClusterId(1));
+            assert_eq!(p.disk, DiskId(5 + i));
+        }
+        assert_eq!(l.parity_placement(0, 1).disk, DiskId(9));
+    }
+
+    #[test]
+    fn round_robin_wraps_over_clusters() {
+        let l = layout();
+        // Group 2 of an object starting at cluster 0 is back on cluster 0.
+        assert_eq!(l.data_cluster(0, 2), ClusterId(0));
+        // Start cluster offsets shift the whole sequence.
+        assert_eq!(l.data_cluster(1, 0), ClusterId(1));
+        assert_eq!(l.data_cluster(1, 1), ClusterId(0));
+    }
+
+    #[test]
+    fn group_disks_are_distinct_and_in_one_cluster() {
+        let l = layout();
+        let disks = l.group_disks(1, 5);
+        assert_eq!(disks.len(), 5);
+        let mut sorted = disks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "all group members on distinct disks");
+        let c = l.geometry().cluster_of(disks[0]);
+        assert!(disks.iter().all(|&d| l.geometry().cluster_of(d) == c));
+    }
+
+    #[test]
+    #[should_panic(expected = "clustered geometry")]
+    fn rejects_improved_geometry() {
+        let _ = ClusteredLayout::new(Geometry::improved(8, 5).unwrap());
+    }
+}

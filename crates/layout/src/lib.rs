@@ -1,0 +1,85 @@
+//! # mms-layout — data layout substrate
+//!
+//! Implements the data layouts of *Berson, Golubchik & Muntz (SIGMOD
+//! 1995)*:
+//!
+//! * [`ClusteredLayout`] — the layout shared by **Streaming RAID**,
+//!   **Staggered-group**, and **Non-clustered** scheduling (the paper:
+//!   "the data layout on disk is exactly the same as for Streaming RAID").
+//!   Disks are grouped into clusters of `C` drives (`C−1` data + 1
+//!   dedicated parity); each object is striped over all data disks with its
+//!   parity groups placed round-robin over clusters (Figure 3).
+//! * [`ImprovedLayout`] — the **Improved-bandwidth** layout of Section 4:
+//!   no dedicated parity disks; the parity for data on cluster `i` is
+//!   distributed over the disks of cluster `i+1` (Figure 8), so every disk
+//!   delivers data during normal operation.
+//!
+//! Observation 1 — *never mix blocks of different objects in one parity
+//! group* — is structural here: a parity group is addressed by
+//! `(object, group)` and its members are computed, so a mixed group cannot
+//! be represented.
+//!
+//! ```
+//! use mms_layout::{ClusteredLayout, Geometry, Layout};
+//!
+//! // 10 disks in clusters of 5 (4 data + 1 parity), as in Figure 3.
+//! let geo = Geometry::clustered(10, 5).unwrap();
+//! let layout = ClusteredLayout::new(geo);
+//! // Object starting at cluster 0: group 1 lives on cluster 1.
+//! let p = layout.data_placement(0, 1, 2);
+//! assert_eq!(p.cluster.0, 1);
+//! assert_eq!(p.disk.0, 7); // disk 2 of cluster 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod clustered;
+mod geometry;
+mod improved;
+pub mod invariants;
+mod object;
+mod placement;
+
+pub use catalog::{Catalog, CatalogError, PlacedObject};
+pub use clustered::ClusteredLayout;
+pub use geometry::{ClusterId, Geometry, GeometryError};
+pub use improved::ImprovedLayout;
+pub use object::{BandwidthClass, MediaObject, ObjectId};
+pub use placement::{BlockAddr, BlockKind, Placement};
+
+use mms_disk::DiskId;
+
+/// A data layout: pure placement functions from block addresses to disks.
+///
+/// `start_cluster` (the paper's `h`) is where the object's group 0 lives;
+/// the catalog assigns it per object.
+pub trait Layout {
+    /// The disk/cluster geometry this layout is defined over.
+    fn geometry(&self) -> &Geometry;
+
+    /// Where data block `index` of parity group `group` of an object whose
+    /// first group is on `start_cluster` lives.
+    ///
+    /// `index` must be `< C−1` (blocks per group).
+    fn data_placement(&self, start_cluster: u32, group: u64, index: u32) -> Placement;
+
+    /// Where the parity block of a group lives.
+    fn parity_placement(&self, start_cluster: u32, group: u64) -> Placement;
+
+    /// The cluster holding the *data* blocks of a group.
+    fn data_cluster(&self, start_cluster: u32, group: u64) -> ClusterId;
+
+    /// Data blocks per parity group (`C−1`).
+    fn blocks_per_group(&self) -> u32;
+
+    /// All disks touched by one parity group (data disks then parity disk).
+    fn group_disks(&self, start_cluster: u32, group: u64) -> Vec<DiskId> {
+        let mut v: Vec<DiskId> = (0..self.blocks_per_group())
+            .map(|i| self.data_placement(start_cluster, group, i).disk)
+            .collect();
+        v.push(self.parity_placement(start_cluster, group).disk);
+        v
+    }
+}

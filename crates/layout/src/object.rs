@@ -1,0 +1,141 @@
+//! Media objects (movies) and their bandwidth classes.
+
+use mms_disk::{Bandwidth, Size};
+use std::fmt;
+
+/// Identifier of a media object in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Delivery bandwidth class of an object.
+///
+/// The paper's two running examples: MPEG-2 "about 4.5 megabits per second,
+/// i.e., good TV quality" and MPEG-1 "about 1.5 mbps, i.e., low TV
+/// quality".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandwidthClass {
+    /// ~1.5 Mb/s, low TV quality.
+    Mpeg1,
+    /// ~4.5 Mb/s, good TV quality.
+    Mpeg2,
+    /// Any other constant bit rate.
+    Custom(Bandwidth),
+}
+
+impl BandwidthClass {
+    /// The constant delivery rate `b₀` of this class.
+    #[must_use]
+    pub fn rate(&self) -> Bandwidth {
+        match self {
+            BandwidthClass::Mpeg1 => Bandwidth::mpeg1(),
+            BandwidthClass::Mpeg2 => Bandwidth::mpeg2(),
+            BandwidthClass::Custom(b) => *b,
+        }
+    }
+}
+
+/// A continuous-media object stored on the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaObject {
+    /// Catalog identity.
+    pub id: ObjectId,
+    /// Human-readable name.
+    pub name: String,
+    /// Length in tracks (the unit of disk I/O).
+    pub tracks: u64,
+    /// Delivery bandwidth class.
+    pub class: BandwidthClass,
+}
+
+impl MediaObject {
+    /// Construct an object.
+    #[must_use]
+    pub fn new(id: ObjectId, name: impl Into<String>, tracks: u64, class: BandwidthClass) -> Self {
+        MediaObject {
+            id,
+            name: name.into(),
+            tracks,
+            class,
+        }
+    }
+
+    /// A synthetic movie of the given play length at this class's rate,
+    /// with track size `track_size`. A 90-minute MPEG-1 movie at 50 KB
+    /// tracks is `90·60 s · 0.1875 MB/s / 0.05 MB = 20 250` tracks.
+    #[must_use]
+    pub fn movie(
+        id: ObjectId,
+        name: impl Into<String>,
+        minutes: f64,
+        class: BandwidthClass,
+        track_size: Size,
+    ) -> Self {
+        let bytes = class.rate() * mms_disk::Time::from_secs(minutes * 60.0);
+        let tracks = (bytes / track_size).ceil() as u64;
+        MediaObject::new(id, name, tracks, class)
+    }
+
+    /// Total stored size.
+    #[must_use]
+    pub fn size(&self, track_size: Size) -> Size {
+        track_size * self.tracks as f64
+    }
+
+    /// Playback duration at the object's constant rate.
+    #[must_use]
+    pub fn duration(&self, track_size: Size) -> mms_disk::Time {
+        self.size(track_size) / self.class.rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_classes() {
+        assert!((BandwidthClass::Mpeg1.rate().as_megabits() - 1.5).abs() < 1e-9);
+        assert!((BandwidthClass::Mpeg2.rate().as_megabits() - 4.5).abs() < 1e-9);
+        let c = BandwidthClass::Custom(Bandwidth::from_megabits(8.0));
+        assert!((c.rate().as_megabits() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn movie_track_count() {
+        let m = MediaObject::movie(
+            ObjectId(0),
+            "feature",
+            90.0,
+            BandwidthClass::Mpeg1,
+            Size::from_kb(50.0),
+        );
+        assert_eq!(m.tracks, 20_250);
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let m = MediaObject::movie(
+            ObjectId(1),
+            "short",
+            10.0,
+            BandwidthClass::Mpeg2,
+            Size::from_kb(50.0),
+        );
+        let d = m.duration(Size::from_kb(50.0));
+        // Ceil on tracks means duration >= requested.
+        assert!(d.as_secs() >= 600.0 - 1e-9);
+        assert!(d.as_secs() < 601.0);
+    }
+
+    #[test]
+    fn size_is_tracks_times_track_size() {
+        let m = MediaObject::new(ObjectId(2), "x", 100, BandwidthClass::Mpeg1);
+        assert!((m.size(Size::from_kb(50.0)).as_mb() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Block addresses and their physical placements.
+
+use crate::geometry::ClusterId;
+use crate::object::ObjectId;
+use mms_disk::DiskId;
+use std::fmt;
+
+/// The role of a block within its parity group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// The `index`-th data block of the group (`0..C−1`).
+    Data(u32),
+    /// The parity block.
+    Parity,
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockKind::Data(i) => write!(f, "d{i}"),
+            BlockKind::Parity => write!(f, "p"),
+        }
+    }
+}
+
+/// Logical address of one block: object, parity-group ordinal, role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockAddr {
+    /// Owning object.
+    pub object: ObjectId,
+    /// Parity-group ordinal within the object.
+    pub group: u64,
+    /// Role within the group.
+    pub kind: BlockKind,
+}
+
+impl BlockAddr {
+    /// A data block address.
+    #[must_use]
+    pub fn data(object: ObjectId, group: u64, index: u32) -> Self {
+        BlockAddr {
+            object,
+            group,
+            kind: BlockKind::Data(index),
+        }
+    }
+
+    /// A parity block address.
+    #[must_use]
+    pub fn parity(object: ObjectId, group: u64) -> Self {
+        BlockAddr {
+            object,
+            group,
+            kind: BlockKind::Parity,
+        }
+    }
+
+    /// The object-global track number of a data block (`group·(C−1) +
+    /// index`), or `None` for parity blocks (they are not part of the
+    /// delivered byte stream).
+    #[must_use]
+    pub fn track_number(&self, blocks_per_group: u32) -> Option<u64> {
+        match self.kind {
+            BlockKind::Data(i) => Some(self.group * u64::from(blocks_per_group) + u64::from(i)),
+            BlockKind::Parity => None,
+        }
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}#g{}:{}", self.object, self.group, self.kind)
+    }
+}
+
+/// Physical placement of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// The cluster the block is on.
+    pub cluster: ClusterId,
+    /// The disk the block is on.
+    pub disk: DiskId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_number_of_data_blocks() {
+        let a = BlockAddr::data(ObjectId(1), 3, 2);
+        assert_eq!(a.track_number(4), Some(14));
+        let p = BlockAddr::parity(ObjectId(1), 3);
+        assert_eq!(p.track_number(4), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BlockAddr::data(ObjectId(7), 2, 1).to_string(), "obj7#g2:d1");
+        assert_eq!(BlockAddr::parity(ObjectId(7), 2).to_string(), "obj7#g2:p");
+    }
+}

@@ -1,0 +1,177 @@
+//! Track-sized byte buffers with XOR support.
+
+use std::fmt;
+
+/// A track-sized block of data — the paper's unit of disk I/O.
+///
+/// Blocks substitute for real MPEG track contents: the schemes never
+/// interpret the bytes, they only move and XOR them, so deterministic
+/// synthetic contents (see [`Block::synthetic`]) exercise exactly the same
+/// code paths as video data would.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Block {
+    bytes: Box<[u8]>,
+}
+
+impl Block {
+    /// An all-zero block of `len` bytes (the XOR identity).
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        Block {
+            bytes: vec![0u8; len].into_boxed_slice(),
+        }
+    }
+
+    /// A block with deterministic pseudo-random contents derived from an
+    /// `(object, track)` pair via a splitmix64-style stream, so any two
+    /// distinct addresses produce (overwhelmingly) different contents and
+    /// the same address always produces the same bytes.
+    #[must_use]
+    pub fn synthetic(object: u64, track: u64, len: usize) -> Self {
+        let mut bytes = vec![0u8; len];
+        let mut state = object
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(track)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(0x94D0_49BB_1331_11EB);
+        for chunk in bytes.chunks_mut(8) {
+            // splitmix64 step
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let w = z.to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+        Block {
+            bytes: bytes.into_boxed_slice(),
+        }
+    }
+
+    /// Wrap existing bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Block {
+            bytes: bytes.into_boxed_slice(),
+        }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the block has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// XOR `other` into `self` in place.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ — parity groups are homogeneous by
+    /// construction (every member is one track), so a mismatch is a layout
+    /// bug, not a runtime condition.
+    pub fn xor_assign(&mut self, other: &Block) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "parity group members must be the same size"
+        );
+        // Chunked loop vectorizes well without unsafe.
+        for (a, b) in self.bytes.iter_mut().zip(other.bytes.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Whether every byte is zero (true for `a ⊕ a`).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: Vec<u8> = self.bytes.iter().copied().take(8).collect();
+        write!(f, "Block({} bytes, head={head:02x?})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_distinct() {
+        let a1 = Block::synthetic(1, 2, 64);
+        let a2 = Block::synthetic(1, 2, 64);
+        let b = Block::synthetic(1, 3, 64);
+        let c = Block::synthetic(2, 2, 64);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_ne!(a1, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn xor_self_is_zero() {
+        let a = Block::synthetic(9, 9, 100);
+        let mut x = a.clone();
+        x.xor_assign(&a);
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn xor_zero_is_identity() {
+        let a = Block::synthetic(3, 4, 50);
+        let mut x = a.clone();
+        x.xor_assign(&Block::zeroed(50));
+        assert_eq!(x, a);
+    }
+
+    #[test]
+    fn xor_is_commutative_and_associative() {
+        let a = Block::synthetic(1, 0, 33);
+        let b = Block::synthetic(1, 1, 33);
+        let c = Block::synthetic(1, 2, 33);
+        let mut ab_c = a.clone();
+        ab_c.xor_assign(&b);
+        ab_c.xor_assign(&c);
+        let mut cb_a = c.clone();
+        cb_a.xor_assign(&b);
+        cb_a.xor_assign(&a);
+        assert_eq!(ab_c, cb_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "same size")]
+    fn mismatched_lengths_panic() {
+        let mut a = Block::zeroed(4);
+        a.xor_assign(&Block::zeroed(5));
+    }
+
+    #[test]
+    fn non_multiple_of_eight_lengths_work() {
+        let a = Block::synthetic(5, 6, 13);
+        assert_eq!(a.len(), 13);
+        let mut x = a.clone();
+        x.xor_assign(&a);
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn debug_shows_length() {
+        let a = Block::zeroed(16);
+        assert!(format!("{a:?}").contains("16 bytes"));
+    }
+}

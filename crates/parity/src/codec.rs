@@ -1,0 +1,200 @@
+//! Group-level parity encode, reconstruct, and verify.
+
+use crate::block::Block;
+use std::fmt;
+
+/// Errors from parity-group operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParityError {
+    /// A group operation was attempted on an empty set of blocks.
+    EmptyGroup,
+    /// The missing index passed to [`reconstruct`] is out of range.
+    BadIndex {
+        /// The offending index.
+        index: usize,
+        /// The group's data-block count.
+        group_len: usize,
+    },
+    /// Survivor blocks plus parity do not XOR to the claimed data —
+    /// indicates corruption or a second erasure.
+    Inconsistent,
+}
+
+impl fmt::Display for ParityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParityError::EmptyGroup => write!(f, "parity group is empty"),
+            ParityError::BadIndex { index, group_len } => {
+                write!(f, "block index {index} out of range for group of {group_len}")
+            }
+            ParityError::Inconsistent => write!(f, "parity group is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for ParityError {}
+
+/// Compute the parity block of a group: the bitwise XOR of all members
+/// (`X0p = X0 ⊕ X1 ⊕ X2 ⊕ X3` in the paper's Figure 3).
+///
+/// # Panics
+/// Panics if blocks have differing lengths (a layout invariant violation).
+/// An empty iterator yields an empty block.
+pub fn parity_of<'a, I>(blocks: I) -> Block
+where
+    I: IntoIterator<Item = &'a Block>,
+{
+    let mut iter = blocks.into_iter();
+    let Some(first) = iter.next() else {
+        return Block::zeroed(0);
+    };
+    let mut parity = first.clone();
+    for b in iter {
+        parity.xor_assign(b);
+    }
+    parity
+}
+
+/// Reconstruct the data block at `missing` from the surviving data blocks
+/// and the parity block.
+///
+/// `group` holds the *full* group contents, but the block at `missing` is
+/// ignored (it models the block on the failed disk); everything else plus
+/// `parity` is XOR-ed together, which by the XOR group laws yields exactly
+/// the missing member. This is the paper's "missing data … reconstructed
+/// on-the-fly from the other data blocks and the parity block from the same
+/// parity group".
+pub fn reconstruct(missing: usize, group: &[Block], parity: &Block) -> Result<Block, ParityError> {
+    if group.is_empty() {
+        return Err(ParityError::EmptyGroup);
+    }
+    if missing >= group.len() {
+        return Err(ParityError::BadIndex {
+            index: missing,
+            group_len: group.len(),
+        });
+    }
+    let mut out = parity.clone();
+    for (i, b) in group.iter().enumerate() {
+        if i != missing {
+            out.xor_assign(b);
+        }
+    }
+    Ok(out)
+}
+
+/// Verify that `parity` is the XOR of `group` (used by integration tests
+/// and the rebuild path to detect double failures / corruption).
+pub fn verify(group: &[Block], parity: &Block) -> Result<(), ParityError> {
+    if group.is_empty() {
+        return Err(ParityError::EmptyGroup);
+    }
+    let mut acc = parity_of(group.iter());
+    acc.xor_assign(parity);
+    if acc.is_zero() {
+        Ok(())
+    } else {
+        Err(ParityError::Inconsistent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(c: usize, len: usize) -> Vec<Block> {
+        (0..c as u64).map(|i| Block::synthetic(42, i, len)).collect()
+    }
+
+    #[test]
+    fn reconstruct_every_position() {
+        let g = group(4, 256);
+        let p = parity_of(g.iter());
+        for missing in 0..g.len() {
+            let r = reconstruct(missing, &g, &p).unwrap();
+            assert_eq!(r, g[missing], "position {missing}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_good_group() {
+        let g = group(6, 128);
+        let p = parity_of(g.iter());
+        assert!(verify(&g, &p).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_corruption() {
+        let g = group(3, 64);
+        let mut p = parity_of(g.iter());
+        p.xor_assign(&Block::synthetic(9, 9, 64)); // corrupt
+        assert_eq!(verify(&g, &p), Err(ParityError::Inconsistent));
+    }
+
+    #[test]
+    fn bad_index_is_reported() {
+        let g = group(3, 16);
+        let p = parity_of(g.iter());
+        assert_eq!(
+            reconstruct(3, &g, &p),
+            Err(ParityError::BadIndex {
+                index: 3,
+                group_len: 3
+            })
+        );
+    }
+
+    #[test]
+    fn empty_group_is_error() {
+        let p = Block::zeroed(8);
+        assert_eq!(reconstruct(0, &[], &p), Err(ParityError::EmptyGroup));
+        assert_eq!(verify(&[], &p), Err(ParityError::EmptyGroup));
+    }
+
+    #[test]
+    fn single_member_group_parity_is_the_member() {
+        // Degenerate C = 2 "mirroring" case the paper notes for the
+        // improved-bandwidth scheme ("when the cluster size is 2 we
+        // effectively have mirroring").
+        let g = group(1, 32);
+        let p = parity_of(g.iter());
+        assert_eq!(p, g[0]);
+        assert_eq!(reconstruct(0, &g, &p).unwrap(), g[0]);
+    }
+}
+
+/// Update a parity block in place when one data member changes:
+/// `parity' = parity ⊕ old ⊕ new`. This is the small-write path used when
+/// objects are loaded from tertiary storage over previously occupied
+/// tracks — only the parity and the changed member need touching, not the
+/// whole group.
+pub fn update_parity(parity: &mut Block, old_member: &Block, new_member: &Block) {
+    parity.xor_assign(old_member);
+    parity.xor_assign(new_member);
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+
+    #[test]
+    fn update_equals_reencode() {
+        let mut group: Vec<Block> = (0..5).map(|i| Block::synthetic(3, i, 128)).collect();
+        let mut parity = parity_of(group.iter());
+        let new_block = Block::synthetic(9, 9, 128);
+        update_parity(&mut parity, &group[2], &new_block);
+        group[2] = new_block;
+        assert_eq!(parity, parity_of(group.iter()));
+        assert!(verify(&group, &parity).is_ok());
+    }
+
+    #[test]
+    fn update_with_identical_member_is_noop() {
+        let group: Vec<Block> = (0..3).map(|i| Block::synthetic(4, i, 64)).collect();
+        let mut parity = parity_of(group.iter());
+        let before = parity.clone();
+        let same = group[1].clone();
+        update_parity(&mut parity, &group[1], &same);
+        assert_eq!(parity, before);
+    }
+}

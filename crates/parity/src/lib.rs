@@ -1,0 +1,44 @@
+//! # mms-parity — XOR parity coding substrate
+//!
+//! The fault-tolerance schemes of *Berson, Golubchik & Muntz (SIGMOD 1995)*
+//! all rest on one primitive: a **parity group** of `C−1` data blocks plus
+//! one parity block that is their bitwise exclusive-OR
+//! (`X0p = X0 ⊕ X1 ⊕ X2 ⊕ X3` in the paper's Figure 3). Any single missing
+//! block can be reconstructed on the fly by XOR-ing the survivors.
+//!
+//! This crate implements that primitive over real byte buffers:
+//!
+//! * [`Block`] — a track-sized byte buffer with XOR operations and a
+//!   deterministic synthetic-content generator (substituting for MPEG data,
+//!   whose bytes are opaque to the schemes).
+//! * [`codec`] — group-level encode / single-erasure reconstruct / verify.
+//! * [`XorAccumulator`] — a *running* XOR used by the Non-clustered
+//!   scheme's delayed transition ("we should buffer A0 ⊕ A1 (after delivery
+//!   of A0 and A1) until the reconstruction of A2 is complete", Section 3).
+//!
+//! Observation 2 of the paper hinges on the XOR being fast enough to
+//! reconstruct in real time; the `mms-bench` crate measures this codec's
+//! throughput to substantiate that.
+//!
+//! ```
+//! use mms_parity::{codec, Block};
+//!
+//! let group: Vec<Block> = (0..4).map(|i| Block::synthetic(7, i, 512)).collect();
+//! let parity = codec::parity_of(group.iter());
+//! // Lose block 2, rebuild it from the rest.
+//! let rebuilt = codec::reconstruct(2, &group, &parity).unwrap();
+//! assert_eq!(rebuilt, group[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod block;
+pub mod codec;
+mod group;
+
+pub use accum::XorAccumulator;
+pub use block::Block;
+pub use codec::ParityError;
+pub use group::ParityGroupId;

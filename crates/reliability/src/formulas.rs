@@ -1,0 +1,150 @@
+//! Closed-form reliability expressions from the paper.
+
+use mms_disk::{ReliabilityParams, Time};
+
+/// Mean time until *some* disk of a pool of `d` fails: `MTTF(disk)/d`.
+///
+/// The paper's motivating example: "the MTTF of some disk in a 1000 disk
+/// system is on the order of 300 hours (approximately 12 days)".
+#[must_use]
+pub fn mttf_single_pool(d: usize, rel: ReliabilityParams) -> Time {
+    Time::from_hours(rel.mttf.as_hours() / d as f64)
+}
+
+/// Eq. 4 — mean time to catastrophic failure of the Streaming RAID,
+/// Staggered-group, and Non-clustered schemes (two failures in one
+/// cluster):
+///
+/// ```text
+/// MTTF ≈ MTTF(disk)² / (D · (C−1) · MTTR(disk))
+/// ```
+///
+/// With MTTF(disk) = 300 000 h, MTTR = 1 h, D = 1000, C = 10 this is the
+/// paper's "about 1100 years" (1141 with the exact arithmetic).
+#[must_use]
+pub fn mttf_raid(d: usize, c: usize, rel: ReliabilityParams) -> Time {
+    let m = rel.mttf.as_hours();
+    let r = rel.mttr.as_hours();
+    Time::from_hours(m * m / (d as f64 * (c as f64 - 1.0) * r))
+}
+
+/// Eq. 5 — mean time to catastrophic failure of the Improved-bandwidth
+/// scheme:
+///
+/// ```text
+/// MTTF ≈ MTTF(disk)² / (D · (2C−1) · MTTR(disk))
+/// ```
+///
+/// "the (2C−1) factor in the denominator reflects the additional exposure
+/// to disk failures" — a disk is exposed both to its own cluster's
+/// failures and to those of the adjacent cluster whose parity it hosts.
+#[must_use]
+pub fn mttf_improved(d: usize, c: usize, rel: ReliabilityParams) -> Time {
+    let m = rel.mttf.as_hours();
+    let r = rel.mttr.as_hours();
+    Time::from_hours(m * m / (d as f64 * (2.0 * c as f64 - 1.0) * r))
+}
+
+/// Eq. 6 — mean time to degradation of service when `k` concurrent
+/// failures can be masked (by `k` buffer servers for NC, or `k` disks'
+/// worth of reserved bandwidth for IB) and the `(k+1)`-st causes
+/// degradation:
+///
+/// ```text
+/// MTTDS ≈ MTTF(disk)^(k+1) / (D·(D−1)·…·(D−k) · MTTR(disk)^k)
+/// ```
+///
+/// The paper's §3 example evaluates this with D = 1000, k = 4 ("the mean
+/// time to failure of 5 disks (at the same time)") to "greater than 250
+/// million years"; Tables 2 and 3 evaluate it with D = 100, k = 2.
+#[must_use]
+pub fn mttds_shared(d: usize, k: usize, rel: ReliabilityParams) -> Time {
+    let m = rel.mttf.as_hours();
+    let r = rel.mttr.as_hours();
+    // Compute in log space: MTTF^(k+1) overflows f64 for the paper's
+    // 300 000-hour MTTF once k exceeds ~60, and large k is a legitimate
+    // sweep input.
+    let ln = (k as f64 + 1.0) * m.ln()
+        - (0..=k).map(|i| (d as f64 - i as f64).ln()).sum::<f64>()
+        - k as f64 * r.ln();
+    Time::from_hours(ln.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> ReliabilityParams {
+        ReliabilityParams::paper()
+    }
+
+    #[test]
+    fn pool_mttf_1000_disks_is_300_hours() {
+        let t = mttf_single_pool(1000, rel());
+        assert!((t.as_hours() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn section2_streaming_raid_1100_years() {
+        // "clusters of 9 data disks and 1 parity disk … the mean time
+        // until a catastrophic failure is about 1100 years".
+        let t = mttf_raid(1000, 10, rel());
+        assert!((t.as_years() - 1141.55).abs() < 0.01, "{}", t.as_years());
+    }
+
+    #[test]
+    fn table2_mttf_values() {
+        // C = 5, D = 100: 25 684.9 years (SR/SG/NC) and 11 415.5 (IB;
+        // printed 11415 in the paper).
+        assert!((mttf_raid(100, 5, rel()).as_years() - 25_684.93).abs() < 0.01);
+        assert!((mttf_improved(100, 5, rel()).as_years() - 11_415.52).abs() < 0.01);
+    }
+
+    #[test]
+    fn table3_mttf_values() {
+        // C = 7, D = 100: 17 123.3 and 7903.1 years.
+        assert!((mttf_raid(100, 7, rel()).as_years() - 17_123.29).abs() < 0.01);
+        assert!((mttf_improved(100, 7, rel()).as_years() - 7_903.06).abs() < 0.01);
+    }
+
+    #[test]
+    fn tables_mttds_value() {
+        // Tables 2 and 3: 3 176 862.3 years with D = 100, k = 2.
+        let t = mttds_shared(100, 2, rel());
+        assert!((t.as_years() - 3_176_862.3).abs() < 0.5, "{}", t.as_years());
+    }
+
+    #[test]
+    fn section3_250_million_years() {
+        // D = 1000, k = 4: "greater than 250 million years".
+        let t = mttds_shared(1000, 4, rel());
+        assert!(t.as_years() > 250e6, "{}", t.as_years());
+        assert!(t.as_years() < 300e6, "{}", t.as_years());
+    }
+
+    #[test]
+    fn section4_540_vs_1141_years() {
+        // §4: improved-bandwidth MTTF "approximately 540 years rather
+        // than 1141 years" (D = 1000, C = 10).
+        let ib = mttf_improved(1000, 10, rel());
+        assert!((ib.as_years() - 540.73).abs() < 1.0, "{}", ib.as_years());
+        let sr = mttf_raid(1000, 10, rel());
+        assert!((sr.as_years() - 1141.55).abs() < 1.0);
+    }
+
+    #[test]
+    fn mttds_degenerate_k0_is_pool_mttf() {
+        // With nothing masked, the first failure already degrades.
+        let t = mttds_shared(100, 0, rel());
+        assert!((t.as_hours() - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotonic_in_parameters() {
+        let r = rel();
+        assert!(mttf_raid(100, 5, r).as_hours() > mttf_raid(200, 5, r).as_hours());
+        assert!(mttf_raid(100, 5, r).as_hours() > mttf_raid(100, 7, r).as_hours());
+        assert!(mttf_improved(100, 5, r).as_hours() < mttf_raid(100, 5, r).as_hours());
+        assert!(mttds_shared(100, 3, r).as_hours() > mttds_shared(100, 2, r).as_hours());
+    }
+}

@@ -1,0 +1,29 @@
+//! # mms-reliability — reliability analysis substrate
+//!
+//! The paper's reliability story (Sections 2–5) rests on three claims per
+//! scheme: the mean time to **catastrophic failure** (two disks lost
+//! within one parity group's span), the mean time to **degradation of
+//! service** (insufficient buffer servers / reserved bandwidth), and the
+//! failure patterns each scheme survives. This crate provides:
+//!
+//! * [`formulas`] — the closed-form expressions (Eqs. 4–6 plus the §3/§4
+//!   worked examples): `MTTF ≈ MTTF(disk)²/(D·(C−1)·MTTR)` and friends.
+//! * [`markov`] — an exact birth–death analysis of a single cluster, used
+//!   to validate that the paper's approximation is tight when
+//!   `MTTR ≪ MTTF`.
+//! * [`montecarlo`] — an event-driven simulation of the disk farm's
+//!   failure/repair process that *measures* time-to-catastrophe and
+//!   time-to-DoS under each scheme's failure rule (same-cluster for
+//!   SR/SG/NC, same-or-adjacent-cluster for IB, any-K-concurrent for the
+//!   shared buffer/bandwidth reserves).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formulas;
+pub mod markov;
+pub mod montecarlo;
+
+pub use formulas::{mttds_shared, mttf_improved, mttf_raid, mttf_single_pool};
+pub use markov::{ClusterMarkov, PoolMarkov};
+pub use montecarlo::{CatastropheRule, MonteCarlo, TrialStats};

@@ -1,0 +1,269 @@
+//! Exact birth–death analysis of a single cluster.
+//!
+//! A cluster of `C` disks with per-disk failure rate `λ = 1/MTTF` and
+//! repair rate `μ = 1/MTTR` is a three-state Markov chain:
+//!
+//! ```text
+//! state 0 (all up) --C·λ-->  state 1 (one down) --(C−1)·λ--> absorbed
+//!        ^                        |
+//!        +----------μ------------+
+//! ```
+//!
+//! The mean time to absorption from state 0 has the closed form
+//!
+//! ```text
+//! E[T] = (μ + C·λ + (C−1)·λ) / (C·(C−1)·λ²)
+//! ```
+//!
+//! which reduces to the paper's approximation `MTTF²/(C·(C−1)·MTTR)` when
+//! `μ ≫ λ`. This module provides the exact value so tests can bound the
+//! approximation error, and the same machinery validates the Monte-Carlo
+//! simulator.
+
+use mms_disk::{ReliabilityParams, Time};
+
+/// Exact cluster-level reliability analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterMarkov {
+    /// Disks per cluster (including the parity disk).
+    pub c: usize,
+    /// Per-disk failure/repair parameters.
+    pub rel: ReliabilityParams,
+}
+
+impl ClusterMarkov {
+    /// Construct the chain for a cluster of `c` disks.
+    #[must_use]
+    pub fn new(c: usize, rel: ReliabilityParams) -> Self {
+        assert!(c >= 2, "a cluster needs at least two disks");
+        ClusterMarkov { c, rel }
+    }
+
+    /// Exact mean time until a second concurrent failure (absorption),
+    /// starting from all disks operational.
+    ///
+    /// Derivation: let `t0`, `t1` be the expected remaining times from
+    /// states 0 and 1. With `a = C·λ`, `b = (C−1)·λ`:
+    /// `t0 = 1/a + t1` and `t1 = 1/(b+μ) + (μ/(b+μ))·t0`, which solves to
+    /// `t0 = (b + μ + a) / (a·b)`.
+    #[must_use]
+    pub fn mean_time_to_double_failure(&self) -> Time {
+        let lambda = 1.0 / self.rel.mttf.as_hours();
+        let mu = 1.0 / self.rel.mttr.as_hours();
+        let a = self.c as f64 * lambda;
+        let b = (self.c as f64 - 1.0) * lambda;
+        Time::from_hours((b + mu + a) / (a * b))
+    }
+
+    /// The paper's approximation restricted to one cluster:
+    /// `MTTF²/(C·(C−1)·MTTR)`.
+    #[must_use]
+    pub fn approximation(&self) -> Time {
+        let m = self.rel.mttf.as_hours();
+        let r = self.rel.mttr.as_hours();
+        Time::from_hours(m * m / (self.c as f64 * (self.c as f64 - 1.0) * r))
+    }
+
+    /// System-level approximation for `n_clusters` independent clusters:
+    /// the first cluster absorption dominates, so the system mean is the
+    /// cluster mean divided by the number of clusters (competing
+    /// exponentials, valid because absorption is rare per cluster).
+    #[must_use]
+    pub fn system_approximation(&self, n_clusters: usize) -> Time {
+        Time::from_hours(self.mean_time_to_double_failure().as_hours() / n_clusters as f64)
+    }
+
+    /// Steady-state availability of one disk: `MTTF/(MTTF+MTTR)`.
+    #[must_use]
+    pub fn disk_availability(&self) -> f64 {
+        let m = self.rel.mttf.as_hours();
+        let r = self.rel.mttr.as_hours();
+        m / (m + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_paper_approximation_when_repair_is_fast() {
+        let mk = ClusterMarkov::new(10, ReliabilityParams::paper());
+        let exact = mk.mean_time_to_double_failure().as_hours();
+        let approx = mk.approximation().as_hours();
+        // MTTR/MTTF = 3.3e-6: the approximation should be within 0.1%.
+        let err = (exact - approx).abs() / exact;
+        assert!(err < 1e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn exact_diverges_from_approximation_when_repair_is_slow() {
+        // With MTTR comparable to MTTF the approximation badly
+        // underestimates survivability structure — the exact value is
+        // what the Monte Carlo will match.
+        let rel = ReliabilityParams {
+            mttf: Time::from_hours(100.0),
+            mttr: Time::from_hours(100.0),
+        };
+        let mk = ClusterMarkov::new(5, rel);
+        let exact = mk.mean_time_to_double_failure().as_hours();
+        let approx = mk.approximation().as_hours();
+        assert!((exact - approx).abs() / exact > 0.5);
+    }
+
+    #[test]
+    fn system_scales_inversely_with_clusters() {
+        let mk = ClusterMarkov::new(10, ReliabilityParams::paper());
+        let one = mk.system_approximation(1).as_hours();
+        let hundred = mk.system_approximation(100).as_hours();
+        assert!((one / hundred - 100.0).abs() < 1e-9);
+        // D = 1000, C = 10 -> 100 clusters: the paper's ~1141 years.
+        assert!((mk.system_approximation(100).as_years() - 1141.55).abs() < 2.0);
+    }
+
+    #[test]
+    fn availability_is_near_one() {
+        let mk = ClusterMarkov::new(5, ReliabilityParams::paper());
+        let a = mk.disk_availability();
+        assert!(a > 0.999_99 && a < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_clusters() {
+        let _ = ClusterMarkov::new(1, ReliabilityParams::paper());
+    }
+}
+
+/// Exact birth–death analysis of the *whole pool*: `D` disks failing at
+/// rate `λ` each and repairing at rate `μ` each, absorbed when `k + 1`
+/// are concurrently down — the exact counterpart of Eq. 6's MTTDS
+/// approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolMarkov {
+    /// Total disks `D`.
+    pub d: usize,
+    /// Concurrent failures that can be masked.
+    pub k: usize,
+    /// Per-disk failure/repair parameters.
+    pub rel: ReliabilityParams,
+}
+
+impl PoolMarkov {
+    /// Construct the chain.
+    #[must_use]
+    pub fn new(d: usize, k: usize, rel: ReliabilityParams) -> Self {
+        assert!(d > k, "need more disks than masked failures");
+        PoolMarkov { d, k, rel }
+    }
+
+    /// Exact mean time until `k + 1` disks are concurrently down.
+    ///
+    /// With `T_i` the mean first-passage time from `i` failed to `i + 1`
+    /// failed, the birth–death recurrence is `T_0 = 1/λ_0` and
+    /// `T_i = 1/λ_i + (μ_i/λ_i)·T_{i−1}`, where `λ_i = (D−i)λ` and
+    /// `μ_i = i·μ`; the absorption time from the all-up state is `Σ T_i`.
+    #[must_use]
+    pub fn mean_time_to_exhaustion(&self) -> Time {
+        let lambda = 1.0 / self.rel.mttf.as_hours();
+        let mu = 1.0 / self.rel.mttr.as_hours();
+        let mut t_prev = 0.0f64;
+        let mut total = 0.0f64;
+        for i in 0..=self.k {
+            let birth = (self.d - i) as f64 * lambda;
+            let death = i as f64 * mu;
+            let t_i = (1.0 + death * t_prev) / birth;
+            total += t_i;
+            t_prev = t_i;
+        }
+        Time::from_hours(total)
+    }
+
+    /// Eq. 6's approximation for comparison.
+    #[must_use]
+    pub fn approximation(&self) -> Time {
+        crate::formulas::mttds_shared(self.d, self.k, self.rel)
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    #[test]
+    fn eq6_underestimates_by_k_factorial() {
+        // A finding the paper does not mention: its Eq. 6 drops a k!
+        // factor. The exact chain gives T_k ≈ k!·MTTF^(k+1)/(D…(D−k)·
+        // MTTR^k): for the tables' k = 2 the true MTTDS is twice the
+        // published 3 176 862.3 years. Eq. 6 is therefore *conservative*
+        // (it under-promises availability), and at k = 1 — the
+        // single-failure MTTF expressions, Eqs. 4 and 5 — the factor is
+        // 1! = 1, so those are asymptotically exact.
+        let pm = PoolMarkov::new(100, 2, ReliabilityParams::paper());
+        let exact = pm.mean_time_to_exhaustion().as_years();
+        let approx = pm.approximation().as_years();
+        let ratio = exact / approx;
+        assert!((ratio - 2.0).abs() < 5e-3, "ratio {ratio}");
+
+        // k = 1: no factor, sub-0.1% agreement.
+        let pm1 = PoolMarkov::new(100, 1, ReliabilityParams::paper());
+        let r1 = pm1.mean_time_to_exhaustion().as_years() / pm1.approximation().as_years();
+        assert!((r1 - 1.0).abs() < 1e-3, "ratio {r1}");
+
+        // k = 3: 3! = 6.
+        let pm3 = PoolMarkov::new(100, 3, ReliabilityParams::paper());
+        let r3 = pm3.mean_time_to_exhaustion().as_years() / pm3.approximation().as_years();
+        assert!((r3 - 6.0).abs() < 0.05, "ratio {r3}");
+    }
+
+    #[test]
+    fn k0_is_first_failure_exactly() {
+        let pm = PoolMarkov::new(50, 0, ReliabilityParams::paper());
+        // 300 000 / 50 = 6000 hours, exactly.
+        assert!((pm.mean_time_to_exhaustion().as_hours() - 6000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_exceeds_approximation_when_repair_is_slow() {
+        // When MTTR is comparable to MTTF the approximation is badly off;
+        // the exact chain is the ground truth the Monte Carlo matches.
+        let rel = ReliabilityParams {
+            mttf: Time::from_hours(100.0),
+            mttr: Time::from_hours(50.0),
+        };
+        let pm = PoolMarkov::new(10, 2, rel);
+        let exact = pm.mean_time_to_exhaustion().as_hours();
+        let approx = pm.approximation().as_hours();
+        assert!((exact - approx).abs() / exact > 0.3);
+    }
+
+    #[test]
+    fn monte_carlo_matches_the_exact_chain() {
+        use crate::montecarlo::{CatastropheRule, MonteCarlo};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let rel = ReliabilityParams {
+            mttf: Time::from_hours(500.0),
+            mttr: Time::from_hours(5.0),
+        };
+        let pm = PoolMarkov::new(20, 1, rel);
+        let mc = MonteCarlo {
+            d: 20,
+            rel,
+            rule: CatastropheRule::AnyConcurrent { k: 1 },
+        };
+        let stats = mc.run(&mut StdRng::seed_from_u64(3), 800);
+        let exact = pm.mean_time_to_exhaustion();
+        let ratio = stats.mean.as_hours() / exact.as_hours();
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn more_masking_multiplies_the_horizon() {
+        let rel = ReliabilityParams::paper();
+        let k1 = PoolMarkov::new(100, 1, rel).mean_time_to_exhaustion().as_hours();
+        let k2 = PoolMarkov::new(100, 2, rel).mean_time_to_exhaustion().as_hours();
+        // Each extra masked failure buys roughly MTTF/(D·MTTR) ≈ 3000x.
+        assert!(k2 / k1 > 1000.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Event-driven Monte-Carlo simulation of the disk farm's failure and
+//! repair process.
+//!
+//! The paper *derives* its reliability numbers; we also *measure* them.
+//! Each trial plays independent exponential failures (mean `MTTF`) and
+//! repairs (mean `MTTR`) across `D` disks until the scheme's terminal
+//! rule fires, and reports the mean hitting time with a confidence
+//! interval. Substitutes for the years-long physical failure process the
+//! authors could only model.
+
+use mms_disk::{failure::sample_exponential, ReliabilityParams, Time};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// The terminal event being measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatastropheRule {
+    /// Two concurrent failures within one cluster of `c` disks —
+    /// catastrophic for Streaming RAID, Staggered-group, and
+    /// Non-clustered (Eq. 4).
+    SameCluster {
+        /// Disks per cluster.
+        c: usize,
+    },
+    /// Two concurrent failures within one cluster *or* in adjacent
+    /// clusters — catastrophic for Improved-bandwidth, whose disks
+    /// "belong to two parity groups" (Eq. 5's added exposure). Clusters
+    /// are `c − 1` disks wide here.
+    SameOrAdjacentCluster {
+        /// Parity-group size (clusters are `c − 1` disks wide).
+        c: usize,
+    },
+    /// More than `k` concurrent failures anywhere — degradation of
+    /// service for the shared buffer servers (NC) or reserved bandwidth
+    /// (IB) (Eq. 6).
+    AnyConcurrent {
+        /// Failures that can be masked.
+        k: usize,
+    },
+}
+
+impl CatastropheRule {
+    /// Cluster index of a disk under this rule's geometry, if clustered.
+    fn cluster_of(&self, disk: usize) -> Option<usize> {
+        match *self {
+            CatastropheRule::SameCluster { c } => Some(disk / c),
+            CatastropheRule::SameOrAdjacentCluster { c } => Some(disk / (c - 1)),
+            CatastropheRule::AnyConcurrent { .. } => None,
+        }
+    }
+
+    /// Whether the set of failed disks (after adding `new_disk`) is
+    /// terminal.
+    fn is_terminal(&self, failed: &HashSet<usize>, new_disk: usize, d: usize) -> bool {
+        match *self {
+            CatastropheRule::SameCluster { .. } => {
+                let nc = self.cluster_of(new_disk);
+                failed
+                    .iter()
+                    .any(|&f| f != new_disk && self.cluster_of(f) == nc)
+            }
+            CatastropheRule::SameOrAdjacentCluster { c } => {
+                let width = c - 1;
+                let clusters = d / width;
+                let nc = new_disk / width;
+                failed.iter().any(|&f| {
+                    if f == new_disk {
+                        return false;
+                    }
+                    let fc = f / width;
+                    fc == nc
+                        || (fc + 1) % clusters == nc
+                        || (nc + 1) % clusters == fc
+                })
+            }
+            // Terminal when the new failure arrives while `k` disks are
+            // already down: the (k+1)-st concurrent failure.
+            CatastropheRule::AnyConcurrent { k } => failed.len() >= k,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialStats {
+    /// Number of trials.
+    pub trials: usize,
+    /// Mean hitting time.
+    pub mean: Time,
+    /// Standard error of the mean.
+    pub std_error: Time,
+}
+
+impl TrialStats {
+    /// 95% confidence interval half-width (1.96 standard errors).
+    #[must_use]
+    pub fn ci95(&self) -> Time {
+        Time::from_secs(self.std_error.as_secs() * 1.96)
+    }
+
+    /// Whether `reference` lies within the 95% confidence interval.
+    #[must_use]
+    pub fn covers(&self, reference: Time) -> bool {
+        (self.mean.as_secs() - reference.as_secs()).abs() <= self.ci95().as_secs()
+    }
+}
+
+/// The Monte-Carlo experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    /// Total disks `D`.
+    pub d: usize,
+    /// Per-disk failure/repair parameters.
+    pub rel: ReliabilityParams,
+    /// Terminal rule.
+    pub rule: CatastropheRule,
+}
+
+/// Event in the per-trial queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Fail(usize),
+    Repair(usize),
+}
+
+impl MonteCarlo {
+    /// Run one trial: the time until the rule fires.
+    pub fn trial<R: Rng + ?Sized>(&self, rng: &mut R) -> Time {
+        // Priority queue of (time, event). f64 seconds as ordered key via
+        // total_cmp wrapper.
+        #[derive(PartialEq)]
+        struct Entry(f64, Event);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        let mut queue: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        for disk in 0..self.d {
+            let t = sample_exponential(rng, self.rel.mttf).as_secs();
+            queue.push(Reverse(Entry(t, Event::Fail(disk))));
+        }
+        let mut failed: HashSet<usize> = HashSet::new();
+        while let Some(Reverse(Entry(now, event))) = queue.pop() {
+            match event {
+                Event::Fail(disk) => {
+                    if self.rule.is_terminal(&failed, disk, self.d) {
+                        return Time::from_secs(now);
+                    }
+                    failed.insert(disk);
+                    let dt = sample_exponential(rng, self.rel.mttr).as_secs();
+                    queue.push(Reverse(Entry(now + dt, Event::Repair(disk))));
+                }
+                Event::Repair(disk) => {
+                    failed.remove(&disk);
+                    let dt = sample_exponential(rng, self.rel.mttf).as_secs();
+                    queue.push(Reverse(Entry(now + dt, Event::Fail(disk))));
+                }
+            }
+        }
+        unreachable!("queue never empties: every event schedules a successor")
+    }
+
+    /// Run `trials` independent trials and summarize.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R, trials: usize) -> TrialStats {
+        assert!(trials >= 2, "need at least two trials for a std error");
+        let samples: Vec<f64> = (0..trials).map(|_| self.trial(rng).as_secs()).collect();
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        TrialStats {
+            trials,
+            mean: Time::from_secs(mean),
+            std_error: Time::from_secs((var / n).sqrt()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulas;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Fast-failing parameters so tests finish instantly: the *ratios*
+    /// match the paper's regime (MTTR ≪ MTTF).
+    fn fast_rel() -> ReliabilityParams {
+        ReliabilityParams {
+            mttf: Time::from_hours(1_000.0),
+            mttr: Time::from_hours(1.0),
+        }
+    }
+
+    #[test]
+    fn same_cluster_rule_matches_eq4() {
+        let rel = fast_rel();
+        let mc = MonteCarlo {
+            d: 20,
+            rel,
+            rule: CatastropheRule::SameCluster { c: 5 },
+        };
+        let stats = mc.run(&mut StdRng::seed_from_u64(42), 600);
+        let reference = formulas::mttf_raid(20, 5, rel);
+        let ratio = stats.mean.as_hours() / reference.as_hours();
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "MC {} vs formula {} (ratio {ratio})",
+            stats.mean.as_hours(),
+            reference.as_hours()
+        );
+    }
+
+    #[test]
+    fn adjacent_rule_matches_eq5() {
+        let rel = fast_rel();
+        let mc = MonteCarlo {
+            d: 20,
+            rel,
+            rule: CatastropheRule::SameOrAdjacentCluster { c: 5 },
+        };
+        let stats = mc.run(&mut StdRng::seed_from_u64(43), 600);
+        let reference = formulas::mttf_improved(20, 5, rel);
+        let ratio = stats.mean.as_hours() / reference.as_hours();
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "MC {} vs formula {} (ratio {ratio})",
+            stats.mean.as_hours(),
+            reference.as_hours()
+        );
+    }
+
+    #[test]
+    fn improved_is_roughly_half_as_reliable_as_clustered() {
+        // Eq. 4 vs Eq. 5 at C = 10: ratio (2C−1)/(C−1) ≈ 2.1.
+        let rel = fast_rel();
+        let mut rng = StdRng::seed_from_u64(44);
+        let sr = MonteCarlo {
+            d: 18,
+            rel,
+            rule: CatastropheRule::SameCluster { c: 3 },
+        }
+        .run(&mut rng, 400);
+        let ib = MonteCarlo {
+            d: 18,
+            rel,
+            rule: CatastropheRule::SameOrAdjacentCluster { c: 3 },
+        }
+        .run(&mut rng, 400);
+        let ratio = sr.mean.as_hours() / ib.mean.as_hours();
+        // (2C−1)/(C−1) = 2.5 for C = 3; allow Monte-Carlo noise.
+        assert!((1.8..3.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn any_concurrent_rule_matches_eq6() {
+        let rel = fast_rel();
+        let mc = MonteCarlo {
+            d: 30,
+            rel,
+            rule: CatastropheRule::AnyConcurrent { k: 1 },
+        };
+        let stats = mc.run(&mut StdRng::seed_from_u64(45), 600);
+        let reference = formulas::mttds_shared(30, 1, rel);
+        let ratio = stats.mean.as_hours() / reference.as_hours();
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "MC {} vs formula {} (ratio {ratio})",
+            stats.mean.as_hours(),
+            reference.as_hours()
+        );
+    }
+
+    #[test]
+    fn masking_more_failures_extends_mttds() {
+        let rel = fast_rel();
+        let mut rng = StdRng::seed_from_u64(46);
+        let k0 = MonteCarlo {
+            d: 20,
+            rel,
+            rule: CatastropheRule::AnyConcurrent { k: 0 },
+        }
+        .run(&mut rng, 200);
+        let k1 = MonteCarlo {
+            d: 20,
+            rel,
+            rule: CatastropheRule::AnyConcurrent { k: 1 },
+        }
+        .run(&mut rng, 200);
+        assert!(k1.mean.as_hours() > 10.0 * k0.mean.as_hours());
+    }
+
+    #[test]
+    fn k0_rule_is_first_failure_anywhere() {
+        let rel = fast_rel();
+        let mc = MonteCarlo {
+            d: 50,
+            rel,
+            rule: CatastropheRule::AnyConcurrent { k: 0 },
+        };
+        let stats = mc.run(&mut StdRng::seed_from_u64(47), 2000);
+        // First failure among 50 disks: MTTF/50 = 20 hours.
+        assert!(stats.covers(Time::from_hours(20.0)) || {
+            let ratio = stats.mean.as_hours() / 20.0;
+            (0.93..1.07).contains(&ratio)
+        });
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mc = MonteCarlo {
+            d: 10,
+            rel: fast_rel(),
+            rule: CatastropheRule::SameCluster { c: 5 },
+        };
+        let a = mc.trial(&mut StdRng::seed_from_u64(7));
+        let b = mc.trial(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,370 @@
+//! The no-redundancy baseline the paper's Section 1 argues against.
+//!
+//! "Given the architecture illustrated in Figure 1, a disk failure does
+//! not result in data loss … However, a disk failure can result in
+//! interruption of requests in progress. … a single disk failure can
+//! cause multiple hiccups in the display of many objects. These hiccups
+//! will repeat at regular intervals each time an object being displayed
+//! needs data from the failed disk. … Therefore, without some form of
+//! fault tolerance, such a system is not likely to be acceptable."
+//!
+//! [`BaselineScheduler`] is that strawman: simple striping over **all**
+//! disks with no parity at all (`k = k' = 1`, like the Non-clustered
+//! scheme's normal mode, but with nothing to fall back on). Every block
+//! on a failed disk is a hiccup, repeating every rotation until repair —
+//! the quantitative foil for every scheme in the comparison benches.
+
+use crate::cycle::CycleConfig;
+use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
+use crate::streams::{StreamId, StreamInfo};
+use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use mms_buffer::{BufferPool, OwnerId};
+use mms_disk::DiskId;
+use mms_layout::{BlockAddr, Catalog, ClusteredLayout, Layout, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-stream state.
+#[derive(Debug, Clone)]
+struct BlStream {
+    object: ObjectId,
+    start_cluster: u32,
+    groups: u64,
+    tracks: u64,
+    start_cycle: u64,
+    class: (u32, u32),
+    delivered: u64,
+    lost: u64,
+}
+
+/// The unprotected striped server (no parity reads, no reconstruction,
+/// no degraded mode — failures simply punch holes in delivery).
+///
+/// Uses the same clustered layout as SR/SG/NC so comparisons are
+/// apples-to-apples; the dedicated parity disks exist on the layout but
+/// are never read, exactly as they would be absent in a truly parity-free
+/// layout (the data-disk schedule is identical either way).
+#[derive(Debug)]
+pub struct BaselineScheduler {
+    config: CycleConfig,
+    catalog: Catalog<ClusteredLayout>,
+    streams: BTreeMap<StreamId, BlStream>,
+    failed_disks: BTreeSet<DiskId>,
+    buffers: BufferPool,
+    next_stream: u64,
+    next_cycle: u64,
+}
+
+impl BaselineScheduler {
+    /// Build over a populated catalog; requires `k = k' = 1`.
+    ///
+    /// # Panics
+    /// Panics unless `k = k' = 1`.
+    #[must_use]
+    pub fn new(config: CycleConfig, catalog: Catalog<ClusteredLayout>) -> Self {
+        assert_eq!(config.k, 1, "baseline uses k = 1");
+        assert_eq!(config.k_prime, 1, "baseline uses k' = 1");
+        BaselineScheduler {
+            config,
+            catalog,
+            streams: BTreeMap::new(),
+            failed_disks: BTreeSet::new(),
+            buffers: BufferPool::unbounded(),
+            next_stream: 0,
+            next_cycle: 0,
+        }
+    }
+
+    /// The catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog<ClusteredLayout> {
+        &self.catalog
+    }
+
+    fn bpg(&self) -> u64 {
+        u64::from(self.catalog.layout().blocks_per_group())
+    }
+
+    fn class_of(&self, h: u32, at_cycle: u64) -> (u32, u32) {
+        let period = self.bpg();
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        let r = (at_cycle % period) as u32;
+        let q = at_cycle / period;
+        ((r), ((u64::from(h) + nc - (q % nc)) % nc) as u32)
+    }
+}
+
+impl SchemeScheduler for BaselineScheduler {
+    fn scheme(&self) -> SchemeKind {
+        // Reported as Non-clustered's layout kin; the distinction that
+        // matters (no parity at all) shows in the metrics.
+        SchemeKind::NonClustered
+    }
+
+    fn config(&self) -> &CycleConfig {
+        &self.config
+    }
+
+    fn admit(&mut self, object: ObjectId, at_cycle: u64) -> Result<StreamId, AdmissionError> {
+        assert!(at_cycle >= self.next_cycle, "cannot admit into the past");
+        let placed = self
+            .catalog
+            .get(object)
+            .map_err(|_| AdmissionError::UnknownObject { object })?;
+        let class = self.class_of(placed.start_cluster, at_cycle);
+        let bpg = self.bpg();
+        let load = self
+            .streams
+            .values()
+            .filter(|s| s.class == class && s.start_cycle + s.groups * bpg > at_cycle)
+            .count();
+        if load >= self.config.slots_per_disk() {
+            return Err(AdmissionError::AtCapacity {
+                active: self.streams.len(),
+                limit: self.stream_capacity(),
+            });
+        }
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.streams.insert(
+            id,
+            BlStream {
+                object,
+                start_cluster: placed.start_cluster,
+                groups: placed.groups,
+                tracks: placed.object.tracks,
+                start_cycle: at_cycle,
+                class,
+                delivered: 0,
+                lost: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    fn stream_capacity(&self) -> usize {
+        self.config.slots_per_disk()
+            * self.bpg() as usize
+            * self.catalog.layout().geometry().clusters() as usize
+    }
+
+    fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn stream_info(&self, id: StreamId) -> Option<StreamInfo> {
+        self.streams.get(&id).map(|s| StreamInfo {
+            id,
+            object: s.object,
+            admitted_at: s.start_cycle,
+            groups: s.groups,
+            next_group: (self.next_cycle.saturating_sub(s.start_cycle) / self.bpg())
+                .min(s.groups),
+            delivered_tracks: s.delivered,
+            lost_tracks: s.lost,
+        })
+    }
+
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+        assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
+        self.next_cycle += 1;
+        let mut plan = CyclePlan::empty(cycle);
+        let layout = *self.catalog.layout();
+        let bpg = self.bpg();
+
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        // Reads: one block per stream per cycle; failed disks just skip.
+        let mut unreadable: Vec<(StreamId, BlockAddr)> = Vec::new();
+        for id in ids.iter().copied() {
+            let s = self.streams[&id].clone();
+            if cycle < s.start_cycle {
+                continue;
+            }
+            let rel = cycle - s.start_cycle;
+            let (g, i) = (rel / bpg, (rel % bpg) as u32);
+            if g >= s.groups {
+                continue;
+            }
+            let blocks = (s.tracks - g * bpg).min(bpg) as u32;
+            if i >= blocks {
+                continue;
+            }
+            let p = layout.data_placement(s.start_cluster, g, i);
+            let addr = BlockAddr::data(s.object, g, i);
+            if self.failed_disks.contains(&p.disk) {
+                unreadable.push((id, addr));
+            } else {
+                plan.push_read(
+                    p.disk,
+                    PlannedRead {
+                        stream: id,
+                        addr,
+                        purpose: ReadPurpose::Delivery,
+                    },
+                );
+                self.buffers.alloc(OwnerId(id.0), 1).expect("unbounded");
+            }
+        }
+
+        // Deliveries: block read last cycle — holes for unreadable blocks.
+        let holes: BTreeSet<(StreamId, u64, u32)> = unreadable
+            .iter()
+            .filter_map(|(id, a)| match a.kind {
+                mms_layout::BlockKind::Data(ix) => Some((*id, a.group, ix)),
+                mms_layout::BlockKind::Parity => None,
+            })
+            .collect();
+        let _ = &holes; // holes are for *this* cycle's reads, delivered next.
+        for id in ids {
+            let Some(s) = self.streams.get(&id).cloned() else {
+                continue;
+            };
+            if cycle < s.start_cycle + 1 {
+                continue;
+            }
+            let rel = cycle - s.start_cycle - 1;
+            let (g, i) = (rel / bpg, (rel % bpg) as u32);
+            if g >= s.groups {
+                continue;
+            }
+            let blocks = (s.tracks - g * bpg).min(bpg) as u32;
+            if i < blocks {
+                let addr = BlockAddr::data(s.object, g, i);
+                let p = layout.data_placement(s.start_cluster, g, i);
+                let st = self.streams.get_mut(&id).expect("live");
+                if self.failed_disks.contains(&p.disk) {
+                    // The read last cycle failed: hiccup, repeating every
+                    // time the stream rotates back onto the dead disk.
+                    plan.hiccups.push(LostBlock {
+                        stream: id,
+                        addr,
+                        reason: LossReason::FailedDisk,
+                        delivery_cycle: cycle,
+                    });
+                    st.lost += 1;
+                } else {
+                    plan.deliveries.push(Delivery {
+                        stream: id,
+                        addr,
+                        reconstructed: false,
+                    });
+                    st.delivered += 1;
+                    self.buffers.free(OwnerId(id.0), 1).expect("held");
+                }
+            }
+            if g + 1 == s.groups && i + 1 >= blocks {
+                plan.finished.push(id);
+                self.streams.remove(&id);
+                self.buffers.free_all(OwnerId(id.0));
+            }
+        }
+        plan
+    }
+
+    fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {
+        self.failed_disks.insert(disk);
+        FailureReport {
+            // No parity: any data on the disk is unreadable until repair;
+            // the paper calls the no-redundancy data outage what it is.
+            catastrophic: true,
+            ..FailureReport::default()
+        }
+    }
+
+    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+        self.failed_disks.remove(&disk);
+    }
+
+    fn buffer_in_use(&self) -> usize {
+        self.buffers.in_use()
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        self.buffers.high_water()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_disk::{Bandwidth, DiskParams};
+    use mms_layout::{BandwidthClass, Geometry, MediaObject};
+
+    fn make(tracks: u64) -> BaselineScheduler {
+        let geo = Geometry::clustered(10, 5).unwrap();
+        let mut catalog = Catalog::new(ClusteredLayout::new(geo), 100_000);
+        catalog
+            .add(MediaObject::new(
+                ObjectId(0),
+                "m",
+                tracks,
+                BandwidthClass::Mpeg1,
+            ))
+            .unwrap();
+        let cfg = CycleConfig::new(
+            DiskParams::paper_table1(),
+            Bandwidth::from_megabits(1.5),
+            1,
+            1,
+        );
+        BaselineScheduler::new(cfg, catalog)
+    }
+
+    #[test]
+    fn fault_free_baseline_is_identical_to_nc_normal_mode() {
+        let mut s = make(16);
+        let id = s.admit(ObjectId(0), 0).unwrap();
+        let mut delivered = 0;
+        for t in 0..18 {
+            let p = s.plan_cycle(t);
+            assert!(p.hiccups.is_empty());
+            delivered += p.deliveries.len();
+            // One read per active stream per cycle, 2 buffers peak.
+            assert!(p.total_reads() <= 1);
+        }
+        assert_eq!(delivered, 16);
+        assert_eq!(s.buffer_high_water(), 2);
+        assert!(s.stream_info(id).is_none());
+    }
+
+    #[test]
+    fn failure_hiccups_repeat_every_rotation() {
+        // "These hiccups will repeat at regular intervals each time an
+        // object being displayed needs data from the failed disk."
+        let mut s = make(40); // 10 groups, 5 on each cluster
+        s.admit(ObjectId(0), 0).unwrap();
+        s.on_disk_failure(DiskId(1), 0, false);
+        let mut hiccup_cycles = Vec::new();
+        for t in 0..42 {
+            let p = s.plan_cycle(t);
+            if !p.hiccups.is_empty() {
+                hiccup_cycles.push(t);
+            }
+        }
+        // Disk 1 holds block 1 of every cluster-0 group: groups 0, 2, 4,
+        // 6, 8 → read cycles 1, 9, 17, 25, 33 → hiccups one cycle later,
+        // every 8 cycles (the rotation period over two clusters).
+        assert_eq!(hiccup_cycles, vec![2, 10, 18, 26, 34]);
+    }
+
+    #[test]
+    fn repair_stops_the_bleeding() {
+        let mut s = make(40);
+        s.admit(ObjectId(0), 0).unwrap();
+        s.on_disk_failure(DiskId(1), 0, false);
+        for t in 0..12 {
+            s.plan_cycle(t);
+        }
+        s.on_disk_repair(DiskId(1), 12);
+        let mut hiccups = 0;
+        for t in 12..42 {
+            hiccups += s.plan_cycle(t).hiccups.len();
+        }
+        assert_eq!(hiccups, 0);
+    }
+
+    #[test]
+    fn every_failure_is_reported_catastrophic() {
+        let mut s = make(8);
+        assert!(s.on_disk_failure(DiskId(0), 0, false).catastrophic);
+    }
+}

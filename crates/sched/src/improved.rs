@@ -1,0 +1,856 @@
+//! Improved-bandwidth scheduling (Section 4).
+//!
+//! No dedicated parity disks: "instead of having dedicated parity disks,
+//! which are only used for reading in case of failure, we can intermix
+//! data and parity information on disks", so all `D` disks deliver data
+//! during normal operation. The price is failure handling by a cascading
+//! **shift to the right**: a failed disk's blocks are rebuilt from parity
+//! on the next cluster, consuming its idle capacity — and if there is
+//! none, displacing local reads, which become "partial disk failures" of
+//! that cluster and push parity reads one cluster further.
+
+use crate::cycle::CycleConfig;
+use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
+use crate::streams::{StreamId, StreamInfo};
+use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use mms_buffer::{BufferPool, OwnerId};
+use mms_disk::DiskId;
+use mms_layout::{BlockAddr, Catalog, ClusterId, ImprovedLayout, Layout, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-group-read bookkeeping gathered in pass 1 of `plan_cycle`:
+/// reconstructed block indices, hiccup indices with reasons, and the
+/// buffer tracks charged.
+type IncomingGroup = (Vec<u32>, Vec<(u32, LossReason)>, usize);
+
+/// Per-stream state.
+#[derive(Debug, Clone)]
+struct IbStream {
+    object: ObjectId,
+    start_cluster: u32,
+    groups: u64,
+    tracks: u64,
+    start_cycle: u64,
+    class: u32,
+    delivered: u64,
+    lost: u64,
+    /// Block indices of the group read last cycle to be delivered
+    /// reconstructed this cycle.
+    pending_reconstructed: Vec<u32>,
+    /// Block indices of the group read last cycle that hiccup this
+    /// cycle, with the reason.
+    pending_hiccups: Vec<(u32, LossReason)>,
+    /// Buffer tracks charged for the group read last cycle.
+    pending_buffered: usize,
+}
+
+/// The Improved-bandwidth scheduler (`k = k' = C−1`, clusters of `C−1`
+/// all-data disks, parity on the following cluster).
+#[derive(Debug)]
+pub struct ImprovedScheduler {
+    config: CycleConfig,
+    catalog: Catalog<ImprovedLayout>,
+    streams: BTreeMap<StreamId, IbStream>,
+    class_load: Vec<usize>,
+    /// Failed disks (positions) per cluster.
+    failed: BTreeMap<ClusterId, BTreeSet<u32>>,
+    /// Per-disk slots held back for failure absorption (Section 4's
+    /// "some small amount of idle capacity could be reserved").
+    reserved_slots: usize,
+    /// Section 4's "sophisticated scheduler": under lightly loaded
+    /// conditions, read parity during normal operation so even a
+    /// mid-cycle failure is masked; prefetches are skipped on any disk
+    /// with no idle slots, so load always wins.
+    parity_prefetch: bool,
+    buffers: BufferPool,
+    next_stream: u64,
+    next_cycle: u64,
+    /// Clusters visited by the most recent shift-to-the-right cascade.
+    last_shift_path: Vec<ClusterId>,
+    /// Set while a failure happened mid-cycle and the next planned cycle
+    /// must hiccup the failed disk's uncompleted reads.
+    midcycle_pending: Option<DiskId>,
+}
+
+impl ImprovedScheduler {
+    /// Build a scheduler over a populated catalog on an improved layout.
+    ///
+    /// `reserved_slots` is withheld from every disk's cycle capacity so a
+    /// shift has idle capacity to land on (the paper's `K_IB` expressed
+    /// per disk).
+    ///
+    /// # Panics
+    /// Panics unless `k = k' = C−1` or if the reserve exceeds capacity.
+    #[must_use]
+    pub fn new(
+        config: CycleConfig,
+        catalog: Catalog<ImprovedLayout>,
+        reserved_slots: usize,
+    ) -> Self {
+        let c = catalog.layout().geometry().group_size() as usize;
+        assert_eq!(config.k, c - 1, "Improved-bandwidth requires k = C−1");
+        assert_eq!(config.k_prime, c - 1, "Improved-bandwidth requires k' = C−1");
+        assert!(
+            reserved_slots < config.slots_per_disk(),
+            "reserve must leave at least one usable slot"
+        );
+        let classes = catalog.layout().geometry().clusters() as usize;
+        ImprovedScheduler {
+            config,
+            catalog,
+            streams: BTreeMap::new(),
+            class_load: vec![0; classes],
+            failed: BTreeMap::new(),
+            reserved_slots,
+            parity_prefetch: false,
+            buffers: BufferPool::unbounded(),
+            next_stream: 0,
+            next_cycle: 0,
+            last_shift_path: Vec::new(),
+            midcycle_pending: None,
+        }
+    }
+
+    /// The catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog<ImprovedLayout> {
+        &self.catalog
+    }
+
+    /// Clusters visited by the most recent shift cascade (diagnostic).
+    #[must_use]
+    pub fn last_shift_path(&self) -> &[ClusterId] {
+        &self.last_shift_path
+    }
+
+    /// Enable Section 4's adaptive parity prefetch: "Under lightly loaded
+    /// conditions, the parity blocks can be read during normal operation
+    /// and the isolated hiccup avoided. As the load increases, reading
+    /// parity blocks can be dropped in favor of supporting more streams."
+    pub fn set_parity_prefetch(&mut self, enabled: bool) {
+        self.parity_prefetch = enabled;
+    }
+
+    /// Whether parity prefetch is enabled.
+    #[must_use]
+    pub fn parity_prefetch(&self) -> bool {
+        self.parity_prefetch
+    }
+
+    fn clusters(&self) -> u64 {
+        u64::from(self.catalog.layout().geometry().clusters())
+    }
+
+    fn usable_slots(&self) -> usize {
+        self.config.slots_per_disk() - self.reserved_slots
+    }
+
+    fn blocks_in_group(&self, tracks: u64, g: u64) -> u32 {
+        let bpg = u64::from(self.catalog.layout().blocks_per_group());
+        (tracks - g * bpg).min(bpg) as u32
+    }
+
+    /// Register a newly staged object in the catalog (the tertiary →
+    /// disk load path of Figure 1).
+    pub fn register_object(
+        &mut self,
+        object: mms_layout::MediaObject,
+    ) -> Result<(), mms_layout::CatalogError> {
+        self.catalog.add(object).map(|_| ())
+    }
+
+    /// Retire an object from the catalog (the purge path), refusing while
+    /// any stream is still delivering it.
+    pub fn retire_object(
+        &mut self,
+        object: ObjectId,
+    ) -> Result<(), crate::traits::RetireError> {
+        let streams = self
+            .streams
+            .values()
+            .filter(|s| s.object == object)
+            .count();
+        if streams > 0 {
+            return Err(crate::traits::RetireError::InUse { object, streams });
+        }
+        self.catalog
+            .remove(object)
+            .map(|_| ())
+            .map_err(|_| crate::traits::RetireError::NotFound { object })
+    }
+}
+
+impl SchemeScheduler for ImprovedScheduler {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::ImprovedBandwidth
+    }
+
+    fn config(&self) -> &CycleConfig {
+        &self.config
+    }
+
+    fn admit(&mut self, object: ObjectId, at_cycle: u64) -> Result<StreamId, AdmissionError> {
+        assert!(at_cycle >= self.next_cycle, "cannot admit into the past");
+        let placed = self
+            .catalog
+            .get(object)
+            .map_err(|_| AdmissionError::UnknownObject { object })?;
+        let nc = self.clusters();
+        let class = ((u64::from(placed.start_cluster) + nc - (at_cycle % nc)) % nc) as usize;
+        if self.class_load[class] >= self.usable_slots() {
+            return Err(AdmissionError::AtCapacity {
+                active: self.streams.len(),
+                limit: self.stream_capacity(),
+            });
+        }
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.class_load[class] += 1;
+        self.streams.insert(
+            id,
+            IbStream {
+                object,
+                start_cluster: placed.start_cluster,
+                groups: placed.groups,
+                tracks: placed.object.tracks,
+                start_cycle: at_cycle,
+                class: class as u32,
+                delivered: 0,
+                lost: 0,
+                pending_reconstructed: Vec::new(),
+                pending_hiccups: Vec::new(),
+                pending_buffered: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    fn stream_capacity(&self) -> usize {
+        self.usable_slots() * self.clusters() as usize
+    }
+
+    fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn stream_info(&self, id: StreamId) -> Option<StreamInfo> {
+        self.streams.get(&id).map(|s| StreamInfo {
+            id,
+            object: s.object,
+            admitted_at: s.start_cycle,
+            groups: s.groups,
+            next_group: self.next_cycle.saturating_sub(s.start_cycle).min(s.groups),
+            delivered_tracks: s.delivered,
+            lost_tracks: s.lost,
+        })
+    }
+
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+        assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
+        self.next_cycle += 1;
+        let mut plan = CyclePlan::empty(cycle);
+        self.last_shift_path.clear();
+        let layout = *self.catalog.layout();
+        let geometry = *layout.geometry();
+        let midcycle_disk = self.midcycle_pending.take();
+
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+
+        // Pass 1 — base reads and allocations: each stream reads its
+        // whole group of C−1 data tracks from its current cluster;
+        // groups touching a failed disk request their parity block on
+        // the next cluster instead. Allocations precede every free of
+        // the cycle so the pool's peak reflects true simultaneity
+        // (2(C−1) per stream).
+        let mut parity_needed: Vec<(StreamId, ObjectId, u32, u64)> = Vec::new();
+        let mut incoming: BTreeMap<StreamId, IncomingGroup> = BTreeMap::new();
+        for id in ids.iter().copied() {
+            let s = self.streams[&id].clone();
+            if cycle < s.start_cycle {
+                continue;
+            }
+            let read_group = cycle - s.start_cycle;
+            if read_group >= s.groups {
+                continue;
+            }
+            let mut reconstructed = Vec::new();
+            let mut hiccups = Vec::new();
+            let blocks = self.blocks_in_group(s.tracks, read_group);
+            let cluster = layout.data_cluster(s.start_cluster, read_group);
+            let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
+            let mut reads = 0usize;
+            for i in 0..blocks {
+                let p = layout.data_placement(s.start_cluster, read_group, i);
+                let pos = geometry.position_in_cluster(p.disk);
+                if failed.contains(&pos) {
+                    if failed.len() == 1 {
+                        if midcycle_disk == Some(p.disk) {
+                            // Mid-cycle failure: this cycle's read on
+                            // the failed disk cannot be masked — unless
+                            // the committed schedule already carried a
+                            // parity prefetch (pass 2.5 may rescue it).
+                            hiccups.push((i, LossReason::MidCycle));
+                        } else {
+                            reconstructed.push(i);
+                            parity_needed.push((id, s.object, i, read_group));
+                        }
+                    } else {
+                        // Two failures in one cluster: data loss.
+                        hiccups.push((i, LossReason::FailedDisk));
+                    }
+                } else {
+                    plan.push_read(
+                        p.disk,
+                        PlannedRead {
+                            stream: id,
+                            addr: BlockAddr::data(s.object, read_group, i),
+                            purpose: ReadPurpose::Delivery,
+                        },
+                    );
+                    reads += 1;
+                }
+            }
+            self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
+            incoming.insert(id, (reconstructed, hiccups, reads));
+        }
+
+        // Pass 2 — place parity reads, shifting right through clusters
+        // until idle capacity is found. Displaced local reads become
+        // partial failures that need *their* parity one cluster further.
+        let cap = self.config.slots_per_disk();
+        let mut queue: Vec<(StreamId, ObjectId, u32, u64)> = parity_needed;
+        let mut hops = 0usize;
+        let max_hops = self.clusters() as usize * cap * 4 + 16;
+        while let Some((sid, object, idx, group)) = queue.pop() {
+            hops += 1;
+            if hops > max_hops {
+                // No capacity anywhere: degradation of service — drop the
+                // stream whose parity could not be placed.
+                self.drop_stream(sid, cycle, &mut plan);
+                incoming.remove(&sid);
+                continue;
+            }
+            let s = match self.streams.get(&sid) {
+                Some(s) => s.clone(),
+                None => continue, // already dropped/finished
+            };
+            let pp = layout.parity_placement(s.start_cluster, group);
+            let disk = pp.disk;
+            if !self.last_shift_path.contains(&pp.cluster) {
+                self.last_shift_path.push(pp.cluster);
+            }
+            // A dead parity disk means the block is unrecoverable.
+            let parity_pos = geometry.position_in_cluster(disk);
+            if self
+                .failed
+                .get(&pp.cluster)
+                .map(|f| f.contains(&parity_pos))
+                .unwrap_or(false)
+            {
+                if let Some((rec, hic, _)) = incoming.get_mut(&sid) {
+                    rec.retain(|&x| x != idx);
+                    if !hic.iter().any(|(i, _)| *i == idx) {
+                        hic.push((idx, LossReason::FailedDisk));
+                    }
+                }
+                continue;
+            }
+            let load = plan.reads_on(disk).len();
+            if load < cap {
+                plan.push_read(
+                    disk,
+                    PlannedRead {
+                        stream: sid,
+                        addr: BlockAddr::parity(object, group),
+                        purpose: ReadPurpose::Parity,
+                    },
+                );
+                self.buffers.alloc(OwnerId(sid.0), 1).expect("unbounded");
+                if let Some((_, _, charged)) = incoming.get_mut(&sid) {
+                    *charged += 1;
+                }
+                continue;
+            }
+            // Disk full: displace one local Delivery read (at most one
+            // per parity group is ever displaced) and retry the parity
+            // read in the freed slot.
+            let victim_ix = plan
+                .reads_on(disk)
+                .iter()
+                .position(|r| r.purpose == ReadPurpose::Delivery);
+            match victim_ix {
+                None => {
+                    // Nothing displaceable (all reads are parity):
+                    // degradation of service.
+                    self.drop_stream(sid, cycle, &mut plan);
+                    incoming.remove(&sid);
+                }
+                Some(ix) => {
+                    let victim = plan.reads.get_mut(&disk).expect("loaded disk").remove(ix);
+                    // The displaced block will be reconstructed via its
+                    // own parity group one cluster to the right.
+                    if let mms_layout::BlockKind::Data(vi) = victim.addr.kind {
+                        if let Some((rec, _, charged)) = incoming.get_mut(&victim.stream) {
+                            rec.push(vi);
+                            // Undo the victim's data-read buffer charge;
+                            // its parity read (when placed) re-charges.
+                            *charged = charged.saturating_sub(1);
+                        }
+                        queue.push((victim.stream, victim.addr.object, vi, victim.addr.group));
+                        let _ = self.buffers.free(OwnerId(victim.stream.0), 1);
+                    }
+                    // Place the parity read in the freed slot.
+                    plan.push_read(
+                        disk,
+                        PlannedRead {
+                            stream: sid,
+                            addr: BlockAddr::parity(object, group),
+                            purpose: ReadPurpose::Parity,
+                        },
+                    );
+                    self.buffers.alloc(OwnerId(sid.0), 1).expect("unbounded");
+                    if let Some((_, _, charged)) = incoming.get_mut(&sid) {
+                        *charged += 1;
+                    }
+                }
+            }
+        }
+
+        // Pass 2.5 — adaptive parity prefetch (Section 4's sophisticated
+        // scheduler): where a group's parity disk still has an idle slot,
+        // read the parity alongside the data. A prefetched parity rescues
+        // this cycle's mid-cycle loss (the read was part of the committed
+        // schedule), and load always wins: full disks skip the prefetch.
+        if self.parity_prefetch {
+            let ids2: Vec<StreamId> = incoming.keys().copied().collect();
+            for id in ids2 {
+                let s = self.streams[&id].clone();
+                let read_group = cycle - s.start_cycle;
+                // Skip groups whose parity is already being read
+                // (failure-reconstruction path placed it in pass 2).
+                let pp = layout.parity_placement(s.start_cluster, read_group);
+                let already = plan.reads_on(pp.disk).iter().any(|r| {
+                    r.stream == id && r.addr == BlockAddr::parity(s.object, read_group)
+                });
+                if already {
+                    continue;
+                }
+                let parity_pos = geometry.position_in_cluster(pp.disk);
+                let parity_dead = self
+                    .failed
+                    .get(&pp.cluster)
+                    .map(|f| f.contains(&parity_pos))
+                    .unwrap_or(false);
+                if parity_dead || plan.reads_on(pp.disk).len() >= cap {
+                    continue;
+                }
+                plan.push_read(
+                    pp.disk,
+                    PlannedRead {
+                        stream: id,
+                        addr: BlockAddr::parity(s.object, read_group),
+                        purpose: ReadPurpose::Parity,
+                    },
+                );
+                self.buffers.alloc(OwnerId(id.0), 1).expect("unbounded");
+                let entry = incoming.get_mut(&id).expect("read this cycle");
+                entry.2 += 1;
+                // Rescue a mid-cycle loss: with parity and the group's
+                // surviving members resident by end of cycle, the block
+                // is reconstructed in time.
+                if let Some(ix) = entry
+                    .1
+                    .iter()
+                    .position(|(_, reason)| *reason == LossReason::MidCycle)
+                {
+                    let (block, _) = entry.1.remove(ix);
+                    entry.0.push(block);
+                }
+            }
+        }
+
+        // Pass 3 — deliveries of last cycle's groups and frees.
+        for id in ids {
+            let Some(s) = self.streams.get(&id).cloned() else {
+                continue;
+            };
+            if cycle < s.start_cycle + 1 {
+                continue;
+            }
+            let g = cycle - s.start_cycle - 1;
+            if g >= s.groups {
+                continue;
+            }
+            let blocks = self.blocks_in_group(s.tracks, g);
+            let st = self.streams.get_mut(&id).expect("live");
+            for i in 0..blocks {
+                let addr = BlockAddr::data(s.object, g, i);
+                if let Some(&(_, reason)) = st.pending_hiccups.iter().find(|(ix, _)| *ix == i) {
+                    plan.hiccups.push(LostBlock {
+                        stream: id,
+                        addr,
+                        reason,
+                        delivery_cycle: cycle,
+                    });
+                    st.lost += 1;
+                } else {
+                    plan.deliveries.push(Delivery {
+                        stream: id,
+                        addr,
+                        reconstructed: st.pending_reconstructed.contains(&i),
+                    });
+                    st.delivered += 1;
+                }
+            }
+            // Release exactly what the group charged when it was read.
+            let charged = st.pending_buffered;
+            st.pending_buffered = 0;
+            self.buffers.free(OwnerId(id.0), charged).expect("held");
+            if g + 1 == st.groups {
+                plan.finished.push(id);
+                let class = st.class as usize;
+                self.class_load[class] -= 1;
+                self.streams.remove(&id);
+                self.buffers.free_all(OwnerId(id.0));
+            }
+        }
+
+        // Commit the just-read groups' state.
+        for (id, (reconstructed, hiccups, charged)) in incoming {
+            if let Some(st) = self.streams.get_mut(&id) {
+                st.pending_reconstructed = reconstructed;
+                st.pending_hiccups = hiccups;
+                st.pending_buffered = charged;
+            }
+        }
+
+        plan
+    }
+
+    fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, mid_cycle: bool) -> FailureReport {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        let pos = geometry.position_in_cluster(disk);
+        let entry = self.failed.entry(cluster).or_default();
+        entry.insert(pos);
+        // A failure in each of two *adjacent* clusters also loses data in
+        // this scheme (shared parity-group membership), in addition to two
+        // failures within one cluster.
+        let prev = ClusterId((cluster.0 + geometry.clusters() - 1) % geometry.clusters());
+        let next = geometry.next_cluster(cluster);
+        let catastrophic = self.failed[&cluster].len() >= 2
+            || self.failed.get(&prev).map(|s| !s.is_empty()).unwrap_or(false)
+            || self.failed.get(&next).map(|s| !s.is_empty()).unwrap_or(false);
+        if mid_cycle {
+            self.midcycle_pending = Some(disk);
+        }
+        FailureReport {
+            degraded_clusters: vec![cluster],
+            catastrophic,
+            ..FailureReport::default()
+        }
+    }
+
+    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        let pos = geometry.position_in_cluster(disk);
+        if let Some(set) = self.failed.get_mut(&cluster) {
+            set.remove(&pos);
+            if set.is_empty() {
+                self.failed.remove(&cluster);
+            }
+        }
+    }
+
+    fn buffer_in_use(&self) -> usize {
+        self.buffers.in_use()
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        self.buffers.high_water()
+    }
+}
+
+impl ImprovedScheduler {
+    /// Terminate a stream (degradation of service).
+    fn drop_stream(&mut self, id: StreamId, cycle: u64, plan: &mut CyclePlan) {
+        if let Some(st) = self.streams.remove(&id) {
+            self.class_load[st.class as usize] -= 1;
+            self.buffers.free_all(OwnerId(id.0));
+            plan.hiccups.push(LostBlock {
+                stream: id,
+                addr: BlockAddr::data(st.object, 0, 0),
+                reason: LossReason::ServiceDegradation,
+                delivery_cycle: cycle,
+            });
+            // Remove the stream's reads from this plan.
+            for reads in plan.reads.values_mut() {
+                reads.retain(|r| r.stream != id);
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_disk::{Bandwidth, DiskParams};
+    use mms_layout::{BandwidthClass, Geometry, MediaObject};
+
+    fn make(disks: usize, c: usize, reserve: usize, objects: &[(u64, u64)]) -> ImprovedScheduler {
+        let geo = Geometry::improved(disks, c).unwrap();
+        let layout = ImprovedLayout::new(geo);
+        let mut catalog = Catalog::new(layout, 100_000);
+        for &(id, tracks) in objects {
+            catalog
+                .add(MediaObject::new(
+                    ObjectId(id),
+                    format!("o{id}"),
+                    tracks,
+                    BandwidthClass::Mpeg1,
+                ))
+                .unwrap();
+        }
+        let cfg = CycleConfig::new(
+            DiskParams::paper_table1(),
+            Bandwidth::from_megabits(1.5),
+            c - 1,
+            c - 1,
+        );
+        ImprovedScheduler::new(cfg, catalog, reserve)
+    }
+
+    #[test]
+    fn normal_mode_never_reads_parity() {
+        let mut s = make(8, 5, 1, &[(0, 16)]);
+        let id = s.admit(ObjectId(0), 0).unwrap();
+        for t in 0..4 {
+            let p = s.plan_cycle(t);
+            assert!(
+                p.reads
+                    .values()
+                    .flatten()
+                    .all(|r| r.purpose == ReadPurpose::Delivery),
+                "cycle {t}"
+            );
+            if t >= 1 {
+                assert_eq!(p.deliveries.len(), 4);
+                assert!(p.deliveries.iter().all(|d| d.stream == id));
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_peak_is_2_c_minus_1_per_stream() {
+        let mut s = make(8, 5, 1, &[(0, 40)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        for t in 0..6 {
+            s.plan_cycle(t);
+        }
+        // 2(C−1) = 8 for C = 5.
+        assert_eq!(s.buffer_high_water(), 8);
+    }
+
+    #[test]
+    fn failure_masked_by_parity_from_next_cluster() {
+        let mut s = make(8, 5, 1, &[(0, 16)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        let r = s.on_disk_failure(DiskId(1), 0, false);
+        assert!(!r.catastrophic);
+        let p0 = s.plan_cycle(0);
+        // 3 data reads on cluster 0 + 1 parity read on cluster 1.
+        assert_eq!(p0.total_reads(), 4);
+        let parity_reads: Vec<_> = p0
+            .reads
+            .iter()
+            .flat_map(|(d, v)| v.iter().map(move |r| (*d, *r)))
+            .filter(|(_, r)| r.purpose == ReadPurpose::Parity)
+            .collect();
+        assert_eq!(parity_reads.len(), 1);
+        assert!(parity_reads[0].0 .0 >= 4, "parity on cluster 1");
+        assert_eq!(s.last_shift_path(), &[ClusterId(1)]);
+        let p1 = s.plan_cycle(1);
+        assert_eq!(p1.deliveries.len(), 4);
+        assert_eq!(p1.deliveries.iter().filter(|d| d.reconstructed).count(), 1);
+        assert!(p1.hiccups.is_empty());
+    }
+
+    #[test]
+    fn midcycle_failure_causes_one_hiccup_then_masks() {
+        let mut s = make(8, 5, 1, &[(0, 16)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        s.on_disk_failure(DiskId(2), 0, true);
+        let _p0 = s.plan_cycle(0);
+        let p1 = s.plan_cycle(1);
+        // The block being read when the disk died is a hiccup…
+        assert_eq!(p1.hiccups.len(), 1);
+        assert_eq!(p1.hiccups[0].reason, LossReason::MidCycle);
+        assert_eq!(p1.deliveries.len(), 3);
+        // …but from the next cycle on, parity masks the failure.
+        let p2 = s.plan_cycle(2);
+        assert_eq!(p2.deliveries.len(), 4);
+        assert_eq!(p2.hiccups.len(), 0);
+        let p3 = s.plan_cycle(3);
+        assert_eq!(p3.deliveries.iter().filter(|d| d.reconstructed).count(), 1);
+    }
+
+    #[test]
+    fn adjacent_cluster_failures_are_catastrophic() {
+        let mut s = make(8, 5, 1, &[(0, 16)]);
+        assert!(!s.on_disk_failure(DiskId(0), 0, false).catastrophic);
+        // Disk 4 is in cluster 1, adjacent to cluster 0.
+        assert!(s.on_disk_failure(DiskId(4), 0, false).catastrophic);
+    }
+
+    #[test]
+    fn shift_cascades_when_next_cluster_is_full() {
+        // 3 clusters of 4 disks; fill cluster 1's disks to capacity so the
+        // parity read for cluster 0's failure displaces a local read,
+        // which in turn needs parity from cluster 2.
+        let mut s = make(12, 5, 1, &[(0, 120), (1, 120), (2, 120)]);
+        let slots = s.usable_slots();
+        // Saturate all classes: admit `slots` streams per object (objects
+        // start on clusters 0, 1, 2 round-robin).
+        for obj in 0..3u64 {
+            for _ in 0..slots {
+                s.admit(ObjectId(obj), 0).unwrap();
+            }
+        }
+        assert_eq!(s.active_streams(), slots * 3);
+        s.on_disk_failure(DiskId(0), 0, false);
+        let p0 = s.plan_cycle(0);
+        // The cascade had to visit cluster 1 and spill into cluster 2.
+        assert!(s.last_shift_path().contains(&ClusterId(1)));
+        assert!(s.last_shift_path().contains(&ClusterId(2)));
+        // No stream dropped: reserve slots absorbed the shift eventually.
+        assert!(p0
+            .hiccups
+            .iter()
+            .all(|h| h.reason != LossReason::ServiceDegradation));
+    }
+
+    #[test]
+    fn no_reserve_and_full_load_degrades_service() {
+        // Zero reserve: admission fills every slot; a failure has nowhere
+        // to shift, so some stream must be dropped.
+        let mut s = make(8, 5, 0, &[(0, 120), (1, 120)]);
+        let slots = s.usable_slots();
+        for obj in 0..2u64 {
+            for _ in 0..slots {
+                s.admit(ObjectId(obj), 0).unwrap();
+            }
+        }
+        s.on_disk_failure(DiskId(0), 0, false);
+        let p0 = s.plan_cycle(0);
+        let p1 = s.plan_cycle(1);
+        let impact = p0.hiccups.len() + p1.hiccups.len();
+        assert!(impact >= 1, "expected dropped streams or lost blocks");
+    }
+
+    #[test]
+    fn capacity_reflects_reserve() {
+        let s = make(8, 5, 1, &[(0, 16)]);
+        // T_cyc for k' = 4: slots = 52; usable 51 × 2 clusters = 102.
+        assert_eq!(s.stream_capacity(), 102);
+        let s2 = make(8, 5, 10, &[(0, 16)]);
+        assert_eq!(s2.stream_capacity(), 84);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use mms_disk::{Bandwidth, DiskParams};
+    use mms_layout::{BandwidthClass, Geometry, MediaObject};
+
+    fn make(prefetch: bool) -> ImprovedScheduler {
+        let geo = Geometry::improved(8, 5).unwrap();
+        let layout = ImprovedLayout::new(geo);
+        let mut catalog = Catalog::new(layout, 100_000);
+        catalog
+            .add(MediaObject::new(
+                ObjectId(0),
+                "m",
+                40,
+                BandwidthClass::Mpeg1,
+            ))
+            .unwrap();
+        let cfg = CycleConfig::new(
+            DiskParams::paper_table1(),
+            Bandwidth::from_megabits(1.5),
+            4,
+            4,
+        );
+        let mut s = ImprovedScheduler::new(cfg, catalog, 1);
+        s.set_parity_prefetch(prefetch);
+        s
+    }
+
+    #[test]
+    fn prefetch_masks_the_midcycle_hiccup() {
+        // Without prefetch: exactly one MidCycle hiccup (§4's unmaskable
+        // read). With prefetch: zero — the committed schedule already
+        // carried the parity.
+        for (prefetch, expect_hiccups) in [(false, 1usize), (true, 0usize)] {
+            let mut s = make(prefetch);
+            s.admit(ObjectId(0), 0).unwrap();
+            s.plan_cycle(0);
+            // Group 1 (cycle 1) reads cluster 1: disk 5 dies mid-cycle.
+            s.on_disk_failure(DiskId(5), 1, true);
+            let mut hiccups = 0;
+            let mut reconstructed = 0;
+            for t in 1..11 {
+                let p = s.plan_cycle(t);
+                hiccups += p.hiccups.len();
+                reconstructed += p.deliveries.iter().filter(|d| d.reconstructed).count();
+            }
+            assert_eq!(hiccups, expect_hiccups, "prefetch={prefetch}");
+            assert!(reconstructed > 0, "prefetch={prefetch}");
+        }
+    }
+
+    #[test]
+    fn prefetch_reads_parity_every_cycle_when_idle() {
+        let mut s = make(true);
+        s.admit(ObjectId(0), 0).unwrap();
+        let p = s.plan_cycle(0);
+        // 4 data reads + 1 prefetched parity on the next cluster.
+        assert_eq!(p.total_reads(), 5);
+        assert!(p
+            .reads
+            .values()
+            .flatten()
+            .any(|r| r.purpose == ReadPurpose::Parity));
+        // Buffer charge grows by the parity track: 2(C−1) + 2 at peak.
+        for t in 1..4 {
+            s.plan_cycle(t);
+        }
+        assert_eq!(s.buffer_high_water(), 10);
+    }
+
+    #[test]
+    fn prefetch_yields_to_load() {
+        // Saturate the cluster so no idle slots remain: prefetch must
+        // not displace any data read.
+        let mut s = make(true);
+        let slots = s.usable_slots();
+        for _ in 0..slots {
+            s.admit(ObjectId(0), 0).unwrap();
+        }
+        let p = s.plan_cycle(0);
+        let cap = s.config().slots_per_disk();
+        for reads in p.reads.values() {
+            assert!(reads.len() <= cap);
+        }
+        // Every stream still got its 4 data reads.
+        let data_reads = p
+            .reads
+            .values()
+            .flatten()
+            .filter(|r| r.purpose == ReadPurpose::Delivery)
+            .count();
+        assert_eq!(data_reads, slots * 4);
+    }
+}

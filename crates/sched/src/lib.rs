@@ -1,0 +1,59 @@
+//! # mms-sched — cycle-based scheduling substrate
+//!
+//! Implements the scheduling disciplines of *Berson, Golubchik & Muntz
+//! (SIGMOD 1995)* on top of the layout, parity, and buffer substrates:
+//!
+//! | Scheduler | Paper section | `k` | `k'` | Normal-mode parity reads |
+//! |---|---|---|---|---|
+//! | [`StreamingRaidScheduler`] | §2 (Tobagi et al.'s Streaming RAID) | `C−1` | `C−1` | yes, every cycle |
+//! | [`StaggeredScheduler`] | §2 (Staggered-group) | `C−1` | `1` | yes, at each read cycle |
+//! | [`NonClusteredScheduler`] | §3 | `1` | `1` | no (degraded mode only) |
+//! | [`ImprovedScheduler`] | §4 | `C−1` | `C−1` | no (parity on next cluster) |
+//!
+//! [`GroupedScheduler`] generalizes the SR/SG pair to any `k′ | C−1`
+//! (the GSS-style continuum of the paper's reference \[3\]), and
+//! [`BaselineScheduler`] is the unprotected striped
+//! server of Section 1 — no parity at all — the quantitative foil
+//! ("without some form of fault tolerance, such a system is not likely to
+//! be acceptable").
+//!
+//! All four share the cycle model of Section 2: during each time period
+//! data for each active stream is read into memory while the data read in
+//! the previous cycle is transmitted; reads within a cycle are unordered so
+//! one maximum seek bounds the cycle's disk time (`T(r) = τ_seek +
+//! r·τ_trk`), which yields the per-disk, per-cycle **slot** capacity used
+//! for admission control.
+//!
+//! Each scheduler exposes the same [`SchemeScheduler`] interface: admit
+//! streams, plan one cycle's reads/deliveries, and react to disk failures
+//! and repairs. Failure reactions implement the paper's mechanisms
+//! exactly — Streaming RAID and Staggered-group mask failures with the
+//! already-read parity; the Non-clustered scheduler performs the Figure 6
+//! *simple* or Figure 7 *delayed* transition to degraded mode (losing the
+//! exact track sets shown in those figures); the Improved-bandwidth
+//! scheduler performs Section 4's cascading "shift to the right".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod cycle;
+mod grouped;
+mod improved;
+mod nonclustered;
+mod plan;
+mod staggered;
+mod streaming_raid;
+mod streams;
+mod traits;
+
+pub use baseline::BaselineScheduler;
+pub use cycle::CycleConfig;
+pub use grouped::GroupedScheduler;
+pub use improved::ImprovedScheduler;
+pub use nonclustered::{NonClusteredScheduler, TransitionPolicy};
+pub use plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
+pub use staggered::StaggeredScheduler;
+pub use streaming_raid::StreamingRaidScheduler;
+pub use streams::{StreamId, StreamInfo};
+pub use traits::{AdmissionError, FailureReport, RetireError, SchemeKind, SchemeScheduler};

@@ -1,0 +1,985 @@
+//! Non-clustered scheduling with a buffer pool (Section 3).
+//!
+//! Normal mode reads only what the next cycle delivers (`k = k' = 1`);
+//! parity is *not* read, so buffering drops to 2 tracks per stream. When a
+//! disk fails, the affected cluster transitions to degraded mode (entire
+//! parity group read at once, buffered at a shared buffer server) and a
+//! bounded number of tracks is lost during the transition — the scenarios
+//! of Figures 6 and 7, both of which this module reproduces exactly.
+
+use crate::cycle::CycleConfig;
+use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
+use crate::streams::{StreamId, StreamInfo};
+use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use mms_buffer::{BufferPool, BufferServerPool, OwnerId};
+use mms_disk::DiskId;
+use mms_layout::{BlockAddr, Catalog, ClusteredLayout, ClusterId, Layout, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a cluster transitions to degraded mode when one of its disks fails
+/// (Section 3 describes both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionPolicy {
+    /// The straightforward shift of Figure 6: "when a disk fails the
+    /// schedule is changed to a complete Streaming RAID type schedule for
+    /// this cluster" — every in-flight group's remaining tracks move to
+    /// the failure cycle; groups that cannot be fully reconstructed are
+    /// abandoned, and moved reads may displace scheduled ones when slots
+    /// are full.
+    Simple,
+    /// The alternate scheme of Figure 7: "delay early reading of tracks
+    /// … until the cycle in which they are needed", buffering a running
+    /// XOR of already-delivered tracks. Loses strictly fewer tracks.
+    Delayed,
+}
+
+/// Per-stream state.
+#[derive(Debug, Clone)]
+struct NcStream {
+    object: ObjectId,
+    start_cluster: u32,
+    groups: u64,
+    tracks: u64,
+    start_cycle: u64,
+    class: (u32, u32),
+    delivered: u64,
+    lost: u64,
+}
+
+/// Degraded-cluster state.
+#[derive(Debug, Clone)]
+struct Degraded {
+    /// Failed disk position within the cluster (`C−1` = parity disk).
+    failed_pos: u32,
+    /// Cycle from which the failure is effective.
+    since: u64,
+    /// Second failure positions (catastrophic).
+    also_failed: BTreeSet<u32>,
+}
+
+/// The Non-clustered scheduler (`k = k' = 1`).
+#[derive(Debug)]
+pub struct NonClusteredScheduler {
+    config: CycleConfig,
+    catalog: Catalog<ClusteredLayout>,
+    policy: TransitionPolicy,
+    streams: BTreeMap<StreamId, NcStream>,
+    degraded: BTreeMap<ClusterId, Degraded>,
+    /// Blocks that will never be delivered, keyed by delivery cycle.
+    pending_losses: BTreeMap<u64, Vec<LostBlock>>,
+    /// Normal-schedule reads cancelled by a transition (moved or lost):
+    /// `(stream, group, index)`.
+    suppressed: BTreeSet<(StreamId, u64, u32)>,
+    /// Extra reads injected by a transition, keyed by cycle.
+    extra_reads: BTreeMap<u64, Vec<(DiskId, PlannedRead)>>,
+    /// Blocks that will be delivered as reconstructed: `(stream, group,
+    /// index)`.
+    reconstructions: BTreeSet<(StreamId, u64, u32)>,
+    /// Buffer frees scheduled for future cycles (tracks read early are
+    /// held until their delivery cycle), keyed by cycle; each entry frees
+    /// one track and names the block so a displaced read can cancel its
+    /// pending free.
+    deferred_frees: BTreeMap<u64, Vec<(StreamId, BlockAddr)>>,
+    /// Frees owed to buffer-server pools: (cycle → (cluster, stream,
+    /// tracks)). Degraded-mode group buffers are charged to the cluster's
+    /// attached server so §3's sizing (BF_SG/(D′/C) per server) is
+    /// *enforced*, not just provisioned.
+    server_frees: BTreeMap<u64, Vec<(u32, StreamId, usize)>>,
+    buffers: BufferPool,
+    servers: BufferServerPool,
+    next_stream: u64,
+    next_cycle: u64,
+}
+
+impl NonClusteredScheduler {
+    /// Build a scheduler over a populated catalog.
+    ///
+    /// `buffer_servers` is the paper's `K_NC`: how many concurrently
+    /// degraded clusters can be absorbed before service degrades.
+    ///
+    /// # Panics
+    /// Panics unless `k = k' = 1`.
+    #[must_use]
+    pub fn new(
+        config: CycleConfig,
+        catalog: Catalog<ClusteredLayout>,
+        policy: TransitionPolicy,
+        buffer_servers: usize,
+    ) -> Self {
+        assert_eq!(config.k, 1, "Non-clustered requires k = 1");
+        assert_eq!(config.k_prime, 1, "Non-clustered requires k' = 1");
+        // Each degraded cluster needs the staggered-group buffer profile:
+        // C(C+1)/2 tracks per C−1 streams, bounded by slots per class.
+        let c = catalog.layout().geometry().group_size() as usize;
+        let per_server = (c * (c + 1) / 2) * config.slots_per_disk();
+        NonClusteredScheduler {
+            config,
+            catalog,
+            policy,
+            streams: BTreeMap::new(),
+            degraded: BTreeMap::new(),
+            pending_losses: BTreeMap::new(),
+            suppressed: BTreeSet::new(),
+            extra_reads: BTreeMap::new(),
+            reconstructions: BTreeSet::new(),
+            deferred_frees: BTreeMap::new(),
+            server_frees: BTreeMap::new(),
+            buffers: BufferPool::unbounded(),
+            servers: BufferServerPool::new(buffer_servers, per_server),
+            next_stream: 0,
+            next_cycle: 0,
+        }
+    }
+
+    /// The catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog<ClusteredLayout> {
+        &self.catalog
+    }
+
+    /// The transition policy in force.
+    #[must_use]
+    pub fn policy(&self) -> TransitionPolicy {
+        self.policy
+    }
+
+    /// The buffer-server pool (to observe degraded-cluster attachment).
+    #[must_use]
+    pub fn servers(&self) -> &BufferServerPool {
+        &self.servers
+    }
+
+    fn bpg(&self) -> u64 {
+        u64::from(self.catalog.layout().blocks_per_group())
+    }
+
+    fn blocks_in_group(&self, tracks: u64, g: u64) -> u32 {
+        let bpg = self.bpg();
+        (tracks - g * bpg).min(bpg) as u32
+    }
+
+    /// Admission class (see module docs of `streaming_raid` for the
+    /// derivation): streams with equal read-phase residue and cluster
+    /// trajectory contend for the same slots at every cycle.
+    fn class_of(&self, h: u32, at_cycle: u64) -> (u32, u32) {
+        let period = self.bpg();
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        let r = (at_cycle % period) as u32;
+        let q = at_cycle / period;
+        let psi = ((u64::from(h) + nc - (q % nc)) % nc) as u32;
+        (r, psi)
+    }
+
+    /// Stream's group-start cycle for group `g`.
+    fn group_start(&self, s: &NcStream, g: u64) -> u64 {
+        s.start_cycle + g * self.bpg()
+    }
+
+    /// The stream's (group, index) position at cycle `t`, if active.
+    fn position_at(&self, s: &NcStream, t: u64) -> Option<(u64, u32)> {
+        if t < s.start_cycle {
+            return None;
+        }
+        let rel = t - s.start_cycle;
+        let g = rel / self.bpg();
+        if g >= s.groups {
+            return None;
+        }
+        Some((g, (rel % self.bpg()) as u32))
+    }
+
+    fn record_loss(&mut self, loss: LostBlock) {
+        self.pending_losses
+            .entry(loss.delivery_cycle)
+            .or_default()
+            .push(loss);
+    }
+
+    /// Is this group's read handled group-at-a-time (degraded steady
+    /// state)? True when its cluster is degraded and either the policy is
+    /// simple or the group starts after the C-cycle transition window.
+    fn group_at_a_time(&self, cluster: ClusterId, group_start: u64) -> bool {
+        let parity_pos = self.catalog.layout().geometry().disks_per_cluster() - 1;
+        match self.degraded.get(&cluster) {
+            None => false,
+            Some(d) => {
+                if d.failed_pos == parity_pos && d.also_failed.is_empty() {
+                    // Parity-disk failure: data flow is unaffected; stay
+                    // in normal per-cycle mode (unprotected).
+                    false
+                } else if group_start < d.since {
+                    false // in-flight at failure: handled by transition
+                } else {
+                    match self.policy {
+                        TransitionPolicy::Simple => true,
+                        TransitionPolicy::Delayed => {
+                            let window =
+                                u64::from(self.catalog.layout().geometry().group_size());
+                            group_start >= d.since + window
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is this group's read handled by delayed per-cycle reconstruction?
+    fn delayed_window(&self, cluster: ClusterId, group_start: u64) -> bool {
+        if self.policy != TransitionPolicy::Delayed {
+            return false;
+        }
+        let parity_pos = self.catalog.layout().geometry().disks_per_cluster() - 1;
+        match self.degraded.get(&cluster) {
+            None => false,
+            Some(d) => {
+                if d.failed_pos == parity_pos {
+                    return false;
+                }
+                let window = u64::from(self.catalog.layout().geometry().group_size());
+                group_start >= d.since && group_start < d.since + window
+            }
+        }
+    }
+
+    /// Plan the group-at-a-time reads for a group starting now.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_group_at_once(
+        &mut self,
+        plan: &mut CyclePlan,
+        id: StreamId,
+        s: &NcStream,
+        g: u64,
+        cycle: u64,
+        degraded: &Degraded,
+        parity_alive: bool,
+    ) {
+        let layout = *self.catalog.layout();
+        let geometry = *layout.geometry();
+        let blocks = self.blocks_in_group(s.tracks, g);
+        let mut failed_positions = degraded.also_failed.clone();
+        failed_positions.insert(degraded.failed_pos);
+        // A single data-disk failure with live parity is reconstructable;
+        // anything more loses the affected blocks.
+        let data_failures = failed_positions
+            .iter()
+            .filter(|&&p| p < geometry.disks_per_cluster() - 1)
+            .count();
+        let recoverable = parity_alive && data_failures <= 1;
+        let mut reads = 0usize;
+        for i in 0..blocks {
+            let p = layout.data_placement(s.start_cluster, g, i);
+            let pos = geometry.position_in_cluster(p.disk);
+            if failed_positions.contains(&pos) {
+                if recoverable {
+                    self.reconstructions.insert((id, g, i));
+                    self.deferred_frees
+                        .entry(cycle + u64::from(i) + 1)
+                        .or_default()
+                        .push((id, BlockAddr::data(s.object, g, i)));
+                } else {
+                    self.record_loss(LostBlock {
+                        stream: id,
+                        addr: BlockAddr::data(s.object, g, i),
+                        reason: LossReason::FailedDisk,
+                        delivery_cycle: cycle + u64::from(i) + 1,
+                    });
+                }
+                continue;
+            }
+            plan.push_read(
+                p.disk,
+                PlannedRead {
+                    stream: id,
+                    addr: BlockAddr::data(s.object, g, i),
+                    purpose: ReadPurpose::Reconstruction,
+                },
+            );
+            reads += 1;
+            self.deferred_frees
+                .entry(cycle + u64::from(i) + 1)
+                .or_default()
+                .push((id, BlockAddr::data(s.object, g, i)));
+        }
+        if recoverable && failed_positions.iter().any(|&p| p < blocks) {
+            let pp = layout.parity_placement(s.start_cluster, g);
+            plan.push_read(
+                pp.disk,
+                PlannedRead {
+                    stream: id,
+                    addr: BlockAddr::parity(s.object, g),
+                    purpose: ReadPurpose::Parity,
+                },
+            );
+            reads += 1;
+            // The parity buffer morphs into the reconstructed block whose
+            // free is registered above, so no separate free entry.
+        }
+        self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
+        // Charge the degraded cluster's buffer server: the group is held
+        // there until delivered ("a cluster in degraded mode sends the
+        // data read from the disk to the buffer server"), draining one
+        // track per delivery cycle — the staggered-group profile Eq. 14
+        // sizes each server for. Overflow would be a sizing bug,
+        // surfaced loudly.
+        let cluster_id = layout.data_cluster(s.start_cluster, g).0;
+        if let Some(server) = self.servers.server_for(cluster_id) {
+            server
+                .pool_mut()
+                .alloc(mms_buffer::OwnerId(id.0), reads)
+                .expect("buffer server sized for its cluster's degraded load");
+            let mut remaining = reads;
+            for i in 0..blocks {
+                if remaining == 0 {
+                    break;
+                }
+                // One buffer drains per delivery slot; lost blocks (never
+                // buffered) skip their slot.
+                let buffered = {
+                    let p = layout.data_placement(s.start_cluster, g, i);
+                    let pos = geometry.position_in_cluster(p.disk);
+                    recoverable || !failed_positions.contains(&pos)
+                };
+                if buffered {
+                    self.server_frees
+                        .entry(cycle + u64::from(i) + 1)
+                        .or_default()
+                        .push((cluster_id, id, 1));
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// Apply the Figure-6 simple transition for one in-flight stream.
+    fn simple_transition_for(
+        &mut self,
+        id: StreamId,
+        s: &NcStream,
+        g: u64,
+        p: u32,
+        since: u64,
+        failed_pos: u32,
+    ) {
+        let layout = *self.catalog.layout();
+        let geometry = *layout.geometry();
+        let blocks = self.blocks_in_group(s.tracks, g);
+        let t_g = self.group_start(s, g);
+        for q in p..blocks {
+            let delivery_cycle = t_g + u64::from(q) + 1;
+            let addr = BlockAddr::data(s.object, g, q);
+            let placement = layout.data_placement(s.start_cluster, g, q);
+            let pos = geometry.position_in_cluster(placement.disk);
+            self.suppressed.insert((id, g, q));
+            if pos == failed_pos {
+                // Unreconstructable: earlier members were delivered and
+                // discarded before the failure.
+                self.record_loss(LostBlock {
+                    stream: id,
+                    addr,
+                    reason: LossReason::FailedDisk,
+                    delivery_cycle,
+                });
+            } else {
+                // Moved forward to the failure cycle (salvage attempt;
+                // may be displaced there if slots are full).
+                self.extra_reads.entry(since).or_default().push((
+                    placement.disk,
+                    PlannedRead {
+                        stream: id,
+                        addr,
+                        purpose: ReadPurpose::Delivery,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Apply the Figure-7 delayed transition for one in-flight stream.
+    fn delayed_transition_for(
+        &mut self,
+        id: StreamId,
+        s: &NcStream,
+        g: u64,
+        p: u32,
+        failed_pos: u32,
+    ) {
+        let blocks = self.blocks_in_group(s.tracks, g);
+        let t_g = self.group_start(s, g);
+        // Only the block on the failed disk is lost (if not yet read);
+        // everything else keeps its original schedule.
+        if failed_pos < blocks && failed_pos >= p {
+            self.suppressed.insert((id, g, failed_pos));
+            self.record_loss(LostBlock {
+                stream: id,
+                addr: BlockAddr::data(s.object, g, failed_pos),
+                reason: LossReason::FailedDisk,
+                delivery_cycle: t_g + u64::from(failed_pos) + 1,
+            });
+        }
+    }
+
+    /// Plan the delayed-window reads for a group starting at `t_g`
+    /// (failure-window groups under the delayed policy): normal per-cycle
+    /// reads before the failed position, everything after it plus parity
+    /// at the reconstruction deadline `t_g + f`.
+    fn plan_delayed_group_events(
+        &mut self,
+        id: StreamId,
+        s: &NcStream,
+        g: u64,
+        failed_pos: u32,
+        parity_alive: bool,
+    ) {
+        let layout = *self.catalog.layout();
+        let blocks = self.blocks_in_group(s.tracks, g);
+        let t_g = self.group_start(s, g);
+        if failed_pos >= blocks {
+            return; // failed disk not used by this (partial) group
+        }
+        if !parity_alive {
+            self.suppressed.insert((id, g, failed_pos));
+            self.record_loss(LostBlock {
+                stream: id,
+                addr: BlockAddr::data(s.object, g, failed_pos),
+                reason: LossReason::FailedDisk,
+                delivery_cycle: t_g + u64::from(failed_pos) + 1,
+            });
+            return;
+        }
+        let deadline = t_g + u64::from(failed_pos);
+        self.suppressed.insert((id, g, failed_pos));
+        self.reconstructions.insert((id, g, failed_pos));
+        // The XOR accumulator occupies one track from group start until
+        // the reconstructed block is delivered.
+        self.deferred_frees
+            .entry(deadline + 1)
+            .or_default()
+            .push((id, BlockAddr::data(s.object, g, failed_pos)));
+        self.extra_reads.entry(t_g).or_default().push((
+            // Accumulator "allocation marker": zero-disk read is not
+            // representable, so charge the buffer directly at plan time
+            // via a sentinel handled in plan_cycle. Instead we charge it
+            // here against the pool immediately if the group has already
+            // started; otherwise plan_cycle charges it when t_g arrives.
+            DiskId(u32::MAX),
+            PlannedRead {
+                stream: id,
+                addr: BlockAddr::data(s.object, g, failed_pos),
+                purpose: ReadPurpose::Reconstruction,
+            },
+        ));
+        // Blocks after the failed position move up to the deadline.
+        for q in (failed_pos + 1)..blocks {
+            let placement = layout.data_placement(s.start_cluster, g, q);
+            self.suppressed.insert((id, g, q));
+            self.extra_reads.entry(deadline).or_default().push((
+                placement.disk,
+                PlannedRead {
+                    stream: id,
+                    addr: BlockAddr::data(s.object, g, q),
+                    purpose: ReadPurpose::Reconstruction,
+                },
+            ));
+            // Held from the deadline until delivery.
+            self.deferred_frees
+                .entry(t_g + u64::from(q) + 1)
+                .or_default()
+                .push((id, BlockAddr::data(s.object, g, q)));
+        }
+        // Parity at the deadline (absorbed into the reconstruction, so
+        // its buffer is the accumulator's — no extra charge).
+        let pp = layout.parity_placement(s.start_cluster, g);
+        self.extra_reads.entry(deadline).or_default().push((
+            pp.disk,
+            PlannedRead {
+                stream: id,
+                addr: BlockAddr::parity(s.object, g),
+                purpose: ReadPurpose::Parity,
+            },
+        ));
+    }
+
+    /// Register a newly staged object in the catalog (the tertiary →
+    /// disk load path of Figure 1).
+    pub fn register_object(
+        &mut self,
+        object: mms_layout::MediaObject,
+    ) -> Result<(), mms_layout::CatalogError> {
+        self.catalog.add(object).map(|_| ())
+    }
+
+    /// Retire an object from the catalog (the purge path), refusing while
+    /// any stream is still delivering it.
+    pub fn retire_object(
+        &mut self,
+        object: ObjectId,
+    ) -> Result<(), crate::traits::RetireError> {
+        let streams = self
+            .streams
+            .values()
+            .filter(|s| s.object == object)
+            .count();
+        if streams > 0 {
+            return Err(crate::traits::RetireError::InUse { object, streams });
+        }
+        self.catalog
+            .remove(object)
+            .map(|_| ())
+            .map_err(|_| crate::traits::RetireError::NotFound { object })
+    }
+}
+
+impl SchemeScheduler for NonClusteredScheduler {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::NonClustered
+    }
+
+    fn config(&self) -> &CycleConfig {
+        &self.config
+    }
+
+    fn admit(&mut self, object: ObjectId, at_cycle: u64) -> Result<StreamId, AdmissionError> {
+        assert!(at_cycle >= self.next_cycle, "cannot admit into the past");
+        let placed = self
+            .catalog
+            .get(object)
+            .map_err(|_| AdmissionError::UnknownObject { object })?;
+        let class = self.class_of(placed.start_cluster, at_cycle);
+        // Count only class members that still have reads at or after the
+        // admission cycle: a stream whose final read has already been
+        // issued no longer occupies its slot.
+        let bpg = self.bpg();
+        let load = self
+            .streams
+            .values()
+            .filter(|s| s.class == class && s.start_cycle + s.groups * bpg > at_cycle)
+            .count();
+        if load >= self.config.slots_per_disk() {
+            return Err(AdmissionError::AtCapacity {
+                active: self.streams.len(),
+                limit: self.stream_capacity(),
+            });
+        }
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.streams.insert(
+            id,
+            NcStream {
+                object,
+                start_cluster: placed.start_cluster,
+                groups: placed.groups,
+                tracks: placed.object.tracks,
+                start_cycle: at_cycle,
+                class,
+                delivered: 0,
+                lost: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    fn stream_capacity(&self) -> usize {
+        self.config.slots_per_disk()
+            * self.bpg() as usize
+            * self.catalog.layout().geometry().clusters() as usize
+    }
+
+    fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn stream_info(&self, id: StreamId) -> Option<StreamInfo> {
+        self.streams.get(&id).map(|s| StreamInfo {
+            id,
+            object: s.object,
+            admitted_at: s.start_cycle,
+            groups: s.groups,
+            next_group: (self.next_cycle.saturating_sub(s.start_cycle) / self.bpg())
+                .min(s.groups),
+            delivered_tracks: s.delivered,
+            lost_tracks: s.lost,
+        })
+    }
+
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+        assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
+        self.next_cycle += 1;
+        let mut plan = CyclePlan::empty(cycle);
+        let layout = *self.catalog.layout();
+        let geometry = *layout.geometry();
+
+        // 1. Normal-schedule reads + group-at-a-time + delayed-window
+        //    planning for groups starting this cycle.
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        for id in ids.clone() {
+            let s = self.streams[&id].clone();
+            let Some((g, i)) = self.position_at(&s, cycle) else {
+                continue;
+            };
+            let blocks = self.blocks_in_group(s.tracks, g);
+            let cluster = layout.data_cluster(s.start_cluster, g);
+            let t_g = self.group_start(&s, g);
+
+            if i == 0 {
+                if self.group_at_a_time(cluster, t_g) {
+                    let d = self.degraded.get(&cluster).cloned().expect("degraded");
+                    let parity_pos = geometry.disks_per_cluster() - 1;
+                    let parity_alive =
+                        d.failed_pos != parity_pos && !d.also_failed.contains(&parity_pos);
+                    self.plan_group_at_once(&mut plan, id, &s, g, cycle, &d, parity_alive);
+                    continue;
+                }
+                if self.delayed_window(cluster, t_g) {
+                    let d = self.degraded.get(&cluster).cloned().expect("degraded");
+                    let parity_alive = d.failed_pos != geometry.disks_per_cluster() - 1;
+                    self.plan_delayed_group_events(id, &s, g, d.failed_pos, parity_alive);
+                    // Normal per-cycle reads still apply below for the
+                    // non-suppressed positions.
+                }
+            }
+
+            // Normal read of block (g, i), unless suppressed or this
+            // group is handled group-at-a-time (its start planned all
+            // reads already).
+            if i < blocks
+                && !self.group_at_a_time(cluster, t_g)
+                && !self.suppressed.contains(&(id, g, i))
+            {
+                let p = layout.data_placement(s.start_cluster, g, i);
+                let pos = geometry.position_in_cluster(p.disk);
+                let failed_here = self
+                    .degraded
+                    .get(&cluster)
+                    .map(|d| d.failed_pos == pos || d.also_failed.contains(&pos))
+                    .unwrap_or(false);
+                if failed_here {
+                    // A normal read aimed at a failed disk with no
+                    // transition plan covering it: lost.
+                    self.record_loss(LostBlock {
+                        stream: id,
+                        addr: BlockAddr::data(s.object, g, i),
+                        reason: LossReason::FailedDisk,
+                        delivery_cycle: cycle + 1,
+                    });
+                } else {
+                    plan.push_read(
+                        p.disk,
+                        PlannedRead {
+                            stream: id,
+                            addr: BlockAddr::data(s.object, g, i),
+                            purpose: ReadPurpose::Delivery,
+                        },
+                    );
+                    self.buffers.alloc(OwnerId(id.0), 1).expect("unbounded");
+                    self.deferred_frees
+                        .entry(cycle + 1)
+                        .or_default()
+                        .push((id, BlockAddr::data(s.object, g, i)));
+                }
+            }
+        }
+
+        // 3. Inject transition extra reads for this cycle.
+        if let Some(extras) = self.extra_reads.remove(&cycle) {
+            for (disk, read) in extras {
+                if disk == DiskId(u32::MAX) {
+                    // XOR-accumulator charge marker.
+                    self.buffers
+                        .alloc(OwnerId(read.stream.0), 1)
+                        .expect("unbounded");
+                    continue;
+                }
+                plan.push_read(disk, read);
+                self.buffers
+                    .alloc(OwnerId(read.stream.0), 1)
+                    .expect("unbounded");
+                // Freed at the block's delivery cycle — registered by the
+                // transition planner (deferred_frees). Parity reads are
+                // absorbed into the reconstruction: free next cycle.
+                if read.addr.kind == mms_layout::BlockKind::Parity {
+                    self.deferred_frees
+                        .entry(cycle + 1)
+                        .or_default()
+                        .push((read.stream, read.addr));
+                }
+            }
+        }
+
+        // 4. Slot-capacity enforcement with priorities: Reconstruction and
+        //    Parity reads outrank plain Delivery reads; displaced Delivery
+        //    reads are lost ("this will only occur if all the slots … are
+        //    occupied"). If reconstruction demand alone exceeds a disk's
+        //    slots (possible at full load around the transition-window
+        //    boundary), the excess reconstruction reads are displaced too
+        //    and their blocks are lost — the hardware budget is absolute.
+        let cap = self.config.slots_per_disk();
+        let mut displaced: Vec<LostBlock> = Vec::new();
+        let mut displaced_parity: Vec<(StreamId, u64)> = Vec::new();
+        for (_disk, reads) in plan.reads.iter_mut() {
+            if reads.len() <= cap {
+                continue;
+            }
+            // Stable partition: keep high-priority reads first.
+            let mut keep: Vec<PlannedRead> = Vec::with_capacity(cap);
+            let mut spill: Vec<PlannedRead> = Vec::new();
+            for r in reads.iter().copied() {
+                if r.purpose != ReadPurpose::Delivery {
+                    keep.push(r);
+                } else {
+                    spill.push(r);
+                }
+            }
+            // Reconstruction overload: spill the most recently planned
+            // high-priority reads beyond capacity.
+            while keep.len() > cap {
+                spill.push(keep.pop().expect("non-empty"));
+            }
+            let mut room = cap.saturating_sub(keep.len());
+            for r in spill {
+                if room > 0 && r.purpose == ReadPurpose::Delivery {
+                    keep.push(r);
+                    room -= 1;
+                    continue;
+                }
+                match r.addr.kind {
+                    mms_layout::BlockKind::Data(ix) => {
+                        let delivery_cycle = {
+                            let st = &self.streams[&r.stream];
+                            let bpg = u64::from(layout.blocks_per_group());
+                            st.start_cycle + r.addr.group * bpg + u64::from(ix) + 1
+                        };
+                        displaced.push(LostBlock {
+                            stream: r.stream,
+                            addr: r.addr,
+                            reason: LossReason::Displaced,
+                            delivery_cycle,
+                        });
+                        // Undo the displaced read's buffer charge and
+                        // cancel its pending free.
+                        let _ = self.buffers.free(OwnerId(r.stream.0), 1);
+                        if let Some(entries) = self.deferred_frees.get_mut(&delivery_cycle) {
+                            if let Some(jx) = entries
+                                .iter()
+                                .position(|(sid, a)| *sid == r.stream && *a == r.addr)
+                            {
+                                entries.swap_remove(jx);
+                            }
+                        }
+                        // A lost reconstruction target is no longer
+                        // reconstructed.
+                        self.reconstructions.remove(&(r.stream, r.addr.group, ix));
+                    }
+                    mms_layout::BlockKind::Parity => {
+                        // Losing the parity read loses the block it was
+                        // fetched to rebuild.
+                        displaced_parity.push((r.stream, r.addr.group));
+                        let _ = self.buffers.free(OwnerId(r.stream.0), 1);
+                    }
+                }
+            }
+            debug_assert!(keep.len() <= cap);
+            *reads = keep;
+        }
+        for (sid, group) in displaced_parity {
+            // Find the reconstruction this parity read was serving.
+            let target = self
+                .reconstructions
+                .iter()
+                .find(|(s2, g2, _)| *s2 == sid && *g2 == group)
+                .copied();
+            if let Some((_, _, ix)) = target {
+                self.reconstructions.remove(&(sid, group, ix));
+                if let Some(st) = self.streams.get(&sid) {
+                    let bpg = u64::from(layout.blocks_per_group());
+                    let delivery_cycle = st.start_cycle + group * bpg + u64::from(ix) + 1;
+                    displaced.push(LostBlock {
+                        stream: sid,
+                        addr: BlockAddr::data(st.object, group, ix),
+                        reason: LossReason::Displaced,
+                        delivery_cycle,
+                    });
+                }
+            }
+        }
+        for loss in displaced {
+            self.record_loss(loss);
+        }
+
+        // Deliveries and hiccups: block (g, q) is delivered at
+        //    `t_g + q + 1` unless recorded lost.
+        let losses_now = self.pending_losses.remove(&cycle).unwrap_or_default();
+        let lost_keys: BTreeSet<(StreamId, u64, u32)> = losses_now
+            .iter()
+            .filter_map(|l| match l.addr.kind {
+                mms_layout::BlockKind::Data(ix) => Some((l.stream, l.addr.group, ix)),
+                mms_layout::BlockKind::Parity => None,
+            })
+            .collect();
+        for loss in losses_now {
+            if let Some(st) = self.streams.get_mut(&loss.stream) {
+                st.lost += 1;
+            }
+            plan.hiccups.push(loss);
+        }
+        for id in ids {
+            let Some(s) = self.streams.get(&id).cloned() else {
+                continue;
+            };
+            if cycle == 0 || cycle < s.start_cycle + 1 {
+                continue;
+            }
+            let rel = cycle - s.start_cycle - 1;
+            let g = rel / self.bpg();
+            let q = (rel % self.bpg()) as u32;
+            if g >= s.groups {
+                continue;
+            }
+            let blocks = self.blocks_in_group(s.tracks, g);
+            if q < blocks && !lost_keys.contains(&(id, g, q)) {
+                plan.deliveries.push(Delivery {
+                    stream: id,
+                    addr: BlockAddr::data(s.object, g, q),
+                    reconstructed: self.reconstructions.remove(&(id, g, q)),
+                });
+                let st = self.streams.get_mut(&id).expect("live");
+                st.delivered += 1;
+            }
+            // Stream finishes after its final group's last real block's
+            // delivery slot (partial groups leave trailing idle slots).
+            if g + 1 == s.groups && q + 1 >= blocks {
+                plan.finished.push(id);
+                self.streams.remove(&id);
+                self.buffers.free_all(OwnerId(id.0));
+            }
+        }
+
+        // End of cycle: release the buffers of blocks whose delivery slot
+        // was this cycle (they stay resident while being transmitted, so
+        // the pool's high-water mark measures true peak occupancy).
+        if let Some(frees) = self.deferred_frees.remove(&cycle) {
+            for (id, _addr) in frees {
+                // The stream may already have finished (free_all ran).
+                let _ = self.buffers.free(OwnerId(id.0), 1);
+            }
+        }
+        if let Some(frees) = self.server_frees.remove(&cycle) {
+            for (cluster, id, n) in frees {
+                if let Some(server) = self.servers.server_for(cluster) {
+                    // The server may have been detached (repair resets
+                    // its pool), in which case there is nothing to free.
+                    let _ = server.pool_mut().free(mms_buffer::OwnerId(id.0), n);
+                }
+            }
+        }
+
+        plan
+    }
+
+    fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, _mid_cycle: bool) -> FailureReport {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        let pos = geometry.position_in_cluster(disk);
+        let mut report = FailureReport {
+            degraded_clusters: vec![cluster],
+            ..FailureReport::default()
+        };
+
+        if let Some(d) = self.degraded.get_mut(&cluster) {
+            // Second failure in one cluster: catastrophic.
+            d.also_failed.insert(pos);
+            report.catastrophic = true;
+            return report;
+        }
+        self.degraded.insert(
+            cluster,
+            Degraded {
+                failed_pos: pos,
+                since: cycle,
+                also_failed: BTreeSet::new(),
+            },
+        );
+
+        // Attach a buffer server; exhaustion = degradation of service:
+        // drop the streams currently using this cluster.
+        let parity_pos = geometry.disks_per_cluster() - 1;
+        if pos != parity_pos && self.servers.attach(cluster.0).is_err() {
+            let victims: Vec<StreamId> = self
+                .streams
+                .iter()
+                .filter(|(_, s)| {
+                    self.position_at(s, cycle)
+                        .map(|(g, _)| {
+                            self.catalog.layout().data_cluster(s.start_cluster, g) == cluster
+                        })
+                        .unwrap_or(false)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in victims {
+                self.streams.remove(&id).expect("victim");
+                self.buffers.free_all(OwnerId(id.0));
+                report.dropped_streams.push(id);
+            }
+            return report;
+        }
+
+        // Parity-disk failure: normal operation continues unprotected.
+        if pos == parity_pos {
+            return report;
+        }
+
+        // Transition for in-flight groups on this cluster.
+        let losses_before: usize = self.pending_losses.values().map(Vec::len).sum();
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        for id in ids {
+            let s = self.streams[&id].clone();
+            let Some((g, p)) = self.position_at(&s, cycle) else {
+                continue;
+            };
+            if self.catalog.layout().data_cluster(s.start_cluster, g) != cluster {
+                continue;
+            }
+            if p == 0 {
+                // Group starts exactly at the failure cycle: handled by
+                // the steady rules (group-at-a-time or delayed window).
+                continue;
+            }
+            match self.policy {
+                TransitionPolicy::Simple => {
+                    self.simple_transition_for(id, &s, g, p, cycle, pos);
+                }
+                TransitionPolicy::Delayed => {
+                    self.delayed_transition_for(id, &s, g, p, pos);
+                }
+            }
+        }
+
+        // Collect the losses just recorded for the report (they are also
+        // emitted as hiccups at their delivery cycles).
+        let mut all: Vec<LostBlock> = self.pending_losses.values().flatten().copied().collect();
+        report.lost = all.split_off(losses_before);
+        report
+    }
+
+    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        if let Some(d) = self.degraded.get_mut(&cluster) {
+            let pos = geometry.position_in_cluster(disk);
+            if d.failed_pos == pos && d.also_failed.is_empty() {
+                self.degraded.remove(&cluster);
+                let _ = self.servers.detach(cluster.0);
+            } else {
+                d.also_failed.remove(&pos);
+            }
+        }
+    }
+
+    fn buffer_in_use(&self) -> usize {
+        self.buffers.in_use()
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        self.buffers.high_water()
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-cycle plans: the scheduler's output, executed by the simulator.
+
+use crate::streams::StreamId;
+use mms_disk::DiskId;
+use mms_layout::BlockAddr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a block is being read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPurpose {
+    /// Data read for delivery on the normal schedule.
+    Delivery,
+    /// Parity read (fault-tolerance overhead).
+    Parity,
+    /// Data or parity read early to reconstruct a block on a failed disk.
+    Reconstruction,
+}
+
+/// One track read planned for a specific disk in a specific cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedRead {
+    /// The stream on whose behalf the read happens.
+    pub stream: StreamId,
+    /// The block to read.
+    pub addr: BlockAddr,
+    /// Why it is read.
+    pub purpose: ReadPurpose,
+}
+
+/// A block handed to the network for transmission this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The receiving stream.
+    pub stream: StreamId,
+    /// The block delivered.
+    pub addr: BlockAddr,
+    /// Whether the block had to be reconstructed from parity.
+    pub reconstructed: bool,
+}
+
+/// Why a block was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossReason {
+    /// The block was on the failed disk and could not be reconstructed
+    /// (earlier group members had already been delivered and discarded).
+    FailedDisk,
+    /// The block's read was displaced by higher-priority degraded-mode
+    /// reads when all slots were occupied ("this will only occur if all
+    /// the slots in the schedule for that disk in that cycle are
+    /// occupied").
+    Displaced,
+    /// The failure hit mid-cycle, after the read schedule was committed
+    /// (Improved-bandwidth scheme: "if the failure … occurs while we are
+    /// reading X0, … we are forced to deliver the data that was read
+    /// successfully and cause a hiccup for the data that was not").
+    MidCycle,
+    /// The stream was terminated because no idle capacity existed to
+    /// absorb the shifted load (degradation of service).
+    ServiceDegradation,
+}
+
+impl fmt::Display for LossReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LossReason::FailedDisk => "failed-disk",
+            LossReason::Displaced => "displaced",
+            LossReason::MidCycle => "mid-cycle",
+            LossReason::ServiceDegradation => "service-degradation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A block that will not be delivered: the viewer experiences a hiccup at
+/// `delivery_cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostBlock {
+    /// The affected stream.
+    pub stream: StreamId,
+    /// The lost block.
+    pub addr: BlockAddr,
+    /// Why it was lost.
+    pub reason: LossReason,
+    /// The cycle in which the viewer notices (scheduled delivery).
+    pub delivery_cycle: u64,
+}
+
+/// Everything the scheduler decided for one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CyclePlan {
+    /// The cycle this plan covers.
+    pub cycle: u64,
+    /// Reads per disk. Every disk's list fits its slot capacity.
+    pub reads: BTreeMap<DiskId, Vec<PlannedRead>>,
+    /// Blocks transmitted this cycle.
+    pub deliveries: Vec<Delivery>,
+    /// Hiccups occurring this cycle (previously lost blocks whose
+    /// delivery slot has arrived).
+    pub hiccups: Vec<LostBlock>,
+    /// Streams that completed delivery this cycle.
+    pub finished: Vec<StreamId>,
+}
+
+impl CyclePlan {
+    /// A plan with no activity.
+    #[must_use]
+    pub fn empty(cycle: u64) -> Self {
+        CyclePlan {
+            cycle,
+            ..CyclePlan::default()
+        }
+    }
+
+    /// Total tracks read this cycle.
+    #[must_use]
+    pub fn total_reads(&self) -> usize {
+        self.reads.values().map(Vec::len).sum()
+    }
+
+    /// Reads on one disk.
+    #[must_use]
+    pub fn reads_on(&self, disk: DiskId) -> &[PlannedRead] {
+        self.reads.get(&disk).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Add a read to a disk's list.
+    pub fn push_read(&mut self, disk: DiskId, read: PlannedRead) {
+        self.reads.entry(disk).or_default().push(read);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_layout::ObjectId;
+
+    #[test]
+    fn plan_read_accounting() {
+        let mut p = CyclePlan::empty(3);
+        assert_eq!(p.total_reads(), 0);
+        p.push_read(
+            DiskId(1),
+            PlannedRead {
+                stream: StreamId(0),
+                addr: BlockAddr::data(ObjectId(0), 0, 1),
+                purpose: ReadPurpose::Delivery,
+            },
+        );
+        p.push_read(
+            DiskId(1),
+            PlannedRead {
+                stream: StreamId(1),
+                addr: BlockAddr::data(ObjectId(1), 0, 1),
+                purpose: ReadPurpose::Delivery,
+            },
+        );
+        assert_eq!(p.total_reads(), 2);
+        assert_eq!(p.reads_on(DiskId(1)).len(), 2);
+        assert!(p.reads_on(DiskId(9)).is_empty());
+    }
+
+    #[test]
+    fn loss_reason_display() {
+        assert_eq!(LossReason::FailedDisk.to_string(), "failed-disk");
+        assert_eq!(LossReason::Displaced.to_string(), "displaced");
+    }
+}

@@ -1,0 +1,540 @@
+//! Staggered-group scheduling (Section 2).
+
+use crate::cycle::CycleConfig;
+use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
+use crate::streams::{StreamId, StreamInfo};
+use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use mms_buffer::{BufferPool, OwnerId};
+use mms_disk::DiskId;
+use mms_layout::{Catalog, ClusteredLayout, ClusterId, Layout, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-stream state.
+#[derive(Debug, Clone)]
+struct SgStream {
+    object: ObjectId,
+    start_cluster: u32,
+    groups: u64,
+    tracks: u64,
+    start_cycle: u64,
+    class: (u32, u32),
+    delivered: u64,
+    lost: u64,
+    /// Index of the block of the current in-memory group that was
+    /// reconstructed at read time, if any.
+    reconstructed: Option<u32>,
+    /// Indices of current-group blocks lost to a double failure.
+    hiccups: Vec<u32>,
+    /// Whether the current group's parity track is held in memory (it is
+    /// consumed by reconstruction, and absent when the parity disk is
+    /// down).
+    parity_held: bool,
+}
+
+/// The Staggered-group scheduler: `k = C−1`, `k' = 1`.
+///
+/// "The main difference here, with respect to the Streaming RAID scheme,
+/// is the elimination of the idea that the data read in one cycle must be
+/// delivered in the next cycle. In this scheme we will read data for an
+/// object in one cycle but allow that data to be delivered to the network
+/// over the following n cycles." Each stream reads its entire parity
+/// group — including parity, so failures are masked exactly as in
+/// Streaming RAID — every `C−1` cycles, then transmits one track per
+/// cycle. Streams are assigned staggered read phases, so their memory
+/// usage is "out of phase": the aggregate buffer demand is about half of
+/// Streaming RAID's (Figure 4).
+#[derive(Debug)]
+pub struct StaggeredScheduler {
+    config: CycleConfig,
+    catalog: Catalog<ClusteredLayout>,
+    streams: BTreeMap<StreamId, SgStream>,
+    /// Active streams per (read-phase, cluster-trajectory) class.
+    class_load: BTreeMap<(u32, u32), usize>,
+    failed: BTreeMap<ClusterId, BTreeSet<u32>>,
+    buffers: BufferPool,
+    next_stream: u64,
+    next_cycle: u64,
+}
+
+impl StaggeredScheduler {
+    /// Build a scheduler over a populated catalog.
+    ///
+    /// # Panics
+    /// Panics unless `k = C−1` and `k' = 1` (the scheme's definition).
+    #[must_use]
+    pub fn new(config: CycleConfig, catalog: Catalog<ClusteredLayout>) -> Self {
+        let c = catalog.layout().geometry().group_size() as usize;
+        assert_eq!(config.k, c - 1, "Staggered-group requires k = C−1");
+        assert_eq!(config.k_prime, 1, "Staggered-group requires k' = 1");
+        StaggeredScheduler {
+            config,
+            catalog,
+            streams: BTreeMap::new(),
+            class_load: BTreeMap::new(),
+            failed: BTreeMap::new(),
+            buffers: BufferPool::unbounded(),
+            next_stream: 0,
+            next_cycle: 0,
+        }
+    }
+
+    /// The catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog<ClusteredLayout> {
+        &self.catalog
+    }
+
+    fn period(&self) -> u64 {
+        self.config.read_period() as u64
+    }
+
+    fn blocks_in_group(&self, s: &SgStream, g: u64) -> u32 {
+        let bpg = u64::from(self.catalog.layout().blocks_per_group());
+        (s.tracks - g * bpg).min(bpg) as u32
+    }
+
+    /// Admission class of a stream starting at `at_cycle` for start
+    /// cluster `h`: streams with equal read-phase residue and cluster
+    /// trajectory contend for the same slots forever.
+    fn class_of(&self, h: u32, at_cycle: u64) -> (u32, u32) {
+        let period = self.period();
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        let r = (at_cycle % period) as u32;
+        let q = at_cycle / period;
+        let psi = ((u64::from(h) + nc - (q % nc)) % nc) as u32;
+        (r, psi)
+    }
+
+    /// Register a newly staged object in the catalog (the tertiary →
+    /// disk load path of Figure 1).
+    pub fn register_object(
+        &mut self,
+        object: mms_layout::MediaObject,
+    ) -> Result<(), mms_layout::CatalogError> {
+        self.catalog.add(object).map(|_| ())
+    }
+
+    /// Retire an object from the catalog (the purge path), refusing while
+    /// any stream is still delivering it.
+    pub fn retire_object(
+        &mut self,
+        object: ObjectId,
+    ) -> Result<(), crate::traits::RetireError> {
+        let streams = self
+            .streams
+            .values()
+            .filter(|s| s.object == object)
+            .count();
+        if streams > 0 {
+            return Err(crate::traits::RetireError::InUse { object, streams });
+        }
+        self.catalog
+            .remove(object)
+            .map(|_| ())
+            .map_err(|_| crate::traits::RetireError::NotFound { object })
+    }
+}
+
+impl SchemeScheduler for StaggeredScheduler {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::StaggeredGroup
+    }
+
+    fn config(&self) -> &CycleConfig {
+        &self.config
+    }
+
+    fn admit(&mut self, object: ObjectId, at_cycle: u64) -> Result<StreamId, AdmissionError> {
+        assert!(at_cycle >= self.next_cycle, "cannot admit into the past");
+        let placed = self
+            .catalog
+            .get(object)
+            .map_err(|_| AdmissionError::UnknownObject { object })?;
+        let class = self.class_of(placed.start_cluster, at_cycle);
+        let load = self.class_load.get(&class).copied().unwrap_or(0);
+        if load >= self.config.slots_per_disk() {
+            return Err(AdmissionError::AtCapacity {
+                active: self.streams.len(),
+                limit: self.stream_capacity(),
+            });
+        }
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        *self.class_load.entry(class).or_insert(0) += 1;
+        self.streams.insert(
+            id,
+            SgStream {
+                object,
+                start_cluster: placed.start_cluster,
+                groups: placed.groups,
+                tracks: placed.object.tracks,
+                start_cycle: at_cycle,
+                class,
+                delivered: 0,
+                lost: 0,
+                reconstructed: None,
+                hiccups: Vec::new(),
+                parity_held: false,
+            },
+        );
+        Ok(id)
+    }
+
+    fn stream_capacity(&self) -> usize {
+        // slots × (C−1) phases × N_C clusters — Eq. 9's shape.
+        self.config.slots_per_disk()
+            * self.config.read_period()
+            * self.catalog.layout().geometry().clusters() as usize
+    }
+
+    fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn stream_info(&self, id: StreamId) -> Option<StreamInfo> {
+        self.streams.get(&id).map(|s| StreamInfo {
+            id,
+            object: s.object,
+            admitted_at: s.start_cycle,
+            groups: s.groups,
+            next_group: (self.next_cycle.saturating_sub(s.start_cycle) / self.period())
+                .min(s.groups),
+            delivered_tracks: s.delivered,
+            lost_tracks: s.lost,
+        })
+    }
+
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+        assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
+        self.next_cycle += 1;
+        let mut plan = CyclePlan::empty(cycle);
+        let layout = *self.catalog.layout();
+        let geometry = *layout.geometry();
+        let period = self.period();
+
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+
+        // Pass 1 — reads and allocations. All of a cycle's reads are in
+        // flight while the previous data is still being transmitted, so
+        // allocations logically precede every free of the same cycle; the
+        // pool's high-water mark then measures the paper's start-of-cycle
+        // occupancy (Figure 4).
+        for id in ids.iter().copied() {
+            let s = self.streams[&id].clone();
+            if cycle < s.start_cycle {
+                continue;
+            }
+            let rel = cycle - s.start_cycle;
+            if !rel.is_multiple_of(period) {
+                continue;
+            }
+            let g = rel / period;
+            if g >= s.groups {
+                continue;
+            }
+            let blocks = self.blocks_in_group(&s, g);
+            let cluster = layout.data_cluster(s.start_cluster, g);
+            let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
+            let parity_pos = geometry.disks_per_cluster() - 1;
+            let parity_ok = !failed.contains(&parity_pos);
+            let mut reconstructed = None;
+            let mut hiccups = Vec::new();
+            let mut reads = 0usize;
+            for i in 0..blocks {
+                let p = layout.data_placement(s.start_cluster, g, i);
+                let pos = geometry.position_in_cluster(p.disk);
+                if failed.contains(&pos) {
+                    if failed.len() == 1 && parity_ok {
+                        reconstructed = Some(i);
+                    } else {
+                        hiccups.push(i);
+                    }
+                } else {
+                    plan.push_read(
+                        p.disk,
+                        PlannedRead {
+                            stream: id,
+                            addr: mms_layout::BlockAddr::data(s.object, g, i),
+                            purpose: ReadPurpose::Delivery,
+                        },
+                    );
+                    reads += 1;
+                }
+            }
+            if parity_ok {
+                let pp = layout.parity_placement(s.start_cluster, g);
+                plan.push_read(
+                    pp.disk,
+                    PlannedRead {
+                        stream: id,
+                        addr: mms_layout::BlockAddr::parity(s.object, g),
+                        purpose: ReadPurpose::Parity,
+                    },
+                );
+                reads += 1;
+            }
+            // Reconstruction replaces the parity buffer with the missing
+            // data block, so the group holds `reads` tracks either way.
+            self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
+            let st = self.streams.get_mut(&id).expect("live");
+            st.parity_held = parity_ok && reconstructed.is_none();
+            st.reconstructed = reconstructed;
+            st.hiccups = hiccups;
+        }
+
+        // Pass 2 — deliveries, hiccups, and frees.
+        for id in ids {
+            let Some(s) = self.streams.get(&id).cloned() else {
+                continue;
+            };
+            if cycle < s.start_cycle + 1 {
+                continue;
+            }
+            let rel = cycle - s.start_cycle;
+            let g = (rel - 1) / period;
+            let i = ((rel - 1) % period) as u32;
+            if g >= s.groups {
+                continue;
+            }
+            let blocks = self.blocks_in_group(&s, g);
+            if i < blocks {
+                let addr = mms_layout::BlockAddr::data(s.object, g, i);
+                let st = self.streams.get_mut(&id).expect("live");
+                if st.hiccups.contains(&i) {
+                    plan.hiccups.push(LostBlock {
+                        stream: id,
+                        addr,
+                        reason: LossReason::FailedDisk,
+                        delivery_cycle: cycle,
+                    });
+                    st.lost += 1;
+                } else {
+                    plan.deliveries.push(Delivery {
+                        stream: id,
+                        addr,
+                        reconstructed: st.reconstructed == Some(i),
+                    });
+                    st.delivered += 1;
+                    self.buffers.free(OwnerId(id.0), 1).expect("held");
+                }
+                if g + 1 == st.groups && i + 1 == blocks {
+                    plan.finished.push(id);
+                    let class = st.class;
+                    *self.class_load.get_mut(&class).expect("class") -= 1;
+                    self.streams.remove(&id);
+                    self.buffers.free_all(OwnerId(id.0));
+                    continue;
+                }
+            }
+        }
+
+        // End of cycle: groups read this cycle are fully resident, so
+        // their parity tracks are no longer needed for failure masking.
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        for id in ids {
+            let s = self.streams.get(&id).expect("live");
+            if cycle >= s.start_cycle && (cycle - s.start_cycle).is_multiple_of(period) {
+                let st = self.streams.get_mut(&id).expect("live");
+                if st.parity_held {
+                    st.parity_held = false;
+                    self.buffers.free(OwnerId(id.0), 1).expect("held parity");
+                }
+            }
+        }
+        plan
+    }
+
+    fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        let pos = geometry.position_in_cluster(disk);
+        let entry = self.failed.entry(cluster).or_default();
+        entry.insert(pos);
+        FailureReport {
+            degraded_clusters: vec![cluster],
+            catastrophic: entry.len() >= 2,
+            ..FailureReport::default()
+        }
+    }
+
+    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        let pos = geometry.position_in_cluster(disk);
+        if let Some(set) = self.failed.get_mut(&cluster) {
+            set.remove(&pos);
+            if set.is_empty() {
+                self.failed.remove(&cluster);
+            }
+        }
+    }
+
+    fn buffer_in_use(&self) -> usize {
+        self.buffers.in_use()
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        self.buffers.high_water()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_disk::{Bandwidth, DiskParams};
+    use mms_layout::{BandwidthClass, Geometry, MediaObject};
+
+    fn make(disks: usize, c: usize, objects: &[(u64, u64)]) -> StaggeredScheduler {
+        let geo = Geometry::clustered(disks, c).unwrap();
+        let layout = ClusteredLayout::new(geo);
+        let mut catalog = Catalog::new(layout, 100_000);
+        for &(id, tracks) in objects {
+            catalog
+                .add(MediaObject::new(
+                    ObjectId(id),
+                    format!("o{id}"),
+                    tracks,
+                    BandwidthClass::Mpeg1,
+                ))
+                .unwrap();
+        }
+        let cfg = CycleConfig::new(
+            DiskParams::paper_table1(),
+            Bandwidth::from_megabits(1.5),
+            c - 1,
+            1,
+        );
+        StaggeredScheduler::new(cfg, catalog)
+    }
+
+    #[test]
+    fn reads_every_period_delivers_one_track_per_cycle() {
+        let mut s = make(10, 5, &[(0, 8)]);
+        let id = s.admit(ObjectId(0), 0).unwrap();
+        let p0 = s.plan_cycle(0);
+        assert_eq!(p0.total_reads(), 5); // group 0 + parity
+        assert!(p0.deliveries.is_empty());
+        for t in 1..4 {
+            let p = s.plan_cycle(t);
+            // Group 1 is read at t = 4, not before.
+            assert_eq!(p.total_reads(), if t == 4 { 5 } else { 0 }, "t={t}");
+            assert_eq!(p.deliveries.len(), 1, "t={t}");
+        }
+        let p4 = s.plan_cycle(4);
+        assert_eq!(p4.total_reads(), 5); // group 1 read
+        assert_eq!(p4.deliveries.len(), 1); // last track of group 0
+        for t in 5..8 {
+            let p = s.plan_cycle(t);
+            assert_eq!(p.deliveries.len(), 1);
+            assert!(p.finished.is_empty());
+        }
+        let p8 = s.plan_cycle(8);
+        assert_eq!(p8.deliveries.len(), 1);
+        assert_eq!(p8.finished, vec![id]);
+    }
+
+    #[test]
+    fn buffer_profile_matches_figure4_single_stream() {
+        // One stream, C = 5: occupancy right after a read cycle is C + 1
+        // (new group incl. parity, plus the leftover undelivered track of
+        // the previous group being transmitted this cycle) — but on the
+        // very first group there is no leftover, so peak C = 5; from the
+        // second read cycle on, the peak is C + 1 = 6.
+        let mut s = make(10, 5, &[(0, 40)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        s.plan_cycle(0); // read 5 tracks; parity released at end of cycle
+        assert_eq!(s.buffer_in_use(), 4);
+        s.plan_cycle(1); // deliver track 0
+        assert_eq!(s.buffer_in_use(), 3);
+        s.plan_cycle(2);
+        assert_eq!(s.buffer_in_use(), 2);
+        s.plan_cycle(3);
+        assert_eq!(s.buffer_in_use(), 1);
+        s.plan_cycle(4); // read group 1 while delivering last track of g0
+        assert_eq!(s.buffer_high_water(), 6);
+        assert_eq!(s.buffer_in_use(), 4);
+    }
+
+    #[test]
+    fn staggered_streams_halve_aggregate_memory_vs_sr() {
+        // C−1 streams at staggered phases: aggregate start-of-cycle
+        // occupancy settles at C(C+1)/2 = 15 for C = 5 (Figure 4), versus
+        // 2C per stream = 40 for 4 Streaming-RAID streams.
+        let mut s = make(10, 5, &[(0, 400)]);
+        for phase in 0..4u64 {
+            // Admit one stream per phase; each admission cycle must be >=
+            // planned cycles, so interleave.
+            for t in (phase.saturating_sub(0))..phase {
+                let _ = t;
+            }
+            s.admit(ObjectId(0), phase).unwrap();
+        }
+        for t in 0..40 {
+            s.plan_cycle(t);
+        }
+        // Steady peak: the reading stream holds C + 1 = 6 (new group
+        // including parity, plus the leftover track of its previous group
+        // still being transmitted) while the other phases hold 4, 3, 2 —
+        // the paper's C(C+1)/2 = 15 (Figure 4). Warm-up cycles peak lower.
+        assert_eq!(s.buffer_high_water(), 15);
+    }
+
+    #[test]
+    fn single_failure_masked_at_read_time() {
+        let mut s = make(10, 5, &[(0, 16)]);
+        let id = s.admit(ObjectId(0), 0).unwrap();
+        let r = s.on_disk_failure(DiskId(1), 0, false);
+        assert!(!r.catastrophic);
+        let p0 = s.plan_cycle(0);
+        assert_eq!(p0.total_reads(), 4); // 3 data + parity
+        let mut reconstructed = 0;
+        for t in 1..5 {
+            let p = s.plan_cycle(t);
+            assert!(p.hiccups.is_empty());
+            reconstructed += p.deliveries.iter().filter(|d| d.reconstructed).count();
+        }
+        assert_eq!(reconstructed, 1, "block 1 of group 0 reconstructed");
+        assert!(s.stream_info(id).is_some());
+    }
+
+    #[test]
+    fn double_failure_hiccups_on_affected_blocks() {
+        let mut s = make(10, 5, &[(0, 8)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        s.on_disk_failure(DiskId(0), 0, false);
+        let r = s.on_disk_failure(DiskId(2), 0, false);
+        assert!(r.catastrophic);
+        s.plan_cycle(0);
+        let mut hiccups = 0;
+        let mut delivered = 0;
+        for t in 1..5 {
+            let p = s.plan_cycle(t);
+            hiccups += p.hiccups.len();
+            delivered += p.deliveries.len();
+        }
+        assert_eq!(hiccups, 2);
+        assert_eq!(delivered, 2);
+    }
+
+    #[test]
+    fn admission_fills_phases_and_clusters() {
+        let s = make(10, 5, &[(0, 400)]);
+        // slots(12) × phases(4) × clusters(2) = 96.
+        assert_eq!(s.stream_capacity(), 96);
+    }
+
+    #[test]
+    fn admission_rejects_full_class() {
+        let mut s = make(10, 5, &[(0, 400)]);
+        let slots = s.config().slots_per_disk();
+        for _ in 0..slots {
+            s.admit(ObjectId(0), 0).unwrap();
+        }
+        assert!(matches!(
+            s.admit(ObjectId(0), 0),
+            Err(AdmissionError::AtCapacity { .. })
+        ));
+        // A different phase still has room.
+        assert!(s.admit(ObjectId(0), 1).is_ok());
+    }
+}

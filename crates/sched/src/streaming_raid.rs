@@ -1,0 +1,570 @@
+//! Streaming RAID scheduling (Section 2, after Tobagi et al.).
+
+use crate::cycle::CycleConfig;
+use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
+use crate::streams::{StreamId, StreamInfo};
+use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use mms_buffer::{BufferPool, OwnerId};
+use mms_disk::DiskId;
+use mms_layout::{Catalog, ClusteredLayout, ClusterId, Layout, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-stream state.
+#[derive(Debug, Clone)]
+struct SrStream {
+    object: ObjectId,
+    start_cluster: u32,
+    groups: u64,
+    start_cycle: u64,
+    /// Cluster-phase class: streams with equal `(h − start_cycle) mod N_C`
+    /// occupy the same cluster every cycle and therefore contend for the
+    /// same slots forever.
+    class: u32,
+    delivered: u64,
+    lost: u64,
+    /// Blocks (by index) of the group read last cycle that must be
+    /// reconstructed (were on a failed disk) or are hiccups (two failures).
+    pending_reconstructed: Vec<u32>,
+    pending_hiccups: Vec<u32>,
+    /// Buffer tracks charged for the group read last cycle, released
+    /// when that group's delivery completes.
+    pending_buffered: usize,
+}
+
+/// The Streaming RAID scheduler: every active stream reads one **entire
+/// parity group** — `C−1` data tracks plus the parity track — in each
+/// cycle and transmits those data tracks in the next cycle
+/// (`k = k' = C−1`).
+///
+/// Fault tolerance is immediate: "if a disk has failed then the missing
+/// data that would have been read from that disk can be reconstructed
+/// on-the-fly from the other data blocks and the parity block from the
+/// same parity group" — no hiccup, at the cost of reading (and buffering)
+/// parity during fault-free operation and of `2C` buffer tracks per
+/// stream.
+#[derive(Debug)]
+pub struct StreamingRaidScheduler {
+    config: CycleConfig,
+    catalog: Catalog<ClusteredLayout>,
+    streams: BTreeMap<StreamId, SrStream>,
+    /// Active stream count per cluster-phase class.
+    class_load: Vec<usize>,
+    /// Failed disk positions per cluster.
+    failed: BTreeMap<ClusterId, BTreeSet<u32>>,
+    buffers: BufferPool,
+    next_stream: u64,
+    next_cycle: u64,
+    catastrophic: bool,
+}
+
+impl StreamingRaidScheduler {
+    /// Build a scheduler over a populated catalog.
+    ///
+    /// # Panics
+    /// Panics if `config.k != C−1` or `config.k_prime != C−1` — Streaming
+    /// RAID is defined by that choice.
+    #[must_use]
+    pub fn new(config: CycleConfig, catalog: Catalog<ClusteredLayout>) -> Self {
+        let c = catalog.layout().geometry().group_size() as usize;
+        assert_eq!(config.k, c - 1, "Streaming RAID requires k = C−1");
+        assert_eq!(config.k_prime, c - 1, "Streaming RAID requires k' = C−1");
+        let classes = catalog.layout().geometry().clusters() as usize;
+        StreamingRaidScheduler {
+            config,
+            catalog,
+            streams: BTreeMap::new(),
+            class_load: vec![0; classes],
+            failed: BTreeMap::new(),
+            buffers: BufferPool::unbounded(),
+            next_stream: 0,
+            next_cycle: 0,
+            catastrophic: false,
+        }
+    }
+
+    /// The catalog (for integration with the simulator).
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog<ClusteredLayout> {
+        &self.catalog
+    }
+
+    fn clusters(&self) -> u64 {
+        u64::from(self.catalog.layout().geometry().clusters())
+    }
+
+    /// Number of data blocks in group `g` of a stream (the final group may
+    /// be partial).
+    fn blocks_in_group(&self, s: &SrStream, g: u64) -> u32 {
+        let bpg = u64::from(self.catalog.layout().blocks_per_group());
+        let tracks = self.catalog.get(s.object).expect("admitted object").object.tracks;
+        let remaining = tracks - g * bpg;
+        remaining.min(bpg) as u32
+    }
+
+
+    /// Register a newly staged object in the catalog (the tertiary →
+    /// disk load path of Figure 1).
+    pub fn register_object(
+        &mut self,
+        object: mms_layout::MediaObject,
+    ) -> Result<(), mms_layout::CatalogError> {
+        self.catalog.add(object).map(|_| ())
+    }
+
+    /// Retire an object from the catalog (the purge path), refusing while
+    /// any stream is still delivering it.
+    pub fn retire_object(
+        &mut self,
+        object: ObjectId,
+    ) -> Result<(), crate::traits::RetireError> {
+        let streams = self
+            .streams
+            .values()
+            .filter(|s| s.object == object)
+            .count();
+        if streams > 0 {
+            return Err(crate::traits::RetireError::InUse { object, streams });
+        }
+        self.catalog
+            .remove(object)
+            .map(|_| ())
+            .map_err(|_| crate::traits::RetireError::NotFound { object })
+    }
+}
+
+impl SchemeScheduler for StreamingRaidScheduler {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::StreamingRaid
+    }
+
+    fn config(&self) -> &CycleConfig {
+        &self.config
+    }
+
+    fn admit(&mut self, object: ObjectId, at_cycle: u64) -> Result<StreamId, AdmissionError> {
+        assert!(at_cycle >= self.next_cycle, "cannot admit into the past");
+        let placed = self
+            .catalog
+            .get(object)
+            .map_err(|_| AdmissionError::UnknownObject { object })?;
+        let nc = self.clusters();
+        // Phase class: the cluster this stream occupies at cycle 0 of its
+        // life, projected onto absolute cycles.
+        let class =
+            ((u64::from(placed.start_cluster) + nc - (at_cycle % nc)) % nc) as usize;
+        let limit = self.config.slots_per_disk();
+        if self.class_load[class] >= limit {
+            return Err(AdmissionError::AtCapacity {
+                active: self.streams.len(),
+                limit: self.stream_capacity(),
+            });
+        }
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.class_load[class] += 1;
+        self.streams.insert(
+            id,
+            SrStream {
+                object,
+                start_cluster: placed.start_cluster,
+                groups: placed.groups,
+                start_cycle: at_cycle,
+                class: class as u32,
+                delivered: 0,
+                lost: 0,
+                pending_reconstructed: Vec::new(),
+                pending_hiccups: Vec::new(),
+                pending_buffered: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    fn stream_capacity(&self) -> usize {
+        self.config.slots_per_disk() * self.clusters() as usize
+    }
+
+    fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn stream_info(&self, id: StreamId) -> Option<StreamInfo> {
+        self.streams.get(&id).map(|s| StreamInfo {
+            id,
+            object: s.object,
+            admitted_at: s.start_cycle,
+            groups: s.groups,
+            next_group: self.next_cycle.saturating_sub(s.start_cycle).min(s.groups),
+            delivered_tracks: s.delivered,
+            lost_tracks: s.lost,
+        })
+    }
+
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+        assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
+        self.next_cycle += 1;
+        let mut plan = CyclePlan::empty(cycle);
+        let layout = self.catalog.layout();
+        let geometry = *layout.geometry();
+
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+
+        // Pass 1 — reads and allocations for every stream. All of a
+        // cycle's reads are in flight while the previous groups are
+        // still being transmitted, so allocations logically precede the
+        // frees of the same cycle; the pool's high-water mark then
+        // measures the paper's 2C-per-stream peak.
+        let mut incoming: Vec<(StreamId, Vec<u32>, Vec<u32>, usize)> = Vec::new();
+        for id in ids.iter().copied() {
+            let s = self.streams[&id].clone();
+            if cycle < s.start_cycle {
+                continue;
+            }
+            let read_group = cycle - s.start_cycle;
+            if read_group >= s.groups {
+                continue;
+            }
+            let mut reconstructed = Vec::new();
+            let mut hiccups = Vec::new();
+            let blocks = self.blocks_in_group(&s, read_group);
+            let cluster = layout.data_cluster(s.start_cluster, read_group);
+            let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
+            let parity_pos = geometry.disks_per_cluster() - 1;
+            let parity_ok = !failed.contains(&parity_pos);
+            let mut reads = 0usize;
+            for i in 0..blocks {
+                let p = layout.data_placement(s.start_cluster, read_group, i);
+                let pos = geometry.position_in_cluster(p.disk);
+                if failed.contains(&pos) {
+                    // Single failure + live parity: on-the-fly
+                    // reconstruction; otherwise a hiccup.
+                    if failed.len() == 1 && parity_ok {
+                        reconstructed.push(i);
+                    } else {
+                        hiccups.push(i);
+                    }
+                } else {
+                    plan.push_read(
+                        p.disk,
+                        PlannedRead {
+                            stream: id,
+                            addr: mms_layout::BlockAddr::data(s.object, read_group, i),
+                            purpose: ReadPurpose::Delivery,
+                        },
+                    );
+                    reads += 1;
+                }
+            }
+            if parity_ok {
+                let pp = layout.parity_placement(s.start_cluster, read_group);
+                plan.push_read(
+                    pp.disk,
+                    PlannedRead {
+                        stream: id,
+                        addr: mms_layout::BlockAddr::parity(s.object, read_group),
+                        purpose: ReadPurpose::Parity,
+                    },
+                );
+                reads += 1;
+            }
+            // The group occupies `reads` buffers (a reconstructed block
+            // materializes in the parity buffer), held until its
+            // delivery completes next cycle; the paper charges the full
+            // 2C per stream, which this reproduces at steady state.
+            self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
+            incoming.push((id, reconstructed, hiccups, reads));
+        }
+
+        // Pass 2 — deliveries of the groups read last cycle, and frees.
+        for id in ids {
+            let Some(s) = self.streams.get(&id).cloned() else {
+                continue;
+            };
+            if cycle < s.start_cycle + 1 {
+                continue;
+            }
+            let read_group = cycle - s.start_cycle;
+            let g = read_group - 1;
+            if g >= s.groups {
+                continue;
+            }
+            let blocks = self.blocks_in_group(&s, g);
+            for i in 0..blocks {
+                let addr = mms_layout::BlockAddr::data(s.object, g, i);
+                if s.pending_hiccups.contains(&i) {
+                    plan.hiccups.push(LostBlock {
+                        stream: id,
+                        addr,
+                        reason: LossReason::FailedDisk,
+                        delivery_cycle: cycle,
+                    });
+                } else {
+                    plan.deliveries.push(Delivery {
+                        stream: id,
+                        addr,
+                        reconstructed: s.pending_reconstructed.contains(&i),
+                    });
+                }
+            }
+            let st = self.streams.get_mut(&id).expect("live stream");
+            st.delivered += u64::from(blocks) - st.pending_hiccups.len() as u64;
+            st.lost += st.pending_hiccups.len() as u64;
+            // Release exactly what was charged when this group was read.
+            let charged = st.pending_buffered;
+            st.pending_buffered = 0;
+            self.buffers
+                .free(OwnerId(id.0), charged)
+                .expect("allocated last cycle");
+            if g + 1 == st.groups {
+                // Final group delivered: stream finishes.
+                plan.finished.push(id);
+                let class = st.class as usize;
+                self.class_load[class] -= 1;
+                self.streams.remove(&id);
+                self.buffers.free_all(OwnerId(id.0));
+                continue;
+            }
+        }
+
+        // Commit the just-read groups' reconstruction/hiccup state.
+        for (id, reconstructed, hiccups, buffered) in incoming {
+            if let Some(st) = self.streams.get_mut(&id) {
+                st.pending_reconstructed = reconstructed;
+                st.pending_hiccups = hiccups;
+                st.pending_buffered = buffered;
+            }
+        }
+
+        // Sanity: no disk over capacity. Admission control guarantees it.
+        let cap = self.config.slots_per_disk();
+        debug_assert!(
+            plan.reads.values().all(|v| v.len() <= cap),
+            "slot overflow in Streaming RAID plan"
+        );
+        plan
+    }
+
+    fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        let pos = geometry.position_in_cluster(disk);
+        let entry = self.failed.entry(cluster).or_default();
+        entry.insert(pos);
+        let catastrophic = entry.len() >= 2;
+        self.catastrophic |= catastrophic;
+        FailureReport {
+            lost: Vec::new(),
+            dropped_streams: Vec::new(),
+            degraded_clusters: vec![cluster],
+            catastrophic,
+            shift_path: Vec::new(),
+        }
+    }
+
+    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+        let geometry = *self.catalog.layout().geometry();
+        let cluster = geometry.cluster_of(disk);
+        let pos = geometry.position_in_cluster(disk);
+        if let Some(set) = self.failed.get_mut(&cluster) {
+            set.remove(&pos);
+            if set.is_empty() {
+                self.failed.remove(&cluster);
+            }
+        }
+    }
+
+    fn buffer_in_use(&self) -> usize {
+        self.buffers.in_use()
+    }
+
+    fn buffer_high_water(&self) -> usize {
+        self.buffers.high_water()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_disk::{Bandwidth, DiskParams};
+    use mms_layout::{BandwidthClass, Geometry, MediaObject};
+
+    fn make(disks: usize, c: usize, objects: &[(u64, u64)]) -> StreamingRaidScheduler {
+        let geo = Geometry::clustered(disks, c).unwrap();
+        let layout = ClusteredLayout::new(geo);
+        let mut catalog = Catalog::new(layout, 100_000);
+        for &(id, tracks) in objects {
+            catalog
+                .add(MediaObject::new(
+                    ObjectId(id),
+                    format!("o{id}"),
+                    tracks,
+                    BandwidthClass::Mpeg1,
+                ))
+                .unwrap();
+        }
+        let cfg = CycleConfig::new(
+            DiskParams::paper_table1(),
+            Bandwidth::from_megabits(1.5),
+            c - 1,
+            c - 1,
+        );
+        StreamingRaidScheduler::new(cfg, catalog)
+    }
+
+    #[test]
+    fn normal_operation_reads_whole_groups_and_delivers_next_cycle() {
+        let mut s = make(10, 5, &[(0, 8)]); // 2 full groups
+        let id = s.admit(ObjectId(0), 0).unwrap();
+        let p0 = s.plan_cycle(0);
+        // Group 0: 4 data reads on disks 0..3 + parity on disk 4.
+        assert_eq!(p0.total_reads(), 5);
+        assert!(p0.deliveries.is_empty());
+        assert_eq!(p0.reads_on(DiskId(4)).len(), 1);
+        assert_eq!(
+            p0.reads_on(DiskId(4))[0].purpose,
+            ReadPurpose::Parity
+        );
+        let p1 = s.plan_cycle(1);
+        // Group 1 read on cluster 1; group 0 delivered.
+        assert_eq!(p1.total_reads(), 5);
+        assert!(p1.reads.keys().all(|d| d.0 >= 5));
+        assert_eq!(p1.deliveries.len(), 4);
+        assert!(p1.deliveries.iter().all(|d| d.stream == id && !d.reconstructed));
+        let p2 = s.plan_cycle(2);
+        // Nothing left to read; group 1 delivered; stream finishes.
+        assert_eq!(p2.total_reads(), 0);
+        assert_eq!(p2.deliveries.len(), 4);
+        assert_eq!(p2.finished, vec![id]);
+        assert_eq!(s.active_streams(), 0);
+    }
+
+    #[test]
+    fn buffer_peak_is_2c_per_stream() {
+        let mut s = make(10, 5, &[(0, 40)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        for t in 0..6 {
+            s.plan_cycle(t);
+        }
+        // 2C = 10 tracks for C = 5.
+        assert_eq!(s.buffer_high_water(), 10);
+    }
+
+    #[test]
+    fn single_failure_is_masked_without_hiccups() {
+        let mut s = make(10, 5, &[(0, 16)]); // 4 groups
+        let id = s.admit(ObjectId(0), 0).unwrap();
+        let r = s.on_disk_failure(DiskId(2), 0, false);
+        assert!(!r.catastrophic);
+        assert_eq!(r.degraded_clusters, vec![ClusterId(0)]);
+        let p0 = s.plan_cycle(0);
+        // Disk 2's block is skipped; 3 data + 1 parity read.
+        assert_eq!(p0.total_reads(), 4);
+        assert!(p0.reads_on(DiskId(2)).is_empty());
+        let p1 = s.plan_cycle(1);
+        // All 4 tracks still delivered; one was reconstructed.
+        assert_eq!(p1.deliveries.len(), 4);
+        assert!(p1.hiccups.is_empty());
+        assert_eq!(
+            p1.deliveries.iter().filter(|d| d.reconstructed).count(),
+            1
+        );
+        assert!(p1.deliveries.iter().all(|d| d.stream == id));
+    }
+
+    #[test]
+    fn parity_disk_failure_is_harmless() {
+        let mut s = make(10, 5, &[(0, 8)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        let r = s.on_disk_failure(DiskId(4), 0, false);
+        assert!(!r.catastrophic);
+        let p0 = s.plan_cycle(0);
+        // 4 data reads, no parity read possible.
+        assert_eq!(p0.total_reads(), 4);
+        let p1 = s.plan_cycle(1);
+        assert_eq!(p1.deliveries.len(), 4);
+        assert!(p1.hiccups.is_empty());
+    }
+
+    #[test]
+    fn second_failure_in_cluster_is_catastrophic() {
+        let mut s = make(10, 5, &[(0, 16)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        assert!(!s.on_disk_failure(DiskId(1), 0, false).catastrophic);
+        let r = s.on_disk_failure(DiskId(3), 0, false);
+        assert!(r.catastrophic);
+        let _ = s.plan_cycle(0);
+        let p1 = s.plan_cycle(1);
+        // Blocks on both failed disks hiccup; the other two deliver.
+        assert_eq!(p1.hiccups.len(), 2);
+        assert_eq!(p1.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn failures_in_different_clusters_are_tolerated() {
+        let mut s = make(10, 5, &[(0, 16)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        assert!(!s.on_disk_failure(DiskId(1), 0, false).catastrophic);
+        assert!(!s.on_disk_failure(DiskId(6), 0, false).catastrophic);
+        let _ = s.plan_cycle(0);
+        for t in 1..5 {
+            let p = s.plan_cycle(t);
+            assert!(p.hiccups.is_empty(), "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn repair_restores_normal_reads() {
+        let mut s = make(10, 5, &[(0, 40)]);
+        s.admit(ObjectId(0), 0).unwrap();
+        s.on_disk_failure(DiskId(0), 0, false);
+        let p0 = s.plan_cycle(0);
+        assert_eq!(p0.total_reads(), 4);
+        s.on_disk_repair(DiskId(0), 1);
+        let _p1 = s.plan_cycle(1);
+        let p2 = s.plan_cycle(2); // back on cluster 0
+        assert_eq!(p2.total_reads(), 5);
+    }
+
+    #[test]
+    fn admission_respects_slot_capacity() {
+        let mut s = make(10, 5, &[(0, 400)]);
+        let cap = s.stream_capacity();
+        // Table-1 MPEG-1 SR: 52 slots * 2 clusters = 104.
+        assert_eq!(cap, 104);
+        let mut admitted = 0;
+        for _ in 0..cap + 10 {
+            if s.admit(ObjectId(0), 0).is_ok() {
+                admitted += 1;
+            }
+        }
+        // All streams start at cycle 0 with the same object (start cluster
+        // 0), so they all share one class: only `slots` fit.
+        assert_eq!(admitted, s.config().slots_per_disk());
+    }
+
+    #[test]
+    fn stream_capacity_matches_eq8_shape() {
+        // Eq. 8: N_SR = [B/(b0 τ_trk) − τ_seek/(τ_trk (C−1))] · D(C−1)/C
+        // With Table 1 and D = 100, C = 5: 1041 (paper Table 2).
+        let objs = vec![(0u64, 40u64)];
+        let s = make(100, 5, &objs);
+        // 52 slots/disk/cycle * 20 clusters = 1040; the analytic 1041.67
+        // floors per-class here (52.08 -> 52), so we are within one slot
+        // per cluster of Eq. 8.
+        assert_eq!(s.stream_capacity(), 1040);
+    }
+
+    #[test]
+    fn partial_final_group_delivers_short() {
+        let mut s = make(10, 5, &[(0, 6)]); // groups: 4 + 2 tracks
+        let id = s.admit(ObjectId(0), 0).unwrap();
+        let p0 = s.plan_cycle(0);
+        assert_eq!(p0.total_reads(), 5);
+        let p1 = s.plan_cycle(1);
+        assert_eq!(p1.total_reads(), 3); // 2 data + parity
+        assert_eq!(p1.deliveries.len(), 4);
+        let p2 = s.plan_cycle(2);
+        assert_eq!(p2.deliveries.len(), 2);
+        assert_eq!(p2.finished, vec![id]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Stream identity and bookkeeping shared by all schedulers.
+
+use mms_layout::ObjectId;
+use std::fmt;
+
+/// Identifier of an active stream. "We will use the term *stream* to refer
+/// to the delivery of a given object at a given time. So two deliveries of
+/// the same object but offset in time are two different streams."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Public snapshot of a stream's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// The stream.
+    pub id: StreamId,
+    /// The object being delivered.
+    pub object: ObjectId,
+    /// Cycle at which delivery was admitted.
+    pub admitted_at: u64,
+    /// Parity groups of the object in total.
+    pub groups: u64,
+    /// Next parity group to read (== `groups` when reading is done).
+    pub next_group: u64,
+    /// Data tracks delivered so far.
+    pub delivered_tracks: u64,
+    /// Data tracks lost to failures so far (hiccups experienced).
+    pub lost_tracks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(StreamId(42).to_string(), "s42");
+    }
+}

@@ -1,0 +1,205 @@
+//! The common scheduler interface and failure reporting.
+
+use crate::cycle::CycleConfig;
+use crate::plan::{CyclePlan, LostBlock};
+use crate::streams::{StreamId, StreamInfo};
+use mms_disk::DiskId;
+use mms_layout::{ClusterId, ObjectId};
+use std::fmt;
+
+/// Which of the paper's four schemes a scheduler implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Streaming RAID (Section 2, `SR`).
+    StreamingRaid,
+    /// Staggered-group (Section 2, `SG`).
+    StaggeredGroup,
+    /// Non-clustered with buffer pool (Section 3, `NC`).
+    NonClustered,
+    /// Improved-bandwidth (Section 4, `IB`).
+    ImprovedBandwidth,
+}
+
+impl SchemeKind {
+    /// All four schemes, in the paper's comparison order.
+    pub const ALL: [SchemeKind; 4] = [
+        SchemeKind::StreamingRaid,
+        SchemeKind::StaggeredGroup,
+        SchemeKind::NonClustered,
+        SchemeKind::ImprovedBandwidth,
+    ];
+
+    /// The paper's abbreviation.
+    #[must_use]
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            SchemeKind::StreamingRaid => "SR",
+            SchemeKind::StaggeredGroup => "SG",
+            SchemeKind::NonClustered => "NC",
+            SchemeKind::ImprovedBandwidth => "IB",
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchemeKind::StreamingRaid => "Streaming RAID",
+            SchemeKind::StaggeredGroup => "Staggered-group",
+            SchemeKind::NonClustered => "Non-clustered",
+            SchemeKind::ImprovedBandwidth => "Improved-bandwidth",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a stream could not be admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The scheme's stream capacity (`N_p`) is reached.
+    AtCapacity {
+        /// Current active stream count.
+        active: usize,
+        /// The limit.
+        limit: usize,
+    },
+    /// The object is not in the catalog.
+    UnknownObject {
+        /// The requested object.
+        object: ObjectId,
+    },
+    /// The system has lost data (catastrophic failure) and cannot admit
+    /// streams for objects touching the lost region until rebuild.
+    Catastrophic,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::AtCapacity { active, limit } => {
+                write!(f, "at capacity: {active} of {limit} streams active")
+            }
+            AdmissionError::UnknownObject { object } => {
+                write!(f, "object {object} not in catalog")
+            }
+            AdmissionError::Catastrophic => {
+                write!(f, "catastrophic failure: data loss pending rebuild")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// What a disk failure did to the system, as seen by the scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct FailureReport {
+    /// Blocks that will not be delivered (each is one future hiccup).
+    pub lost: Vec<LostBlock>,
+    /// Streams terminated outright (degradation of service).
+    pub dropped_streams: Vec<StreamId>,
+    /// Clusters that entered degraded mode due to this failure.
+    pub degraded_clusters: Vec<ClusterId>,
+    /// True if data was lost irrecoverably (second failure within one
+    /// parity group's span — the paper's *catastrophic failure*).
+    pub catastrophic: bool,
+    /// Clusters visited by the Improved-bandwidth "shift to the right"
+    /// cascade (empty for other schemes).
+    pub shift_path: Vec<ClusterId>,
+}
+
+/// Why an object could not be retired from the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetireError {
+    /// Streams are still delivering the object.
+    InUse {
+        /// The object.
+        object: ObjectId,
+        /// Active streams on it.
+        streams: usize,
+    },
+    /// The object is not in the catalog.
+    NotFound {
+        /// The object.
+        object: ObjectId,
+    },
+}
+
+impl fmt::Display for RetireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetireError::InUse { object, streams } => {
+                write!(f, "object {object} has {streams} active stream(s)")
+            }
+            RetireError::NotFound { object } => write!(f, "object {object} not found"),
+        }
+    }
+}
+
+impl std::error::Error for RetireError {}
+
+/// The interface every scheme scheduler implements.
+///
+/// The scheduler is a deterministic state machine driven by
+/// [`plan_cycle`](SchemeScheduler::plan_cycle); the discrete-event
+/// simulator in `mms-sim` executes the produced plans against a real
+/// [`mms_disk::DiskArray`] and real parity blocks.
+pub trait SchemeScheduler {
+    /// Which scheme this is.
+    fn scheme(&self) -> SchemeKind;
+
+    /// The cycle configuration in force.
+    fn config(&self) -> &CycleConfig;
+
+    /// Admit a new stream for `object`, beginning at `at_cycle` (must be
+    /// the next unplanned cycle or later).
+    fn admit(&mut self, object: ObjectId, at_cycle: u64) -> Result<StreamId, AdmissionError>;
+
+    /// Maximum concurrently active streams this scheduler will admit.
+    fn stream_capacity(&self) -> usize;
+
+    /// Currently active streams.
+    fn active_streams(&self) -> usize;
+
+    /// Snapshot of one stream.
+    fn stream_info(&self, id: StreamId) -> Option<StreamInfo>;
+
+    /// Plan (and internally commit) one cycle. Cycles must be planned in
+    /// increasing order without gaps.
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan;
+
+    /// React to a disk failure. `mid_cycle` indicates the failure struck
+    /// after `cycle`'s read schedule was already committed (relevant for
+    /// the Improved-bandwidth scheme's unmaskable first-cycle hiccup).
+    fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, mid_cycle: bool) -> FailureReport;
+
+    /// React to a disk repair (cluster leaves degraded mode).
+    fn on_disk_repair(&mut self, disk: DiskId, cycle: u64);
+
+    /// Buffer tracks currently charged.
+    fn buffer_in_use(&self) -> usize;
+
+    /// Peak buffer tracks ever charged (the scheme's measured `BF`).
+    fn buffer_high_water(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(SchemeKind::StreamingRaid.abbrev(), "SR");
+        assert_eq!(SchemeKind::NonClustered.to_string(), "Non-clustered");
+        assert_eq!(SchemeKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn admission_error_display() {
+        let e = AdmissionError::AtCapacity {
+            active: 10,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

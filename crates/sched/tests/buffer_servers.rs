@@ -1,0 +1,109 @@
+//! The Non-clustered scheme's shared buffer servers under load: Eq. 14's
+//! per-server sizing must hold while a degraded cluster runs
+//! group-at-a-time, and the server must drain and detach on repair.
+
+use mms_disk::{Bandwidth, DiskId, DiskParams};
+use mms_layout::{BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId};
+use mms_sched::{CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy};
+
+fn make(slots_b0_mb: f64, objects: u64, tracks: u64) -> NonClusteredScheduler {
+    let geo = Geometry::clustered(10, 5).unwrap();
+    let mut catalog = Catalog::new(ClusteredLayout::new(geo), 100_000);
+    for i in 0..objects {
+        catalog
+            .add(MediaObject::new(
+                ObjectId(i),
+                format!("m{i}"),
+                tracks,
+                BandwidthClass::Custom(Bandwidth::from_megabytes(slots_b0_mb)),
+            ))
+            .unwrap();
+    }
+    let cfg = CycleConfig::new(
+        DiskParams::paper_table1(),
+        Bandwidth::from_megabytes(slots_b0_mb),
+        1,
+        1,
+    );
+    NonClusteredScheduler::new(cfg, catalog, TransitionPolicy::Simple, 2)
+}
+
+#[test]
+fn degraded_cluster_occupies_its_server_within_eq14_sizing() {
+    // Full load at one slot per disk (b0 = 1 MB/s): the degraded
+    // cluster's group-at-a-time buffers live on the attached server and
+    // never exceed C(C+1)/2 × slots = 15 tracks.
+    let mut s = make(1.0, 12, 4);
+    let mut next_obj = 0u64;
+    for t in 0..40u64 {
+        if t >= 1 && next_obj < 12 {
+            s.admit(ObjectId(next_obj), t).unwrap();
+            next_obj += 1;
+        }
+        if t == 6 {
+            s.on_disk_failure(DiskId(1), 6, false);
+        }
+        s.plan_cycle(t);
+        if t > 8 {
+            let pool = s
+                .servers()
+                .iter()
+                .find(|srv| srv.serving() == Some(0))
+                .expect("cluster 0 attached")
+                .pool();
+            assert!(pool.in_use() <= pool.capacity().unwrap(), "cycle {t}");
+        }
+    }
+    // The server actually carried load (group-at-a-time buffering).
+    let peak = s
+        .servers()
+        .iter()
+        .find(|srv| srv.serving() == Some(0))
+        .unwrap()
+        .pool()
+        .high_water();
+    assert!(peak > 0, "server never used");
+    assert!(peak <= 15, "peak {peak} exceeds Eq. 14 sizing");
+}
+
+#[test]
+fn repair_detaches_and_resets_the_server() {
+    let mut s = make(1.0, 6, 4);
+    for t in 0..3u64 {
+        if t >= 1 {
+            s.admit(ObjectId(t - 1), t).unwrap();
+        }
+        s.plan_cycle(t);
+    }
+    s.on_disk_failure(DiskId(2), 3, false);
+    for t in 3..10u64 {
+        s.plan_cycle(t);
+    }
+    assert_eq!(s.servers().busy(), 1);
+    s.on_disk_repair(DiskId(2), 10);
+    assert_eq!(s.servers().busy(), 0);
+    for srv in s.servers().iter() {
+        assert_eq!(srv.pool().in_use(), 0, "detached server must be empty");
+    }
+    // A later failure on the other cluster reattaches cleanly.
+    s.on_disk_failure(DiskId(6), 10, false);
+    assert_eq!(s.servers().busy(), 1);
+}
+
+#[test]
+fn two_degraded_clusters_occupy_two_servers() {
+    let mut s = make(1.0, 8, 4);
+    for t in 0..3u64 {
+        if t >= 1 {
+            s.admit(ObjectId(t - 1), t).unwrap();
+        }
+        s.plan_cycle(t);
+    }
+    s.on_disk_failure(DiskId(0), 3, false);
+    s.on_disk_failure(DiskId(7), 3, false);
+    assert_eq!(s.servers().busy(), 2);
+    // Both clusters keep serving (with their bounded transition losses).
+    for t in 3..16u64 {
+        s.plan_cycle(t);
+    }
+}

@@ -1,0 +1,218 @@
+//! Disk-failure injection for the simulator.
+
+use mms_disk::{failure::FailureProcess, DiskId, ReliabilityParams, Time};
+use rand::Rng;
+
+/// One injected failure or repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// Disk goes down just before the given cycle's reads.
+    Fail {
+        /// The cycle it takes effect.
+        cycle: u64,
+        /// The victim.
+        disk: DiskId,
+        /// Whether it strikes mid-cycle (after the read schedule for
+        /// `cycle` is committed — the Improved-bandwidth unmaskable
+        /// case).
+        mid_cycle: bool,
+    },
+    /// Disk returns to service before the given cycle.
+    Repair {
+        /// The cycle it takes effect.
+        cycle: u64,
+        /// The repaired disk.
+        disk: DiskId,
+    },
+}
+
+impl FailureEvent {
+    /// The cycle at which the event fires.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            FailureEvent::Fail { cycle, .. } | FailureEvent::Repair { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A deterministic schedule of failure/repair events, sorted by cycle.
+///
+/// For reliability-horizon questions use `mms-reliability`'s Monte Carlo;
+/// this injector drives *behavioral* experiments (what happens to the
+/// streams when disk 2 dies mid-movie), where the paper's scenarios are
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+    next: usize,
+}
+
+impl FailureSchedule {
+    /// An empty schedule.
+    #[must_use]
+    pub fn none() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Build from events (sorted internally by cycle, stable).
+    #[must_use]
+    pub fn new(mut events: Vec<FailureEvent>) -> Self {
+        events.sort_by_key(FailureEvent::cycle);
+        FailureSchedule { events, next: 0 }
+    }
+
+    /// Convenience: a single failure at `cycle`.
+    #[must_use]
+    pub fn fail_at(cycle: u64, disk: DiskId) -> Self {
+        FailureSchedule::new(vec![FailureEvent::Fail {
+            cycle,
+            disk,
+            mid_cycle: false,
+        }])
+    }
+
+    /// Convenience: fail at `fail_cycle`, repair at `repair_cycle`.
+    #[must_use]
+    pub fn fail_and_repair(fail_cycle: u64, repair_cycle: u64, disk: DiskId) -> Self {
+        assert!(repair_cycle > fail_cycle);
+        FailureSchedule::new(vec![
+            FailureEvent::Fail {
+                cycle: fail_cycle,
+                disk,
+                mid_cycle: false,
+            },
+            FailureEvent::Repair {
+                cycle: repair_cycle,
+                disk,
+            },
+        ])
+    }
+
+    /// Generate a stochastic schedule: each of `d` disks fails after an
+    /// exponential lifetime and repairs after an exponential MTTR, with
+    /// simulated time advancing `t_cyc` per cycle, truncated to
+    /// `horizon_cycles`. An `acceleration` factor shrinks lifetimes so
+    /// failures actually land within short behavioral runs.
+    pub fn stochastic<R: Rng + ?Sized>(
+        rng: &mut R,
+        d: usize,
+        rel: ReliabilityParams,
+        t_cyc: Time,
+        horizon_cycles: u64,
+        acceleration: f64,
+    ) -> Self {
+        assert!(acceleration > 0.0);
+        let proc = FailureProcess::new(ReliabilityParams {
+            mttf: Time::from_secs(rel.mttf.as_secs() / acceleration),
+            mttr: rel.mttr,
+        });
+        let mut events = Vec::new();
+        for disk in 0..d {
+            let mut t = Time::ZERO;
+            loop {
+                t += proc.next_failure(rng);
+                let fail_cycle = (t.as_secs() / t_cyc.as_secs()) as u64;
+                if fail_cycle >= horizon_cycles {
+                    break;
+                }
+                t += proc.repair_time(rng);
+                let repair_cycle =
+                    ((t.as_secs() / t_cyc.as_secs()) as u64).max(fail_cycle + 1);
+                events.push(FailureEvent::Fail {
+                    cycle: fail_cycle,
+                    disk: DiskId(disk as u32),
+                    mid_cycle: false,
+                });
+                if repair_cycle < horizon_cycles {
+                    events.push(FailureEvent::Repair {
+                        cycle: repair_cycle,
+                        disk: DiskId(disk as u32),
+                    });
+                } else {
+                    break;
+                }
+            }
+        }
+        FailureSchedule::new(events)
+    }
+
+    /// Drain the events due at `cycle`.
+    pub fn due(&mut self, cycle: u64) -> Vec<FailureEvent> {
+        let mut out = Vec::new();
+        while self.next < self.events.len() && self.events[self.next].cycle() <= cycle {
+            out.push(self.events[self.next]);
+            self.next += 1;
+        }
+        out
+    }
+
+    /// Remaining event count.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_sorts_and_drains_in_order() {
+        let mut s = FailureSchedule::new(vec![
+            FailureEvent::Repair {
+                cycle: 9,
+                disk: DiskId(1),
+            },
+            FailureEvent::Fail {
+                cycle: 3,
+                disk: DiskId(1),
+                mid_cycle: false,
+            },
+        ]);
+        assert_eq!(s.remaining(), 2);
+        assert!(s.due(2).is_empty());
+        let d = s.due(3);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0], FailureEvent::Fail { cycle: 3, .. }));
+        let d = s.due(20);
+        assert_eq!(d.len(), 1);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn fail_and_repair_helper() {
+        let mut s = FailureSchedule::fail_and_repair(5, 12, DiskId(3));
+        assert_eq!(s.due(5).len(), 1);
+        assert!(s.due(11).is_empty());
+        assert_eq!(s.due(12).len(), 1);
+    }
+
+    #[test]
+    fn stochastic_produces_paired_events_within_horizon() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rel = ReliabilityParams::paper();
+        let mut s = FailureSchedule::stochastic(
+            &mut rng,
+            10,
+            rel,
+            Time::from_secs(1.0),
+            10_000,
+            1e6, // heavy acceleration so failures land in-horizon
+        );
+        let events = s.due(10_000);
+        assert!(!events.is_empty(), "acceleration should produce failures");
+        for e in &events {
+            assert!(e.cycle() < 10_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repair_cycle > fail_cycle")]
+    fn repair_must_follow_failure() {
+        let _ = FailureSchedule::fail_and_repair(5, 5, DiskId(0));
+    }
+}

@@ -1,0 +1,521 @@
+//! The cycle-driven simulator.
+
+use crate::failure::{FailureEvent, FailureSchedule};
+use crate::metrics::{CycleReport, Metrics};
+use crate::rebuild::{Rebuild, RebuildManager, RebuildSource};
+use crate::verify::BlockOracle;
+use crate::workload::WorkloadGen;
+use mms_disk::{DiskArray, DiskError, DiskParams, Time};
+use mms_layout::{BlockKind, ObjectId};
+use mms_sched::{AdmissionError, CyclePlan, SchemeScheduler, StreamId};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether track contents are materialized and verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Materialize synthetic bytes and verify every delivery, rebuilding
+    /// reconstructed blocks through the XOR codec. Catches any scheduler
+    /// bug that would deliver the wrong block.
+    Verified {
+        /// Bytes per track in the synthetic universe (real tracks are
+        /// 50 KB; smaller values keep long runs fast without changing
+        /// the logic exercised).
+        track_bytes: usize,
+    },
+    /// Skip content; simulate scheduling and disk occupancy only.
+    MetadataOnly,
+}
+
+/// Object lengths registry, used by the oracle and end detection.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectDirectory {
+    tracks: BTreeMap<ObjectId, u64>,
+    blocks_per_group: u32,
+}
+
+impl ObjectDirectory {
+    /// Build from `(object, track-count)` pairs and the layout's
+    /// blocks-per-group.
+    #[must_use]
+    pub fn new(entries: impl IntoIterator<Item = (ObjectId, u64)>, blocks_per_group: u32) -> Self {
+        ObjectDirectory {
+            tracks: entries.into_iter().collect(),
+            blocks_per_group,
+        }
+    }
+
+    /// The raw map.
+    #[must_use]
+    pub fn tracks(&self) -> &BTreeMap<ObjectId, u64> {
+        &self.tracks
+    }
+}
+
+/// Simulation errors: a scheduler planned something the hardware cannot
+/// do (these are bugs surfaced by the simulator, not recoverable runtime
+/// conditions — which is exactly why the simulator exists).
+#[derive(Debug)]
+pub enum SimError {
+    /// A planned read failed at the disk layer (down disk / overload).
+    Disk(DiskError),
+    /// An admission was rejected.
+    Admission(AdmissionError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Disk(e) => write!(f, "disk error: {e}"),
+            SimError::Admission(e) => write!(f, "admission error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<DiskError> for SimError {
+    fn from(e: DiskError) -> Self {
+        SimError::Disk(e)
+    }
+}
+
+/// Drives a scheme scheduler against a real disk array, cycle by cycle.
+#[derive(Debug)]
+pub struct Simulator<S: SchemeScheduler> {
+    scheduler: S,
+    disks: DiskArray,
+    oracle: Option<BlockOracle>,
+    failures: FailureSchedule,
+    metrics: Metrics,
+    rebuilds: RebuildManager,
+    cycle: u64,
+    /// Plans retained for trace rendering (bounded).
+    trace: Vec<CyclePlan>,
+    trace_limit: usize,
+}
+
+impl<S: SchemeScheduler> Simulator<S> {
+    /// Build a simulator over `disk_count` drives of `disk_params`.
+    #[must_use]
+    pub fn new(
+        scheduler: S,
+        disk_params: DiskParams,
+        disk_count: usize,
+        mode: DataMode,
+        directory: ObjectDirectory,
+    ) -> Self {
+        let oracle = match mode {
+            DataMode::Verified { track_bytes } => Some(BlockOracle::new(
+                directory.tracks.clone(),
+                directory.blocks_per_group,
+                track_bytes,
+            )),
+            DataMode::MetadataOnly => None,
+        };
+        Simulator {
+            scheduler,
+            disks: DiskArray::new(disk_count, disk_params),
+            oracle,
+            failures: FailureSchedule::none(),
+            metrics: Metrics::default(),
+            rebuilds: RebuildManager::new(),
+            cycle: 0,
+            trace: Vec::new(),
+            trace_limit: 0,
+        }
+    }
+
+    /// Install a failure/repair schedule.
+    pub fn set_failures(&mut self, failures: FailureSchedule) {
+        self.failures = failures;
+    }
+
+    /// Retain up to `n` cycle plans for trace rendering.
+    pub fn keep_trace(&mut self, n: usize) {
+        self.trace_limit = n;
+    }
+
+    /// The retained plans.
+    #[must_use]
+    pub fn trace(&self) -> &[CyclePlan] {
+        &self.trace
+    }
+
+    /// The scheduler (for scheme-specific inspection).
+    #[must_use]
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// The disk array.
+    #[must_use]
+    pub fn disks(&self) -> &DiskArray {
+        &self.disks
+    }
+
+    /// Cumulative metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The current (next-unplanned) cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Admit a stream for `object` starting at the next cycle.
+    pub fn admit(&mut self, object: ObjectId) -> Result<StreamId, AdmissionError> {
+        self.scheduler.admit(object, self.cycle)
+    }
+
+    /// Fail a disk effective at the next cycle, returning the
+    /// scheduler's failure report.
+    pub fn fail_disk_now(
+        &mut self,
+        disk: mms_disk::DiskId,
+        mid_cycle: bool,
+    ) -> Result<mms_sched::FailureReport, SimError> {
+        let now = Time::from_secs(self.scheduler.config().t_cyc().as_secs() * self.cycle as f64);
+        self.disks.fail(disk, now)?;
+        let report = self.scheduler.on_disk_failure(disk, self.cycle, mid_cycle);
+        if report.catastrophic {
+            self.metrics.catastrophes += 1;
+        }
+        self.metrics.service_degradations += report.dropped_streams.len() as u64;
+        Ok(report)
+    }
+
+    /// Repair a disk effective at the next cycle.
+    pub fn repair_disk_now(&mut self, disk: mms_disk::DiskId) -> Result<(), SimError> {
+        self.disks.repair(disk)?;
+        self.scheduler.on_disk_repair(disk, self.cycle);
+        Ok(())
+    }
+
+    /// Begin rebuilding a failed disk onto a spare. The disk transitions
+    /// to `Rebuilding`; each cycle the rebuild consumes the slots the
+    /// delivery schedule leaves idle (parity source) or a fixed tape
+    /// rate (tertiary source), and on completion the disk returns to
+    /// service and the scheduler leaves degraded mode.
+    pub fn start_rebuild(
+        &mut self,
+        disk: mms_disk::DiskId,
+        total_tracks: u64,
+        source: RebuildSource,
+    ) -> Result<(), SimError> {
+        self.disks.disk_mut(disk)?.start_rebuild(Time::from_secs(
+            self.scheduler.config().t_cyc().as_secs() * self.cycle as f64,
+        ))?;
+        self.rebuilds.start(Rebuild {
+            disk,
+            total_tracks,
+            done_tracks: 0,
+            source,
+        });
+        Ok(())
+    }
+
+    /// In-progress rebuilds.
+    #[must_use]
+    pub fn rebuilds(&self) -> &RebuildManager {
+        &self.rebuilds
+    }
+
+    /// Mutable access to the scheduler, paired with the verification
+    /// oracle so callers changing the catalog (register/retire objects)
+    /// can keep the ground truth in sync.
+    pub fn scheduler_and_oracle(&mut self) -> (&mut S, Option<&mut BlockOracle>) {
+        (&mut self.scheduler, self.oracle.as_mut())
+    }
+
+    /// Simulate one cycle.
+    pub fn step(&mut self) -> Result<CycleReport, SimError> {
+        let cycle = self.cycle;
+        self.cycle += 1;
+
+        // 1. Apply failure/repair events due now.
+        for event in self.failures.due(cycle) {
+            match event {
+                FailureEvent::Fail {
+                    disk, mid_cycle, ..
+                } => {
+                    // Simulated wall time of the failure.
+                    let now = Time::from_secs(
+                        self.scheduler.config().t_cyc().as_secs() * cycle as f64,
+                    );
+                    self.disks.fail(disk, now)?;
+                    let report = self.scheduler.on_disk_failure(disk, cycle, mid_cycle);
+                    if report.catastrophic {
+                        self.metrics.catastrophes += 1;
+                    }
+                    for _ in &report.dropped_streams {
+                        self.metrics.service_degradations += 1;
+                    }
+                }
+                FailureEvent::Repair { disk, .. } => {
+                    self.disks.repair(disk)?;
+                    self.scheduler.on_disk_repair(disk, cycle);
+                }
+            }
+        }
+
+        // 2. Plan and execute the cycle.
+        let t_cyc = self.scheduler.config().t_cyc();
+        let plan = self.scheduler.plan_cycle(cycle);
+        let mut report = CycleReport {
+            cycle,
+            ..CycleReport::default()
+        };
+        for (&disk, reads) in &plan.reads {
+            if reads.is_empty() {
+                continue;
+            }
+            let t = self.disks.disk_mut(disk)?.read_tracks(reads.len(), t_cyc)?;
+            self.metrics.disk_busy += t;
+            report.tracks_read += reads.len();
+        }
+
+        // 3. Verify deliveries against ground truth.
+        for d in &plan.deliveries {
+            report.delivered += 1;
+            if d.reconstructed {
+                report.reconstructed += 1;
+            }
+            if let Some(oracle) = &self.oracle {
+                let expected = oracle.block(d.addr);
+                let produced = if d.reconstructed {
+                    match d.addr.kind {
+                        BlockKind::Data(ix) => {
+                            oracle.reconstruct_and_check(d.addr.object, d.addr.group, ix)
+                        }
+                        BlockKind::Parity => expected.clone(),
+                    }
+                } else {
+                    oracle.block(d.addr)
+                };
+                assert_eq!(produced, expected, "delivered bytes must match stored");
+                self.metrics.verified += 1;
+            }
+        }
+
+        // 3b. Advance rebuilds with the slots the schedule left idle.
+        let slots = {
+            let p = self.disks.disk(mms_disk::DiskId(0))?.params();
+            p.slots_per_cycle(t_cyc)
+        };
+        let loads: std::collections::BTreeMap<mms_disk::DiskId, usize> = plan
+            .reads
+            .iter()
+            .map(|(&d, v)| (d, v.len()))
+            .collect();
+        let mut rebuild_reads: Vec<(mms_disk::DiskId, usize)> = Vec::new();
+        let disks_view = &self.disks;
+        let finished_rebuilds = self.rebuilds.advance(
+            |d| {
+                if disks_view.is_operational(d) {
+                    slots.saturating_sub(loads.get(&d).copied().unwrap_or(0))
+                } else {
+                    0
+                }
+            },
+            |d, n| rebuild_reads.push((d, n)),
+        );
+        for (d, n) in rebuild_reads {
+            let t = self.disks.disk_mut(d)?.read_tracks(n, t_cyc)?;
+            self.metrics.disk_busy += t;
+            self.metrics.rebuild_reads += n as u64;
+        }
+        for d in finished_rebuilds {
+            let done = self.disks.disk_mut(d)?.advance_rebuild(1.0)?;
+            debug_assert!(done, "rebuild completion restores the disk");
+            self.scheduler.on_disk_repair(d, cycle);
+            self.metrics.rebuilds_completed += 1;
+        }
+
+        // 4. Account hiccups and completions.
+        for h in &plan.hiccups {
+            report.hiccups += 1;
+            self.metrics.count_hiccup(h.reason);
+        }
+        report.finished = plan.finished.len();
+        self.metrics.streams_finished += plan.finished.len() as u64;
+        report.buffer_in_use = self.scheduler.buffer_in_use();
+
+        self.metrics.cycles += 1;
+        self.metrics.tracks_read += report.tracks_read as u64;
+        self.metrics.delivered += report.delivered as u64;
+        self.metrics.reconstructed += report.reconstructed as u64;
+        self.metrics.buffer_peak = self
+            .metrics
+            .buffer_peak
+            .max(self.scheduler.buffer_high_water());
+        self.metrics.buffer_series.push(report.buffer_in_use);
+
+        if self.trace.len() < self.trace_limit {
+            self.trace.push(plan);
+        }
+        Ok(report)
+    }
+
+    /// Simulate `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Simulate `cycles` cycles with Poisson arrivals from `workload`;
+    /// capacity rejections are counted, not fatal.
+    pub fn run_with_workload<R: Rng + ?Sized>(
+        &mut self,
+        cycles: u64,
+        workload: &WorkloadGen,
+        rng: &mut R,
+    ) -> Result<u64, SimError> {
+        let mut rejected = 0u64;
+        for _ in 0..cycles {
+            for _ in 0..workload.arrivals(rng) {
+                let object = workload.pick(rng);
+                if self.admit(object).is_err() {
+                    rejected += 1;
+                }
+            }
+            self.step()?;
+        }
+        Ok(rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mms_disk::{Bandwidth, DiskId};
+    use mms_layout::{BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject};
+    use mms_sched::{CycleConfig, StreamingRaidScheduler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(disks: usize, c: usize, tracks: u64) -> Simulator<StreamingRaidScheduler> {
+        let geo = Geometry::clustered(disks, c).unwrap();
+        let layout = ClusteredLayout::new(geo);
+        let mut catalog = Catalog::new(layout, 1_000_000);
+        catalog
+            .add(MediaObject::new(
+                ObjectId(0),
+                "movie",
+                tracks,
+                BandwidthClass::Mpeg1,
+            ))
+            .unwrap();
+        let dir = ObjectDirectory::new([(ObjectId(0), tracks)], (c - 1) as u32);
+        let cfg = CycleConfig::new(
+            DiskParams::paper_table1(),
+            Bandwidth::from_megabits(1.5),
+            c - 1,
+            c - 1,
+        );
+        let sched = StreamingRaidScheduler::new(cfg, catalog);
+        Simulator::new(
+            sched,
+            DiskParams::paper_table1(),
+            disks,
+            DataMode::Verified { track_bytes: 256 },
+            dir,
+        )
+    }
+
+    #[test]
+    fn clean_run_delivers_and_verifies_everything() {
+        let mut sim = build(10, 5, 16);
+        sim.admit(ObjectId(0)).unwrap();
+        sim.run(6).unwrap();
+        let m = sim.metrics();
+        assert_eq!(m.delivered, 16);
+        assert_eq!(m.verified, 16);
+        assert_eq!(m.total_hiccups(), 0);
+        assert_eq!(m.streams_finished, 1);
+        // 4 groups × 5 tracks read (4 data + parity).
+        assert_eq!(m.tracks_read, 20);
+        assert!(m.utilization(sim.scheduler().config().t_cyc(), 10) > 0.0);
+    }
+
+    #[test]
+    fn failure_is_masked_and_reconstructions_verified() {
+        let mut sim = build(10, 5, 40);
+        sim.admit(ObjectId(0)).unwrap();
+        sim.set_failures(FailureSchedule::fail_at(2, DiskId(1)));
+        sim.run(12).unwrap();
+        let m = sim.metrics();
+        assert_eq!(m.delivered, 40);
+        assert_eq!(m.total_hiccups(), 0);
+        // Disk 1 is in cluster 0, hit every other group from cycle 2 on.
+        assert!(m.reconstructed >= 4, "{}", m.reconstructed);
+        assert_eq!(m.verified, 40);
+        assert_eq!(m.catastrophes, 0);
+    }
+
+    #[test]
+    fn repair_stops_reconstruction() {
+        let mut sim = build(10, 5, 40);
+        sim.admit(ObjectId(0)).unwrap();
+        sim.set_failures(FailureSchedule::fail_and_repair(2, 4, DiskId(0)));
+        sim.run(12).unwrap();
+        let m = sim.metrics();
+        assert_eq!(m.delivered, 40);
+        // Only the cluster-0 groups read during cycles 2..4 reconstruct.
+        assert!(m.reconstructed <= 2, "{}", m.reconstructed);
+    }
+
+    #[test]
+    fn double_failure_counts_catastrophe_and_hiccups() {
+        let mut sim = build(10, 5, 16);
+        sim.admit(ObjectId(0)).unwrap();
+        sim.set_failures(FailureSchedule::new(vec![
+            FailureEvent::Fail {
+                cycle: 0,
+                disk: DiskId(0),
+                mid_cycle: false,
+            },
+            FailureEvent::Fail {
+                cycle: 0,
+                disk: DiskId(2),
+                mid_cycle: false,
+            },
+        ]));
+        sim.run(6).unwrap();
+        let m = sim.metrics();
+        assert_eq!(m.catastrophes, 1);
+        // Two blocks lost per cluster-0 group (groups 0 and 2).
+        assert_eq!(m.hiccups_failed_disk, 4);
+        assert_eq!(m.delivered, 12);
+    }
+
+    #[test]
+    fn workload_driver_admits_and_runs() {
+        let mut sim = build(10, 5, 8);
+        let workload = WorkloadGen::new(vec![ObjectId(0)], 0.0, 0.8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let rejected = sim.run_with_workload(50, &workload, &mut rng).unwrap();
+        let m = sim.metrics();
+        assert!(m.streams_finished > 5);
+        assert_eq!(m.total_hiccups(), 0);
+        assert_eq!(m.delivered, m.verified);
+        // Capacity is large; nothing should be rejected at this rate.
+        assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn trace_retention_is_bounded() {
+        let mut sim = build(10, 5, 16);
+        sim.admit(ObjectId(0)).unwrap();
+        sim.keep_trace(3);
+        sim.run(6).unwrap();
+        assert_eq!(sim.trace().len(), 3);
+        assert_eq!(sim.trace()[2].cycle, 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Workload generation: Poisson arrivals over a Zipf-popular catalog.
+//!
+//! The paper sizes systems for "6500 concurrent MPEG-2 users or 20,000
+//! MPEG-1 users" watching movies; this module generates that kind of
+//! movie-on-demand request stream for the simulator and benches.
+
+use mms_layout::ObjectId;
+use rand::Rng;
+
+/// A Zipf(θ) popularity distribution over `n` items — the standard model
+/// for video-on-demand title popularity.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[i] = P(rank ≤ i)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution with exponent `theta` over `n` ranks.
+    /// `theta = 0` is uniform; classic video rental fits use θ ≈ 0.271.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard the tail against floating point dust.
+        *weights.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf: weights }
+    }
+
+    /// Sample a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether empty (never: construction requires `n > 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Poisson-arrival workload over a catalog of objects.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    objects: Vec<ObjectId>,
+    zipf: Zipf,
+    /// Mean new-stream arrivals per cycle.
+    rate: f64,
+}
+
+impl WorkloadGen {
+    /// Build a generator: `rate` mean arrivals per cycle, Zipf(θ)
+    /// popularity over `objects` (ordered most- to least-popular).
+    ///
+    /// # Panics
+    /// Panics if `objects` is empty or `rate` is negative.
+    #[must_use]
+    pub fn new(objects: Vec<ObjectId>, theta: f64, rate: f64) -> Self {
+        assert!(!objects.is_empty(), "need at least one object");
+        assert!(rate >= 0.0, "rate must be non-negative");
+        let zipf = Zipf::new(objects.len(), theta);
+        WorkloadGen {
+            objects,
+            zipf,
+            rate,
+        }
+    }
+
+    /// Number of arrivals this cycle (Poisson via Knuth's product
+    /// method — the per-cycle rate is small).
+    pub fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let l = (-self.rate).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // defensive cap; unreachable for sane rates
+            }
+        }
+    }
+
+    /// Pick an object by popularity.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> ObjectId {
+        self.objects[self.zipf.sample(rng)]
+    }
+
+    /// The catalog, most popular first.
+    #[must_use]
+    pub fn objects(&self) -> &[ObjectId] {
+        &self.objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With θ=1 over 100 items, the top 10 carry ~56% of mass.
+        let frac = head as f64 / n as f64;
+        assert!((0.5..0.63).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_rate() {
+        let gen = WorkloadGen::new(vec![ObjectId(0)], 0.0, 2.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| gen.arrivals(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn zero_rate_never_arrives() {
+        let gen = WorkloadGen::new(vec![ObjectId(0)], 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(gen.arrivals(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn pick_respects_catalog() {
+        let objs = vec![ObjectId(7), ObjectId(8), ObjectId(9)];
+        let gen = WorkloadGen::new(objs.clone(), 0.271, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert!(objs.contains(&gen.pick(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the simulation substrate: failure schedules,
+//! workload distributions, and the rebuild manager.
+
+use mms_disk::{DiskId, ReliabilityParams, Time};
+use mms_layout::ObjectId;
+use mms_sim::{FailureEvent, FailureSchedule, Rebuild, RebuildManager, RebuildSource, WorkloadGen, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stochastic schedules drain in cycle order, alternate fail/repair
+    /// per disk, and never emit events past the horizon.
+    #[test]
+    fn stochastic_schedules_are_well_formed(
+        seed in any::<u64>(),
+        d in 1usize..20,
+        horizon in 10u64..5_000,
+        accel in 1.0e4f64..1.0e7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = FailureSchedule::stochastic(
+            &mut rng,
+            d,
+            ReliabilityParams::paper(),
+            Time::from_secs(1.0),
+            horizon,
+            accel,
+        );
+        let mut last_cycle = 0u64;
+        let mut down: std::collections::HashSet<DiskId> = std::collections::HashSet::new();
+        for cycle in 0..horizon {
+            for e in s.due(cycle) {
+                prop_assert!(e.cycle() >= last_cycle);
+                prop_assert!(e.cycle() < horizon);
+                last_cycle = e.cycle();
+                match e {
+                    FailureEvent::Fail { disk, .. } => {
+                        prop_assert!(down.insert(disk), "double failure of {disk}");
+                    }
+                    FailureEvent::Repair { disk, .. } => {
+                        prop_assert!(down.remove(&disk), "repair of healthy {disk}");
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(s.remaining(), 0);
+    }
+
+    /// Zipf CDFs are proper distributions and θ orders head mass.
+    #[test]
+    fn zipf_head_mass_increases_with_theta(
+        n in 2usize..200,
+        theta_lo in 0.0f64..0.8,
+        bump in 0.2f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let lo = Zipf::new(n, theta_lo);
+        let hi = Zipf::new(n, theta_lo + bump);
+        let trials = 4000;
+        let head = n.div_ceil(4).max(1);
+        let count = |z: &Zipf, s: u64| {
+            let mut rng = StdRng::seed_from_u64(s);
+            (0..trials).filter(|_| z.sample(&mut rng) < head).count()
+        };
+        let c_lo = count(&lo, seed);
+        let c_hi = count(&hi, seed.wrapping_add(1));
+        // Higher theta concentrates mass on low ranks; allow sampling
+        // noise of a few standard deviations.
+        prop_assert!(c_hi + 200 >= c_lo, "lo {c_lo} hi {c_hi}");
+    }
+
+    /// Workload arrivals have the Poisson mean and never panic for any
+    /// rate in a sane range.
+    #[test]
+    fn workload_arrival_mean(rate in 0.0f64..6.0, seed in any::<u64>()) {
+        let gen = WorkloadGen::new(vec![ObjectId(0)], 0.271, rate);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 3000u32;
+        let total: usize = (0..n).map(|_| gen.arrivals(&mut rng)).sum();
+        let mean = total as f64 / f64::from(n);
+        // SE = sqrt(rate / n); allow 6 sigma + epsilon.
+        let tol = 6.0 * (rate / f64::from(n)).sqrt() + 0.02;
+        prop_assert!((mean - rate).abs() < tol, "mean {mean} vs rate {rate}");
+    }
+
+    /// Rebuild progress is conserved: total spent reads equal
+    /// sources × rebuilt tracks, and completion is exact.
+    #[test]
+    fn rebuild_conserves_work(
+        total in 1u64..500,
+        sources in 1usize..8,
+        idle in 1usize..10,
+    ) {
+        let src: Vec<DiskId> = (0..sources as u32).map(DiskId).collect();
+        let mut mgr = RebuildManager::new();
+        mgr.start(Rebuild {
+            disk: DiskId(99),
+            total_tracks: total,
+            done_tracks: 0,
+            source: RebuildSource::Parity { sources: src },
+        });
+        let mut spent = 0usize;
+        let mut cycles = 0u64;
+        loop {
+            let finished = mgr.advance(|_| idle, |_, n| spent += n);
+            cycles += 1;
+            if !finished.is_empty() {
+                break;
+            }
+            prop_assert!(cycles < total + 2, "stuck");
+        }
+        prop_assert_eq!(spent as u64, total * sources as u64);
+        prop_assert_eq!(cycles, total.div_ceil(idle as u64));
+    }
+}

@@ -1,0 +1,81 @@
+//! Capacity planning: the Section 5 design exercise. Given a working set
+//! of movies and a target number of concurrent viewers, compare the four
+//! schemes' cost, memory, bandwidth overhead, and reliability — and pick
+//! the cheapest configuration, as the paper does for 1200 and 1500
+//! streams.
+//!
+//! Run with: `cargo run --example capacity_planning [streams]`
+
+use ft_media_server::analysis::{
+    fig9_rows, table_rows, CostModel, SchemeKind, SchemeParams, SystemParams,
+};
+
+fn main() {
+    let required: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1200.0);
+
+    let sys = SystemParams::paper_table1();
+    let model = CostModel::paper_fig9();
+
+    println!("=== Metrics at C = 5, D = 100 (the paper's Table 2) ===\n");
+    println!(
+        "{:<20} {:>8} {:>8} {:>12} {:>14} {:>8} {:>9}",
+        "scheme", "stor ov", "bw ov", "MTTF (yr)", "MTTDS (yr)", "streams", "buffers"
+    );
+    for row in table_rows(&sys, &SchemeParams::paper_tables(5)) {
+        println!(
+            "{:<20} {:>7.1}% {:>7.1}% {:>12.1} {:>14.1} {:>8} {:>9}",
+            row.scheme.to_string(),
+            row.storage_overhead * 100.0,
+            row.bandwidth_overhead * 100.0,
+            row.mttf_years,
+            row.mttds_years,
+            row.streams,
+            row.buffers_tracks
+        );
+    }
+
+    println!(
+        "\n=== Cost sweep for W = {:.0} GB (Figure 9) ===\n",
+        model.working_set_mb / 1000.0
+    );
+    println!(
+        "{:>3} {:>7} {:>11} {:>11} {:>11} {:>11}",
+        "C", "disks", "SR $", "SG $", "NC $", "IB $"
+    );
+    for row in fig9_rows(&sys, &model, 2..=10) {
+        println!(
+            "{:>3} {:>7.1} {:>11.0} {:>11.0} {:>11.0} {:>11.0}",
+            row.c, row.disks, row.cost[0], row.cost[1], row.cost[2], row.cost[3]
+        );
+    }
+
+    println!("\n=== Cheapest configuration for {required:.0} concurrent streams ===\n");
+    let mut winner: Option<(SchemeKind, usize, f64)> = None;
+    for scheme in SchemeKind::ALL {
+        match model.cheapest_for_streams(&sys, scheme, 2..=10, required, SchemeParams::paper_fig9)
+        {
+            Some((c, cost)) => {
+                println!("{:<20} feasible at C = {c:<2} for ${cost:>9.0}", scheme.to_string());
+                if winner.map(|(_, _, w)| cost < w).unwrap_or(true) {
+                    winner = Some((scheme, c, cost));
+                }
+            }
+            None => println!(
+                "{:<20} cannot reach {required:.0} streams at this working set",
+                scheme.to_string()
+            ),
+        }
+    }
+    match winner {
+        Some((scheme, c, cost)) => println!(
+            "\n→ deploy {scheme} with parity groups of {c}: ${cost:.0}.\n  \
+             (The paper: ~1200 streams favor the memory-light clustered schemes;\n  \
+             ~1500 streams force Improved-bandwidth, which alone turns parity-disk\n  \
+             bandwidth into stream capacity.)"
+        ),
+        None => println!("\n→ no scheme reaches the target; buy more disks."),
+    }
+}

@@ -1,0 +1,104 @@
+//! Movie-on-demand workload: a catalog of MPEG-1 features with Zipf
+//! popularity, Poisson viewer arrivals, and a mid-run disk failure —
+//! compared across all four schemes of the paper.
+//!
+//! All schemes replay the *same* arrival trace (generated once in real
+//! time and mapped onto each scheme's cycle grid), so the buffer-peak and
+//! hiccup columns are directly comparable.
+//!
+//! Run with: `cargo run --release --example video_on_demand`
+
+use ft_media_server::disk::DiskId;
+use ft_media_server::layout::{BandwidthClass, ObjectId};
+use ft_media_server::sim::{DataMode, Zipf};
+use ft_media_server::{Scheme, ServerBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated wall-clock horizon.
+const HORIZON_SECS: f64 = 160.0;
+/// Mean viewer arrivals per simulated second.
+const ARRIVALS_PER_SEC: f64 = 0.3;
+/// Titles in the catalog.
+const TITLES: usize = 6;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One arrival trace shared by every scheme: (time in seconds, title).
+    let mut rng = StdRng::seed_from_u64(2026);
+    let zipf = Zipf::new(TITLES, 0.271);
+    let mut arrivals: Vec<(f64, usize)> = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += -(1.0 - rng.gen::<f64>()).ln() / ARRIVALS_PER_SEC;
+        if t >= HORIZON_SECS {
+            break;
+        }
+        arrivals.push((t, zipf.sample(&mut rng)));
+    }
+    println!("{} viewers arrive over {HORIZON_SECS} s\n", arrivals.len());
+
+    println!(
+        "{:<20} {:>8} {:>10} {:>9} {:>8} {:>9} {:>10}",
+        "scheme", "finished", "delivered", "reconstr", "hiccups", "rejected", "buf peak"
+    );
+    for scheme in Scheme::ALL {
+        let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+        let mut builder = ServerBuilder::new(scheme)
+            .disks(disks)
+            .parity_group(5)
+            // Metadata-only keeps the long run fast; the verified mode is
+            // exercised by the test suite.
+            .data_mode(DataMode::MetadataOnly);
+        // A small catalog of shorts (full features run for thousands of
+        // cycles; shorts keep the example brisk without changing logic).
+        for i in 0..TITLES {
+            builder = builder.movie(format!("title-{i}"), 0.4, BandwidthClass::Mpeg1);
+        }
+        let mut server = builder.build()?;
+
+        let t_cyc = server.cycle_config().t_cyc().as_secs();
+        let cycles = (HORIZON_SECS / t_cyc) as u64;
+        let fail_cycle = cycles / 2;
+        let repair_cycle = cycles * 3 / 4;
+
+        let mut rejected = 0u64;
+        let mut next_arrival = 0usize;
+        for cycle in 0..cycles {
+            while next_arrival < arrivals.len()
+                && arrivals[next_arrival].0 < (cycle + 1) as f64 * t_cyc
+            {
+                let title = ObjectId(arrivals[next_arrival].1 as u64);
+                if server.admit(title).is_err() {
+                    rejected += 1;
+                }
+                next_arrival += 1;
+            }
+            if cycle == fail_cycle {
+                server.fail_disk(DiskId(1))?;
+            }
+            if cycle == repair_cycle {
+                server.repair_disk(DiskId(1))?;
+            }
+            server.step()?;
+        }
+
+        let m = server.metrics();
+        println!(
+            "{:<20} {:>8} {:>10} {:>9} {:>8} {:>9} {:>10}",
+            scheme.to_string(),
+            m.streams_finished,
+            m.delivered,
+            m.reconstructed,
+            m.total_hiccups(),
+            rejected,
+            m.buffer_peak,
+        );
+    }
+    println!(
+        "\nSame viewers, same failure window. The buffer-peak column shows the\n\
+         paper's memory hierarchy per concurrent stream: SR buffers 2C tracks,\n\
+         SG about half that (staggered groups), NC just 2, and IB 2(C−1).\n\
+         NC pays instead with a bounded number of transition hiccups."
+    );
+    Ok(())
+}

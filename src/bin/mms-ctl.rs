@@ -1,0 +1,236 @@
+//! `mms-ctl` — command-line driver for the fault-tolerant multimedia
+//! server library.
+//!
+//! ```text
+//! mms-ctl table <C>                          the Table 2/3 metrics at any C
+//! mms-ctl simulate [options]                 run a failure scenario
+//!   --scheme sr|sg|nc|ib   (default sr)
+//!   --disks N              (default 10; IB default 8)
+//!   --group C              (default 5)
+//!   --viewers N            (default 4)
+//!   --tracks N             (default 500)
+//!   --fail DISK@CYCLE      (repeatable)
+//!   --repair DISK@CYCLE    (repeatable)
+//!   --rebuild DISK@CYCLE   (repeatable; parity rebuild)
+//!   --cycles N             (default: run until streams finish)
+//! mms-ctl mttf <D> <C>                       reliability summary
+//! mms-ctl design <streams>                   cheapest feasible design
+//! ```
+
+use ft_media_server::analysis::{
+    best_design, table_rows, CostModel, SchemeParams, SystemParams,
+};
+use ft_media_server::disk::{DiskId, ReliabilityParams};
+use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
+use ft_media_server::reliability::{formulas, PoolMarkov};
+use ft_media_server::sim::DataMode;
+use ft_media_server::{Scheme, ServerBuilder};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("table") => cmd_table(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("mttf") => cmd_mttf(&args[1..]),
+        Some("design") => cmd_design(&args[1..]),
+        _ => {
+            eprintln!("usage: mms-ctl <table|simulate|mttf|design> …  (see --help in source)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_table(args: &[String]) -> CmdResult {
+    let c: usize = args.first().map_or(Ok(5), |s| s.parse())?;
+    if !(2..=50).contains(&c) {
+        return Err("parity group size must be in 2..=50".into());
+    }
+    let sys = SystemParams::paper_table1();
+    println!("metrics at C = {c}, D = {} (Table 1 parameters)\n", sys.d);
+    println!(
+        "{:<20} {:>9} {:>9} {:>12} {:>14} {:>8} {:>9}",
+        "scheme", "stor ovhd", "bw ovhd", "MTTF (yr)", "MTTDS (yr)", "streams", "buffers"
+    );
+    for row in table_rows(&sys, &SchemeParams::paper_tables(c)) {
+        println!(
+            "{:<20} {:>8.1}% {:>8.1}% {:>12.1} {:>14.1} {:>8} {:>9}",
+            row.scheme.to_string(),
+            row.storage_overhead * 100.0,
+            row.bandwidth_overhead * 100.0,
+            row.mttf_years,
+            row.mttds_years,
+            row.streams,
+            row.buffers_tracks
+        );
+    }
+    Ok(())
+}
+
+fn parse_events(args: &[String], flag: &str) -> Result<Vec<(u32, u64)>, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            let spec = it.next().ok_or_else(|| format!("{flag} needs DISK@CYCLE"))?;
+            let (d, c) = spec
+                .split_once('@')
+                .ok_or_else(|| format!("bad {flag} spec '{spec}': want DISK@CYCLE"))?;
+            out.push((
+                d.parse().map_err(|_| format!("bad disk '{d}'"))?,
+                c.parse().map_err(|_| format!("bad cycle '{c}'"))?,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    for w in args.windows(2) {
+        if w[0] == flag {
+            return w[1]
+                .parse()
+                .map_err(|_| format!("bad value for {flag}: '{}'", w[1]));
+        }
+    }
+    Ok(default)
+}
+
+fn cmd_simulate(args: &[String]) -> CmdResult {
+    let scheme = match flag_value(args, "--scheme", "sr".to_string())?.as_str() {
+        "sr" => Scheme::StreamingRaid,
+        "sg" => Scheme::StaggeredGroup,
+        "nc" => Scheme::NonClustered,
+        "ib" => Scheme::ImprovedBandwidth,
+        other => return Err(format!("unknown scheme '{other}'").into()),
+    };
+    let default_disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+    let disks: usize = flag_value(args, "--disks", default_disks)?;
+    let group: usize = flag_value(args, "--group", 5)?;
+    let viewers: usize = flag_value(args, "--viewers", 4)?;
+    let tracks: u64 = flag_value(args, "--tracks", 500)?;
+    let cycles: u64 = flag_value(args, "--cycles", 0)?;
+    let fails = parse_events(args, "--fail")?;
+    let repairs = parse_events(args, "--repair")?;
+    let rebuilds = parse_events(args, "--rebuild")?;
+
+    let mut server = ServerBuilder::new(scheme)
+        .disks(disks)
+        .parity_group(group)
+        .object(MediaObject::new(
+            ObjectId(0),
+            "movie",
+            tracks,
+            BandwidthClass::Mpeg1,
+        ))
+        .data_mode(DataMode::Verified { track_bytes: 128 })
+        .build()?;
+    println!(
+        "{} | {} disks, C = {group}, {} slots/disk/cycle, capacity {} streams",
+        server.scheme(),
+        disks,
+        server.cycle_config().slots_per_disk(),
+        server.stream_capacity()
+    );
+    for _ in 0..viewers {
+        server.admit(ObjectId(0))?;
+        server.step()?;
+    }
+
+    let horizon = if cycles > 0 { cycles } else { u64::MAX };
+    let mut t = server.simulator().cycle();
+    while t < horizon && (server.active_streams() > 0 || t < cycles) {
+        for &(d, at) in &fails {
+            if at == t {
+                let r = server.fail_disk(DiskId(d))?;
+                println!(
+                    "cycle {t}: disk {d} FAILED (catastrophic: {}, dropped: {})",
+                    r.catastrophic,
+                    r.dropped_streams.len()
+                );
+            }
+        }
+        for &(d, at) in &repairs {
+            if at == t {
+                server.repair_disk(DiskId(d))?;
+                println!("cycle {t}: disk {d} repaired");
+            }
+        }
+        for &(d, at) in &rebuilds {
+            if at == t {
+                server.start_parity_rebuild(DiskId(d))?;
+                println!("cycle {t}: parity rebuild of disk {d} started");
+            }
+        }
+        server.step()?;
+        t = server.simulator().cycle();
+        if cycles == 0 && server.active_streams() == 0 {
+            break;
+        }
+    }
+
+    let m = server.metrics();
+    println!("\ncycles simulated   : {}", m.cycles);
+    println!("streams finished   : {}", m.streams_finished);
+    println!("tracks delivered   : {} (verified {})", m.delivered, m.verified);
+    println!("reconstructed      : {}", m.reconstructed);
+    println!("hiccups            : {} (failed-disk {}, displaced {}, mid-cycle {}, DoS {})",
+        m.total_hiccups(), m.hiccups_failed_disk, m.hiccups_displaced,
+        m.hiccups_mid_cycle, m.service_degradations);
+    println!("rebuilds completed : {}", m.rebuilds_completed);
+    println!("buffer peak        : {} tracks", m.buffer_peak);
+    println!("catastrophes       : {}", m.catastrophes);
+    Ok(())
+}
+
+fn cmd_mttf(args: &[String]) -> CmdResult {
+    let d: usize = args.first().map_or(Ok(1000), |s| s.parse())?;
+    let c: usize = args.get(1).map_or(Ok(10), |s| s.parse())?;
+    let rel = ReliabilityParams::paper();
+    println!("reliability for D = {d}, C = {c} (MTTF 300,000 h, MTTR 1 h)\n");
+    println!(
+        "first failure anywhere      : {:>12.1} hours",
+        formulas::mttf_single_pool(d, rel).as_hours()
+    );
+    println!(
+        "catastrophic, SR/SG/NC      : {:>12.1} years (Eq. 4)",
+        formulas::mttf_raid(d, c, rel).as_years()
+    );
+    println!(
+        "catastrophic, IB            : {:>12.1} years (Eq. 5)",
+        formulas::mttf_improved(d, c, rel).as_years()
+    );
+    for k in [1usize, 2, 4] {
+        let exact = PoolMarkov::new(d, k, rel).mean_time_to_exhaustion();
+        println!(
+            "DoS masking {k} failure(s)    : {:>12.3e} years (Eq. 6: {:.3e}; exact chain includes the k! factor)",
+            exact.as_years(),
+            formulas::mttds_shared(d, k, rel).as_years()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_design(args: &[String]) -> CmdResult {
+    let required: f64 = args.first().map_or(Ok(1200.0), |s| s.parse())?;
+    let sys = SystemParams::paper_table1();
+    let model = CostModel::paper_fig9();
+    match best_design(&sys, &model, 2..=10, required, SchemeParams::paper_fig9) {
+        Some(p) => println!(
+            "cheapest for {required:.0} streams: {} at C = {} — ${:.0} \
+             ({:.1} disks, {:.0} buffer tracks, {:.0} streams)",
+            p.scheme, p.c, p.cost, p.disks, p.buffer_tracks, p.streams
+        ),
+        None => println!("no configuration reaches {required:.0} streams at W = 100 GB"),
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # ft-media-server
+//!
+//! A production-quality Rust reproduction of *Berson, Golubchik & Muntz,
+//! "Fault Tolerant Design of Multimedia Servers" (SIGMOD 1995)*: four
+//! parity-based fault-tolerance schemes for continuous-media disk arrays
+//! (Streaming RAID, Staggered-group, Non-clustered with buffer pool, and
+//! Improved-bandwidth), the cycle-based scheduling model they share, the
+//! paper's complete analytical evaluation, and a discrete-event simulator
+//! that exercises the whole stack with real XOR parity over synthetic
+//! media tracks.
+//!
+//! This crate re-exports the workspace's public API; see
+//! [`mms_server`](https://docs.rs/mms-server) for the facade and the
+//! `examples/` directory for runnable scenarios:
+//!
+//! * `quickstart` — build a server, play a movie, survive a disk failure.
+//! * `video_on_demand` — a Zipf/Poisson movie-on-demand workload across
+//!   all four schemes.
+//! * `failure_drill` — the paper's Figure 6/7 transition scenarios,
+//!   narrated cycle by cycle.
+//! * `capacity_planning` — the Section 5 design exercise: pick the
+//!   cheapest scheme and parity-group size for a target stream count.
+
+#![forbid(unsafe_code)]
+
+pub use mms_server::*;

@@ -1,0 +1,200 @@
+//! Property-based whole-system tests: random geometries, movie lengths,
+//! failure times, and schemes — the invariants of Section 5 must hold in
+//! every case.
+
+use ft_media_server::disk::DiskId;
+use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
+use ft_media_server::sched::{SchemeScheduler, TransitionPolicy};
+use ft_media_server::sim::DataMode;
+use ft_media_server::{MultimediaServer, Scheme, ServerBuilder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    scheme: Scheme,
+    c: usize,
+    clusters: usize,
+    tracks: u64,
+    viewers: usize,
+    fail_disk: Option<u32>,
+    fail_after: u64,
+    policy: TransitionPolicy,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop_oneof![
+            Just(Scheme::StreamingRaid),
+            Just(Scheme::StaggeredGroup),
+            Just(Scheme::NonClustered),
+            Just(Scheme::ImprovedBandwidth),
+        ],
+        3usize..=7,           // parity-group size
+        2usize..=4,           // clusters
+        4u64..=60,            // object tracks
+        1usize..=3,           // viewers
+        prop_oneof![Just(None), (0u32..8).prop_map(Some)],
+        0u64..8,              // failure timing
+        prop_oneof![Just(TransitionPolicy::Simple), Just(TransitionPolicy::Delayed)],
+    )
+        .prop_map(
+            |(scheme, c, clusters, tracks, viewers, fail_disk, fail_after, policy)| Scenario {
+                scheme,
+                c,
+                clusters,
+                tracks,
+                viewers,
+                fail_disk,
+                fail_after,
+                policy,
+            },
+        )
+}
+
+fn build(sc: &Scenario) -> MultimediaServer {
+    let width = if sc.scheme == Scheme::ImprovedBandwidth {
+        sc.c - 1
+    } else {
+        sc.c
+    };
+    ServerBuilder::new(sc.scheme)
+        .disks(width * sc.clusters)
+        .parity_group(sc.c)
+        .transition_policy(sc.policy)
+        .object(MediaObject::new(
+            ObjectId(0),
+            "m",
+            sc.tracks,
+            BandwidthClass::Mpeg1,
+        ))
+        .data_mode(DataMode::Verified { track_bytes: 64 })
+        .build()
+        .expect("valid scenario")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Conservation: every scheduled track is either delivered (and
+    /// byte-verified) or accounted as a hiccup; buffers drain to zero;
+    /// single failures are never catastrophic.
+    #[test]
+    fn tracks_are_conserved_and_buffers_drain(sc in arb_scenario()) {
+        let mut s = build(&sc);
+        let movie = s.objects()[0];
+        let mut admitted = 0u64;
+        for _ in 0..sc.viewers {
+            // Capacity is ample in these geometries; spread admissions.
+            if s.admit(movie).is_ok() {
+                admitted += 1;
+            }
+            s.step().unwrap();
+        }
+        s.run(sc.fail_after).unwrap();
+        let mut catastrophic = false;
+        if let Some(d) = sc.fail_disk {
+            let disks = s.simulator().disks().len() as u32;
+            let report = s.fail_disk(DiskId(d % disks)).unwrap();
+            catastrophic = report.catastrophic;
+        }
+        // Generous horizon: every stream must terminate.
+        let horizon = (sc.tracks + 8) * (sc.c as u64) * (sc.viewers as u64 + 2) + 64;
+        let mut steps = 0;
+        while s.active_streams() > 0 {
+            s.step().unwrap();
+            steps += 1;
+            prop_assert!(steps < horizon, "stream never finished");
+        }
+        let m = s.metrics();
+        // Dropped streams (degradation of service) never "finish".
+        prop_assert_eq!(
+            m.streams_finished + m.service_degradations,
+            admitted,
+            "finished + dropped = admitted"
+        );
+        prop_assert_eq!(m.delivered, m.verified);
+        if !catastrophic {
+            // Without a catastrophe, a single failure loses at most the
+            // NC transition set: strictly fewer than C(C-1)/2 + C tracks
+            // per affected stream.
+            let bound = (sc.c * sc.c) as u64 * sc.viewers as u64;
+            prop_assert!(m.total_hiccups() <= bound);
+        }
+        prop_assert_eq!(s.simulator().scheduler().buffer_in_use(), 0, "buffer leak");
+        prop_assert_eq!(m.catastrophes > 0, catastrophic);
+    }
+
+    /// The delayed NC transition never loses more tracks than the simple
+    /// one, across arbitrary failure positions and timings.
+    #[test]
+    fn delayed_transition_dominates_simple(
+        c in 3usize..=7,
+        clusters in 1usize..=3,
+        tracks in 8u64..=40,
+        fail_disk in 0u32..8,
+        fail_after in 1u64..12,
+    ) {
+        let mut losses = Vec::new();
+        for policy in [TransitionPolicy::Simple, TransitionPolicy::Delayed] {
+            let mut s = ServerBuilder::new(Scheme::NonClustered)
+                .disks(c * clusters)
+                .parity_group(c)
+                .transition_policy(policy)
+                .object(MediaObject::new(ObjectId(0), "m", tracks, BandwidthClass::Mpeg1))
+                .data_mode(DataMode::Verified { track_bytes: 32 })
+                .build()
+                .unwrap();
+            let movie = s.objects()[0];
+            s.admit(movie).unwrap();
+            s.run(fail_after).unwrap();
+            let disks = s.simulator().disks().len() as u32;
+            s.fail_disk(DiskId(fail_disk % disks)).unwrap();
+            let mut steps = 0u64;
+            while s.active_streams() > 0 {
+                s.step().unwrap();
+                steps += 1;
+                prop_assert!(steps < 10_000);
+            }
+            losses.push(s.metrics().total_hiccups());
+        }
+        prop_assert!(
+            losses[1] <= losses[0],
+            "delayed {} > simple {}",
+            losses[1],
+            losses[0]
+        );
+    }
+
+    /// Admission honors capacity: admitting far beyond `stream_capacity`
+    /// never over-subscribes a disk (no plan ever exceeds slot budgets —
+    /// the simulator would error on overload).
+    #[test]
+    fn admission_never_oversubscribes(
+        scheme_ix in 0usize..4,
+        c in 3usize..=6,
+        burst in 1usize..40,
+    ) {
+        let scheme = Scheme::ALL[scheme_ix];
+        let width = if scheme == Scheme::ImprovedBandwidth { c - 1 } else { c };
+        let mut s = ServerBuilder::new(scheme)
+            .disks(width * 2)
+            .parity_group(c)
+            .object(MediaObject::new(ObjectId(0), "m", 24, BandwidthClass::Mpeg1))
+            .data_mode(DataMode::MetadataOnly)
+            .build()
+            .unwrap();
+        let movie = s.objects()[0];
+        let cap = s.stream_capacity();
+        let mut admitted = 0;
+        for _ in 0..burst {
+            if s.admit(movie).is_ok() {
+                admitted += 1;
+            }
+        }
+        prop_assert!(admitted <= cap);
+        // Running must never hit a disk overload (SimError).
+        for _ in 0..60 {
+            s.step().unwrap();
+        }
+    }
+}
