@@ -36,9 +36,9 @@ pub fn buffer_tracks_fractional(
     d: f64,
 ) -> f64 {
     match scheme {
-        SchemeKind::StreamingRaid
-        | SchemeKind::StaggeredGroup
-        | SchemeKind::ImprovedBandwidth => tracks_per_stream(scheme, p.c) * n_streams,
+        SchemeKind::StreamingRaid | SchemeKind::StaggeredGroup | SchemeKind::ImprovedBandwidth => {
+            tracks_per_stream(scheme, p.c) * n_streams
+        }
         SchemeKind::NonClustered => {
             // Eq. 14: 2 tracks per stream plus K_NC buffer servers, each
             // sized for one degraded cluster's staggered-group profile:
@@ -83,7 +83,10 @@ mod tests {
         assert_eq!(buffer_tracks(&sys, SchemeKind::StreamingRaid, &p), 10_410);
         assert_eq!(buffer_tracks(&sys, SchemeKind::StaggeredGroup, &p), 3_623);
         assert_eq!(buffer_tracks(&sys, SchemeKind::NonClustered, &p), 2_612);
-        assert_eq!(buffer_tracks(&sys, SchemeKind::ImprovedBandwidth, &p), 10_104);
+        assert_eq!(
+            buffer_tracks(&sys, SchemeKind::ImprovedBandwidth, &p),
+            10_104
+        );
     }
 
     #[test]
@@ -93,7 +96,10 @@ mod tests {
         assert_eq!(buffer_tracks(&sys, SchemeKind::StreamingRaid, &p), 15_750);
         assert_eq!(buffer_tracks(&sys, SchemeKind::StaggeredGroup, &p), 4_830);
         assert_eq!(buffer_tracks(&sys, SchemeKind::NonClustered, &p), 3_254);
-        assert_eq!(buffer_tracks(&sys, SchemeKind::ImprovedBandwidth, &p), 15_276);
+        assert_eq!(
+            buffer_tracks(&sys, SchemeKind::ImprovedBandwidth, &p),
+            15_276
+        );
     }
 
     #[test]

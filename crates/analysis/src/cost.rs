@@ -213,7 +213,13 @@ mod tests {
         }
         // SR's minimum is at C = 4 and the curve rises visibly after it.
         let sr: Vec<f64> = (2..=10)
-            .map(|c| m.total_cost(&sys, SchemeKind::StreamingRaid, &SchemeParams::paper_fig9(c)))
+            .map(|c| {
+                m.total_cost(
+                    &sys,
+                    SchemeKind::StreamingRaid,
+                    &SchemeParams::paper_fig9(c),
+                )
+            })
             .collect();
         let (argmin, _) = sr
             .iter()
@@ -276,7 +282,8 @@ mod tests {
             SchemeKind::NonClustered,
         ] {
             assert!(
-                m.cheapest_for_streams(&sys, scheme, 2..=10, 1500.0, mk).is_none(),
+                m.cheapest_for_streams(&sys, scheme, 2..=10, 1500.0, mk)
+                    .is_none(),
                 "{scheme:?} should not reach 1500 streams"
             );
         }

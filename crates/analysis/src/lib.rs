@@ -34,7 +34,9 @@ pub mod tables;
 
 pub use cost::CostModel;
 pub use params::{SchemeParams, SystemParams};
-pub use sweep::{best_design, design_space, partition_classes, ClassDemand, DesignPoint};
+pub use sweep::{
+    best_design, design_space, design_space_par, partition_classes, ClassDemand, DesignPoint,
+};
 pub use tables::{fig9_rows, section2_rows, table_rows, Fig9Row, Section2Row, TableRow};
 
 /// Re-export of the scheme discriminator shared with the schedulers.

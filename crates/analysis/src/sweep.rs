@@ -11,6 +11,7 @@ use crate::cost::CostModel;
 use crate::params::{SchemeParams, SystemParams};
 use crate::streams;
 use mms_disk::Bandwidth;
+use mms_exec::{par_map, Parallelism};
 use mms_sched::SchemeKind;
 
 /// One evaluated point of the design space.
@@ -37,25 +38,42 @@ pub fn design_space(
     sys: &SystemParams,
     model: &CostModel,
     c_range: std::ops::RangeInclusive<usize>,
-    make_params: impl Fn(usize) -> SchemeParams,
+    make_params: impl Fn(usize) -> SchemeParams + Sync,
 ) -> Vec<DesignPoint> {
-    let mut out = Vec::new();
-    for c in c_range {
+    design_space_par(sys, model, c_range, make_params, Parallelism::Sequential)
+}
+
+/// [`design_space`] fanned out across a worker pool: each (C, scheme)
+/// point is evaluated independently, then the points are sorted by cost
+/// with a stable tie-break on the enumeration order — so the output is
+/// identical to the sequential sweep for any [`Parallelism`].
+#[must_use]
+pub fn design_space_par(
+    sys: &SystemParams,
+    model: &CostModel,
+    c_range: std::ops::RangeInclusive<usize>,
+    make_params: impl Fn(usize) -> SchemeParams + Sync,
+    par: Parallelism,
+) -> Vec<DesignPoint> {
+    let grid: Vec<(usize, SchemeKind)> = c_range
+        .flat_map(|c| SchemeKind::ALL.into_iter().map(move |s| (c, s)))
+        .collect();
+    let mut out = par_map(par, &grid, |&(c, scheme)| {
         let p = make_params(c);
-        for scheme in SchemeKind::ALL {
-            let disks = model.disks_for_working_set(sys, c);
-            let streams = streams::max_streams_fractional(sys, scheme, &p, disks);
-            let buffer_tracks = buffers::buffer_tracks_fractional(scheme, &p, streams, disks);
-            out.push(DesignPoint {
-                scheme,
-                c,
-                disks,
-                streams,
-                buffer_tracks,
-                cost: model.total_cost(sys, scheme, &p),
-            });
+        let disks = model.disks_for_working_set(sys, c);
+        let streams = streams::max_streams_fractional(sys, scheme, &p, disks);
+        let buffer_tracks = buffers::buffer_tracks_fractional(scheme, &p, streams, disks);
+        DesignPoint {
+            scheme,
+            c,
+            disks,
+            streams,
+            buffer_tracks,
+            cost: model.total_cost(sys, scheme, &p),
         }
-    }
+    });
+    // `par_map` returns grid order; the stable sort then yields one
+    // canonical cost ranking regardless of thread count.
     out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     out
 }
@@ -67,7 +85,7 @@ pub fn best_design(
     model: &CostModel,
     c_range: std::ops::RangeInclusive<usize>,
     required_streams: f64,
-    make_params: impl Fn(usize) -> SchemeParams,
+    make_params: impl Fn(usize) -> SchemeParams + Sync,
 ) -> Option<DesignPoint> {
     design_space(sys, model, c_range, make_params)
         .into_iter()
@@ -159,6 +177,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_is_identical_to_sequential() {
+        let sys = SystemParams::paper_table1();
+        let model = CostModel::paper_fig9();
+        let seq = design_space(&sys, &model, 2..=10, SchemeParams::paper_fig9);
+        for par in [Parallelism::threads(2), Parallelism::threads(8)] {
+            let p = design_space_par(&sys, &model, 2..=10, SchemeParams::paper_fig9, par);
+            assert_eq!(p.len(), seq.len());
+            for (a, b) in seq.iter().zip(&p) {
+                assert_eq!(a.scheme, b.scheme, "under {par}");
+                assert_eq!(a.c, b.c, "under {par}");
+                assert_eq!(a.disks.to_bits(), b.disks.to_bits());
+                assert_eq!(a.streams.to_bits(), b.streams.to_bits());
+                assert_eq!(a.buffer_tracks.to_bits(), b.buffer_tracks.to_bits());
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn best_design_matches_the_section5_narrative() {
         let sys = SystemParams::paper_table1();
         let model = CostModel::paper_fig9();
@@ -228,6 +265,10 @@ mod tests {
             }],
         );
         // Table 2: 966 NC streams need ~100 disks.
-        assert!((one[0].total_disks - 100.0).abs() < 1.0, "{}", one[0].total_disks);
+        assert!(
+            (one[0].total_disks - 100.0).abs() < 1.0,
+            "{}",
+            one[0].total_disks
+        );
     }
 }

@@ -127,18 +127,82 @@ mod tests {
 
     /// Table 2 of the paper, transcribed.
     const TABLE2: [(SchemeKind, f64, f64, f64, f64, usize, usize); 4] = [
-        (SchemeKind::StreamingRaid, 0.20, 0.20, 25_684.9, 25_684.9, 1041, 10_410),
-        (SchemeKind::StaggeredGroup, 0.20, 0.20, 25_684.9, 25_684.9, 966, 3_623),
-        (SchemeKind::NonClustered, 0.20, 0.20, 25_684.9, 3_176_862.3, 966, 2_612),
-        (SchemeKind::ImprovedBandwidth, 0.20, 0.03, 11_415.5, 3_176_862.3, 1263, 10_104),
+        (
+            SchemeKind::StreamingRaid,
+            0.20,
+            0.20,
+            25_684.9,
+            25_684.9,
+            1041,
+            10_410,
+        ),
+        (
+            SchemeKind::StaggeredGroup,
+            0.20,
+            0.20,
+            25_684.9,
+            25_684.9,
+            966,
+            3_623,
+        ),
+        (
+            SchemeKind::NonClustered,
+            0.20,
+            0.20,
+            25_684.9,
+            3_176_862.3,
+            966,
+            2_612,
+        ),
+        (
+            SchemeKind::ImprovedBandwidth,
+            0.20,
+            0.03,
+            11_415.5,
+            3_176_862.3,
+            1263,
+            10_104,
+        ),
     ];
 
     /// Table 3 of the paper, transcribed.
     const TABLE3: [(SchemeKind, f64, f64, f64, f64, usize, usize); 4] = [
-        (SchemeKind::StreamingRaid, 1.0 / 7.0, 1.0 / 7.0, 17_123.3, 17_123.3, 1125, 15_750),
-        (SchemeKind::StaggeredGroup, 1.0 / 7.0, 1.0 / 7.0, 17_123.3, 17_123.3, 1035, 4_830),
-        (SchemeKind::NonClustered, 1.0 / 7.0, 1.0 / 7.0, 17_123.3, 3_176_862.3, 1035, 3_254),
-        (SchemeKind::ImprovedBandwidth, 1.0 / 7.0, 0.03, 7_903.1, 3_176_862.3, 1273, 15_276),
+        (
+            SchemeKind::StreamingRaid,
+            1.0 / 7.0,
+            1.0 / 7.0,
+            17_123.3,
+            17_123.3,
+            1125,
+            15_750,
+        ),
+        (
+            SchemeKind::StaggeredGroup,
+            1.0 / 7.0,
+            1.0 / 7.0,
+            17_123.3,
+            17_123.3,
+            1035,
+            4_830,
+        ),
+        (
+            SchemeKind::NonClustered,
+            1.0 / 7.0,
+            1.0 / 7.0,
+            17_123.3,
+            3_176_862.3,
+            1035,
+            3_254,
+        ),
+        (
+            SchemeKind::ImprovedBandwidth,
+            1.0 / 7.0,
+            0.03,
+            7_903.1,
+            3_176_862.3,
+            1273,
+            15_276,
+        ),
     ];
 
     fn check(c: usize, expected: &[(SchemeKind, f64, f64, f64, f64, usize, usize); 4]) {
@@ -146,8 +210,16 @@ mod tests {
         let rows = table_rows(&sys, &SchemeParams::paper_tables(c));
         for (row, exp) in rows.iter().zip(expected) {
             assert_eq!(row.scheme, exp.0);
-            assert!((row.storage_overhead - exp.1).abs() < 1e-6, "{:?}", row.scheme);
-            assert!((row.bandwidth_overhead - exp.2).abs() < 1e-6, "{:?}", row.scheme);
+            assert!(
+                (row.storage_overhead - exp.1).abs() < 1e-6,
+                "{:?}",
+                row.scheme
+            );
+            assert!(
+                (row.bandwidth_overhead - exp.2).abs() < 1e-6,
+                "{:?}",
+                row.scheme
+            );
             assert!(
                 (row.mttf_years - exp.3).abs() < 0.5,
                 "{:?} mttf {} vs {}",

@@ -8,9 +8,7 @@ use mms_server::disk::{Bandwidth, DiskId, DiskParams};
 use mms_server::layout::{
     BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
 };
-use mms_server::sched::{
-    CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy,
-};
+use mms_server::sched::{CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy};
 
 fn loaded_nc(policy: TransitionPolicy) -> (NonClusteredScheduler, u64) {
     let geo = Geometry::clustered(100, 5).unwrap();

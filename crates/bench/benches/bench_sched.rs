@@ -9,7 +9,11 @@ use mms_server::sim::DataMode;
 use mms_server::{MultimediaServer, Scheme, ServerBuilder};
 
 fn capacity_server(scheme: Scheme) -> MultimediaServer {
-    let disks = if scheme == Scheme::ImprovedBandwidth { 96 } else { 100 };
+    let disks = if scheme == Scheme::ImprovedBandwidth {
+        96
+    } else {
+        100
+    };
     let mut s = ServerBuilder::new(scheme)
         .disks(disks)
         .parity_group(5)

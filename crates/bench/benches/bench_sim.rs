@@ -11,7 +11,12 @@ use mms_server::{Scheme, ServerBuilder};
 fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_step");
     for (label, mode) in [
-        ("verified_50kb", DataMode::Verified { track_bytes: 50_000 }),
+        (
+            "verified_50kb",
+            DataMode::Verified {
+                track_bytes: 50_000,
+            },
+        ),
         ("metadata_only", DataMode::MetadataOnly),
     ] {
         let mut server = ServerBuilder::new(Scheme::StreamingRaid)

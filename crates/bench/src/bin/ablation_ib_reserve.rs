@@ -9,8 +9,8 @@
 
 use mms_server::disk::DiskId;
 use mms_server::layout::{BandwidthClass, MediaObject, ObjectId};
-use mms_server::sim::DataMode;
-use mms_server::{Scheme, ServerBuilder};
+use mms_server::sim::{run_batch, DataMode};
+use mms_server::{Parallelism, Scheme, ServerBuilder};
 
 fn run(reserve: usize) -> (usize, u64, u64, u64) {
     let mut server = ServerBuilder::new(Scheme::ImprovedBandwidth)
@@ -57,8 +57,12 @@ fn main() {
         "{:>8} {:>9} {:>9} {:>9} {:>14}",
         "reserve", "admitted", "dropped", "hiccups", "reconstructed"
     );
-    for reserve in [0usize, 1, 2, 4, 8] {
-        let (admitted, dropped, hiccups, reconstructed) = run(reserve);
+    let reserves = [0usize, 1, 2, 4, 8];
+    // Each reserve level is an independent simulation: run the bin's
+    // whole sweep over the deterministic worker pool.
+    let results = run_batch(Parallelism::Auto, &reserves, |&r| run(r));
+    for (reserve, (admitted, dropped, hiccups, reconstructed)) in reserves.into_iter().zip(results)
+    {
         println!(
             "{:>8} {:>9} {:>9} {:>9} {:>14}",
             reserve, admitted, dropped, hiccups, reconstructed

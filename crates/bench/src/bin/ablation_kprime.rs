@@ -10,8 +10,12 @@
 
 use mms_server::analysis::streams::streams_per_disk_bound;
 use mms_server::disk::{Bandwidth, DiskParams};
-use mms_server::layout::{BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId};
+use mms_server::layout::{
+    BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
+};
 use mms_server::sched::{CycleConfig, GroupedScheduler, SchemeScheduler};
+use mms_server::sim::run_batch;
+use mms_server::Parallelism;
 
 const C: usize = 9; // k' ∈ {1, 2, 4, 8}
 
@@ -37,15 +41,27 @@ fn measured_peak(k_prime: usize, b0: Bandwidth) -> (usize, usize) {
 
 fn main() {
     println!("k' sweep at C = {C} (Table 1 disk; single cluster)\n");
-    for (label, mbps) in [("MPEG-1 (1.5 Mb/s)", 1.5), ("MPEG-2 (4.5 Mb/s)", 4.5)] {
+    // The (class, k') grid is embarrassingly parallel: measure all eight
+    // points over the deterministic worker pool, then print in order.
+    let k_primes = [1usize, 2, 4, 8];
+    let classes = [("MPEG-1 (1.5 Mb/s)", 1.5), ("MPEG-2 (4.5 Mb/s)", 4.5)];
+    let grid: Vec<(f64, usize)> = classes
+        .iter()
+        .flat_map(|&(_, mbps)| k_primes.iter().map(move |&k| (mbps, k)))
+        .collect();
+    let results = run_batch(Parallelism::Auto, &grid, |&(mbps, k_prime)| {
+        measured_peak(k_prime, Bandwidth::from_megabits(mbps))
+    });
+    let mut it = results.into_iter();
+    for (label, mbps) in classes {
         let b0 = Bandwidth::from_megabits(mbps);
         println!("{label}:");
         println!(
             "{:>4} {:>14} {:>16} {:>18}",
             "k'", "buffer peak", "stream capacity", "analytic N/D'"
         );
-        for k_prime in [1usize, 2, 4, 8] {
-            let (peak, capacity) = measured_peak(k_prime, b0);
+        for k_prime in k_primes {
+            let (peak, capacity) = it.next().unwrap();
             // The §2 bound for k = k' at this k'.
             let nd = streams_per_disk_bound(&DiskParams::paper_table1(), b0, k_prime, k_prime);
             println!("{k_prime:>4} {peak:>14} {capacity:>16} {nd:>18.2}");

@@ -4,54 +4,10 @@
 //! single worked example and checks the prose formula
 //! (C−k)(C−k+1)/2 against mechanically simulated losses.
 
-use mms_server::disk::{Bandwidth, DiskId, DiskParams};
-use mms_server::layout::{
-    BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
-};
-use mms_server::sched::{
-    CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy,
-};
-
-/// One fully-loaded cluster of size `c` with one stream per phase, disk
-/// `f` failing at the moment each phase is mid-group; returns lost tracks.
-fn losses(c: usize, f: u32, policy: TransitionPolicy) -> usize {
-    let geo = Geometry::clustered(c, c).unwrap();
-    let mut catalog = Catalog::new(ClusteredLayout::new(geo), 100_000);
-    let bpg = c - 1;
-    for i in 0..(3 * bpg) as u64 {
-        catalog
-            .add(MediaObject::new(
-                ObjectId(i),
-                format!("s{i}"),
-                bpg as u64,
-                BandwidthClass::Custom(Bandwidth::from_megabytes(1.0)),
-            ))
-            .unwrap();
-    }
-    let cfg = CycleConfig::new(
-        DiskParams::paper_table1(),
-        Bandwidth::from_megabytes(1.0),
-        1,
-        1,
-    );
-    let mut sched = NonClusteredScheduler::new(cfg, catalog, policy, 1);
-    let fail_at = bpg as u64;
-    let mut next_obj = 0u64;
-    let mut lost = 0usize;
-    for t in 0..(4 * bpg as u64) {
-        // One new stream starts every cycle from cycle 1 on, keeping
-        // every phase busy by the time the failure strikes.
-        if t >= 1 && next_obj < (3 * bpg) as u64 {
-            sched.admit(ObjectId(next_obj), t).unwrap();
-            next_obj += 1;
-        }
-        if t == fail_at {
-            sched.on_disk_failure(DiskId(f), t, false);
-        }
-        lost += sched.plan_cycle(t).hiccups.len();
-    }
-    lost
-}
+use mms_bench::nc_transition_losses as losses;
+use mms_server::sched::TransitionPolicy;
+use mms_server::sim::run_batch;
+use mms_server::Parallelism;
 
 fn main() {
     println!("Non-clustered transition losses (full load, one stream per phase)\n");
@@ -60,16 +16,24 @@ fn main() {
         "C", "disk", "simple losses", "delayed losses", "prose (C-k)(C-k+1)/2"
     );
     let mut delayed_worse = 0usize;
-    for c in [4usize, 5, 6, 8] {
-        for f in 0..(c as u32 - 1) {
-            let simple = losses(c, f, TransitionPolicy::Simple);
-            let delayed = losses(c, f, TransitionPolicy::Delayed);
-            let prose = (c as i64 - f as i64) * (c as i64 - f as i64 + 1) / 2;
-            let mark = if delayed > simple { " *" } else { "" };
-            println!("{c:>3} {f:>6} {simple:>14} {delayed:>15} {prose:>22}{mark}");
-            if delayed > simple {
-                delayed_worse += 1;
-            }
+    // The (C, failed-disk) grid is embarrassingly parallel: fan it out
+    // over the deterministic worker pool, then print in grid order.
+    let grid: Vec<(usize, u32)> = [4usize, 5, 6, 8]
+        .into_iter()
+        .flat_map(|c| (0..(c as u32 - 1)).map(move |f| (c, f)))
+        .collect();
+    let results = run_batch(Parallelism::Auto, &grid, |&(c, f)| {
+        (
+            losses(c, f, TransitionPolicy::Simple),
+            losses(c, f, TransitionPolicy::Delayed),
+        )
+    });
+    for (&(c, f), &(simple, delayed)) in grid.iter().zip(&results) {
+        let prose = (c as i64 - f as i64) * (c as i64 - f as i64 + 1) / 2;
+        let mark = if delayed > simple { " *" } else { "" };
+        println!("{c:>3} {f:>6} {simple:>14} {delayed:>15} {prose:>22}{mark}");
+        if delayed > simple {
+            delayed_worse += 1;
         }
     }
     println!("\nThis table is the *continuous-saturation* regime (admissions never");

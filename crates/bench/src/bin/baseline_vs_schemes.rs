@@ -6,7 +6,9 @@
 //! on all four schemes; hiccups per viewer-hour tell the story.
 
 use mms_server::disk::{DiskId, DiskParams};
-use mms_server::layout::{BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId};
+use mms_server::layout::{
+    BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
+};
 use mms_server::sched::{BaselineScheduler, CycleConfig};
 use mms_server::sim::{DataMode, ObjectDirectory, Simulator};
 use mms_server::{Scheme, ServerBuilder};
@@ -58,7 +60,11 @@ fn baseline_run() -> (u64, u64) {
 }
 
 fn scheme_run(scheme: Scheme) -> (u64, u64) {
-    let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+    let disks = if scheme == Scheme::ImprovedBandwidth {
+        8
+    } else {
+        10
+    };
     let mut server = ServerBuilder::new(scheme)
         .disks(disks)
         .parity_group(5)
@@ -103,7 +109,10 @@ fn main() {
         "One disk fails at cycle {FAIL_AT} and is repaired ~1 h later; four\n\
          viewers stream a {TRACKS}-track movie throughout.\n"
     );
-    println!("{:<26} {:>10} {:>9} {:>12}", "configuration", "delivered", "hiccups", "loss rate");
+    println!(
+        "{:<26} {:>10} {:>9} {:>12}",
+        "configuration", "delivered", "hiccups", "loss rate"
+    );
     let (d, h) = baseline_run();
     println!(
         "{:<26} {:>10} {:>9} {:>11.2}%",

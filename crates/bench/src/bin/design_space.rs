@@ -4,32 +4,40 @@
 //! between MPEG-1 and MPEG-2 classes (the Section 1 mixed-catalog
 //! arithmetic).
 //!
-//! Usage: `design_space [required_streams] [mpeg1_streams] [mpeg2_streams]`
+//! Usage: `design_space [required_streams] [mpeg1_streams] [mpeg2_streams] [threads]`
+//! (threads defaults to `auto`; the sweep's output is bit-identical for
+//! any thread count).
 
 use mms_server::analysis::{
-    best_design, design_space, partition_classes, ClassDemand, CostModel, SchemeKind,
-    SchemeParams, SystemParams,
+    design_space_par, partition_classes, ClassDemand, CostModel, SchemeKind, SchemeParams,
+    SystemParams,
 };
 use mms_server::disk::Bandwidth;
+use mms_server::Parallelism;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let required: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1200.0);
     let mpeg1: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2000.0);
     let mpeg2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(650.0);
+    let par: Parallelism = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(Parallelism::Auto);
 
     let sys = SystemParams::paper_table1();
     let model = CostModel::paper_fig9();
+    let points = design_space_par(&sys, &model, 2..=10, SchemeParams::paper_fig9, par);
 
-    println!("== Ten cheapest designs for W = {:.0} GB ==\n", model.working_set_mb / 1000.0);
+    println!(
+        "== Ten cheapest designs for W = {:.0} GB ==\n",
+        model.working_set_mb / 1000.0
+    );
     println!(
         "{:<20} {:>3} {:>8} {:>9} {:>10} {:>10}",
         "scheme", "C", "disks", "streams", "buf trk", "cost $"
     );
-    for p in design_space(&sys, &model, 2..=10, SchemeParams::paper_fig9)
-        .into_iter()
-        .take(10)
-    {
+    for p in points.iter().take(10) {
         println!(
             "{:<20} {:>3} {:>8.1} {:>9.0} {:>10.0} {:>10.0}",
             p.scheme.to_string(),
@@ -42,7 +50,7 @@ fn main() {
     }
 
     println!("\n== Cheapest design for {required:.0} concurrent streams ==\n");
-    match best_design(&sys, &model, 2..=10, required, SchemeParams::paper_fig9) {
+    match points.iter().find(|p| p.streams >= required) {
         Some(p) => println!(
             "{} with C = {}: ${:.0} ({:.0} streams on {:.1} disks, {:.0} buffer tracks)",
             p.scheme, p.c, p.cost, p.streams, p.disks, p.buffer_tracks
@@ -50,9 +58,7 @@ fn main() {
         None => println!("infeasible at this working set — buy disks beyond the catalog's needs"),
     }
 
-    println!(
-        "\n== Farm split for {mpeg1:.0} MPEG-1 + {mpeg2:.0} MPEG-2 streams (SR, C = 5) ==\n"
-    );
+    println!("\n== Farm split for {mpeg1:.0} MPEG-1 + {mpeg2:.0} MPEG-2 streams (SR, C = 5) ==\n");
     let allocs = partition_classes(
         &sys,
         SchemeKind::StreamingRaid,
@@ -72,10 +78,7 @@ fn main() {
     for a in &allocs {
         println!(
             "{:>9} @ {}: {:>7.1} data disks, {:>7.1} total",
-            a.required_streams,
-            a.b0,
-            a.data_disks,
-            a.total_disks
+            a.required_streams, a.b0, a.data_disks, a.total_disks
         );
         total += a.total_disks;
     }

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let names = BTreeMap::from([(x.0, "X")]);
     println!("Figure 2 — k = 4 tracks per read cycle, k' = 1 per transmission cycle\n");
-    println!("{}", trace::render_schedule(server.simulator().trace(), 10, &names));
+    println!(
+        "{}",
+        trace::render_schedule(server.simulator().trace(), 10, &names)
+    );
     println!("deliveries (one track per cycle, lagging its read cycle):");
     for plan in server.simulator().trace() {
         println!("  {}", trace::render_deliveries(plan, &names));

@@ -22,7 +22,11 @@ fn main() {
     println!("Figure 3 — Streaming RAID layout (blocks per disk, global track numbers)\n");
     print!("{:>8}", "");
     for d in 0..10 {
-        let role = if geo.is_parity_disk(DiskId(d)) { "parity" } else { "data" };
+        let role = if geo.is_parity_disk(DiskId(d)) {
+            "parity"
+        } else {
+            "data"
+        };
         print!("{:>9}", format!("d{d}/{role}"));
     }
     println!();

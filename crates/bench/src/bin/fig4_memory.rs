@@ -14,7 +14,12 @@ fn build(scheme: Scheme) -> MultimediaServer {
     ServerBuilder::new(scheme)
         .disks(10)
         .parity_group(5)
-        .object(MediaObject::new(ObjectId(0), "m", 400, BandwidthClass::Mpeg1))
+        .object(MediaObject::new(
+            ObjectId(0),
+            "m",
+            400,
+            BandwidthClass::Mpeg1,
+        ))
         .data_mode(DataMode::MetadataOnly)
         .build()
         .unwrap()

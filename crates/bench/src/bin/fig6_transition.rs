@@ -26,10 +26,7 @@ fn main() {
         let plan = sched.plan_cycle(t);
         for h in &plan.hiccups {
             if let BlockKind::Data(ix) = h.addr.kind {
-                lost.push(format!(
-                    "{}{} ({})",
-                    names[&h.addr.object.0], ix, h.reason
-                ));
+                lost.push(format!("{}{} ({})", names[&h.addr.object.0], ix, h.reason));
             }
         }
         plans.push(plan);

@@ -26,10 +26,7 @@ fn main() {
         let plan = sched.plan_cycle(t);
         for h in &plan.hiccups {
             if let BlockKind::Data(ix) = h.addr.kind {
-                lost.push(format!(
-                    "{}{} ({})",
-                    names[&h.addr.object.0], ix, h.reason
-                ));
+                lost.push(format!("{}{} ({})", names[&h.addr.object.0], ix, h.reason));
             }
         }
         plans.push(plan);
@@ -38,5 +35,9 @@ fn main() {
     println!("{}", trace::render_schedule(&plans, 5, &names));
     println!("lost tracks ({}): {}", lost.len(), lost.join(", "));
     println!("\npaper's Figure 7 loses exactly: W2, Y2, Y3 (3 tracks)");
-    assert_eq!(lost.len(), 3, "must reproduce the paper's three lost tracks");
+    assert_eq!(
+        lost.len(),
+        3,
+        "must reproduce the paper's three lost tracks"
+    );
 }

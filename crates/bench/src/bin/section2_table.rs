@@ -15,9 +15,8 @@ fn main() {
         for r in &rows {
             println!("  k = {:>2}  ->  N/D' < {:.2}", r.k, r.streams_per_disk);
         }
-        let variation =
-            (rows.last().unwrap().streams_per_disk - rows[0].streams_per_disk)
-                / rows.last().unwrap().streams_per_disk;
+        let variation = (rows.last().unwrap().streams_per_disk - rows[0].streams_per_disk)
+            / rows.last().unwrap().streams_per_disk;
         println!("  variation k=1..10: {:.1}%\n", variation * 100.0);
     }
 }

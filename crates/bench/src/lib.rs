@@ -23,11 +23,11 @@
 //! | `ablation_kprime` | the k′ continuum between SR and SG |
 //! | `design_space` | §5 design exercise + §1 mixed-class farm split |
 
-use mms_server::disk::{Bandwidth, DiskParams};
+use mms_server::disk::{Bandwidth, DiskId, DiskParams};
 use mms_server::layout::{
     BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
 };
-use mms_server::sched::{CycleConfig, NonClusteredScheduler, TransitionPolicy};
+use mms_server::sched::{CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy};
 use std::collections::BTreeMap;
 
 /// Stream names used by the Figure 5/6/7 scenario.
@@ -82,6 +82,50 @@ pub fn figure_scheduler(policy: TransitionPolicy) -> NonClusteredScheduler {
         1,
     );
     NonClusteredScheduler::new(cfg, catalog, policy, 1)
+}
+
+/// Tracks lost during the Non-clustered degraded-mode transition: one
+/// fully-loaded cluster of size `c` with one stream per phase, disk `f`
+/// failing while each phase is mid-group. Used by the
+/// `ablation_transition` grid and the `bench_parallel` harness.
+#[must_use]
+pub fn nc_transition_losses(c: usize, f: u32, policy: TransitionPolicy) -> usize {
+    let geo = Geometry::clustered(c, c).unwrap();
+    let mut catalog = Catalog::new(ClusteredLayout::new(geo), 100_000);
+    let bpg = c - 1;
+    for i in 0..(3 * bpg) as u64 {
+        catalog
+            .add(MediaObject::new(
+                ObjectId(i),
+                format!("s{i}"),
+                bpg as u64,
+                BandwidthClass::Custom(Bandwidth::from_megabytes(1.0)),
+            ))
+            .unwrap();
+    }
+    let cfg = CycleConfig::new(
+        DiskParams::paper_table1(),
+        Bandwidth::from_megabytes(1.0),
+        1,
+        1,
+    );
+    let mut sched = NonClusteredScheduler::new(cfg, catalog, policy, 1);
+    let fail_at = bpg as u64;
+    let mut next_obj = 0u64;
+    let mut lost = 0usize;
+    for t in 0..(4 * bpg as u64) {
+        // One new stream starts every cycle from cycle 1 on, keeping
+        // every phase busy by the time the failure strikes.
+        if t >= 1 && next_obj < (3 * bpg) as u64 {
+            sched.admit(ObjectId(next_obj), t).unwrap();
+            next_obj += 1;
+        }
+        if t == fail_at {
+            sched.on_disk_failure(DiskId(f), t, false);
+        }
+        lost += sched.plan_cycle(t).hiccups.len();
+    }
+    lost
 }
 
 /// The figure name map for trace rendering.

@@ -208,7 +208,10 @@ mod tests {
             LedgerError::NotOpen { group: other }
         );
         ledger.abandon(gid).unwrap();
-        assert_eq!(ledger.abandon(gid), Err(LedgerError::NotOpen { group: gid }));
+        assert_eq!(
+            ledger.abandon(gid),
+            Err(LedgerError::NotOpen { group: gid })
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for ServerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServerError::AllBusy { servers } => {
-                write!(f, "all {servers} buffer servers busy: degradation of service")
+                write!(
+                    f,
+                    "all {servers} buffer servers busy: degradation of service"
+                )
             }
             ServerError::NotAttached { cluster } => {
                 write!(f, "cluster {cluster} not attached to a buffer server")

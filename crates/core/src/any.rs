@@ -123,10 +123,7 @@ impl AnyScheduler {
     }
 
     /// Retire an object from whichever scheme's catalog.
-    pub fn retire_object(
-        &mut self,
-        object: ObjectId,
-    ) -> Result<(), mms_sched::RetireError> {
+    pub fn retire_object(&mut self, object: ObjectId) -> Result<(), mms_sched::RetireError> {
         delegate!(self, s => s.retire_object(object))
     }
 }

@@ -3,6 +3,7 @@
 use crate::any::AnyScheduler;
 use crate::server::MultimediaServer;
 use mms_disk::DiskParams;
+use mms_exec::Parallelism;
 use mms_layout::{
     BandwidthClass, Catalog, CatalogError, ClusteredLayout, Geometry, GeometryError,
     ImprovedLayout, MediaObject, ObjectId,
@@ -72,6 +73,7 @@ pub struct ServerBuilder {
     ib_reserved_slots: usize,
     ib_parity_prefetch: bool,
     data_mode: DataMode,
+    parallelism: Parallelism,
     movies: Vec<(String, f64, BandwidthClass)>,
     raw_objects: Vec<MediaObject>,
 }
@@ -91,6 +93,7 @@ impl ServerBuilder {
             ib_reserved_slots: 1,
             ib_parity_prefetch: false,
             data_mode: DataMode::Verified { track_bytes: 256 },
+            parallelism: Parallelism::Auto,
             movies: Vec::new(),
             raw_objects: Vec::new(),
         }
@@ -157,6 +160,17 @@ impl ServerBuilder {
         self
     }
 
+    /// Worker-pool width for the server's batch experiments (the
+    /// Monte-Carlo reliability measurement and any `mms_sim::batch`
+    /// grids driven through this server). Purely a performance knob:
+    /// results are bit-identical for every setting. Default
+    /// [`Parallelism::Auto`].
+    #[must_use]
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
     /// Register a movie by play length in minutes.
     #[must_use]
     pub fn movie(mut self, name: impl Into<String>, minutes: f64, class: BandwidthClass) -> Self {
@@ -213,8 +227,7 @@ impl ServerBuilder {
                 }
                 match self.scheme {
                     Scheme::StreamingRaid => {
-                        let cfg =
-                            CycleConfig::new(self.disk_params, b0, self.c - 1, self.c - 1);
+                        let cfg = CycleConfig::new(self.disk_params, b0, self.c - 1, self.c - 1);
                         AnyScheduler::StreamingRaid(StreamingRaidScheduler::new(cfg, catalog))
                     }
                     Scheme::StaggeredGroup => {
@@ -241,8 +254,7 @@ impl ServerBuilder {
                     catalog.add(o)?;
                 }
                 let cfg = CycleConfig::new(self.disk_params, b0, self.c - 1, self.c - 1);
-                let mut sched =
-                    ImprovedScheduler::new(cfg, catalog, self.ib_reserved_slots);
+                let mut sched = ImprovedScheduler::new(cfg, catalog, self.ib_reserved_slots);
                 sched.set_parity_prefetch(self.ib_parity_prefetch);
                 AnyScheduler::Improved(sched)
             }
@@ -255,7 +267,12 @@ impl ServerBuilder {
             self.data_mode,
             directory,
         );
-        Ok(MultimediaServer::from_parts(sim, object_ids))
+        Ok(MultimediaServer::from_parts(
+            sim,
+            object_ids,
+            self.c,
+            self.parallelism,
+        ))
     }
 }
 
@@ -301,7 +318,9 @@ mod tests {
 
     #[test]
     fn rejects_empty_catalog() {
-        let err = ServerBuilder::new(Scheme::StreamingRaid).build().unwrap_err();
+        let err = ServerBuilder::new(Scheme::StreamingRaid)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, BuildError::EmptyCatalog));
     }
 

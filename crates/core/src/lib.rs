@@ -47,19 +47,23 @@ pub use builder::{BuildError, Scheme, ServerBuilder};
 pub use library::{Librarian, StagingJob};
 pub use server::MultimediaServer;
 
-/// Disk substrate ([`mms_disk`]).
-pub use mms_disk as disk;
-/// XOR parity substrate ([`mms_parity`]).
-pub use mms_parity as parity;
-/// Data-layout substrate ([`mms_layout`]).
-pub use mms_layout as layout;
-/// Buffer-memory substrate ([`mms_buffer`]).
-pub use mms_buffer as buffer;
-/// Scheduling substrate ([`mms_sched`]).
-pub use mms_sched as sched;
-/// Reliability analysis ([`mms_reliability`]).
-pub use mms_reliability as reliability;
+/// Deterministic parallel execution ([`mms_exec`]).
+pub use mms_exec as exec;
+pub use mms_exec::Parallelism;
+
 /// The paper's analytical model ([`mms_analysis`]).
 pub use mms_analysis as analysis;
+/// Buffer-memory substrate ([`mms_buffer`]).
+pub use mms_buffer as buffer;
+/// Disk substrate ([`mms_disk`]).
+pub use mms_disk as disk;
+/// Data-layout substrate ([`mms_layout`]).
+pub use mms_layout as layout;
+/// XOR parity substrate ([`mms_parity`]).
+pub use mms_parity as parity;
+/// Reliability analysis ([`mms_reliability`]).
+pub use mms_reliability as reliability;
+/// Scheduling substrate ([`mms_sched`]).
+pub use mms_sched as sched;
 /// Discrete-event simulation ([`mms_sim`]).
 pub use mms_sim as sim;

@@ -95,8 +95,7 @@ impl Librarian {
             // Waiting for the caller to purge something and unblock.
             return None;
         }
-        job.staged_tracks =
-            (job.staged_tracks + self.tape_tracks_per_cycle).min(job.object.tracks);
+        job.staged_tracks = (job.staged_tracks + self.tape_tracks_per_cycle).min(job.object.tracks);
         if job.staged_tracks >= job.object.tracks {
             let object = job.object.clone();
             let id = object.id;
@@ -123,7 +122,12 @@ mod tests {
     use mms_layout::BandwidthClass;
 
     fn movie(id: u64, tracks: u64) -> MediaObject {
-        MediaObject::new(ObjectId(id), format!("m{id}"), tracks, BandwidthClass::Mpeg1)
+        MediaObject::new(
+            ObjectId(id),
+            format!("m{id}"),
+            tracks,
+            BandwidthClass::Mpeg1,
+        )
     }
 
     #[test]

@@ -176,8 +176,14 @@ mod tests {
     fn aggregate_stats_sum_over_disks() {
         let mut a = array(3);
         let t_cyc = Time::from_millis(266.0);
-        a.disk_mut(DiskId(0)).unwrap().read_tracks(3, t_cyc).unwrap();
-        a.disk_mut(DiskId(1)).unwrap().read_tracks(2, t_cyc).unwrap();
+        a.disk_mut(DiskId(0))
+            .unwrap()
+            .read_tracks(3, t_cyc)
+            .unwrap();
+        a.disk_mut(DiskId(1))
+            .unwrap()
+            .read_tracks(2, t_cyc)
+            .unwrap();
         a.fail(DiskId(2), Time::ZERO).unwrap();
         let _ = a.disk_mut(DiskId(2)).unwrap().read_tracks(1, t_cyc);
         let s = a.stats();

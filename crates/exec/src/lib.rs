@@ -1,0 +1,321 @@
+//! # mms-exec — deterministic parallel execution
+//!
+//! The Monte-Carlo reliability trials, the design-space sweep, and the
+//! ablation scenario grids are all embarrassingly parallel: independent
+//! jobs whose results are combined by index. This crate gives them one
+//! shared worker pool built on [`std::thread::scope`] (the
+//! standard-library equivalent of crossbeam's scoped threads — no
+//! external dependency needed) with two guarantees:
+//!
+//! 1. **Results are index-ordered.** [`par_map_indexed`] returns
+//!    `out[i] = f(i)` regardless of which worker computed which index or
+//!    in what order they finished — the output is a pure function of the
+//!    input, never of scheduling.
+//! 2. **Randomness is pre-split.** [`SeedSequence`] derives one
+//!    independent SplitMix64-mixed seed per job index from a single base
+//!    seed drawn from the caller's RNG. A job's random stream depends
+//!    only on `(base, index)`, so stochastic workloads are bit-identical
+//!    at 1, 2, or 64 threads.
+//!
+//! Together these make "how many threads?" a pure performance knob
+//! ([`Parallelism`]) that can never change a result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads an operation may use.
+///
+/// Purely a performance knob: every consumer in this workspace is
+/// required to produce bit-identical results for any variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run on the calling thread, spawning nothing.
+    Sequential,
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]; falls back to 1 if the
+    /// platform cannot say).
+    #[default]
+    Auto,
+    /// Exactly this many workers.
+    Threads(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// A fixed thread count; `n = 0` is treated as [`Parallelism::Auto`].
+    #[must_use]
+    pub fn threads(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::Auto,
+        }
+    }
+
+    /// The number of workers this setting resolves to right now.
+    #[must_use]
+    pub fn thread_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads(n) => n.get(),
+        }
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Sequential => write!(f, "seq"),
+            Parallelism::Auto => write!(f, "auto"),
+            Parallelism::Threads(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Error from parsing a [`Parallelism`] out of a CLI flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseParallelismError(String);
+
+impl fmt::Display for ParseParallelismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid thread count {:?}: expected a positive integer, \"auto\", or \"seq\"",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseParallelismError {}
+
+impl FromStr for Parallelism {
+    type Err = ParseParallelismError;
+
+    /// `"seq"`/`"sequential"` → [`Sequential`](Parallelism::Sequential),
+    /// `"auto"`/`"0"` → [`Auto`](Parallelism::Auto), a positive integer
+    /// → [`Threads`](Parallelism::Threads).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "seq" | "sequential" => Ok(Parallelism::Sequential),
+            "auto" | "0" => Ok(Parallelism::Auto),
+            t => t
+                .parse::<usize>()
+                .map(Parallelism::threads)
+                .map_err(|_| ParseParallelismError(s.to_string())),
+        }
+    }
+}
+
+/// Map `f` over `0..n`, returning `vec![f(0), f(1), …, f(n-1)]`.
+///
+/// Workers claim indices from a shared atomic counter (dynamic
+/// load-balancing — long jobs don't stall a fixed chunk) and stash
+/// `(index, value)` pairs locally; results are slotted by index after
+/// the scope joins, so the output order is deterministic no matter how
+/// the indices were interleaved. A panic in any job propagates to the
+/// caller.
+pub fn par_map_indexed<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.thread_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for mine in per_worker {
+        for (i, value) in mine {
+            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Map `f` over a slice, preserving order: `out[i] = f(&items[i])`.
+pub fn par_map<I, T, F>(par: Parallelism, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_indexed(par, items.len(), |i| f(&items[i]))
+}
+
+/// A splittable stream of per-job seeds.
+///
+/// One base seed is drawn from the caller's RNG (advancing it exactly
+/// once, so the caller's subsequent draws are also reproducible); each
+/// job `i` then gets `seed(i)`, a SplitMix64 mix of the base and the
+/// index stepped by the golden-ratio increment. Jobs seeded this way are
+/// statistically independent and — crucially — independent of which
+/// thread runs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    base: u64,
+}
+
+/// SplitMix64's golden-ratio stream increment.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SeedSequence {
+    /// A sequence rooted at an explicit base seed.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        SeedSequence { base }
+    }
+
+    /// Draw the base seed from `rng` (one `u64`, exactly once).
+    pub fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        SeedSequence::new(rng.gen::<u64>())
+    }
+
+    /// The seed for job `index`.
+    #[must_use]
+    pub fn seed(&self, index: u64) -> u64 {
+        rand::splitmix64_mix(
+            self.base
+                .wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn results_are_index_ordered_at_any_thread_count() {
+        let n = 403;
+        let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::threads(2),
+            Parallelism::threads(3),
+            Parallelism::threads(8),
+            Parallelism::Auto,
+        ] {
+            let got = par_map_indexed(par, n, |i| i * i);
+            assert_eq!(got, expect, "mismatch under {par}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_slice_order() {
+        let items: Vec<i64> = (0..97).map(|i| i * 3 - 40).collect();
+        let got = par_map(Parallelism::threads(4), &items, |x| x + 1);
+        let expect: Vec<i64> = items.iter().map(|x| x + 1).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = par_map_indexed(Parallelism::threads(8), 0, |_| 0u8);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_indexed(Parallelism::threads(8), 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let got = par_map_indexed(Parallelism::threads(64), 3, |i| i * 10);
+        assert_eq!(got, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn seed_sequence_is_deterministic_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = SeedSequence::from_rng(&mut rng);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let b = SeedSequence::from_rng(&mut rng2);
+        assert_eq!(a, b);
+        let seeds: Vec<u64> = (0..1000).map(|i| a.seed(i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "seed collision");
+        // Drawing the base advances the caller's RNG exactly one u64.
+        let mut rng3 = StdRng::seed_from_u64(9);
+        let _ = rng3.gen::<u64>();
+        assert_eq!(rng.gen::<u64>(), rng3.gen::<u64>());
+    }
+
+    #[test]
+    fn seeded_jobs_match_across_thread_counts() {
+        let seq = SeedSequence::new(0xDEAD_BEEF);
+        let run = |par: Parallelism| {
+            par_map_indexed(par, 64, |i| {
+                let mut rng = StdRng::seed_from_u64(seq.seed(i as u64));
+                (0..32).map(|_| rng.gen::<u64>() >> 40).sum::<u64>()
+            })
+        };
+        let one = run(Parallelism::Sequential);
+        assert_eq!(one, run(Parallelism::threads(2)));
+        assert_eq!(one, run(Parallelism::threads(7)));
+    }
+
+    #[test]
+    fn parallelism_parses_from_cli_spellings() {
+        assert_eq!("seq".parse(), Ok(Parallelism::Sequential));
+        assert_eq!("Sequential".parse(), Ok(Parallelism::Sequential));
+        assert_eq!("auto".parse(), Ok(Parallelism::Auto));
+        assert_eq!("0".parse(), Ok(Parallelism::Auto));
+        assert_eq!("4".parse(), Ok(Parallelism::threads(4)));
+        assert!(" 8 ".parse::<Parallelism>().is_ok());
+        assert!("nope".parse::<Parallelism>().is_err());
+        assert!("-3".parse::<Parallelism>().is_err());
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert_eq!(Parallelism::Sequential.thread_count(), 1);
+        assert_eq!(Parallelism::threads(5).thread_count(), 5);
+        assert!(Parallelism::Auto.thread_count() >= 1);
+        assert_eq!(Parallelism::threads(0), Parallelism::Auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn job_panics_propagate() {
+        let _ = par_map_indexed(Parallelism::threads(2), 8, |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+}

@@ -253,7 +253,12 @@ mod tests {
     }
 
     fn obj(id: u64, tracks: u64) -> MediaObject {
-        MediaObject::new(ObjectId(id), format!("o{id}"), tracks, BandwidthClass::Mpeg1)
+        MediaObject::new(
+            ObjectId(id),
+            format!("o{id}"),
+            tracks,
+            BandwidthClass::Mpeg1,
+        )
     }
 
     #[test]

@@ -203,8 +203,7 @@ impl Geometry {
     /// Whether `disk` is a dedicated parity disk.
     #[must_use]
     pub fn is_parity_disk(&self, disk: DiskId) -> bool {
-        self.has_parity_disk
-            && self.position_in_cluster(disk) == self.disks_per_cluster - 1
+        self.has_parity_disk && self.position_in_cluster(disk) == self.disks_per_cluster - 1
     }
 
     /// The cluster after `cluster`, wrapping around (used both for

@@ -57,9 +57,8 @@ pub fn check<L: Layout>(layout: &L, groups: u64) -> Vec<Violation> {
                 });
             }
             let dc = layout.data_cluster(start, g);
-            let split = (0..layout.blocks_per_group()).any(|i| {
-                layout.data_placement(start, g, i).cluster != dc
-            });
+            let split = (0..layout.blocks_per_group())
+                .any(|i| layout.data_placement(start, g, i).cluster != dc);
             if split {
                 violations.push(Violation::SplitGroup {
                     start_cluster: start,

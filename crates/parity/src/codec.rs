@@ -25,7 +25,10 @@ impl fmt::Display for ParityError {
         match self {
             ParityError::EmptyGroup => write!(f, "parity group is empty"),
             ParityError::BadIndex { index, group_len } => {
-                write!(f, "block index {index} out of range for group of {group_len}")
+                write!(
+                    f,
+                    "block index {index} out of range for group of {group_len}"
+                )
             }
             ParityError::Inconsistent => write!(f, "parity group is inconsistent"),
         }
@@ -103,7 +106,9 @@ mod tests {
     use super::*;
 
     fn group(c: usize, len: usize) -> Vec<Block> {
-        (0..c as u64).map(|i| Block::synthetic(42, i, len)).collect()
+        (0..c as u64)
+            .map(|i| Block::synthetic(42, i, len))
+            .collect()
     }
 
     #[test]

@@ -7,13 +7,12 @@ use proptest::prelude::*;
 fn arb_group() -> impl Strategy<Value = (Vec<Vec<u8>>, usize)> {
     // Group of 1..=16 data blocks, each 1..=512 bytes (homogeneous length),
     // plus an erasure index into the group.
-    (1usize..=16, 1usize..=512)
-        .prop_flat_map(|(c, len)| {
-            (
-                proptest::collection::vec(proptest::collection::vec(any::<u8>(), len), c),
-                0..c,
-            )
-        })
+    (1usize..=16, 1usize..=512).prop_flat_map(|(c, len)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), len), c),
+            0..c,
+        )
+    })
 }
 
 proptest! {

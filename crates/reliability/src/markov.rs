@@ -261,8 +261,12 @@ mod pool_tests {
     #[test]
     fn more_masking_multiplies_the_horizon() {
         let rel = ReliabilityParams::paper();
-        let k1 = PoolMarkov::new(100, 1, rel).mean_time_to_exhaustion().as_hours();
-        let k2 = PoolMarkov::new(100, 2, rel).mean_time_to_exhaustion().as_hours();
+        let k1 = PoolMarkov::new(100, 1, rel)
+            .mean_time_to_exhaustion()
+            .as_hours();
+        let k2 = PoolMarkov::new(100, 2, rel)
+            .mean_time_to_exhaustion()
+            .as_hours();
         // Each extra masked failure buys roughly MTTF/(D·MTTR) ≈ 3000x.
         assert!(k2 / k1 > 1000.0);
     }

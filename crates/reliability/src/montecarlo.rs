@@ -9,7 +9,9 @@
 //! authors could only model.
 
 use mms_disk::{failure::sample_exponential, ReliabilityParams, Time};
-use rand::Rng;
+use mms_exec::{par_map_indexed, Parallelism, SeedSequence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -62,16 +64,24 @@ impl CatastropheRule {
             }
             CatastropheRule::SameOrAdjacentCluster { c } => {
                 let width = c - 1;
-                let clusters = d / width;
+                // Round *up*: when `D` is not a multiple of `C − 1`, the
+                // trailing disks form a final (short) cluster that is a
+                // real ring member. Truncating division used to assign
+                // them a cluster index past the ring, so the `% clusters`
+                // adjacency wrapped through the wrong neighbors.
+                let clusters = d.div_ceil(width);
                 let nc = new_disk / width;
+                if clusters <= 2 {
+                    // Every pair of clusters is identical or adjacent on a
+                    // ring of ≤ 2: any concurrent pair is catastrophic.
+                    return failed.iter().any(|&f| f != new_disk);
+                }
                 failed.iter().any(|&f| {
                     if f == new_disk {
                         return false;
                     }
                     let fc = f / width;
-                    fc == nc
-                        || (fc + 1) % clusters == nc
-                        || (nc + 1) % clusters == fc
+                    fc == nc || (fc + 1) % clusters == nc || (nc + 1) % clusters == fc
                 })
             }
             // Terminal when the new failure arrives while `k` disks are
@@ -169,18 +179,51 @@ impl MonteCarlo {
         unreachable!("queue never empties: every event schedules a successor")
     }
 
-    /// Run `trials` independent trials and summarize.
+    /// Run `trials` independent trials and summarize, drawing all
+    /// randomness from `rng` in trial order.
     pub fn run<R: Rng + ?Sized>(&self, rng: &mut R, trials: usize) -> TrialStats {
         assert!(trials >= 2, "need at least two trials for a std error");
         let samples: Vec<f64> = (0..trials).map(|_| self.trial(rng).as_secs()).collect();
-        let n = samples.len() as f64;
-        let mean = samples.iter().sum::<f64>() / n;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        TrialStats {
-            trials,
-            mean: Time::from_secs(mean),
-            std_error: Time::from_secs((var / n).sqrt()),
-        }
+        summarize(&samples)
+    }
+
+    /// Like [`MonteCarlo::run`], but fanned out across a worker pool.
+    ///
+    /// One base seed is drawn from `rng` (advancing it exactly one
+    /// `u64`); trial `i` then runs on its own [`StdRng`] seeded from the
+    /// [`SeedSequence`] at index `i`. Because each trial's randomness
+    /// depends only on `(base, i)` and samples are averaged in index
+    /// order, the result is **bit-identical for every [`Parallelism`]**
+    /// — `Sequential`, 2 threads, or 64. (It differs from [`run`], which
+    /// streams all trials off the caller's RNG — the two entry points
+    /// define two reproducible experiments, not one.)
+    ///
+    /// [`run`]: MonteCarlo::run
+    pub fn run_par<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        trials: usize,
+        par: Parallelism,
+    ) -> TrialStats {
+        assert!(trials >= 2, "need at least two trials for a std error");
+        let seeds = SeedSequence::from_rng(rng);
+        let samples = par_map_indexed(par, trials, |i| {
+            let mut trial_rng = StdRng::seed_from_u64(seeds.seed(i as u64));
+            self.trial(&mut trial_rng).as_secs()
+        });
+        summarize(&samples)
+    }
+}
+
+/// Mean and standard error of a sample set (`n ≥ 2`).
+fn summarize(samples: &[f64]) -> TrialStats {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    TrialStats {
+        trials: samples.len(),
+        mean: Time::from_secs(mean),
+        std_error: Time::from_secs((var / n).sqrt()),
     }
 }
 
@@ -308,10 +351,88 @@ mod tests {
         };
         let stats = mc.run(&mut StdRng::seed_from_u64(47), 2000);
         // First failure among 50 disks: MTTF/50 = 20 hours.
-        assert!(stats.covers(Time::from_hours(20.0)) || {
-            let ratio = stats.mean.as_hours() / 20.0;
-            (0.93..1.07).contains(&ratio)
-        });
+        assert!(
+            stats.covers(Time::from_hours(20.0)) || {
+                let ratio = stats.mean.as_hours() / 20.0;
+                (0.93..1.07).contains(&ratio)
+            }
+        );
+    }
+
+    #[test]
+    fn adjacent_rule_handles_non_divisible_geometry() {
+        // D = 10, C = 4: clusters are C − 1 = 3 wide, so disks 0–8 fill
+        // clusters 0–2 and disk 9 forms a short trailing cluster 3. The
+        // ring is 0 → 1 → 2 → 3 → 0.
+        let rule = CatastropheRule::SameOrAdjacentCluster { c: 4 };
+        let d = 10;
+        let fail = |already: &[usize], new_disk: usize| {
+            let failed: HashSet<usize> = already.iter().copied().collect();
+            rule.is_terminal(&failed, new_disk, d)
+        };
+        // Trailing cluster {9} is adjacent to cluster 0 (wrap) …
+        assert!(fail(&[9], 0), "cluster 3 wraps to cluster 0");
+        assert!(fail(&[0], 9));
+        // … and to cluster 2.
+        assert!(fail(&[8], 9), "cluster 2 is adjacent to trailing cluster 3");
+        assert!(fail(&[9], 6));
+        // But clusters 1 {3,4,5} and 3 {9} are two steps apart.
+        assert!(!fail(&[9], 3), "clusters 1 and 3 are not adjacent");
+        assert!(!fail(&[4], 9));
+        // Same-cluster still terminal; distant clusters still safe.
+        assert!(fail(&[0], 1));
+        assert!(!fail(&[0], 6), "clusters 0 and 2 are not adjacent");
+        // A lone failure is never terminal.
+        assert!(!fail(&[], 9));
+    }
+
+    #[test]
+    fn adjacent_rule_two_cluster_ring_is_all_adjacent() {
+        // D = 8, C = 5: two clusters of width 4 — any concurrent pair of
+        // failures is catastrophic, including within one cluster.
+        let rule = CatastropheRule::SameOrAdjacentCluster { c: 5 };
+        let failed: HashSet<usize> = [0].into_iter().collect();
+        assert!(rule.is_terminal(&failed, 5, 8));
+        assert!(rule.is_terminal(&failed, 1, 8));
+        assert!(!rule.is_terminal(&HashSet::new(), 3, 8));
+    }
+
+    #[test]
+    fn run_par_is_bit_identical_across_thread_counts() {
+        let mc = MonteCarlo {
+            d: 20,
+            rel: fast_rel(),
+            rule: CatastropheRule::SameCluster { c: 5 },
+        };
+        let run = |par| mc.run_par(&mut StdRng::seed_from_u64(11), 64, par);
+        let seq = run(Parallelism::Sequential);
+        for par in [Parallelism::threads(2), Parallelism::threads(8)] {
+            let p = run(par);
+            assert_eq!(seq.mean.as_secs().to_bits(), p.mean.as_secs().to_bits());
+            assert_eq!(
+                seq.std_error.as_secs().to_bits(),
+                p.std_error.as_secs().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn run_par_matches_eq4() {
+        let rel = fast_rel();
+        let mc = MonteCarlo {
+            d: 20,
+            rel,
+            rule: CatastropheRule::SameCluster { c: 5 },
+        };
+        let stats = mc.run_par(&mut StdRng::seed_from_u64(42), 600, Parallelism::Auto);
+        let reference = formulas::mttf_raid(20, 5, rel);
+        let ratio = stats.mean.as_hours() / reference.as_hours();
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "MC {} vs formula {} (ratio {ratio})",
+            stats.mean.as_hours(),
+            reference.as_hours()
+        );
     }
 
     #[test]

@@ -157,8 +157,7 @@ impl SchemeScheduler for BaselineScheduler {
             object: s.object,
             admitted_at: s.start_cycle,
             groups: s.groups,
-            next_group: (self.next_cycle.saturating_sub(s.start_cycle) / self.bpg())
-                .min(s.groups),
+            next_group: (self.next_cycle.saturating_sub(s.start_cycle) / self.bpg()).min(s.groups),
             delivered_tracks: s.delivered,
             lost_tracks: s.lost,
         })

@@ -21,7 +21,7 @@ use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
-use mms_layout::{Catalog, ClusteredLayout, ClusterId, Layout, ObjectId};
+use mms_layout::{Catalog, ClusterId, ClusteredLayout, Layout, ObjectId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-stream state.
@@ -300,7 +300,10 @@ impl SchemeScheduler for GroupedScheduler {
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();
         for id in ids {
             let s = self.streams.get(&id).expect("live");
-            if cycle >= s.start_cycle && (cycle - s.start_cycle).is_multiple_of(period) && s.parity_held {
+            if cycle >= s.start_cycle
+                && (cycle - s.start_cycle).is_multiple_of(period)
+                && s.parity_held
+            {
                 let st = self.streams.get_mut(&id).expect("live");
                 st.parity_held = false;
                 self.buffers.free(OwnerId(id.0), 1).expect("held parity");

@@ -89,7 +89,11 @@ impl ImprovedScheduler {
     ) -> Self {
         let c = catalog.layout().geometry().group_size() as usize;
         assert_eq!(config.k, c - 1, "Improved-bandwidth requires k = C−1");
-        assert_eq!(config.k_prime, c - 1, "Improved-bandwidth requires k' = C−1");
+        assert_eq!(
+            config.k_prime,
+            c - 1,
+            "Improved-bandwidth requires k' = C−1"
+        );
         assert!(
             reserved_slots < config.slots_per_disk(),
             "reserve must leave at least one usable slot"
@@ -161,15 +165,8 @@ impl ImprovedScheduler {
 
     /// Retire an object from the catalog (the purge path), refusing while
     /// any stream is still delivering it.
-    pub fn retire_object(
-        &mut self,
-        object: ObjectId,
-    ) -> Result<(), crate::traits::RetireError> {
-        let streams = self
-            .streams
-            .values()
-            .filter(|s| s.object == object)
-            .count();
+    pub fn retire_object(&mut self, object: ObjectId) -> Result<(), crate::traits::RetireError> {
+        let streams = self.streams.values().filter(|s| s.object == object).count();
         if streams > 0 {
             return Err(crate::traits::RetireError::InUse { object, streams });
         }
@@ -429,9 +426,10 @@ impl SchemeScheduler for ImprovedScheduler {
                 // Skip groups whose parity is already being read
                 // (failure-reconstruction path placed it in pass 2).
                 let pp = layout.parity_placement(s.start_cluster, read_group);
-                let already = plan.reads_on(pp.disk).iter().any(|r| {
-                    r.stream == id && r.addr == BlockAddr::parity(s.object, read_group)
-                });
+                let already = plan
+                    .reads_on(pp.disk)
+                    .iter()
+                    .any(|r| r.stream == id && r.addr == BlockAddr::parity(s.object, read_group));
                 if already {
                     continue;
                 }
@@ -539,8 +537,16 @@ impl SchemeScheduler for ImprovedScheduler {
         let prev = ClusterId((cluster.0 + geometry.clusters() - 1) % geometry.clusters());
         let next = geometry.next_cluster(cluster);
         let catastrophic = self.failed[&cluster].len() >= 2
-            || self.failed.get(&prev).map(|s| !s.is_empty()).unwrap_or(false)
-            || self.failed.get(&next).map(|s| !s.is_empty()).unwrap_or(false);
+            || self
+                .failed
+                .get(&prev)
+                .map(|s| !s.is_empty())
+                .unwrap_or(false)
+            || self
+                .failed
+                .get(&next)
+                .map(|s| !s.is_empty())
+                .unwrap_or(false);
         if mid_cycle {
             self.midcycle_pending = Some(disk);
         }
@@ -590,7 +596,6 @@ impl ImprovedScheduler {
             }
         }
     }
-
 }
 
 #[cfg(test)]

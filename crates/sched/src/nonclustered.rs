@@ -13,7 +13,7 @@ use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
 use mms_buffer::{BufferPool, BufferServerPool, OwnerId};
 use mms_disk::DiskId;
-use mms_layout::{BlockAddr, Catalog, ClusteredLayout, ClusterId, Layout, ObjectId};
+use mms_layout::{BlockAddr, Catalog, ClusterId, ClusteredLayout, Layout, ObjectId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How a cluster transitions to degraded mode when one of its disks fails
@@ -213,8 +213,7 @@ impl NonClusteredScheduler {
                     match self.policy {
                         TransitionPolicy::Simple => true,
                         TransitionPolicy::Delayed => {
-                            let window =
-                                u64::from(self.catalog.layout().geometry().group_size());
+                            let window = u64::from(self.catalog.layout().geometry().group_size());
                             group_start >= d.since + window
                         }
                     }
@@ -510,15 +509,8 @@ impl NonClusteredScheduler {
 
     /// Retire an object from the catalog (the purge path), refusing while
     /// any stream is still delivering it.
-    pub fn retire_object(
-        &mut self,
-        object: ObjectId,
-    ) -> Result<(), crate::traits::RetireError> {
-        let streams = self
-            .streams
-            .values()
-            .filter(|s| s.object == object)
-            .count();
+    pub fn retire_object(&mut self, object: ObjectId) -> Result<(), crate::traits::RetireError> {
+        let streams = self.streams.values().filter(|s| s.object == object).count();
         if streams > 0 {
             return Err(crate::traits::RetireError::InUse { object, streams });
         }
@@ -594,8 +586,7 @@ impl SchemeScheduler for NonClusteredScheduler {
             object: s.object,
             admitted_at: s.start_cycle,
             groups: s.groups,
-            next_group: (self.next_cycle.saturating_sub(s.start_cycle) / self.bpg())
-                .min(s.groups),
+            next_group: (self.next_cycle.saturating_sub(s.start_cycle) / self.bpg()).min(s.groups),
             delivered_tracks: s.delivered,
             lost_tracks: s.lost,
         })

@@ -6,7 +6,7 @@ use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
-use mms_layout::{Catalog, ClusteredLayout, ClusterId, Layout, ObjectId};
+use mms_layout::{Catalog, ClusterId, ClusteredLayout, Layout, ObjectId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-stream state.
@@ -116,15 +116,8 @@ impl StaggeredScheduler {
 
     /// Retire an object from the catalog (the purge path), refusing while
     /// any stream is still delivering it.
-    pub fn retire_object(
-        &mut self,
-        object: ObjectId,
-    ) -> Result<(), crate::traits::RetireError> {
-        let streams = self
-            .streams
-            .values()
-            .filter(|s| s.object == object)
-            .count();
+    pub fn retire_object(&mut self, object: ObjectId) -> Result<(), crate::traits::RetireError> {
+        let streams = self.streams.values().filter(|s| s.object == object).count();
         if streams > 0 {
             return Err(crate::traits::RetireError::InUse { object, streams });
         }

@@ -6,7 +6,7 @@ use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
-use mms_layout::{Catalog, ClusteredLayout, ClusterId, Layout, ObjectId};
+use mms_layout::{Catalog, ClusterId, ClusteredLayout, Layout, ObjectId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-stream state.
@@ -96,11 +96,15 @@ impl StreamingRaidScheduler {
     /// be partial).
     fn blocks_in_group(&self, s: &SrStream, g: u64) -> u32 {
         let bpg = u64::from(self.catalog.layout().blocks_per_group());
-        let tracks = self.catalog.get(s.object).expect("admitted object").object.tracks;
+        let tracks = self
+            .catalog
+            .get(s.object)
+            .expect("admitted object")
+            .object
+            .tracks;
         let remaining = tracks - g * bpg;
         remaining.min(bpg) as u32
     }
-
 
     /// Register a newly staged object in the catalog (the tertiary →
     /// disk load path of Figure 1).
@@ -113,15 +117,8 @@ impl StreamingRaidScheduler {
 
     /// Retire an object from the catalog (the purge path), refusing while
     /// any stream is still delivering it.
-    pub fn retire_object(
-        &mut self,
-        object: ObjectId,
-    ) -> Result<(), crate::traits::RetireError> {
-        let streams = self
-            .streams
-            .values()
-            .filter(|s| s.object == object)
-            .count();
+    pub fn retire_object(&mut self, object: ObjectId) -> Result<(), crate::traits::RetireError> {
+        let streams = self.streams.values().filter(|s| s.object == object).count();
         if streams > 0 {
             return Err(crate::traits::RetireError::InUse { object, streams });
         }
@@ -150,8 +147,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
         let nc = self.clusters();
         // Phase class: the cluster this stream occupies at cycle 0 of its
         // life, projected onto absolute cycles.
-        let class =
-            ((u64::from(placed.start_cluster) + nc - (at_cycle % nc)) % nc) as usize;
+        let class = ((u64::from(placed.start_cluster) + nc - (at_cycle % nc)) % nc) as usize;
         let limit = self.config.slots_per_disk();
         if self.class_load[class] >= limit {
             return Err(AdmissionError::AtCapacity {
@@ -420,16 +416,16 @@ mod tests {
         assert_eq!(p0.total_reads(), 5);
         assert!(p0.deliveries.is_empty());
         assert_eq!(p0.reads_on(DiskId(4)).len(), 1);
-        assert_eq!(
-            p0.reads_on(DiskId(4))[0].purpose,
-            ReadPurpose::Parity
-        );
+        assert_eq!(p0.reads_on(DiskId(4))[0].purpose, ReadPurpose::Parity);
         let p1 = s.plan_cycle(1);
         // Group 1 read on cluster 1; group 0 delivered.
         assert_eq!(p1.total_reads(), 5);
         assert!(p1.reads.keys().all(|d| d.0 >= 5));
         assert_eq!(p1.deliveries.len(), 4);
-        assert!(p1.deliveries.iter().all(|d| d.stream == id && !d.reconstructed));
+        assert!(p1
+            .deliveries
+            .iter()
+            .all(|d| d.stream == id && !d.reconstructed));
         let p2 = s.plan_cycle(2);
         // Nothing left to read; group 1 delivered; stream finishes.
         assert_eq!(p2.total_reads(), 0);
@@ -464,10 +460,7 @@ mod tests {
         // All 4 tracks still delivered; one was reconstructed.
         assert_eq!(p1.deliveries.len(), 4);
         assert!(p1.hiccups.is_empty());
-        assert_eq!(
-            p1.deliveries.iter().filter(|d| d.reconstructed).count(),
-            1
-        );
+        assert_eq!(p1.deliveries.iter().filter(|d| d.reconstructed).count(), 1);
         assert!(p1.deliveries.iter().all(|d| d.stream == id));
     }
 

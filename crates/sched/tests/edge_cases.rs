@@ -35,12 +35,8 @@ fn nc_parity_disk_failure_keeps_normal_mode() {
         1,
         1,
     );
-    let mut s = NonClusteredScheduler::new(
-        cfg,
-        catalog(10, 5, 2, 16),
-        TransitionPolicy::Delayed,
-        2,
-    );
+    let mut s =
+        NonClusteredScheduler::new(cfg, catalog(10, 5, 2, 16), TransitionPolicy::Delayed, 2);
     s.admit(ObjectId(0), 0).unwrap();
     s.plan_cycle(0);
     let report = s.on_disk_failure(DiskId(4), 1, false); // cluster 0's parity disk
@@ -65,12 +61,7 @@ fn nc_parity_then_data_failure_is_catastrophic_and_loses_blocks() {
         1,
         1,
     );
-    let mut s = NonClusteredScheduler::new(
-        cfg,
-        catalog(10, 5, 2, 24),
-        TransitionPolicy::Simple,
-        2,
-    );
+    let mut s = NonClusteredScheduler::new(cfg, catalog(10, 5, 2, 24), TransitionPolicy::Simple, 2);
     s.admit(ObjectId(0), 0).unwrap();
     s.plan_cycle(0);
     assert!(!s.on_disk_failure(DiskId(4), 1, false).catastrophic);
@@ -151,12 +142,7 @@ fn nc_failure_on_idle_cluster_costs_nothing() {
         1,
         1,
     );
-    let mut s = NonClusteredScheduler::new(
-        cfg,
-        catalog(10, 5, 1, 16),
-        TransitionPolicy::Simple,
-        2,
-    );
+    let mut s = NonClusteredScheduler::new(cfg, catalog(10, 5, 1, 16), TransitionPolicy::Simple, 2);
     s.admit(ObjectId(0), 0).unwrap();
     // Stream starts on cluster 0 (groups 0, 2 there; 1, 3 on cluster 1).
     // Fail a cluster-1 disk while the stream is mid-group on cluster 0.

@@ -16,8 +16,7 @@
 
 use mms_disk::{Bandwidth, DiskId, DiskParams};
 use mms_layout::{
-    BandwidthClass, BlockAddr, BlockKind, Catalog, ClusteredLayout, Geometry, MediaObject,
-    ObjectId,
+    BandwidthClass, BlockAddr, BlockKind, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
 };
 use mms_sched::{
     CycleConfig, LossReason, NonClusteredScheduler, SchemeScheduler, StreamId, TransitionPolicy,
@@ -80,7 +79,9 @@ fn run_figure(policy: TransitionPolicy) -> LossAudit {
     // Plan cycles 0..4; admit A/C/E/G/I at their start cycles.
     for t in 0..4u64 {
         sched.plan_cycle(t);
-        if t == 3 { ids.push((A, sched.admit(ObjectId(A), 4).unwrap())) }
+        if t == 3 {
+            ids.push((A, sched.admit(ObjectId(A), 4).unwrap()))
+        }
     }
 
     // Disk 2 fails just before cycle 4 (figure cycle 1).
@@ -139,12 +140,21 @@ fn figure5_normal_mode_schedule() {
     let p2 = sched.plan_cycle(2);
     // W0 on disk 0, U1 on disk 1.
     assert_eq!(p2.total_reads(), 2);
-    assert_eq!(p2.reads_on(DiskId(0))[0].addr, BlockAddr::data(ObjectId(W), 0, 0));
-    assert_eq!(p2.reads_on(DiskId(1))[0].addr, BlockAddr::data(ObjectId(U), 0, 1));
+    assert_eq!(
+        p2.reads_on(DiskId(0))[0].addr,
+        BlockAddr::data(ObjectId(W), 0, 0)
+    );
+    assert_eq!(
+        p2.reads_on(DiskId(1))[0].addr,
+        BlockAddr::data(ObjectId(U), 0, 1)
+    );
     let p3 = sched.plan_cycle(3);
     // Y0 / W1 / U2 on disks 0 / 1 / 2; deliveries lag one cycle.
     assert_eq!(p3.total_reads(), 3);
-    assert_eq!(p3.reads_on(DiskId(2))[0].addr, BlockAddr::data(ObjectId(U), 0, 2));
+    assert_eq!(
+        p3.reads_on(DiskId(2))[0].addr,
+        BlockAddr::data(ObjectId(U), 0, 2)
+    );
     assert_eq!(p3.deliveries.len(), 2);
     // Parity disk (disk 4) is never touched in normal mode.
     for plan in [&p1, &p2, &p3] {

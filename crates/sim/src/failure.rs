@@ -117,8 +117,7 @@ impl FailureSchedule {
                     break;
                 }
                 t += proc.repair_time(rng);
-                let repair_cycle =
-                    ((t.as_secs() / t_cyc.as_secs()) as u64).max(fail_cycle + 1);
+                let repair_cycle = ((t.as_secs() / t_cyc.as_secs()) as u64).max(fail_cycle + 1);
                 events.push(FailureEvent::Fail {
                     cycle: fail_cycle,
                     disk: DiskId(disk as u32),

@@ -24,10 +24,14 @@
 //!   tertiary storage at tape speed after a catastrophe.
 //! * [`trace`] — ASCII rendering of read schedules in the style of the
 //!   paper's Figures 3, 5, 6, 7, and 8.
+//! * [`batch`] — deterministic parallel execution of independent
+//!   scenario grids (ablations, design drills) over `mms-exec`'s worker
+//!   pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod failure;
 mod metrics;
 mod rebuild;
@@ -36,8 +40,9 @@ pub mod trace;
 mod verify;
 mod workload;
 
+pub use batch::{run_batch, run_batch_seeded};
 pub use failure::{FailureEvent, FailureSchedule};
-pub use metrics::{CycleReport, Metrics};
+pub use metrics::{BufferSeries, CycleReport, Metrics};
 pub use rebuild::{Rebuild, RebuildManager, RebuildSource};
 pub use simulator::{DataMode, ObjectDirectory, SimError, Simulator};
 pub use verify::BlockOracle;

@@ -3,6 +3,118 @@
 use mms_disk::Time;
 use mms_sched::LossReason;
 
+/// Bounded record of end-of-cycle buffer occupancy.
+///
+/// The old `Vec<usize>` grew by one entry per cycle forever, so a soak
+/// run leaked memory linearly in simulated time. This keeps at most
+/// [`BufferSeries::DEFAULT_CAP`] points: while under the cap every cycle
+/// is stored exactly (stride 1); at the cap the series is merged
+/// pairwise with `max` and the stride doubles, so each retained point is
+/// the *peak occupancy* of a `stride`-cycle window. Peaks — the quantity
+/// Figure 4 and capacity planning care about — survive downsampling;
+/// [`Metrics::buffer_peak`] stays exact independently.
+#[derive(Debug, Clone)]
+pub struct BufferSeries {
+    points: Vec<usize>,
+    stride: u64,
+    cap: usize,
+    bucket_max: usize,
+    bucket_fill: u64,
+    cycles: u64,
+}
+
+impl Default for BufferSeries {
+    fn default() -> Self {
+        BufferSeries::with_capacity(BufferSeries::DEFAULT_CAP)
+    }
+}
+
+impl BufferSeries {
+    /// Default retention: enough for exact short runs and fine-grained
+    /// long ones (a 1M-cycle soak retains one point per 256 cycles).
+    pub const DEFAULT_CAP: usize = 4096;
+
+    /// A series retaining at most `cap` points (`cap ≥ 2`).
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 2, "BufferSeries needs at least two points");
+        BufferSeries {
+            points: Vec::new(),
+            stride: 1,
+            cap,
+            bucket_max: 0,
+            bucket_fill: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Record one end-of-cycle occupancy sample.
+    pub fn push(&mut self, occupancy: usize) {
+        self.cycles += 1;
+        self.bucket_max = self.bucket_max.max(occupancy);
+        self.bucket_fill += 1;
+        if self.bucket_fill < self.stride {
+            return;
+        }
+        self.points.push(self.bucket_max);
+        self.bucket_max = 0;
+        self.bucket_fill = 0;
+        if self.points.len() >= self.cap {
+            self.points = self
+                .points
+                .chunks(2)
+                .map(|pair| pair.iter().copied().max().unwrap_or(0))
+                .collect();
+            self.stride *= 2;
+        }
+    }
+
+    /// The retained points, oldest first; each covers [`stride`] cycles.
+    ///
+    /// [`stride`]: BufferSeries::stride
+    #[must_use]
+    pub fn points(&self) -> &[usize] {
+        &self.points
+    }
+
+    /// Cycles per retained point (1 until the cap is first reached).
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total cycles recorded (including any not yet flushed to a point).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of retained points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no point has been retained yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Convenience for the renderers: iterate retained points.
+    pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+        self.points.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BufferSeries {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
 /// What happened in one simulated cycle.
 #[derive(Debug, Clone, Default)]
 pub struct CycleReport {
@@ -49,8 +161,9 @@ pub struct Metrics {
     pub disk_busy: Time,
     /// Peak buffer occupancy observed (tracks).
     pub buffer_peak: usize,
-    /// Buffer occupancy per cycle (tracks), for memory-profile figures.
-    pub buffer_series: Vec<usize>,
+    /// Buffer occupancy over time (tracks), for memory-profile figures.
+    /// Bounded: see [`BufferSeries`].
+    pub buffer_series: BufferSeries,
     /// Catastrophic failures detected.
     pub catastrophes: u64,
     /// Tracks read from source disks on behalf of rebuilds.
@@ -104,6 +217,47 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buffer_series_exact_below_cap() {
+        let mut s = BufferSeries::with_capacity(16);
+        for v in [3usize, 1, 4, 1, 5] {
+            s.push(v);
+        }
+        assert_eq!(s.points(), &[3, 1, 4, 1, 5]);
+        assert_eq!(s.stride(), 1);
+        assert_eq!(s.cycles(), 5);
+    }
+
+    #[test]
+    fn buffer_series_is_bounded_and_keeps_window_peaks() {
+        let mut s = BufferSeries::with_capacity(8);
+        // A spike at cycle 100 inside a long run must survive
+        // downsampling as the max of its window.
+        for t in 0..10_000usize {
+            s.push(if t == 100 { 999 } else { t % 7 });
+        }
+        assert!(s.len() < 8, "len {} exceeds cap", s.len());
+        assert!(s.stride() >= 10_000 / 8);
+        assert_eq!(s.iter().copied().max(), Some(999), "spike lost");
+        assert_eq!(s.cycles(), 10_000);
+        // The memory bound holds regardless of horizon.
+        for _ in 0..100_000usize {
+            s.push(2);
+        }
+        assert!(s.len() < 8);
+    }
+
+    #[test]
+    fn buffer_series_stride_doubles_at_cap() {
+        let mut s = BufferSeries::with_capacity(4);
+        for v in 0..4usize {
+            s.push(v);
+        }
+        // Hitting the cap merges pairs: [max(0,1), max(2,3)], stride 2.
+        assert_eq!(s.points(), &[1, 3]);
+        assert_eq!(s.stride(), 2);
+    }
 
     #[test]
     fn hiccup_accounting() {

@@ -121,11 +121,7 @@ impl RebuildManager {
                     // One read on every source disk per rebuilt track:
                     // the bottleneck source disk's idle slots bound the
                     // cycle's progress.
-                    let bound = sources
-                        .iter()
-                        .map(|&d| idle_slots(d))
-                        .min()
-                        .unwrap_or(0) as u64;
+                    let bound = sources.iter().map(|&d| idle_slots(d)).min().unwrap_or(0) as u64;
                     let step = bound.min(remaining);
                     if step > 0 {
                         for &d in sources {
@@ -134,9 +130,7 @@ impl RebuildManager {
                     }
                     step
                 }
-                RebuildSource::Tertiary { tracks_per_cycle } => {
-                    (*tracks_per_cycle).min(remaining)
-                }
+                RebuildSource::Tertiary { tracks_per_cycle } => (*tracks_per_cycle).min(remaining),
             };
             r.done_tracks += step;
             if r.is_complete() {
@@ -198,7 +192,9 @@ mod tests {
             disk: DiskId(7),
             total_tracks: 9,
             done_tracks: 0,
-            source: RebuildSource::Tertiary { tracks_per_cycle: 4 },
+            source: RebuildSource::Tertiary {
+                tracks_per_cycle: 4,
+            },
         });
         // Zero idle slots everywhere: tertiary still proceeds.
         assert!(mgr.advance(|_| 0, |_, _| {}).is_empty());
@@ -225,7 +221,9 @@ mod tests {
             disk: DiskId(0),
             total_tracks: 0,
             done_tracks: 0,
-            source: RebuildSource::Tertiary { tracks_per_cycle: 1 },
+            source: RebuildSource::Tertiary {
+                tracks_per_cycle: 1,
+            },
         };
         assert!(empty.is_complete());
     }

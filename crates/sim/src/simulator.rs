@@ -244,9 +244,8 @@ impl<S: SchemeScheduler> Simulator<S> {
                     disk, mid_cycle, ..
                 } => {
                     // Simulated wall time of the failure.
-                    let now = Time::from_secs(
-                        self.scheduler.config().t_cyc().as_secs() * cycle as f64,
-                    );
+                    let now =
+                        Time::from_secs(self.scheduler.config().t_cyc().as_secs() * cycle as f64);
                     self.disks.fail(disk, now)?;
                     let report = self.scheduler.on_disk_failure(disk, cycle, mid_cycle);
                     if report.catastrophic {
@@ -307,11 +306,8 @@ impl<S: SchemeScheduler> Simulator<S> {
             let p = self.disks.disk(mms_disk::DiskId(0))?.params();
             p.slots_per_cycle(t_cyc)
         };
-        let loads: std::collections::BTreeMap<mms_disk::DiskId, usize> = plan
-            .reads
-            .iter()
-            .map(|(&d, v)| (d, v.len()))
-            .collect();
+        let loads: std::collections::BTreeMap<mms_disk::DiskId, usize> =
+            plan.reads.iter().map(|(&d, v)| (d, v.len())).collect();
         let mut rebuild_reads: Vec<(mms_disk::DiskId, usize)> = Vec::new();
         let disks_view = &self.disks;
         let finished_rebuilds = self.rebuilds.advance(

@@ -62,8 +62,12 @@ pub fn render_deliveries(plan: &CyclePlan, names: &BTreeMap<u64, &str>) -> Strin
         .map(|d| {
             let tag = if d.reconstructed { "*" } else { "" };
             match d.addr.kind {
-                BlockKind::Data(i) => format!("{}{}.{}.{i}", tag, label(d.addr.object.0), d.addr.group),
-                BlockKind::Parity => format!("{}{}.{}.p", tag, label(d.addr.object.0), d.addr.group),
+                BlockKind::Data(i) => {
+                    format!("{}{}.{}.{i}", tag, label(d.addr.object.0), d.addr.group)
+                }
+                BlockKind::Parity => {
+                    format!("{}{}.{}.p", tag, label(d.addr.object.0), d.addr.group)
+                }
             }
         })
         .collect();
@@ -72,7 +76,12 @@ pub fn render_deliveries(plan: &CyclePlan, names: &BTreeMap<u64, &str>) -> Strin
         .iter()
         .map(|h| match h.addr.kind {
             BlockKind::Data(i) => {
-                format!("!{}.{}.{i}[{}]", label(h.addr.object.0), h.addr.group, h.reason)
+                format!(
+                    "!{}.{}.{i}[{}]",
+                    label(h.addr.object.0),
+                    h.addr.group,
+                    h.reason
+                )
             }
             BlockKind::Parity => format!("!{}.{}.p", label(h.addr.object.0), h.addr.group),
         })
@@ -154,7 +163,12 @@ pub fn render_buffer_series(series: &[usize], max_rows: usize) -> String {
         let _ = writeln!(out, "{t:>6}  {v:>6}  {bar}");
     }
     if series.len() > max_rows {
-        let _ = writeln!(out, "{:>6}  … ({} more cycles)", "", series.len() - max_rows);
+        let _ = writeln!(
+            out,
+            "{:>6}  … ({} more cycles)",
+            "",
+            series.len() - max_rows
+        );
     }
     out
 }
@@ -170,7 +184,7 @@ mod buffer_series_tests {
         let lines: Vec<&str> = s.lines().collect();
         let bar_len = |l: &str| l.chars().filter(|&c| c == '#').count();
         assert_eq!(bar_len(lines[1]), 0);
-        assert_eq!(bar_len(lines[3]) , 2 * bar_len(lines[2]));
+        assert_eq!(bar_len(lines[3]), 2 * bar_len(lines[2]));
     }
 
     #[test]

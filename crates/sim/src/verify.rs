@@ -23,11 +23,7 @@ pub struct BlockOracle {
 impl BlockOracle {
     /// Build an oracle for the given object lengths.
     #[must_use]
-    pub fn new(
-        tracks: BTreeMap<ObjectId, u64>,
-        blocks_per_group: u32,
-        track_bytes: usize,
-    ) -> Self {
+    pub fn new(tracks: BTreeMap<ObjectId, u64>, blocks_per_group: u32, track_bytes: usize) -> Self {
         BlockOracle {
             tracks,
             blocks_per_group,
@@ -86,11 +82,9 @@ impl BlockOracle {
             .map(|i| self.data_block(object, group, i))
             .collect();
         let parity = codec::parity_of(members.iter());
-        let rebuilt =
-            codec::reconstruct(missing as usize, &members, &parity).expect("valid group");
+        let rebuilt = codec::reconstruct(missing as usize, &members, &parity).expect("valid group");
         assert_eq!(
-            rebuilt,
-            members[missing as usize],
+            rebuilt, members[missing as usize],
             "XOR reconstruction must be exact"
         );
         rebuilt

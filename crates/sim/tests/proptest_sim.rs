@@ -3,7 +3,9 @@
 
 use mms_disk::{DiskId, ReliabilityParams, Time};
 use mms_layout::ObjectId;
-use mms_sim::{FailureEvent, FailureSchedule, Rebuild, RebuildManager, RebuildSource, WorkloadGen, Zipf};
+use mms_sim::{
+    FailureEvent, FailureSchedule, Rebuild, RebuildManager, RebuildSource, WorkloadGen, Zipf,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -55,10 +55,12 @@ fn main() {
     println!("\n=== Cheapest configuration for {required:.0} concurrent streams ===\n");
     let mut winner: Option<(SchemeKind, usize, f64)> = None;
     for scheme in SchemeKind::ALL {
-        match model.cheapest_for_streams(&sys, scheme, 2..=10, required, SchemeParams::paper_fig9)
-        {
+        match model.cheapest_for_streams(&sys, scheme, 2..=10, required, SchemeParams::paper_fig9) {
             Some((c, cost)) => {
-                println!("{:<20} feasible at C = {c:<2} for ${cost:>9.0}", scheme.to_string());
+                println!(
+                    "{:<20} feasible at C = {c:<2} for ${cost:>9.0}",
+                    scheme.to_string()
+                );
                 if winner.map(|(_, _, w)| cost < w).unwrap_or(true) {
                     winner = Some((scheme, c, cost));
                 }

@@ -56,7 +56,16 @@ fn drill(policy: TransitionPolicy) {
     let names: BTreeMap<u64, &str> = NAMES.into_iter().collect();
 
     // Streams staggered one position apart, as in Figure 5.
-    let starts = [(0u64, 1u64), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)];
+    let starts = [
+        (0u64, 1u64),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+    ];
     let mut plans = Vec::new();
     let mut lost = Vec::new();
     for t in 0..14u64 {

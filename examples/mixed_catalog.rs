@@ -10,7 +10,9 @@
 //!
 //! Run with: `cargo run --release --example mixed_catalog`
 
-use ft_media_server::analysis::{partition_classes, ClassDemand, SchemeKind, SchemeParams, SystemParams};
+use ft_media_server::analysis::{
+    partition_classes, ClassDemand, SchemeKind, SchemeParams, SystemParams,
+};
 use ft_media_server::disk::{Bandwidth, DiskId};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
 use ft_media_server::sim::DataMode;
@@ -21,12 +23,7 @@ fn whole_clusters(disks: f64, c: usize) -> usize {
     ((disks / c as f64).ceil() as usize).max(1) * c
 }
 
-fn build_class(
-    disks: usize,
-    class: BandwidthClass,
-    titles: u64,
-    tracks: u64,
-) -> MultimediaServer {
+fn build_class(disks: usize, class: BandwidthClass, titles: u64, tracks: u64) -> MultimediaServer {
     let mut b = ServerBuilder::new(Scheme::StreamingRaid)
         .disks(disks)
         .parity_group(5)
@@ -100,7 +97,10 @@ fn main() {
         server.run(cycles).unwrap();
     }
 
-    println!("\n{:<8} {:>10} {:>12} {:>9} {:>9}", "class", "delivered", "reconstructed", "hiccups", "util %");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>9} {:>9}",
+        "class", "delivered", "reconstructed", "hiccups", "util %"
+    );
     for (label, server, disks) in [("MPEG-1", &mpeg1, d1), ("MPEG-2", &mpeg2, d2)] {
         let m = server.metrics();
         println!(

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("scheme            : {}", server.scheme());
     println!("cycle length      : {}", server.cycle_config().t_cyc());
-    println!("slots per disk    : {}", server.cycle_config().slots_per_disk());
+    println!(
+        "slots per disk    : {}",
+        server.cycle_config().slots_per_disk()
+    );
     println!("stream capacity   : {}", server.stream_capacity());
 
     let movie = server.objects()[0];

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scheme", "finished", "delivered", "reconstr", "hiccups", "rejected", "buf peak"
     );
     for scheme in Scheme::ALL {
-        let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+        let disks = if scheme == Scheme::ImprovedBandwidth {
+            8
+        } else {
+            10
+        };
         let mut builder = ServerBuilder::new(scheme)
             .disks(disks)
             .parity_group(5)

@@ -13,18 +13,26 @@
 //!   --repair DISK@CYCLE    (repeatable)
 //!   --rebuild DISK@CYCLE   (repeatable; parity rebuild)
 //!   --cycles N             (default: run until streams finish)
-//! mms-ctl mttf <D> <C>                       reliability summary
-//! mms-ctl design <streams>                   cheapest feasible design
+//! mms-ctl mttf <D> <C> [options]             reliability summary
+//!   --mc TRIALS            Monte-Carlo validation of Eqs. 4-5 (default off)
+//!   --threads N|auto|seq   worker pool for the trials (default auto)
+//! mms-ctl design <streams> [options]         cheapest feasible design
+//!   --threads N|auto|seq   worker pool for the sweep (default auto)
 //! ```
+//!
+//! `--threads` is purely a performance knob: every command's output is
+//! bit-identical for any setting (see `mms_exec`).
 
 use ft_media_server::analysis::{
-    best_design, table_rows, CostModel, SchemeParams, SystemParams,
+    design_space_par, table_rows, CostModel, SchemeParams, SystemParams,
 };
 use ft_media_server::disk::{DiskId, ReliabilityParams};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
-use ft_media_server::reliability::{formulas, PoolMarkov};
+use ft_media_server::reliability::{formulas, CatastropheRule, MonteCarlo, PoolMarkov};
 use ft_media_server::sim::DataMode;
-use ft_media_server::{Scheme, ServerBuilder};
+use ft_media_server::{Parallelism, Scheme, ServerBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -81,7 +89,9 @@ fn parse_events(args: &[String], flag: &str) -> Result<Vec<(u32, u64)>, String> 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == flag {
-            let spec = it.next().ok_or_else(|| format!("{flag} needs DISK@CYCLE"))?;
+            let spec = it
+                .next()
+                .ok_or_else(|| format!("{flag} needs DISK@CYCLE"))?;
             let (d, c) = spec
                 .split_once('@')
                 .ok_or_else(|| format!("bad {flag} spec '{spec}': want DISK@CYCLE"))?;
@@ -113,7 +123,11 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
         "ib" => Scheme::ImprovedBandwidth,
         other => return Err(format!("unknown scheme '{other}'").into()),
     };
-    let default_disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+    let default_disks = if scheme == Scheme::ImprovedBandwidth {
+        8
+    } else {
+        10
+    };
     let disks: usize = flag_value(args, "--disks", default_disks)?;
     let group: usize = flag_value(args, "--group", 5)?;
     let viewers: usize = flag_value(args, "--viewers", 4)?;
@@ -181,11 +195,19 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     let m = server.metrics();
     println!("\ncycles simulated   : {}", m.cycles);
     println!("streams finished   : {}", m.streams_finished);
-    println!("tracks delivered   : {} (verified {})", m.delivered, m.verified);
+    println!(
+        "tracks delivered   : {} (verified {})",
+        m.delivered, m.verified
+    );
     println!("reconstructed      : {}", m.reconstructed);
-    println!("hiccups            : {} (failed-disk {}, displaced {}, mid-cycle {}, DoS {})",
-        m.total_hiccups(), m.hiccups_failed_disk, m.hiccups_displaced,
-        m.hiccups_mid_cycle, m.service_degradations);
+    println!(
+        "hiccups            : {} (failed-disk {}, displaced {}, mid-cycle {}, DoS {})",
+        m.total_hiccups(),
+        m.hiccups_failed_disk,
+        m.hiccups_displaced,
+        m.hiccups_mid_cycle,
+        m.service_degradations
+    );
     println!("rebuilds completed : {}", m.rebuilds_completed);
     println!("buffer peak        : {} tracks", m.buffer_peak);
     println!("catastrophes       : {}", m.catastrophes);
@@ -193,8 +215,11 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
 }
 
 fn cmd_mttf(args: &[String]) -> CmdResult {
-    let d: usize = args.first().map_or(Ok(1000), |s| s.parse())?;
-    let c: usize = args.get(1).map_or(Ok(10), |s| s.parse())?;
+    let pos: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let d: usize = pos.first().map_or(Ok(1000), |s| s.parse())?;
+    let c: usize = pos.get(1).map_or(Ok(10), |s| s.parse())?;
+    let mc_trials: usize = flag_value(args, "--mc", 0)?;
+    let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
     let rel = ReliabilityParams::paper();
     println!("reliability for D = {d}, C = {c} (MTTF 300,000 h, MTTR 1 h)\n");
     println!(
@@ -217,14 +242,37 @@ fn cmd_mttf(args: &[String]) -> CmdResult {
             formulas::mttds_shared(d, k, rel).as_years()
         );
     }
+    if mc_trials >= 2 {
+        println!(
+            "\nMonte-Carlo validation: {mc_trials} trials on {} thread(s), seed 1995",
+            par.thread_count()
+        );
+        let mut rng = StdRng::seed_from_u64(1995);
+        for (label, rule) in [
+            ("SR/SG/NC", CatastropheRule::SameCluster { c }),
+            ("IB", CatastropheRule::SameOrAdjacentCluster { c }),
+        ] {
+            let stats = MonteCarlo { d, rel, rule }.run_par(&mut rng, mc_trials, par);
+            println!(
+                "measured, {label:<8}          : {:>12.1} ± {:.1} years (95% CI)",
+                stats.mean.as_years(),
+                stats.ci95().as_years()
+            );
+        }
+    }
     Ok(())
 }
 
 fn cmd_design(args: &[String]) -> CmdResult {
-    let required: f64 = args.first().map_or(Ok(1200.0), |s| s.parse())?;
+    let pos: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let required: f64 = pos.first().map_or(Ok(1200.0), |s| s.parse())?;
+    let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
     let sys = SystemParams::paper_table1();
     let model = CostModel::paper_fig9();
-    match best_design(&sys, &model, 2..=10, required, SchemeParams::paper_fig9) {
+    let best = design_space_par(&sys, &model, 2..=10, SchemeParams::paper_fig9, par)
+        .into_iter()
+        .find(|p| p.streams >= required);
+    match best {
         Some(p) => println!(
             "cheapest for {required:.0} streams: {} at C = {} — ${:.0} \
              ({:.1} disks, {:.0} buffer tracks, {:.0} streams)",

@@ -26,7 +26,15 @@ fn table_command_prints_table2() {
 #[test]
 fn simulate_masks_a_failure() {
     let (stdout, _, ok) = ctl(&[
-        "simulate", "--scheme", "sr", "--tracks", "60", "--viewers", "2", "--fail", "1@5",
+        "simulate",
+        "--scheme",
+        "sr",
+        "--tracks",
+        "60",
+        "--viewers",
+        "2",
+        "--fail",
+        "1@5",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("disk 1 FAILED"), "{stdout}");
@@ -37,7 +45,15 @@ fn simulate_masks_a_failure() {
 #[test]
 fn simulate_runs_a_rebuild() {
     let (stdout, _, ok) = ctl(&[
-        "simulate", "--scheme", "nc", "--tracks", "120", "--fail", "2@8", "--rebuild", "2@20",
+        "simulate",
+        "--scheme",
+        "nc",
+        "--tracks",
+        "120",
+        "--fail",
+        "2@8",
+        "--rebuild",
+        "2@20",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("rebuilds completed : 1"), "{stdout}");

@@ -23,7 +23,11 @@ fn server(scheme: Scheme, disks: usize, c: usize) -> MultimediaServer {
 #[test]
 fn all_schemes_play_concurrent_movies_with_byte_verification() {
     for scheme in Scheme::ALL {
-        let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+        let disks = if scheme == Scheme::ImprovedBandwidth {
+            8
+        } else {
+            10
+        };
         let mut s = server(scheme, disks, 5);
         let (a, b) = (s.objects()[0], s.objects()[1]);
         s.admit(a).unwrap();
@@ -45,7 +49,11 @@ fn all_schemes_play_concurrent_movies_with_byte_verification() {
 #[test]
 fn failure_and_repair_cycle_leaves_no_residue() {
     for scheme in Scheme::ALL {
-        let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+        let disks = if scheme == Scheme::ImprovedBandwidth {
+            8
+        } else {
+            10
+        };
         let mut s = server(scheme, disks, 5);
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
@@ -93,7 +101,11 @@ fn clustered_schemes_tolerate_one_failure_per_cluster() {
 
 #[test]
 fn second_failure_in_one_cluster_is_catastrophic_for_clustered() {
-    for scheme in [Scheme::StreamingRaid, Scheme::StaggeredGroup, Scheme::NonClustered] {
+    for scheme in [
+        Scheme::StreamingRaid,
+        Scheme::StaggeredGroup,
+        Scheme::NonClustered,
+    ] {
         let mut s = server(scheme, 10, 5);
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
@@ -182,15 +194,28 @@ fn nc_policies_agree_on_steady_state_but_not_transition() {
         assert_eq!(m.delivered, m.verified, "{policy:?}");
         losses.push(m.total_hiccups());
     }
-    assert!(losses[1] <= losses[0], "delayed {} vs simple {}", losses[1], losses[0]);
+    assert!(
+        losses[1] <= losses[0],
+        "delayed {} vs simple {}",
+        losses[1],
+        losses[0]
+    );
 }
 
 #[test]
 fn midcycle_failure_only_hurts_improved_bandwidth() {
     // SR/SG read parity alongside data, so even a mid-cycle failure is
     // masked; IB cannot mask the in-flight cycle (Section 4).
-    for scheme in [Scheme::StreamingRaid, Scheme::StaggeredGroup, Scheme::ImprovedBandwidth] {
-        let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+    for scheme in [
+        Scheme::StreamingRaid,
+        Scheme::StaggeredGroup,
+        Scheme::ImprovedBandwidth,
+    ] {
+        let disks = if scheme == Scheme::ImprovedBandwidth {
+            8
+        } else {
+            10
+        };
         let mut s = server(scheme, disks, 5);
         let movie = s.objects()[0];
         s.admit(movie).unwrap();

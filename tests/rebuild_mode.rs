@@ -9,7 +9,11 @@ use ft_media_server::sim::DataMode;
 use ft_media_server::{MultimediaServer, Scheme, ServerBuilder};
 
 fn server(scheme: Scheme) -> MultimediaServer {
-    let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+    let disks = if scheme == Scheme::ImprovedBandwidth {
+        8
+    } else {
+        10
+    };
     ServerBuilder::new(scheme)
         .disks(disks)
         .parity_group(5)

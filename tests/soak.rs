@@ -16,7 +16,11 @@ const CYCLES: u64 = 1_500;
 fn stochastic_soak_across_all_schemes() {
     let mut rng = StdRng::seed_from_u64(0x51_6D0D);
     for scheme in Scheme::ALL {
-        let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+        let disks = if scheme == Scheme::ImprovedBandwidth {
+            8
+        } else {
+            10
+        };
         let mut builder = ServerBuilder::new(scheme)
             .disks(disks)
             .parity_group(5)
@@ -39,8 +43,7 @@ fn stochastic_soak_across_all_schemes() {
             mttf: ReliabilityParams::paper().mttf,
             mttr: Time::from_secs(t_cyc.as_secs() * 20.0),
         };
-        let schedule =
-            FailureSchedule::stochastic(&mut rng, disks, rel, t_cyc, CYCLES, 2.0e6);
+        let schedule = FailureSchedule::stochastic(&mut rng, disks, rel, t_cyc, CYCLES, 2.0e6);
         let injected = schedule.remaining();
         server.set_failures(schedule);
 
@@ -54,7 +57,11 @@ fn stochastic_soak_across_all_schemes() {
 
         let m = server.metrics().clone();
         assert!(injected > 0, "{scheme:?}: the soak needs failures");
-        assert!(m.streams_finished > 20, "{scheme:?}: {}", m.streams_finished);
+        assert!(
+            m.streams_finished > 20,
+            "{scheme:?}: {}",
+            m.streams_finished
+        );
         assert_eq!(m.delivered, m.verified, "{scheme:?}: all bytes checked");
         // Even with repeated failures, the overwhelming majority of
         // deliveries succeed.

@@ -8,7 +8,12 @@ use ft_media_server::sim::DataMode;
 use ft_media_server::{Scheme, ServerBuilder};
 
 fn movie(id: u64, tracks: u64) -> MediaObject {
-    MediaObject::new(ObjectId(id), format!("m{id}"), tracks, BandwidthClass::Mpeg1)
+    MediaObject::new(
+        ObjectId(id),
+        format!("m{id}"),
+        tracks,
+        BandwidthClass::Mpeg1,
+    )
 }
 
 #[test]

@@ -1,0 +1,354 @@
+//! Vendored, API-compatible subset of `criterion` for offline builds.
+//!
+//! Provides the measurement entry points this workspace's benches use —
+//! `bench_function`, `benchmark_group`, `bench_with_input`, `iter`,
+//! `iter_batched` — with a simple wall-clock harness: warm up briefly,
+//! run timed batches for a fixed budget, report the median batch rate.
+//! No statistical analysis, plotting, or baseline storage. When invoked
+//! by `cargo test` (which passes `--test` to `harness = false` bench
+//! targets), each bench runs a single iteration as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use self::measurement::black_box;
+
+mod measurement {
+    /// Re-export of the standard opaque-value hint.
+    pub use std::hint::black_box;
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by this harness —
+/// every batch re-runs setup untimed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (recorded, printed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring upstream's display form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured for the last run.
+    ns_per_iter: f64,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly and record the median rate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that takes
+        // ~10 ms per batch, then run batches for ~300 ms.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || n >= 1 << 30 {
+                break;
+            }
+            n = n.saturating_mul(if elapsed.as_micros() < 100 { 16 } else { 2 });
+        }
+        let mut samples = Vec::new();
+        let budget = Instant::now();
+        while budget.elapsed() < Duration::from_millis(300) || samples.len() < 3 {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / n as f64);
+            if samples.len() >= 100 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+
+    /// Time `routine` over fresh untimed `setup` output each batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_only {
+            black_box(routine(setup()));
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        let mut samples = Vec::new();
+        let budget = Instant::now();
+        while budget.elapsed() < Duration::from_millis(300) || samples.len() < 8 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64());
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    smoke_only: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        smoke_only,
+    };
+    f(&mut b);
+    if smoke_only {
+        println!("bench {label:<42} ok (smoke)");
+        return;
+    }
+    let mut line = format!("bench {label:<42} {:>12}/iter", human_time(b.ns_per_iter));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => format!(
+                "{:.1} MiB/s",
+                n as f64 / (b.ns_per_iter * 1e-9) / (1 << 20) as f64
+            ),
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (b.ns_per_iter * 1e-9)),
+        };
+        line.push_str(&format!("  {per_sec:>14}"));
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    smoke_only: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness = false bench targets with `--test`;
+        // `cargo bench` passes `--bench`. Positional args act as filters.
+        let mut smoke_only = false;
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => smoke_only = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { smoke_only, filter }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op configuration hook.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn selected(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.selected(name) {
+            run_one(name, None, self.smoke_only, &mut f);
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream calls this after all groups; nothing to finalize here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: BenchName, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        if self.criterion.selected(&label) {
+            run_one(&label, self.throughput, self.criterion.smoke_only, &mut f);
+        }
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<N: BenchName, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        if self.criterion.selected(&label) {
+            run_one(
+                &label,
+                self.throughput,
+                self.criterion.smoke_only,
+                &mut |b| f(b, input),
+            );
+        }
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Things usable as a benchmark name: strings or [`BenchmarkId`].
+pub trait BenchName {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl BenchName for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl BenchName for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl BenchName for BenchmarkId {
+    fn into_label(self) -> String {
+        self.name
+    }
+}
+
+/// Collect bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bencher_runs_once() {
+        let mut count = 0u32;
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            smoke_only: true,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("encode", 4).name, "encode/4");
+    }
+
+    #[test]
+    fn batched_smoke_runs_setup_and_routine() {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            smoke_only: true,
+        };
+        let mut total = 0usize;
+        b.iter_batched(
+            || vec![1, 2, 3],
+            |v| total += v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(total, 3);
+    }
+}
