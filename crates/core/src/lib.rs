@@ -67,3 +67,5 @@ pub use mms_reliability as reliability;
 pub use mms_sched as sched;
 /// Discrete-event simulation ([`mms_sim`]).
 pub use mms_sim as sim;
+/// Structured tracing, metrics, and JSONL export ([`mms_telemetry`]).
+pub use mms_telemetry as telemetry;

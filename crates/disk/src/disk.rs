@@ -3,6 +3,7 @@
 use crate::error::DiskError;
 use crate::params::DiskParams;
 use crate::units::Time;
+use mms_telemetry::{counter, event, histogram, Level};
 use std::fmt;
 
 /// Identifier of a disk in the array, dense from 0.
@@ -130,6 +131,7 @@ impl Disk {
         }
         if !self.is_operational() {
             self.stats.rejected_reads += tracks as u64;
+            counter!("disk.rejected_reads", tracks as u64, disk = self.id.0);
             return Err(DiskError::NotOperational { disk: self.id });
         }
         let capacity = self.params.slots_per_cycle(t_cyc);
@@ -144,6 +146,7 @@ impl Disk {
         self.stats.tracks_read += tracks as u64;
         self.stats.busy_cycles += 1;
         self.stats.busy_time += t;
+        histogram!("disk.service_ms", t.as_millis(), disk = self.id.0);
         Ok(t)
     }
 
@@ -154,6 +157,12 @@ impl Disk {
         }
         self.state = DiskState::Failed { since: now };
         self.stats.failures += 1;
+        event!(
+            Level::Warn,
+            "disk.failed",
+            disk = self.id.0,
+            at_secs = now.as_secs()
+        );
         Ok(())
     }
 
@@ -165,6 +174,12 @@ impl Disk {
                     since: now,
                     progress: 0.0,
                 };
+                event!(
+                    Level::Info,
+                    "disk.rebuild_start",
+                    disk = self.id.0,
+                    at_secs = now.as_secs()
+                );
                 Ok(())
             }
             _ => Err(DiskError::NotFailed { disk: self.id }),
@@ -179,6 +194,7 @@ impl Disk {
                 *progress = (*progress + fraction).min(1.0);
                 if *progress >= 1.0 {
                     self.state = DiskState::Normal;
+                    event!(Level::Info, "disk.rebuild_complete", disk = self.id.0);
                     return Ok(true);
                 }
                 Ok(false)
@@ -193,6 +209,7 @@ impl Disk {
         match self.state {
             DiskState::Failed { .. } | DiskState::Rebuilding { .. } => {
                 self.state = DiskState::Normal;
+                event!(Level::Info, "disk.repaired", disk = self.id.0);
                 Ok(())
             }
             DiskState::Normal => Err(DiskError::NotFailed { disk: self.id }),
@@ -269,6 +286,44 @@ mod tests {
         assert!(d.advance_rebuild(0.6).unwrap());
         assert!(d.is_operational());
         assert_eq!(d.stats().failures, 1);
+    }
+
+    #[test]
+    fn telemetry_captures_service_times_failures_and_rejections() {
+        use mms_telemetry::{Labels, Level, Recorder};
+        let rec = Recorder::new(Level::Info);
+        let mut d = disk();
+        {
+            let _g = rec.install();
+            let t_cyc = Time::from_millis(266.0);
+            d.read_tracks(5, t_cyc).unwrap();
+            d.fail(Time::from_secs(2.0)).unwrap();
+            let _ = d.read_tracks(3, t_cyc);
+            d.repair().unwrap();
+        }
+        let labels = Labels::new(vec![("disk", 0u64.into())]);
+        let snap = rec.snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k.name == "disk.service_ms" && k.labels == labels)
+            .map(|(_, h)| h)
+            .expect("service-time histogram recorded");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), Some(125.0));
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|(k, _)| k.name == "disk.rejected_reads")
+                .unwrap()
+                .1,
+            3
+        );
+        let events = rec.take_events();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "disk.failed" && e.level == Level::Warn));
+        assert!(events.iter().any(|e| e.name == "disk.repaired"));
     }
 
     #[test]

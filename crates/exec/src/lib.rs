@@ -19,10 +19,23 @@
 //!
 //! Together these make "how many threads?" a pure performance knob
 //! ([`Parallelism`]) that can never change a result.
+//!
+//! ## Telemetry
+//!
+//! When a `mms-telemetry` collector is installed on the *calling*
+//! thread, every job runs under its own fresh
+//! [`Recorder`] (worker threads never share
+//! one), and the captured events and metrics are absorbed into the
+//! caller's collector **in job index order** after the pool joins. Job
+//! telemetry at `Debug` and above is therefore bit-identical for any
+//! thread count, exactly like the results. Pool diagnostics (per-worker
+//! job counts and wall-clock busy time) are scheduling-dependent and
+//! only emitted at [`Level::Trace`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use mms_telemetry::{event, EventRecord, Level, Recorder, Registry};
 use rand::Rng;
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -113,6 +126,29 @@ impl FromStr for Parallelism {
     }
 }
 
+/// A job's captured telemetry, extracted on the worker thread so it can
+/// be sent back to the caller for in-order absorption.
+type JobTelemetry = (Vec<EventRecord>, Registry);
+
+/// Run one job, under a fresh per-job [`Recorder`] when the caller had a
+/// collector installed (`level` is its max level).
+fn run_job<T, F>(f: &F, i: usize, level: Option<Level>) -> (T, Option<JobTelemetry>)
+where
+    F: Fn(usize) -> T,
+{
+    match level {
+        None => (f(i), None),
+        Some(level) => {
+            let recorder = Recorder::new(level);
+            let value = {
+                let _guard = recorder.install();
+                f(i)
+            };
+            (value, Some(recorder.into_parts()))
+        }
+    }
+}
+
 /// Map `f` over `0..n`, returning `vec![f(0), f(1), …, f(n-1)]`.
 ///
 /// Workers claim indices from a shared atomic counter (dynamic
@@ -121,31 +157,51 @@ impl FromStr for Parallelism {
 /// the scope joins, so the output order is deterministic no matter how
 /// the indices were interleaved. A panic in any job propagates to the
 /// caller.
+///
+/// If the calling thread has a telemetry collector installed, each job
+/// records into its own [`Recorder`] and the captured records are
+/// absorbed in index order after the join (see the crate docs), so the
+/// sequential path and every thread count produce the same stream.
 pub fn par_map_indexed<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let level = mms_telemetry::current_max_level();
+    event!(Level::Debug, "exec.batch", jobs = n);
     let workers = par.thread_count().min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let (value, telemetry) = run_job(&f, i, level);
+                if let Some((events, registry)) = telemetry {
+                    mms_telemetry::dispatch_absorb(events, &registry);
+                }
+                value
+            })
+            .collect();
     }
+    let trace_pool = level >= Some(Level::Trace);
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
-    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    type WorkerOut<T> = (Vec<(usize, T, Option<JobTelemetry>)>, f64);
+    let per_worker: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
+                    let started = trace_pool.then(std::time::Instant::now);
                     let mut mine = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        mine.push((i, f(i)));
+                        let (value, telemetry) = run_job(f, i, level);
+                        mine.push((i, value, telemetry));
                     }
-                    mine
+                    let busy_ms = started.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+                    (mine, busy_ms)
                 })
             })
             .collect();
@@ -154,16 +210,30 @@ where
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for mine in per_worker {
-        for (i, value) in mine {
+    let mut slots: Vec<Option<(T, Option<JobTelemetry>)>> = (0..n).map(|_| None).collect();
+    for (worker, (mine, busy_ms)) in per_worker.into_iter().enumerate() {
+        // Scheduling-dependent by nature, hence Trace-only.
+        event!(
+            Level::Trace,
+            "exec.worker",
+            worker = worker,
+            jobs = mine.len(),
+            busy_ms = busy_ms
+        );
+        for (i, value, telemetry) in mine {
             debug_assert!(slots[i].is_none(), "index {i} claimed twice");
-            slots[i] = Some(value);
+            slots[i] = Some((value, telemetry));
         }
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every index claimed exactly once"))
+        .map(|s| {
+            let (value, telemetry) = s.expect("every index claimed exactly once");
+            if let Some((events, registry)) = telemetry {
+                mms_telemetry::dispatch_absorb(events, &registry);
+            }
+            value
+        })
         .collect()
 }
 
@@ -308,6 +378,61 @@ mod tests {
         assert_eq!(Parallelism::threads(5).thread_count(), 5);
         assert!(Parallelism::Auto.thread_count() >= 1);
         assert_eq!(Parallelism::threads(0), Parallelism::Auto);
+    }
+
+    #[test]
+    fn traced_jobs_merge_in_index_order_at_any_thread_count() {
+        let run = |par: Parallelism| {
+            let rec = Recorder::new(Level::Debug);
+            let sums = {
+                let _g = rec.install();
+                par_map_indexed(par, 24, |i| {
+                    mms_telemetry::event!(Level::Debug, "job", index = i);
+                    mms_telemetry::counter!("exec.test.jobs", 1);
+                    i as u64
+                })
+            };
+            (sums, rec.take_events(), rec.snapshot())
+        };
+        let (seq_sums, seq_events, seq_snap) = run(Parallelism::Sequential);
+        assert_eq!(
+            seq_snap
+                .counters
+                .iter()
+                .find(|(k, _)| k.name == "exec.test.jobs")
+                .unwrap()
+                .1,
+            24
+        );
+        // Job events arrive in index order, after the batch event.
+        assert_eq!(seq_events[0].name, "exec.batch");
+        let indices: Vec<String> = seq_events
+            .iter()
+            .filter(|e| e.name == "job")
+            .map(|e| e.field("index").unwrap().to_string())
+            .collect();
+        let expect: Vec<String> = (0..24).map(|i| i.to_string()).collect();
+        assert_eq!(indices, expect);
+        for par in [Parallelism::threads(2), Parallelism::threads(8)] {
+            let (sums, events, snap) = run(par);
+            assert_eq!(sums, seq_sums);
+            assert_eq!(events, seq_events, "event stream differs under {par}");
+            assert_eq!(
+                snap.counters
+                    .iter()
+                    .find(|(k, _)| k.name == "exec.test.jobs")
+                    .unwrap()
+                    .1,
+                24
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_runs_emit_nothing() {
+        let rec = Recorder::new(Level::Trace);
+        let _ = par_map_indexed(Parallelism::threads(2), 8, |i| i);
+        assert_eq!(rec.take_events().len(), 0);
     }
 
     #[test]

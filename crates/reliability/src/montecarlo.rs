@@ -209,7 +209,15 @@ impl MonteCarlo {
         let seeds = SeedSequence::from_rng(rng);
         let samples = par_map_indexed(par, trials, |i| {
             let mut trial_rng = StdRng::seed_from_u64(seeds.seed(i as u64));
-            self.trial(&mut trial_rng).as_secs()
+            let ttf = self.trial(&mut trial_rng).as_secs();
+            mms_telemetry::event!(
+                mms_telemetry::Level::Debug,
+                "mc.trial",
+                trial = i,
+                ttf_secs = ttf
+            );
+            mms_telemetry::histogram!("mc.ttf_secs", ttf);
+            ttf
         });
         summarize(&samples)
     }

@@ -12,7 +12,9 @@
 use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
-use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use crate::traits::{
+    emit_mode_transition, AdmissionError, FailureReport, SchemeKind, SchemeScheduler,
+};
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
 use mms_layout::{BlockAddr, Catalog, ClusterId, ImprovedLayout, Layout, ObjectId};
@@ -525,7 +527,7 @@ impl SchemeScheduler for ImprovedScheduler {
         plan
     }
 
-    fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, mid_cycle: bool) -> FailureReport {
+    fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, mid_cycle: bool) -> FailureReport {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
@@ -550,6 +552,12 @@ impl SchemeScheduler for ImprovedScheduler {
         if mid_cycle {
             self.midcycle_pending = Some(disk);
         }
+        let (from, to) = if catastrophic {
+            ("degraded", "catastrophic")
+        } else {
+            ("normal", "degraded")
+        };
+        emit_mode_transition(self.scheme(), cluster, cycle, from, to);
         FailureReport {
             degraded_clusters: vec![cluster],
             catastrophic,
@@ -557,7 +565,7 @@ impl SchemeScheduler for ImprovedScheduler {
         }
     }
 
-    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+    fn on_disk_repair(&mut self, disk: DiskId, cycle: u64) {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
@@ -565,6 +573,7 @@ impl SchemeScheduler for ImprovedScheduler {
             set.remove(&pos);
             if set.is_empty() {
                 self.failed.remove(&cluster);
+                emit_mode_transition(self.scheme(), cluster, cycle, "degraded", "normal");
             }
         }
     }

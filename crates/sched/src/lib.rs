@@ -56,4 +56,6 @@ pub use plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurp
 pub use staggered::StaggeredScheduler;
 pub use streaming_raid::StreamingRaidScheduler;
 pub use streams::{StreamId, StreamInfo};
-pub use traits::{AdmissionError, FailureReport, RetireError, SchemeKind, SchemeScheduler};
+pub use traits::{
+    emit_mode_transition, AdmissionError, FailureReport, RetireError, SchemeKind, SchemeScheduler,
+};

@@ -33,6 +33,17 @@ pub enum TransitionPolicy {
     Delayed,
 }
 
+impl TransitionPolicy {
+    /// The policy's lowercase label, used in telemetry events.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransitionPolicy::Simple => "simple",
+            TransitionPolicy::Delayed => "delayed",
+        }
+    }
+}
+
 /// Per-stream state.
 #[derive(Debug, Clone)]
 struct NcStream {
@@ -189,6 +200,12 @@ impl NonClusteredScheduler {
     }
 
     fn record_loss(&mut self, loss: LostBlock) {
+        mms_telemetry::counter!(
+            "sched.tracks_lost",
+            1,
+            scheme = "NC",
+            reason = loss.reason.as_str()
+        );
         self.pending_losses
             .entry(loss.delivery_cycle)
             .or_default()
@@ -879,6 +896,16 @@ impl SchemeScheduler for NonClusteredScheduler {
             // Second failure in one cluster: catastrophic.
             d.also_failed.insert(pos);
             report.catastrophic = true;
+            mms_telemetry::event!(
+                mms_telemetry::Level::Info,
+                "mode_transition",
+                scheme = "NC",
+                cluster = cluster.0,
+                cycle = cycle,
+                from = "degraded",
+                to = "catastrophic",
+                policy = self.policy.as_str()
+            );
             return report;
         }
         self.degraded.insert(
@@ -888,6 +915,16 @@ impl SchemeScheduler for NonClusteredScheduler {
                 since: cycle,
                 also_failed: BTreeSet::new(),
             },
+        );
+        mms_telemetry::event!(
+            mms_telemetry::Level::Info,
+            "mode_transition",
+            scheme = "NC",
+            cluster = cluster.0,
+            cycle = cycle,
+            from = "normal",
+            to = "degraded",
+            policy = self.policy.as_str()
         );
 
         // Attach a buffer server; exhaustion = degradation of service:
@@ -952,7 +989,7 @@ impl SchemeScheduler for NonClusteredScheduler {
         report
     }
 
-    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+    fn on_disk_repair(&mut self, disk: DiskId, cycle: u64) {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         if let Some(d) = self.degraded.get_mut(&cluster) {
@@ -960,6 +997,16 @@ impl SchemeScheduler for NonClusteredScheduler {
             if d.failed_pos == pos && d.also_failed.is_empty() {
                 self.degraded.remove(&cluster);
                 let _ = self.servers.detach(cluster.0);
+                mms_telemetry::event!(
+                    mms_telemetry::Level::Info,
+                    "mode_transition",
+                    scheme = "NC",
+                    cluster = cluster.0,
+                    cycle = cycle,
+                    from = "degraded",
+                    to = "normal",
+                    policy = self.policy.as_str()
+                );
             } else {
                 d.also_failed.remove(&pos);
             }

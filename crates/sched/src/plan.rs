@@ -60,15 +60,23 @@ pub enum LossReason {
     ServiceDegradation,
 }
 
-impl fmt::Display for LossReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl LossReason {
+    /// The reason's stable label, as used in telemetry label sets and
+    /// JSONL output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
             LossReason::FailedDisk => "failed-disk",
             LossReason::Displaced => "displaced",
             LossReason::MidCycle => "mid-cycle",
             LossReason::ServiceDegradation => "service-degradation",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for LossReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -3,7 +3,9 @@
 use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
-use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use crate::traits::{
+    emit_mode_transition, AdmissionError, FailureReport, SchemeKind, SchemeScheduler,
+};
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
 use mms_layout::{Catalog, ClusterId, ClusteredLayout, Layout, ObjectId};
@@ -340,7 +342,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
         plan
     }
 
-    fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {
+    fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, _mid_cycle: bool) -> FailureReport {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
@@ -348,6 +350,12 @@ impl SchemeScheduler for StreamingRaidScheduler {
         entry.insert(pos);
         let catastrophic = entry.len() >= 2;
         self.catastrophic |= catastrophic;
+        let (from, to) = if catastrophic {
+            ("degraded", "catastrophic")
+        } else {
+            ("normal", "degraded")
+        };
+        emit_mode_transition(self.scheme(), cluster, cycle, from, to);
         FailureReport {
             lost: Vec::new(),
             dropped_streams: Vec::new(),
@@ -357,7 +365,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
         }
     }
 
-    fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+    fn on_disk_repair(&mut self, disk: DiskId, cycle: u64) {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
@@ -365,6 +373,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
             set.remove(&pos);
             if set.is_empty() {
                 self.failed.remove(&cluster);
+                emit_mode_transition(self.scheme(), cluster, cycle, "degraded", "normal");
             }
         }
     }

@@ -53,6 +53,29 @@ impl fmt::Display for SchemeKind {
     }
 }
 
+/// Emit the `mode_transition` telemetry event every scheduler shares:
+/// a cluster moved between operating modes (`normal`, `degraded`,
+/// `catastrophic`) at `cycle`. Schedulers with extra context (e.g. the
+/// non-clustered transition policy) emit the event themselves with
+/// additional fields instead.
+pub fn emit_mode_transition(
+    scheme: SchemeKind,
+    cluster: ClusterId,
+    cycle: u64,
+    from: &'static str,
+    to: &'static str,
+) {
+    mms_telemetry::event!(
+        mms_telemetry::Level::Info,
+        "mode_transition",
+        scheme = scheme.abbrev(),
+        cluster = cluster.0,
+        cycle = cycle,
+        from = from,
+        to = to
+    );
+}
+
 /// Why a stream could not be admitted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdmissionError {

@@ -237,6 +237,94 @@ fn follow_on_streams_are_clean_in_degraded_mode() {
     }
 }
 
+/// Render one mode-transition event as `from->to@cycle` for sequence
+/// assertions.
+fn transition_sig(e: &mms_telemetry::EventRecord) -> String {
+    format!(
+        "{}->{}@{}",
+        e.field("from").unwrap(),
+        e.field("to").unwrap(),
+        e.field("cycle").unwrap()
+    )
+}
+
+#[test]
+fn telemetry_counts_exactly_the_papers_lost_tracks() {
+    // The `sched.tracks_lost` counter must agree with the figures'
+    // bounded-loss analysis: 6 tracks under the simple transition
+    // (2 on the failed disk + 4 displaced), 3 under the delayed one.
+    for (policy, total, failed, displaced) in [
+        (TransitionPolicy::Simple, 6, 2, 4),
+        (TransitionPolicy::Delayed, 3, 2, 1),
+    ] {
+        let recorder = mms_telemetry::Recorder::new(mms_telemetry::Level::Info);
+        let guard = recorder.install();
+        let _ = run_figure(policy);
+        drop(guard);
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counter_total("sched.tracks_lost"),
+            total,
+            "{policy:?}: total lost"
+        );
+        let by_reason = |reason: &'static str| {
+            snap.counter(
+                "sched.tracks_lost",
+                &mms_telemetry::Labels::new(vec![
+                    ("scheme", "NC".into()),
+                    ("reason", reason.into()),
+                ]),
+            )
+        };
+        assert_eq!(by_reason("failed-disk"), failed, "{policy:?}: failed-disk");
+        assert_eq!(by_reason("displaced"), displaced, "{policy:?}: displaced");
+    }
+}
+
+#[test]
+fn telemetry_emits_the_expected_transition_sequence() {
+    // Fail at cycle 4, repair at cycle 8: each policy must announce
+    // exactly normal->degraded at the failure and degraded->normal at
+    // the repair, tagged with its own policy label.
+    for policy in [TransitionPolicy::Simple, TransitionPolicy::Delayed] {
+        let recorder = mms_telemetry::Recorder::new(mms_telemetry::Level::Info);
+        let guard = recorder.install();
+        let (mut sched, _ids) = scenario(policy);
+        for t in 0..4 {
+            sched.plan_cycle(t);
+        }
+        sched.on_disk_failure(DiskId(2), 4, false);
+        for t in 4..8 {
+            sched.plan_cycle(t);
+        }
+        sched.on_disk_repair(DiskId(2), 8);
+        drop(guard);
+
+        let events = recorder.take_events();
+        let transitions: Vec<String> = events
+            .iter()
+            .filter(|e| e.name == "mode_transition")
+            .map(transition_sig)
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                "normal->degraded@4".to_string(),
+                "degraded->normal@8".to_string()
+            ],
+            "{policy:?}"
+        );
+        let expect_policy = match policy {
+            TransitionPolicy::Simple => "simple",
+            TransitionPolicy::Delayed => "delayed",
+        };
+        for e in events.iter().filter(|e| e.name == "mode_transition") {
+            assert_eq!(e.field("policy").unwrap().to_string(), expect_policy);
+            assert_eq!(e.field("scheme").unwrap().to_string(), "NC");
+        }
+    }
+}
+
 #[test]
 fn repair_returns_cluster_to_normal_mode() {
     let (mut sched, _ids) = scenario(TransitionPolicy::Simple);

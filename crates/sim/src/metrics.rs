@@ -192,8 +192,19 @@ impl Metrics {
         }
     }
 
-    /// Average disk utilization given the elapsed simulated time across
-    /// `disks` drives: busy time over total disk-time.
+    /// Average disk utilization: aggregate busy time divided by total
+    /// available disk-time, `disk_busy / (t_cyc × cycles × disks)`.
+    ///
+    /// `t_cyc` is the cycle length; both times are converted to seconds,
+    /// so the result is a dimensionless fraction — `0.0` (all drives
+    /// idle) to `1.0` (every drive busy for every cycle). It can
+    /// marginally exceed `1.0` only if rebuild reads were charged on top
+    /// of a saturated schedule.
+    ///
+    /// **Edge behavior:** returns `0.0` when `cycles == 0` or
+    /// `disks == 0` — no simulated disk-time exists, so rather than
+    /// divide by zero the utilization of an empty run is defined as
+    /// zero.
     #[must_use]
     pub fn utilization(&self, t_cyc: Time, disks: usize) -> f64 {
         if self.cycles == 0 || disks == 0 {
@@ -203,7 +214,15 @@ impl Metrics {
         self.disk_busy.as_secs() / total
     }
 
-    /// Fraction of scheduled deliveries that actually played.
+    /// Fraction of scheduled deliveries that actually played:
+    /// `delivered / (delivered + total hiccups)`, in `[0.0, 1.0]`.
+    ///
+    /// **Edge behavior:** returns `1.0` when nothing was ever scheduled
+    /// (`delivered + total_hiccups() == 0`) — the claim "every
+    /// scheduled delivery played" is vacuously true for an empty run,
+    /// and the guard avoids a `0/0` division. Callers distinguishing
+    /// "perfect service" from "no service" should also check
+    /// [`Metrics::delivered`].
     #[must_use]
     pub fn delivery_rate(&self) -> f64 {
         let scheduled = self.delivered + self.total_hiccups();

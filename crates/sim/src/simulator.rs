@@ -8,6 +8,7 @@ use crate::workload::WorkloadGen;
 use mms_disk::{DiskArray, DiskError, DiskParams, Time};
 use mms_layout::{BlockKind, ObjectId};
 use mms_sched::{AdmissionError, CyclePlan, SchemeScheduler, StreamId};
+use mms_telemetry::{counter, event, gauge, span, Level};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -233,9 +234,17 @@ impl<S: SchemeScheduler> Simulator<S> {
     }
 
     /// Simulate one cycle.
+    ///
+    /// With a telemetry collector installed (see `mms_telemetry`), each
+    /// step opens a `Debug` "cycle" span enclosing "plan" / "read" /
+    /// "verify" / "deliver" phase spans, emits a `Warn` "hiccup" event
+    /// per missed delivery, and keeps `sim.*` counters and gauges in
+    /// lock-step with the returned [`Metrics`].
     pub fn step(&mut self) -> Result<CycleReport, SimError> {
         let cycle = self.cycle;
         self.cycle += 1;
+        let scheme = self.scheduler.scheme().abbrev();
+        let _cycle_span = span!(Level::Debug, "cycle", cycle = cycle, scheme = scheme);
 
         // 1. Apply failure/repair events due now.
         for event in self.failures.due(cycle) {
@@ -264,40 +273,50 @@ impl<S: SchemeScheduler> Simulator<S> {
 
         // 2. Plan and execute the cycle.
         let t_cyc = self.scheduler.config().t_cyc();
-        let plan = self.scheduler.plan_cycle(cycle);
+        let plan = {
+            let _s = span!(Level::Debug, "plan", cycle = cycle);
+            self.scheduler.plan_cycle(cycle)
+        };
         let mut report = CycleReport {
             cycle,
             ..CycleReport::default()
         };
-        for (&disk, reads) in &plan.reads {
-            if reads.is_empty() {
-                continue;
+        {
+            let _s = span!(Level::Debug, "read", cycle = cycle);
+            for (&disk, reads) in &plan.reads {
+                if reads.is_empty() {
+                    continue;
+                }
+                let t = self.disks.disk_mut(disk)?.read_tracks(reads.len(), t_cyc)?;
+                self.metrics.disk_busy += t;
+                report.tracks_read += reads.len();
             }
-            let t = self.disks.disk_mut(disk)?.read_tracks(reads.len(), t_cyc)?;
-            self.metrics.disk_busy += t;
-            report.tracks_read += reads.len();
         }
 
         // 3. Verify deliveries against ground truth.
-        for d in &plan.deliveries {
-            report.delivered += 1;
-            if d.reconstructed {
-                report.reconstructed += 1;
-            }
-            if let Some(oracle) = &self.oracle {
-                let expected = oracle.block(d.addr);
-                let produced = if d.reconstructed {
-                    match d.addr.kind {
-                        BlockKind::Data(ix) => {
-                            oracle.reconstruct_and_check(d.addr.object, d.addr.group, ix)
+        {
+            let _s = span!(Level::Debug, "verify", cycle = cycle);
+            for d in &plan.deliveries {
+                report.delivered += 1;
+                if d.reconstructed {
+                    report.reconstructed += 1;
+                }
+                if let Some(oracle) = &self.oracle {
+                    let expected = oracle.block(d.addr);
+                    let produced = if d.reconstructed {
+                        match d.addr.kind {
+                            BlockKind::Data(ix) => {
+                                oracle.reconstruct_and_check(d.addr.object, d.addr.group, ix)
+                            }
+                            BlockKind::Parity => expected.clone(),
                         }
-                        BlockKind::Parity => expected.clone(),
-                    }
-                } else {
-                    oracle.block(d.addr)
-                };
-                assert_eq!(produced, expected, "delivered bytes must match stored");
-                self.metrics.verified += 1;
+                    } else {
+                        oracle.block(d.addr)
+                    };
+                    assert_eq!(produced, expected, "delivered bytes must match stored");
+                    self.metrics.verified += 1;
+                    counter!("sim.verified", 1, scheme = scheme);
+                }
             }
         }
 
@@ -320,10 +339,13 @@ impl<S: SchemeScheduler> Simulator<S> {
             },
             |d, n| rebuild_reads.push((d, n)),
         );
+        let mut cycle_rebuild_reads = 0u64;
         for (d, n) in rebuild_reads {
             let t = self.disks.disk_mut(d)?.read_tracks(n, t_cyc)?;
             self.metrics.disk_busy += t;
             self.metrics.rebuild_reads += n as u64;
+            cycle_rebuild_reads += n as u64;
+            counter!("rebuild.idle_slots_spent", n as u64, disk = d.0);
         }
         for d in finished_rebuilds {
             let done = self.disks.disk_mut(d)?.advance_rebuild(1.0)?;
@@ -331,20 +353,57 @@ impl<S: SchemeScheduler> Simulator<S> {
             self.scheduler.on_disk_repair(d, cycle);
             self.metrics.rebuilds_completed += 1;
         }
+        for r in self.rebuilds.active() {
+            gauge!("rebuild.progress", r.progress(), disk = r.disk.0);
+        }
 
         // 4. Account hiccups and completions.
-        for h in &plan.hiccups {
-            report.hiccups += 1;
-            self.metrics.count_hiccup(h.reason);
+        {
+            let _s = span!(Level::Debug, "deliver", cycle = cycle);
+            for h in &plan.hiccups {
+                report.hiccups += 1;
+                self.metrics.count_hiccup(h.reason);
+                event!(
+                    Level::Warn,
+                    "hiccup",
+                    cycle = cycle,
+                    stream = h.stream.0,
+                    reason = h.reason.as_str()
+                );
+                counter!(
+                    "sim.hiccups",
+                    1,
+                    scheme = scheme,
+                    reason = h.reason.as_str()
+                );
+            }
+            report.finished = plan.finished.len();
+            self.metrics.streams_finished += plan.finished.len() as u64;
+            report.buffer_in_use = self.scheduler.buffer_in_use();
         }
-        report.finished = plan.finished.len();
-        self.metrics.streams_finished += plan.finished.len() as u64;
-        report.buffer_in_use = self.scheduler.buffer_in_use();
 
         self.metrics.cycles += 1;
         self.metrics.tracks_read += report.tracks_read as u64;
         self.metrics.delivered += report.delivered as u64;
         self.metrics.reconstructed += report.reconstructed as u64;
+        counter!("sim.cycles", 1, scheme = scheme);
+        counter!(
+            "sim.tracks_read",
+            report.tracks_read as u64,
+            scheme = scheme
+        );
+        counter!("sim.delivered", report.delivered as u64, scheme = scheme);
+        counter!(
+            "sim.reconstructed",
+            report.reconstructed as u64,
+            scheme = scheme
+        );
+        counter!("sim.rebuild_reads", cycle_rebuild_reads, scheme = scheme);
+        gauge!(
+            "sim.buffer_in_use",
+            report.buffer_in_use as f64,
+            scheme = scheme
+        );
         self.metrics.buffer_peak = self
             .metrics
             .buffer_peak
@@ -503,6 +562,66 @@ mod tests {
         assert_eq!(m.delivered, m.verified);
         // Capacity is large; nothing should be rejected at this rate.
         assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_metrics_and_flags_hiccups() {
+        use mms_telemetry::{EventKind, Recorder};
+
+        let recorder = Recorder::new(Level::Debug);
+        let _guard = recorder.install();
+
+        let mut sim = build(10, 5, 16);
+        sim.admit(ObjectId(0)).unwrap();
+        sim.set_failures(FailureSchedule::new(vec![
+            FailureEvent::Fail {
+                cycle: 0,
+                disk: DiskId(0),
+                mid_cycle: false,
+            },
+            FailureEvent::Fail {
+                cycle: 0,
+                disk: DiskId(2),
+                mid_cycle: false,
+            },
+        ]));
+        sim.run(6).unwrap();
+
+        let m = sim.metrics().clone();
+        let events = recorder.take_events();
+        let snap = recorder.snapshot();
+
+        // Counters reconcile exactly with the returned Metrics.
+        assert_eq!(snap.counter_total("sim.cycles"), m.cycles);
+        assert_eq!(snap.counter_total("sim.delivered"), m.delivered);
+        assert_eq!(snap.counter_total("sim.tracks_read"), m.tracks_read);
+        assert_eq!(snap.counter_total("sim.hiccups"), m.total_hiccups());
+
+        // One cycle span per step, strictly nested phases inside.
+        let cycle_opens = events
+            .iter()
+            .filter(|e| e.name == "cycle" && e.kind == EventKind::SpanOpen)
+            .count();
+        assert_eq!(cycle_opens, 6);
+        for phase in ["plan", "read", "verify", "deliver"] {
+            let n = events
+                .iter()
+                .filter(|e| e.name == phase && e.kind == EventKind::SpanOpen)
+                .count();
+            assert_eq!(n, 6, "phase {phase} should open once per cycle");
+        }
+
+        // Every hiccup produced a Warn event with its reason label.
+        let hiccup_events: Vec<_> = events.iter().filter(|e| e.name == "hiccup").collect();
+        assert_eq!(hiccup_events.len() as u64, m.total_hiccups());
+        assert!(hiccup_events.iter().all(|e| e.level == Level::Warn));
+        assert!(hiccup_events
+            .iter()
+            .all(|e| e.field("reason").is_some() && e.field("cycle").is_some()));
+
+        // Disk failures surfaced as Warn events from the disk layer.
+        let failures = events.iter().filter(|e| e.name == "disk.failed").count();
+        assert_eq!(failures, 2);
     }
 
     #[test]

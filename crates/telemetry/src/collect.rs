@@ -1,0 +1,210 @@
+//! The collector interface and the thread-local collector stack.
+//!
+//! Installing a collector is scoped and stack-shaped: [`install`]
+//! returns a guard; the macros dispatch to the top of the stack. With
+//! the stack empty (the default everywhere) every macro reduces to one
+//! thread-local flag read — the no-op fast path. Compiled without the
+//! `enabled` feature, dispatch functions are empty and the optimizer
+//! removes the call sites entirely.
+
+use crate::event::EventRecord;
+use crate::registry::{Labels, Registry};
+use crate::Level;
+#[cfg(feature = "enabled")]
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A telemetry sink: receives events and metric operations from the
+/// macros. Implementations are single-threaded (installed per thread,
+/// or per job in a worker pool) — that is what keeps the hot path
+/// lock-free and the merged output deterministic.
+pub trait Collect {
+    /// The most verbose level this collector wants. Records above it are
+    /// never built.
+    fn max_level(&self) -> Level;
+
+    /// Receive an event or span boundary.
+    fn record(&self, event: EventRecord);
+
+    /// Add to a counter.
+    fn counter(&self, name: &'static str, labels: Labels, delta: u64);
+
+    /// Set a gauge.
+    fn gauge(&self, name: &'static str, labels: Labels, value: f64);
+
+    /// Record a histogram sample.
+    fn histogram(&self, name: &'static str, labels: Labels, value: f64);
+
+    /// Absorb the output of a finished parallel job: replay `events` in
+    /// order, then merge `registry`. The default implementation replays
+    /// events only; collectors that own a [`Registry`] (like
+    /// [`crate::Recorder`]) override this with an exact merge.
+    fn absorb(&self, events: Vec<EventRecord>, registry: &Registry) {
+        let _ = registry;
+        for e in events {
+            self.record(e);
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    static STACK: RefCell<Vec<Rc<dyn Collect>>> = const { RefCell::new(Vec::new()) };
+    /// Cached `(stack non-empty, top max_level)` for the fast path.
+    static TOP_LEVEL: Cell<Option<Level>> = const { Cell::new(None) };
+}
+
+/// Pops the collector installed by the matching [`install`] call.
+#[must_use = "dropping the guard immediately uninstalls the collector"]
+#[derive(Debug)]
+pub struct CollectorGuard {
+    _private: (),
+}
+
+impl Drop for CollectorGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.pop();
+            TOP_LEVEL.with(|t| t.set(s.last().map(|c| c.max_level())));
+        });
+    }
+}
+
+/// Install `collector` on this thread's stack until the returned guard
+/// drops. Nested installs shadow outer ones.
+pub fn install(collector: Rc<dyn Collect>) -> CollectorGuard {
+    #[cfg(feature = "enabled")]
+    STACK.with(|s| {
+        TOP_LEVEL.with(|t| t.set(Some(collector.max_level())));
+        s.borrow_mut().push(collector);
+    });
+    #[cfg(not(feature = "enabled"))]
+    let _ = collector;
+    CollectorGuard { _private: () }
+}
+
+/// Whether any collector is installed on this thread.
+#[inline]
+#[must_use]
+pub fn active() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        TOP_LEVEL.with(|t| t.get().is_some())
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// The installed collector's max level, if one is installed.
+#[inline]
+#[must_use]
+pub fn current_max_level() -> Option<Level> {
+    #[cfg(feature = "enabled")]
+    {
+        TOP_LEVEL.with(|t| t.get())
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        None
+    }
+}
+
+/// Whether a record at `level` would reach the installed collector.
+/// The macros call this before building fields, so disabled levels cost
+/// nothing but this check.
+#[inline]
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    match current_max_level() {
+        Some(max) => level <= max,
+        None => false,
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn with_top<R>(f: impl FnOnce(&Rc<dyn Collect>) -> R) -> Option<R> {
+    STACK.with(|s| s.borrow().last().map(f))
+}
+
+/// Dispatch an event to the installed collector (top of stack).
+pub fn dispatch_event(event: EventRecord) {
+    #[cfg(feature = "enabled")]
+    with_top(|c| c.record(event));
+    #[cfg(not(feature = "enabled"))]
+    let _ = event;
+}
+
+/// Dispatch a counter increment.
+pub fn dispatch_counter(name: &'static str, labels: Labels, delta: u64) {
+    #[cfg(feature = "enabled")]
+    with_top(|c| c.counter(name, labels, delta));
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, labels, delta);
+}
+
+/// Dispatch a gauge write.
+pub fn dispatch_gauge(name: &'static str, labels: Labels, value: f64) {
+    #[cfg(feature = "enabled")]
+    with_top(|c| c.gauge(name, labels, value));
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, labels, value);
+}
+
+/// Dispatch a histogram observation.
+pub fn dispatch_histogram(name: &'static str, labels: Labels, value: f64) {
+    #[cfg(feature = "enabled")]
+    with_top(|c| c.histogram(name, labels, value));
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, labels, value);
+}
+
+/// Hand a finished parallel job's captured telemetry to the installed
+/// collector (no-op if none). Parallel layers call this once per job,
+/// in job index order, which is what makes traced parallel runs
+/// bit-identical to sequential ones.
+pub fn dispatch_absorb(events: Vec<EventRecord>, registry: &Registry) {
+    #[cfg(feature = "enabled")]
+    with_top(|c| c.absorb(events, registry));
+    #[cfg(not(feature = "enabled"))]
+    let _ = (events, registry);
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn stack_install_and_shadowing() {
+        assert!(!active());
+        assert!(!enabled(Level::Error));
+        let outer = Recorder::new(Level::Info);
+        let _g1 = install(outer.handle());
+        assert!(active());
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        {
+            let inner = Recorder::new(Level::Trace);
+            let _g2 = install(inner.handle());
+            assert!(enabled(Level::Trace));
+            crate::event!(Level::Debug, "inner_only");
+            assert_eq!(inner.take_events().len(), 1);
+        }
+        // Back to the outer collector and its filter.
+        assert!(!enabled(Level::Debug));
+        crate::event!(Level::Info, "outer");
+        assert_eq!(outer.take_events().len(), 1);
+    }
+
+    #[test]
+    fn no_collector_means_no_dispatch() {
+        // Must not panic, must not leak anywhere.
+        crate::event!(Level::Error, "nobody_listens", x = 1u64);
+        crate::counter!("c", 1);
+        assert_eq!(current_max_level(), None);
+    }
+}

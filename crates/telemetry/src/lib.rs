@@ -1,0 +1,162 @@
+//! # mms-telemetry — the workspace's flight recorder
+//!
+//! A zero-external-dependency observability substrate shared by every
+//! layer of the server, from the disk model up to the CLI:
+//!
+//! * **Metrics registry** — [`Registry`] holds counters, gauges, and
+//!   fixed-bucket [`Histogram`]s keyed by static name plus a sorted
+//!   label set ([`Labels`]): scheme, cluster, disk, mode, …
+//! * **Tracing** — [`span!`] and [`event!`] macros with [`Level`]s
+//!   dispatch to a thread-local stack of [`Collect`]ors. With no
+//!   collector installed (the default) every macro is a single
+//!   thread-local flag check; compiled without the `enabled` feature
+//!   they vanish entirely.
+//! * **Exporters** — JSON-lines emission of events and metric
+//!   snapshots ([`jsonl`]), a [`Snapshot`] struct for programmatic
+//!   inspection, and an ASCII [`dashboard`] renderer in the style of
+//!   `mms_sim::trace`.
+//!
+//! ## Determinism contract
+//!
+//! The workspace's parallel layer (`mms-exec`) runs every job under its
+//! own [`Recorder`] and merges the captured events and metrics **in job
+//! index order** ([`Collect::absorb`]). Everything recorded at
+//! [`Level::Debug`] or above is therefore bit-identical for any thread
+//! count, exactly like the results themselves. Scheduling-dependent
+//! diagnostics (wall-clock timings, per-worker queue depths) are
+//! confined to [`Level::Trace`] and documented as non-deterministic.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mms_telemetry::{event, span, counter, Level, Recorder};
+//!
+//! let recorder = Recorder::new(Level::Debug);
+//! {
+//!     let _guard = recorder.install();
+//!     let _cycle = span!(Level::Debug, "cycle", cycle = 0u64);
+//!     event!(Level::Info, "disk_failure", disk = 2u64);
+//!     counter!("sim.delivered", 5, scheme = "SR");
+//! }
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.counters.len(), 1);
+//! let mut out = Vec::new();
+//! mms_telemetry::jsonl::write_all(&mut out, &recorder.take_events(), &snapshot).unwrap();
+//! assert!(String::from_utf8(out).unwrap().contains("\"disk_failure\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collect;
+pub mod dashboard;
+mod event;
+pub(crate) mod json;
+pub mod jsonl;
+mod macros;
+mod recorder;
+mod registry;
+
+pub use collect::{
+    active, current_max_level, dispatch_absorb, dispatch_counter, dispatch_event, dispatch_gauge,
+    dispatch_histogram, enabled, install, Collect, CollectorGuard,
+};
+pub use event::{EventKind, EventRecord, SpanGuard, Value};
+pub use recorder::Recorder;
+pub use registry::{
+    Histogram, LabelValue, Labels, MetricKey, MetricValue, Registry, Snapshot, DEFAULT_BOUNDS,
+};
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Severity / verbosity of an event or span, least verbose first.
+///
+/// A collector with `max_level = Info` sees `Error`, `Warn`, and `Info`
+/// records and filters out `Debug` and `Trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable conditions (catastrophic failures).
+    Error,
+    /// Service-affecting conditions (hiccups, disk failures).
+    Warn,
+    /// Mode transitions, rebuild completions, batch summaries.
+    Info,
+    /// Per-cycle spans and per-trial events. Still deterministic.
+    Debug,
+    /// Scheduling-dependent diagnostics: wall-clock timings, per-worker
+    /// stats. **Not** deterministic across thread counts.
+    Trace,
+}
+
+impl Level {
+    /// The level's lowercase name, as used in JSONL output and CLI flags.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from parsing a [`Level`] out of a CLI flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid level {:?}: expected error|warn|info|debug|trace",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            _ => Err(ParseLevelError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_is_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn level_parses_cli_spellings() {
+        assert_eq!("info".parse(), Ok(Level::Info));
+        assert_eq!("WARN".parse(), Ok(Level::Warn));
+        assert_eq!(" trace ".parse(), Ok(Level::Trace));
+        assert!("loud".parse::<Level>().is_err());
+        assert_eq!(Level::Debug.to_string(), "debug");
+    }
+}

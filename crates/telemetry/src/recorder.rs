@@ -1,0 +1,226 @@
+//! The standard in-memory collector: buffers events and owns a
+//! [`Registry`].
+
+use crate::collect::{self, Collect, CollectorGuard};
+use crate::event::EventRecord;
+use crate::registry::{Labels, Registry, Snapshot};
+use crate::Level;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Inner {
+    max_level: Level,
+    events: RefCell<Vec<EventRecord>>,
+    registry: RefCell<Registry>,
+}
+
+impl Collect for Inner {
+    fn max_level(&self) -> Level {
+        self.max_level
+    }
+
+    fn record(&self, event: EventRecord) {
+        if event.level <= self.max_level {
+            self.events.borrow_mut().push(event);
+        }
+    }
+
+    fn counter(&self, name: &'static str, labels: Labels, delta: u64) {
+        self.registry.borrow_mut().counter_add(name, labels, delta);
+    }
+
+    fn gauge(&self, name: &'static str, labels: Labels, value: f64) {
+        self.registry.borrow_mut().gauge_set(name, labels, value);
+    }
+
+    fn histogram(&self, name: &'static str, labels: Labels, value: f64) {
+        self.registry
+            .borrow_mut()
+            .histogram_observe(name, labels, value);
+    }
+
+    fn absorb(&self, events: Vec<EventRecord>, registry: &Registry) {
+        self.events
+            .borrow_mut()
+            .extend(events.into_iter().filter(|e| e.level <= self.max_level));
+        self.registry.borrow_mut().merge(registry);
+    }
+}
+
+/// An in-memory collector: events accumulate in arrival order, metrics
+/// in a [`Registry`]. Clone-cheap (`Rc` inside); clones share the same
+/// buffers.
+///
+/// This is the collector `mms-exec` creates per parallel job and the one
+/// `mms-ctl` installs for `--telemetry`.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("max_level", &self.inner.max_level)
+            .field("events", &self.inner.events.borrow().len())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that keeps records up to and including `max_level`.
+    #[must_use]
+    pub fn new(max_level: Level) -> Self {
+        Recorder {
+            inner: Rc::new(Inner {
+                max_level,
+                events: RefCell::new(Vec::new()),
+                registry: RefCell::new(Registry::new()),
+            }),
+        }
+    }
+
+    /// This recorder as an installable collector handle.
+    #[must_use]
+    pub fn handle(&self) -> Rc<dyn Collect> {
+        self.inner.clone()
+    }
+
+    /// Install this recorder on the current thread's collector stack;
+    /// it receives records until the guard drops.
+    pub fn install(&self) -> CollectorGuard {
+        collect::install(self.handle())
+    }
+
+    /// Pre-register histogram bucket bounds for `name` (see
+    /// [`Registry::set_buckets`]).
+    pub fn set_buckets(&self, name: &'static str, bounds: &[f64]) {
+        self.inner.registry.borrow_mut().set_buckets(name, bounds);
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.inner.events.borrow().len()
+    }
+
+    /// Drain the buffered events, leaving the buffer empty.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<EventRecord> {
+        self.inner.events.take()
+    }
+
+    /// A key-ordered copy of the current metrics.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner.registry.borrow().snapshot()
+    }
+
+    /// Extract the buffered events and the registry as owned (and
+    /// `Send`) data, emptying this recorder. This is how a worker thread
+    /// returns a job's telemetry to the caller for in-order absorption.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<EventRecord>, Registry) {
+        (self.inner.events.take(), self.inner.registry.take())
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use crate::{counter, event, gauge, histogram, span};
+
+    #[test]
+    fn records_respect_max_level() {
+        let rec = Recorder::new(Level::Info);
+        let _g = rec.install();
+        event!(Level::Warn, "kept");
+        event!(Level::Debug, "filtered");
+        drop(_g);
+        let events = rec.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "kept");
+    }
+
+    #[test]
+    fn spans_nest_strictly() {
+        let rec = Recorder::new(Level::Debug);
+        {
+            let _g = rec.install();
+            let _outer = span!(Level::Debug, "outer", cycle = 1u64);
+            {
+                let _inner = span!(Level::Debug, "inner");
+                event!(Level::Info, "mid");
+            }
+        }
+        let names: Vec<_> = rec.take_events().iter().map(|e| (e.name, e.kind)).collect();
+        use crate::EventKind::*;
+        assert_eq!(
+            names,
+            vec![
+                ("outer", SpanOpen),
+                ("inner", SpanOpen),
+                ("mid", Event),
+                ("inner", SpanClose),
+                ("outer", SpanClose),
+            ]
+        );
+    }
+
+    #[test]
+    fn metrics_land_in_registry() {
+        let rec = Recorder::new(Level::Info);
+        let _g = rec.install();
+        counter!("sim.delivered", 5, scheme = "SR");
+        counter!("sim.delivered", 2, scheme = "SR");
+        gauge!("rebuild.progress", 0.5, disk = 2u64);
+        histogram!("disk.service_ms", 12.0, disk = 0u64);
+        drop(_g);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].1, 7);
+        assert_eq!(snap.gauges[0].1, 0.5);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+    }
+
+    #[test]
+    fn absorb_replays_in_order_and_merges_metrics() {
+        // Simulate two "jobs", absorb them in index order, and check the
+        // ambient recorder sees the concatenation.
+        let job = |tag: &'static str| {
+            let r = Recorder::new(Level::Debug);
+            {
+                let _g = r.install();
+                event!(Level::Debug, "job", tag = tag);
+                counter!("jobs", 1);
+            }
+            r.into_parts()
+        };
+        let (e0, r0) = job("a");
+        let (e1, r1) = job("b");
+
+        let ambient = Recorder::new(Level::Debug);
+        {
+            let _g = ambient.install();
+            crate::dispatch_absorb(e0, &r0);
+            crate::dispatch_absorb(e1, &r1);
+        }
+        let events = ambient.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].field("tag").unwrap().to_string(), "a");
+        assert_eq!(events[1].field("tag").unwrap().to_string(), "b");
+        assert_eq!(
+            ambient.snapshot().counters[0].1,
+            2,
+            "counters sum across absorbed jobs"
+        );
+    }
+
+    #[test]
+    fn into_parts_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let rec = Recorder::new(Level::Info);
+        let parts = rec.into_parts();
+        assert_send(&parts);
+    }
+}

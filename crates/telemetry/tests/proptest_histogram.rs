@@ -1,0 +1,80 @@
+//! Property tests for the histogram invariants the JSONL exporter and
+//! dashboard rely on.
+
+use mms_telemetry::Histogram;
+use proptest::prelude::*;
+
+fn bounds_strategy() -> impl Strategy<Value = Vec<f64>> {
+    // Strictly ascending positive bounds, 1..=8 of them.
+    proptest::collection::vec(0.001f64..1e6, 1..=8).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    /// Bucket counts plus overflow always sum to the sample count.
+    #[test]
+    fn bucket_counts_sum_to_sample_count(
+        bounds in bounds_strategy(),
+        samples in proptest::collection::vec(-1e6f64..1e7, 0..200),
+    ) {
+        let mut h = Histogram::new(&bounds);
+        for &s in &samples {
+            h.observe(s);
+        }
+        let bucketed: u64 = h.counts().iter().sum();
+        prop_assert_eq!(bucketed + h.overflow(), h.count());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Merging histograms with identical layouts preserves the invariant
+    /// and is exact: the merge equals observing both sample sets into one
+    /// histogram.
+    #[test]
+    fn merge_preserves_invariant_and_is_exact(
+        bounds in bounds_strategy(),
+        a in proptest::collection::vec(-1e6f64..1e7, 0..100),
+        b in proptest::collection::vec(-1e6f64..1e7, 0..100),
+    ) {
+        let mut ha = Histogram::new(&bounds);
+        let mut hb = Histogram::new(&bounds);
+        let mut combined = Histogram::new(&bounds);
+        for &s in &a {
+            ha.observe(s);
+            combined.observe(s);
+        }
+        for &s in &b {
+            hb.observe(s);
+            combined.observe(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.counts(), combined.counts());
+        prop_assert_eq!(ha.overflow(), combined.overflow());
+        prop_assert_eq!(ha.count(), combined.count());
+        let bucketed: u64 = ha.counts().iter().sum();
+        prop_assert_eq!(bucketed + ha.overflow(), ha.count());
+    }
+
+    /// Each sample lands in exactly one bucket: the first whose bound
+    /// contains it.
+    #[test]
+    fn sample_lands_in_first_containing_bucket(
+        bounds in bounds_strategy(),
+        sample in -1e6f64..1e7,
+    ) {
+        let mut h = Histogram::new(&bounds);
+        h.observe(sample);
+        match bounds.iter().position(|&b| sample <= b) {
+            Some(i) => {
+                prop_assert_eq!(h.counts()[i], 1);
+                prop_assert_eq!(h.overflow(), 0);
+            }
+            None => {
+                prop_assert_eq!(h.counts().iter().sum::<u64>(), 0);
+                prop_assert_eq!(h.overflow(), 1);
+            }
+        }
+    }
+}

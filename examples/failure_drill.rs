@@ -12,6 +12,7 @@ use ft_media_server::sched::{
     CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy,
 };
 use ft_media_server::sim::trace;
+use ft_media_server::telemetry::{dashboard, jsonl, Level, Recorder};
 use std::collections::BTreeMap;
 
 /// Stream names as in the figures.
@@ -55,6 +56,12 @@ fn drill(policy: TransitionPolicy) {
     let mut sched = build(policy);
     let names: BTreeMap<u64, &str> = NAMES.into_iter().collect();
 
+    // Collect the scheduler's telemetry while the drill runs: the
+    // mode-transition events and per-reason loss counters replace the
+    // hand-tallied summaries this example used to print.
+    let recorder = Recorder::new(Level::Info);
+    let guard = recorder.install();
+
     // Streams staggered one position apart, as in Figure 5.
     let starts = [
         (0u64, 1u64),
@@ -95,8 +102,22 @@ fn drill(policy: TransitionPolicy) {
         plans.push(plan);
     }
 
+    drop(guard);
     println!("{}", trace::render_schedule(&plans, 5, &names));
     println!("lost tracks: {}", lost.join(", "));
+
+    // The same story as recorded: transitions in the JSONL export
+    // schema, losses from the metrics registry.
+    let mut jl = Vec::new();
+    for e in recorder
+        .take_events()
+        .iter()
+        .filter(|e| e.name == "mode_transition")
+    {
+        jsonl::write_event(&mut jl, e).unwrap();
+    }
+    print!("{}", String::from_utf8(jl).unwrap());
+    print!("{}", dashboard::render(&recorder.snapshot()));
     println!();
 }
 

@@ -20,8 +20,17 @@
 //!   --threads N|auto|seq   worker pool for the sweep (default auto)
 //! ```
 //!
+//! `simulate` and `mttf` additionally take the observability flags:
+//!
+//! ```text
+//!   --telemetry PATH.jsonl export events + final metric snapshot as JSONL
+//!   --log-level LEVEL      error|warn|info|debug|trace (default info)
+//!   --dash                 print the ASCII metrics dashboard at the end
+//! ```
+//!
 //! `--threads` is purely a performance knob: every command's output is
-//! bit-identical for any setting (see `mms_exec`).
+//! bit-identical for any setting (see `mms_exec`); this holds with
+//! telemetry enabled too, for records at `debug` and below.
 
 use ft_media_server::analysis::{
     design_space_par, table_rows, CostModel, SchemeParams, SystemParams,
@@ -30,6 +39,7 @@ use ft_media_server::disk::{DiskId, ReliabilityParams};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
 use ft_media_server::reliability::{formulas, CatastropheRule, MonteCarlo, PoolMarkov};
 use ft_media_server::sim::DataMode;
+use ft_media_server::telemetry::{dashboard, jsonl, Level, Recorder};
 use ft_media_server::{Parallelism, Scheme, ServerBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,6 +125,65 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     Ok(default)
 }
 
+/// The observability flags shared by `simulate` and `mttf`.
+struct TelemetryOpts {
+    /// JSONL export path (`--telemetry PATH`).
+    path: Option<String>,
+    /// Collection level (`--log-level`, default `info`).
+    level: Level,
+    /// Print the ASCII dashboard at the end (`--dash`).
+    dash: bool,
+}
+
+impl TelemetryOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut path = None;
+        for w in args.windows(2) {
+            if w[0] == "--telemetry" {
+                path = Some(w[1].clone());
+            }
+        }
+        Ok(TelemetryOpts {
+            path,
+            level: flag_value(args, "--log-level", Level::Info)?,
+            dash: args.iter().any(|a| a == "--dash"),
+        })
+    }
+
+    /// A recorder when any output was requested, else run untraced.
+    fn recorder(&self) -> Option<Recorder> {
+        (self.path.is_some() || self.dash).then(|| Recorder::new(self.level))
+    }
+
+    /// Export/print whatever the recorder collected.
+    fn finish(&self, recorder: Recorder) -> CmdResult {
+        let events = recorder.take_events();
+        let snapshot = recorder.snapshot();
+        if let Some(path) = &self.path {
+            use std::io::Write;
+            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+            jsonl::write_all(&mut out, &events, &snapshot)?;
+            out.flush()?;
+            let metric_lines =
+                snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len();
+            println!(
+                "\ntelemetry: {} event(s) + {} metric line(s) -> {path}",
+                events.len(),
+                metric_lines
+            );
+        }
+        if self.dash {
+            let dash = dashboard::render(&snapshot);
+            if dash.is_empty() {
+                println!("\n(no metrics collected — dashboard empty)");
+            } else {
+                println!("\n{dash}");
+            }
+        }
+        Ok(())
+    }
+}
+
 fn cmd_simulate(args: &[String]) -> CmdResult {
     let scheme = match flag_value(args, "--scheme", "sr".to_string())?.as_str() {
         "sr" => Scheme::StreamingRaid,
@@ -136,6 +205,9 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     let fails = parse_events(args, "--fail")?;
     let repairs = parse_events(args, "--repair")?;
     let rebuilds = parse_events(args, "--rebuild")?;
+    let telem = TelemetryOpts::parse(args)?;
+    let recorder = telem.recorder();
+    let _guard = recorder.as_ref().map(Recorder::install);
 
     let mut server = ServerBuilder::new(scheme)
         .disks(disks)
@@ -211,6 +283,9 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     println!("rebuilds completed : {}", m.rebuilds_completed);
     println!("buffer peak        : {} tracks", m.buffer_peak);
     println!("catastrophes       : {}", m.catastrophes);
+    if let Some(recorder) = recorder {
+        telem.finish(recorder)?;
+    }
     Ok(())
 }
 
@@ -220,6 +295,9 @@ fn cmd_mttf(args: &[String]) -> CmdResult {
     let c: usize = pos.get(1).map_or(Ok(10), |s| s.parse())?;
     let mc_trials: usize = flag_value(args, "--mc", 0)?;
     let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
+    let telem = TelemetryOpts::parse(args)?;
+    let recorder = telem.recorder();
+    let _guard = recorder.as_ref().map(Recorder::install);
     let rel = ReliabilityParams::paper();
     println!("reliability for D = {d}, C = {c} (MTTF 300,000 h, MTTR 1 h)\n");
     println!(
@@ -259,6 +337,9 @@ fn cmd_mttf(args: &[String]) -> CmdResult {
                 stats.ci95().as_years()
             );
         }
+    }
+    if let Some(recorder) = recorder {
+        telem.finish(recorder)?;
     }
     Ok(())
 }
