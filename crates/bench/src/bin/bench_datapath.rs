@@ -1,0 +1,285 @@
+//! Measure the zero-allocation data path — the word-wise XOR kernel, the
+//! pooled streaming verification in [`BlockOracle`], and the simulator's
+//! steady-state cycle loop — and write the results to
+//! `BENCH_datapath.json`.
+//!
+//! Three measurements:
+//! * **XOR kernel** — MB/s of the `u64`-lane [`xor_slices`] against a
+//!   byte-at-a-time scalar reference loop.
+//! * **Verified deliveries** — degraded-mode deliveries per second and
+//!   heap allocations per delivery, for the legacy materializing path
+//!   (`block` + `reconstruct_and_check`) vs the pooled streaming path
+//!   (`verify_delivery`).
+//! * **Simulator cycles** — heap allocations per steady-state cycle of a
+//!   degraded Streaming-RAID run under `DataMode::Verified`.
+//!
+//! Allocations are counted by a `#[global_allocator]` shim around the
+//! system allocator, so the numbers are the real heap traffic of the
+//! measured section — not an estimate.
+//!
+//! Usage: `bench_datapath [output.json] [--quick]`
+//!
+//! `--quick` shrinks every workload to a smoke-test size (used by CI to
+//! prove the bin runs); the committed JSON comes from a full run.
+
+use mms_server::disk::DiskId;
+use mms_server::layout::{BandwidthClass, BlockAddr, MediaObject, ObjectId};
+use mms_server::parity::xor_slices;
+use mms_server::sim::{BlockOracle, DataMode};
+use mms_server::{Scheme, ServerBuilder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator with an allocation counter: every `alloc`/`realloc`
+/// bumps [`ALLOC_COUNT`], so a section's heap traffic is the difference
+/// of two counter reads.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+/// A real track per the paper's Table 1 (50 KB).
+const TRACK_BYTES: usize = 50_000;
+/// Parity-group size C = 5 ⇒ four data blocks per group.
+const GROUP_C: usize = 5;
+
+/// Byte-at-a-time XOR reference. `black_box` pins each store so the
+/// optimizer cannot rewrite the loop into the very SIMD kernel it is
+/// the baseline for.
+fn xor_scalar_reference(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = black_box(*d ^ *s);
+    }
+}
+
+struct XorResult {
+    passes: usize,
+    scalar_mb_per_s: f64,
+    wordwise_mb_per_s: f64,
+    speedup: f64,
+}
+
+fn bench_xor(quick: bool) -> XorResult {
+    let passes = if quick { 64 } else { 4096 };
+    let mut dst = vec![0xA5u8; TRACK_BYTES];
+    let src: Vec<u8> = (0..TRACK_BYTES).map(|i| (i * 131) as u8).collect();
+    let mb = (passes * TRACK_BYTES) as f64 / 1e6;
+
+    let start = Instant::now();
+    for _ in 0..passes {
+        xor_scalar_reference(&mut dst, &src);
+    }
+    let scalar_mb_per_s = mb / start.elapsed().as_secs_f64();
+    black_box(&dst);
+
+    let start = Instant::now();
+    for _ in 0..passes {
+        xor_slices(&mut dst, &src);
+    }
+    let wordwise_mb_per_s = mb / start.elapsed().as_secs_f64();
+    black_box(&dst);
+
+    XorResult {
+        passes,
+        scalar_mb_per_s,
+        wordwise_mb_per_s,
+        speedup: wordwise_mb_per_s / scalar_mb_per_s,
+    }
+}
+
+struct DeliveryResult {
+    deliveries: usize,
+    legacy_per_s: f64,
+    legacy_allocs_per: f64,
+    streaming_per_s: f64,
+    streaming_allocs_per: f64,
+}
+
+/// Degraded-mode verified deliveries: every delivery reconstructs data
+/// block `i % (C−1)` of a rotating group, then confirms it against the
+/// stored original — the legacy path by materializing the whole group,
+/// the streaming path through pooled scratch.
+fn bench_deliveries(quick: bool) -> DeliveryResult {
+    let deliveries = if quick { 32 } else { 2000 };
+    let object = ObjectId(7);
+    let tracks: u64 = 4096;
+    let bpg = (GROUP_C - 1) as u32;
+    let groups = tracks / u64::from(bpg);
+    let mut oracle = BlockOracle::new(BTreeMap::from([(object, tracks)]), bpg, TRACK_BYTES);
+
+    let start = Instant::now();
+    let allocs_before = allocations();
+    for i in 0..deliveries {
+        let group = (i as u64 * 17) % groups;
+        let ix = (i as u32) % bpg;
+        let expected = oracle.block(BlockAddr::data(object, group, ix));
+        let produced = oracle.reconstruct_and_check(object, group, ix);
+        assert_eq!(produced, expected, "legacy path must round-trip");
+    }
+    let legacy_allocs = allocations() - allocs_before;
+    let legacy_secs = start.elapsed().as_secs_f64();
+
+    // Warm the pool and fingerprint cache, then measure the steady state.
+    for i in 0..4u64 {
+        oracle.verify_delivery(BlockAddr::data(object, i % groups, 0), true);
+    }
+    let start = Instant::now();
+    let allocs_before = allocations();
+    for i in 0..deliveries {
+        let group = (i as u64 * 17) % groups;
+        let ix = (i as u32) % bpg;
+        oracle.verify_delivery(BlockAddr::data(object, group, ix), true);
+    }
+    let streaming_allocs = allocations() - allocs_before;
+    let streaming_secs = start.elapsed().as_secs_f64();
+
+    DeliveryResult {
+        deliveries,
+        legacy_per_s: deliveries as f64 / legacy_secs,
+        legacy_allocs_per: legacy_allocs as f64 / deliveries as f64,
+        streaming_per_s: deliveries as f64 / streaming_secs,
+        streaming_allocs_per: streaming_allocs as f64 / deliveries as f64,
+    }
+}
+
+struct SimResult {
+    cycles: u64,
+    allocs_per_cycle: f64,
+}
+
+/// Steady-state allocations per cycle of a degraded Streaming-RAID run
+/// with verified synthetic content: four viewers stream one movie while
+/// one disk is down, so every cycle plans, reads, reconstructs, and
+/// verifies through the hoisted plan/load/pool storage.
+fn bench_sim_cycles(quick: bool) -> SimResult {
+    let (warmup, cycles) = if quick { (8, 16) } else { (64, 256) };
+    let object = ObjectId(0);
+    let mut server = ServerBuilder::new(Scheme::StreamingRaid)
+        .disks(10)
+        .parity_group(GROUP_C)
+        .object(MediaObject::new(object, "m", 20_000, BandwidthClass::Mpeg1))
+        .data_mode(DataMode::Verified { track_bytes: 4096 })
+        .build()
+        .expect("server builds");
+    for _ in 0..4 {
+        server.admit(object).expect("admission");
+        server.step().expect("cycle");
+    }
+    server.fail_disk(DiskId(1)).expect("fail disk");
+    for _ in 0..warmup {
+        server.step().expect("cycle");
+    }
+    let allocs_before = allocations();
+    for _ in 0..cycles {
+        server.step().expect("cycle");
+    }
+    let allocs = allocations() - allocs_before;
+    SimResult {
+        cycles,
+        allocs_per_cycle: allocs as f64 / cycles as f64,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_datapath.json");
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let xor = bench_xor(quick);
+    println!(
+        "xor kernel        scalar {:>8.1} MB/s  wordwise {:>8.1} MB/s  speedup {:.1}x",
+        xor.scalar_mb_per_s, xor.wordwise_mb_per_s, xor.speedup
+    );
+
+    let del = bench_deliveries(quick);
+    println!(
+        "verified delivery legacy {:>8.1}/s ({:.1} allocs)  streaming {:>8.1}/s ({:.1} allocs)",
+        del.legacy_per_s, del.legacy_allocs_per, del.streaming_per_s, del.streaming_allocs_per
+    );
+
+    let sim = bench_sim_cycles(quick);
+    println!(
+        "simulator         {:.1} allocs/cycle over {} degraded SR cycles",
+        sim.allocs_per_cycle, sim.cycles
+    );
+
+    let alloc_reduction = if del.streaming_allocs_per > 0.0 {
+        format!("{:.1}", del.legacy_allocs_per / del.streaming_allocs_per)
+    } else {
+        "null".to_string()
+    };
+    let json = format!(
+        "{{\n\
+         \x20 \"quick\": {quick},\n\
+         \x20 \"track_bytes\": {TRACK_BYTES},\n\
+         \x20 \"xor_kernel\": {{\n\
+         \x20   \"passes\": {passes},\n\
+         \x20   \"scalar_mb_per_s\": {scalar:.1},\n\
+         \x20   \"wordwise_mb_per_s\": {word:.1},\n\
+         \x20   \"speedup\": {speedup:.2}\n\
+         \x20 }},\n\
+         \x20 \"verified_delivery\": {{\n\
+         \x20   \"blocks_per_group\": {bpg},\n\
+         \x20   \"deliveries\": {deliveries},\n\
+         \x20   \"legacy_deliveries_per_s\": {lps:.1},\n\
+         \x20   \"legacy_allocs_per_delivery\": {lal:.2},\n\
+         \x20   \"streaming_deliveries_per_s\": {sps:.1},\n\
+         \x20   \"streaming_allocs_per_delivery\": {sal:.2},\n\
+         \x20   \"alloc_reduction\": {red}\n\
+         \x20 }},\n\
+         \x20 \"simulator\": {{\n\
+         \x20   \"scheme\": \"sr\",\n\
+         \x20   \"degraded\": true,\n\
+         \x20   \"cycles\": {cycles},\n\
+         \x20   \"allocs_per_cycle\": {apc:.2}\n\
+         \x20 }}\n\
+         }}\n",
+        quick = quick,
+        passes = xor.passes,
+        scalar = xor.scalar_mb_per_s,
+        word = xor.wordwise_mb_per_s,
+        speedup = xor.speedup,
+        bpg = GROUP_C - 1,
+        deliveries = del.deliveries,
+        lps = del.legacy_per_s,
+        lal = del.legacy_allocs_per,
+        sps = del.streaming_per_s,
+        sal = del.streaming_allocs_per,
+        red = alloc_reduction,
+        cycles = sim.cycles,
+        apc = sim.allocs_per_cycle,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

@@ -153,8 +153,8 @@ impl SchemeScheduler for AnyScheduler {
         delegate!(self, s => s.stream_info(id))
     }
 
-    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
-        delegate!(self, s => s.plan_cycle(cycle))
+    fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
+        delegate!(self, s => s.plan_cycle_into(cycle, plan))
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, mid_cycle: bool) -> FailureReport {

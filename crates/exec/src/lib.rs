@@ -130,6 +130,20 @@ impl FromStr for Parallelism {
 /// be sent back to the caller for in-order absorption.
 type JobTelemetry = (Vec<EventRecord>, Registry);
 
+/// Batches smaller than this run inline on the calling thread even when
+/// parallelism is available.
+///
+/// Spawning the pool costs thread creation plus per-job telemetry
+/// absorption, which dwarfs tiny jobs: the 36-job design-space sweep ran
+/// in 0.003 s sequentially but 0.14 s on 2 threads before this cutoff.
+/// The threshold sits above that sweep (36 jobs) and below the smallest
+/// Monte-Carlo batch (48 trials), which is long enough to amortize the
+/// pool. Callers whose individual jobs are expensive enough to beat the
+/// spawn cost at any count (e.g. whole-simulation grids) can lower the
+/// bar via [`par_map_indexed_min`]. Never a correctness knob: results
+/// and `Debug`-and-above telemetry are identical either way.
+pub const SMALL_BATCH_THRESHOLD: usize = 40;
+
 /// Run one job, under a fresh per-job [`Recorder`] when the caller had a
 /// collector installed (`level` is its max level).
 fn run_job<T, F>(f: &F, i: usize, level: Option<Level>) -> (T, Option<JobTelemetry>)
@@ -167,10 +181,23 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_indexed_min(par, n, SMALL_BATCH_THRESHOLD, f)
+}
+
+/// [`par_map_indexed`] with an explicit work-size threshold: batches of
+/// fewer than `min_jobs` jobs run inline on the calling thread without
+/// spawning the pool (as does `threads == 1`). Use a lower `min_jobs`
+/// than [`SMALL_BATCH_THRESHOLD`] when each job is expensive enough to
+/// amortize a thread spawn on its own.
+pub fn par_map_indexed_min<T, F>(par: Parallelism, n: usize, min_jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let level = mms_telemetry::current_max_level();
     event!(Level::Debug, "exec.batch", jobs = n);
     let workers = par.thread_count().min(n);
-    if workers <= 1 {
+    if workers <= 1 || n < min_jobs {
         return (0..n)
             .map(|i| {
                 let (value, telemetry) = run_job(&f, i, level);
@@ -329,6 +356,36 @@ mod tests {
     }
 
     #[test]
+    fn small_batches_run_inline_without_the_pool() {
+        // A panic below the threshold surfaces directly ("boom"), not as
+        // the pool's "worker panicked" join failure — proving no worker
+        // thread was spawned for the tiny batch.
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed(Parallelism::threads(8), SMALL_BATCH_THRESHOLD - 1, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        let msg = *result.unwrap_err().downcast::<&str>().unwrap();
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(!msg.contains("worker panicked"), "{msg}");
+    }
+
+    #[test]
+    fn min_jobs_override_engages_the_pool_for_tiny_batches() {
+        // Same panic probe with min_jobs = 0: the pool spawns, so the
+        // panic propagates as the join failure.
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed_min(Parallelism::threads(2), 8, 0, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("worker panicked"), "{msg}");
+    }
+
+    #[test]
     fn seed_sequence_is_deterministic_and_distinct() {
         let mut rng = StdRng::seed_from_u64(9);
         let a = SeedSequence::from_rng(&mut rng);
@@ -386,7 +443,7 @@ mod tests {
             let rec = Recorder::new(Level::Debug);
             let sums = {
                 let _g = rec.install();
-                par_map_indexed(par, 24, |i| {
+                par_map_indexed(par, 48, |i| {
                     mms_telemetry::event!(Level::Debug, "job", index = i);
                     mms_telemetry::counter!("exec.test.jobs", 1);
                     i as u64
@@ -402,7 +459,7 @@ mod tests {
                 .find(|(k, _)| k.name == "exec.test.jobs")
                 .unwrap()
                 .1,
-            24
+            48
         );
         // Job events arrive in index order, after the batch event.
         assert_eq!(seq_events[0].name, "exec.batch");
@@ -411,7 +468,7 @@ mod tests {
             .filter(|e| e.name == "job")
             .map(|e| e.field("index").unwrap().to_string())
             .collect();
-        let expect: Vec<String> = (0..24).map(|i| i.to_string()).collect();
+        let expect: Vec<String> = (0..48).map(|i| i.to_string()).collect();
         assert_eq!(indices, expect);
         for par in [Parallelism::threads(2), Parallelism::threads(8)] {
             let (sums, events, snap) = run(par);
@@ -423,7 +480,7 @@ mod tests {
                     .find(|(k, _)| k.name == "exec.test.jobs")
                     .unwrap()
                     .1,
-                24
+                48
             );
         }
     }
@@ -438,8 +495,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "worker panicked")]
     fn job_panics_propagate() {
-        let _ = par_map_indexed(Parallelism::threads(2), 8, |i| {
-            assert!(i != 5, "boom");
+        let _ = par_map_indexed(Parallelism::threads(2), 64, |i| {
+            assert!(i != 50, "boom");
             i
         });
     }

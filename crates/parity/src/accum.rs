@@ -72,6 +72,153 @@ impl XorAccumulator {
     }
 }
 
+/// A *reusable* streaming XOR accumulator for the zero-allocation
+/// verification path.
+///
+/// Unlike [`XorAccumulator`] — which is consumed by
+/// [`finish_reconstruct`](XorAccumulator::finish_reconstruct) and models
+/// the paper's one-shot delayed transition — a `ParityAccumulator` is
+/// owned long-term (e.g. by the simulator's oracle), reset at the start
+/// of each use, and fed raw byte slices, so verifying a delivery never
+/// allocates once the internal scratch block has been sized.
+#[derive(Debug, Clone)]
+pub struct ParityAccumulator {
+    acc: Block,
+    absorbed: usize,
+}
+
+impl ParityAccumulator {
+    /// An accumulator whose scratch block holds `len` bytes, zeroed.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        ParityAccumulator {
+            acc: Block::zeroed(len),
+            absorbed: 0,
+        }
+    }
+
+    /// Reset to the XOR identity for blocks of `len` bytes. Storage is
+    /// kept (and merely zeroed) when `len` matches the current scratch
+    /// size; otherwise the scratch block is reallocated once.
+    pub fn reset(&mut self, len: usize) {
+        if self.acc.len() == len {
+            self.acc.zero();
+        } else {
+            self.acc = Block::zeroed(len);
+        }
+        self.absorbed = 0;
+    }
+
+    /// XOR one member block into the running state.
+    ///
+    /// # Panics
+    /// Panics if `block` does not match the scratch length (the same
+    /// layout invariant as [`Block::xor_assign`]).
+    pub fn absorb(&mut self, block: &Block) {
+        self.acc.xor_assign(block);
+        self.absorbed += 1;
+    }
+
+    /// XOR one member's raw bytes into the running state. Same layout
+    /// contract (and panic) as [`ParityAccumulator::absorb`].
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        self.acc.xor_assign_bytes(bytes);
+        self.absorbed += 1;
+    }
+
+    /// XOR the deterministic synthetic block `(object, track)` into the
+    /// running state without materializing it (see
+    /// [`xor_synthetic`](crate::block::xor_synthetic)).
+    pub fn absorb_synthetic(&mut self, object: u64, track: u64) {
+        crate::block::xor_synthetic(object, track, self.acc.as_bytes_mut());
+        self.absorbed += 1;
+    }
+
+    /// Number of members absorbed since the last reset.
+    #[must_use]
+    pub fn absorbed(&self) -> usize {
+        self.absorbed
+    }
+
+    /// The current running XOR.
+    #[must_use]
+    pub fn state(&self) -> &Block {
+        &self.acc
+    }
+
+    /// The XOR-fold fingerprint of the current running state.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.acc.fingerprint()
+    }
+
+    /// Copy the running XOR into `out`, resizing `out`'s storage only if
+    /// its length differs.
+    pub fn write_state_into(&self, out: &mut Block) {
+        if out.len() == self.acc.len() {
+            out.as_bytes_mut().copy_from_slice(self.acc.as_bytes());
+        } else {
+            *out = self.acc.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod parity_accumulator_tests {
+    use super::*;
+    use crate::codec::parity_of;
+
+    #[test]
+    fn matches_parity_of_across_resets() {
+        let mut acc = ParityAccumulator::new(0);
+        for (object, members, len) in [(1u64, 4u64, 96usize), (2, 3, 96), (3, 5, 40)] {
+            let group: Vec<Block> = (0..members)
+                .map(|t| Block::synthetic(object, t, len))
+                .collect();
+            acc.reset(len);
+            for b in &group {
+                acc.absorb_bytes(b.as_bytes());
+            }
+            let expect = parity_of(group.iter());
+            assert_eq!(acc.state(), &expect);
+            assert_eq!(acc.absorbed(), members as usize);
+            assert_eq!(acc.fingerprint(), expect.fingerprint());
+        }
+    }
+
+    #[test]
+    fn absorb_synthetic_equals_absorb_materialized() {
+        let mut fused = ParityAccumulator::new(80);
+        let mut plain = ParityAccumulator::new(80);
+        for t in 0..5u64 {
+            fused.absorb_synthetic(11, t);
+            plain.absorb(&Block::synthetic(11, t, 80));
+        }
+        assert_eq!(fused.state(), plain.state());
+    }
+
+    #[test]
+    fn write_state_into_reuses_matching_storage() {
+        let mut acc = ParityAccumulator::new(24);
+        acc.absorb(&Block::synthetic(5, 0, 24));
+        let mut out = Block::zeroed(24);
+        acc.write_state_into(&mut out);
+        assert_eq!(&out, acc.state());
+        let mut resized = Block::zeroed(3);
+        acc.write_state_into(&mut resized);
+        assert_eq!(&resized, acc.state());
+    }
+
+    #[test]
+    fn reset_clears_state_and_count() {
+        let mut acc = ParityAccumulator::new(16);
+        acc.absorb(&Block::synthetic(1, 1, 16));
+        acc.reset(16);
+        assert!(acc.state().is_zero());
+        assert_eq!(acc.absorbed(), 0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,159 @@
 //! Track-sized byte buffers with XOR support.
+//!
+//! The XOR kernel operates on `u64` lanes (eight bytes at a time) with a
+//! safe byte-at-a-time fallback for the unaligned tail, so track-sized
+//! operations run at memory bandwidth without any `unsafe`. The
+//! [`fingerprint`](Block::fingerprint) XOR-fold gives a 64-bit summary
+//! that is *linear* under XOR — `fp(a ⊕ b) = fp(a) ⊕ fp(b)` — which the
+//! verification layer exploits to check parity groups incrementally
+//! without materializing or re-scanning whole blocks.
 
 use std::fmt;
+
+/// Bytes per XOR lane.
+const WORD: usize = 8;
+
+/// XOR `src` into `dst` in place, eight bytes per step.
+///
+/// # Panics
+/// Panics if the lengths differ — parity groups are homogeneous by
+/// construction, so a mismatch is a layout bug.
+pub fn xor_slices(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "parity group members must be the same size"
+    );
+    let mut d = dst.chunks_exact_mut(WORD);
+    let mut s = src.chunks_exact(WORD);
+    for (a, b) in d.by_ref().zip(s.by_ref()) {
+        let w = u64::from_ne_bytes(a.try_into().expect("exact chunk"))
+            ^ u64::from_ne_bytes(b.try_into().expect("exact chunk"));
+        a.copy_from_slice(&w.to_ne_bytes());
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a ^= *b;
+    }
+}
+
+/// Whether every byte of `bytes` is zero, checked eight bytes per step.
+#[must_use]
+pub fn slice_is_zero(bytes: &[u8]) -> bool {
+    let chunks = bytes.chunks_exact(WORD);
+    let tail = chunks.remainder();
+    chunks
+        .map(|c| u64::from_ne_bytes(c.try_into().expect("exact chunk")))
+        .fold(0u64, |acc, w| acc | w)
+        == 0
+        && tail.iter().all(|&b| b == 0)
+}
+
+/// The 64-bit XOR-fold of `bytes`: the XOR of all little-endian `u64`
+/// lanes, with the tail zero-extended into a final lane.
+///
+/// Properties relied on by callers:
+/// * equal contents ⇒ equal fingerprints (it is a pure function);
+/// * **linearity**: `fingerprint(a ⊕ b) = fingerprint(a) ⊕
+///   fingerprint(b)` for equal-length inputs, so a parity block's
+///   fingerprint is the XOR of its members' fingerprints;
+/// * differing contents collide only when their difference XOR-folds to
+///   zero — vanishingly unlikely for the pseudo-random synthetic tracks,
+///   but *possible*, so a matching fingerprint is a fast filter, not a
+///   proof (callers needing certainty must fall back to a byte compare).
+#[must_use]
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let chunks = bytes.chunks_exact(WORD);
+    let tail = chunks.remainder();
+    let mut acc = chunks
+        .map(|c| u64::from_le_bytes(c.try_into().expect("exact chunk")))
+        .fold(0u64, |acc, w| acc ^ w);
+    if !tail.is_empty() {
+        let mut last = [0u8; WORD];
+        last[..tail.len()].copy_from_slice(tail);
+        acc ^= u64::from_le_bytes(last);
+    }
+    acc
+}
+
+/// Fill `out` with the deterministic pseudo-random contents of block
+/// `(object, track)` — the same splitmix64 stream as
+/// [`Block::synthetic`], but writing into caller-owned storage so hot
+/// paths can regenerate ground-truth bytes without allocating.
+pub fn fill_synthetic(object: u64, track: u64, out: &mut [u8]) {
+    let mut state = object
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(track)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    for chunk in out.chunks_mut(WORD) {
+        // splitmix64 step
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let w = z.to_le_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+}
+
+/// XOR the deterministic contents of block `(object, track)` into `out`
+/// without materializing them: each splitmix64 word is XOR-ed into the
+/// destination lane as it is generated. `xor_synthetic(o, t, buf)` is
+/// equivalent to filling a scratch buffer via [`fill_synthetic`] and
+/// XOR-ing it in, minus the scratch buffer.
+pub fn xor_synthetic(object: u64, track: u64, out: &mut [u8]) {
+    let mut state = object
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(track)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    for chunk in out.chunks_mut(WORD) {
+        // splitmix64 step
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let w = z.to_le_bytes();
+        for (a, b) in chunk.iter_mut().zip(&w) {
+            *a ^= *b;
+        }
+    }
+}
+
+/// The [`fingerprint_bytes`] XOR-fold of the synthetic block
+/// `(object, track)` of `len` bytes, computed directly from the
+/// splitmix64 stream without materializing the block — equal to
+/// `Block::synthetic(object, track, len).fingerprint()`.
+#[must_use]
+pub fn synthetic_fingerprint(object: u64, track: u64, len: usize) -> u64 {
+    let mut state = object
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(track)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    let mut acc = 0u64;
+    let mut remaining = len;
+    while remaining > 0 {
+        // splitmix64 step
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if remaining >= WORD {
+            acc ^= z;
+            remaining -= WORD;
+        } else {
+            // Partial final word: only the low `remaining` bytes exist;
+            // the fold zero-extends them (same as fingerprint_bytes).
+            acc ^= z & ((1u64 << (remaining * 8)) - 1);
+            remaining = 0;
+        }
+    }
+    acc
+}
 
 /// A track-sized block of data — the paper's unit of disk I/O.
 ///
@@ -28,25 +181,9 @@ impl Block {
     /// the same address always produces the same bytes.
     #[must_use]
     pub fn synthetic(object: u64, track: u64, len: usize) -> Self {
-        let mut bytes = vec![0u8; len];
-        let mut state = object
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(track)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            .wrapping_add(0x94D0_49BB_1331_11EB);
-        for chunk in bytes.chunks_mut(8) {
-            // splitmix64 step
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^= z >> 31;
-            let w = z.to_le_bytes();
-            chunk.copy_from_slice(&w[..chunk.len()]);
-        }
-        Block {
-            bytes: bytes.into_boxed_slice(),
-        }
+        let mut bytes = vec![0u8; len].into_boxed_slice();
+        fill_synthetic(object, track, &mut bytes);
+        Block { bytes }
     }
 
     /// Wrap existing bytes.
@@ -55,6 +192,21 @@ impl Block {
         Block {
             bytes: bytes.into_boxed_slice(),
         }
+    }
+
+    /// Wrap an existing boxed buffer without copying (the inverse of
+    /// [`Block::into_boxed_bytes`]; used with [`TrackPool`](crate::TrackPool)
+    /// buffers).
+    #[must_use]
+    pub fn from_boxed_bytes(bytes: Box<[u8]>) -> Self {
+        Block { bytes }
+    }
+
+    /// Unwrap into the underlying buffer without copying, e.g. to check a
+    /// scratch block back into a [`TrackPool`](crate::TrackPool).
+    #[must_use]
+    pub fn into_boxed_bytes(self) -> Box<[u8]> {
+        self.bytes
     }
 
     /// Length in bytes.
@@ -75,28 +227,48 @@ impl Block {
         &self.bytes
     }
 
-    /// XOR `other` into `self` in place.
+    /// Mutable access to the raw bytes, for callers that refill a
+    /// reused block in place (e.g. via [`fill_synthetic`]).
+    #[must_use]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Reset every byte to zero (the XOR identity), keeping the storage.
+    pub fn zero(&mut self) {
+        self.bytes.fill(0);
+    }
+
+    /// XOR `other` into `self` in place, word-wise.
     ///
     /// # Panics
     /// Panics if the lengths differ — parity groups are homogeneous by
     /// construction (every member is one track), so a mismatch is a layout
     /// bug, not a runtime condition.
     pub fn xor_assign(&mut self, other: &Block) {
-        assert_eq!(
-            self.len(),
-            other.len(),
-            "parity group members must be the same size"
-        );
-        // Chunked loop vectorizes well without unsafe.
-        for (a, b) in self.bytes.iter_mut().zip(other.bytes.iter()) {
-            *a ^= *b;
-        }
+        xor_slices(&mut self.bytes, &other.bytes);
     }
 
-    /// Whether every byte is zero (true for `a ⊕ a`).
+    /// XOR a raw byte slice into `self` in place, word-wise. Same layout
+    /// contract (and panic) as [`Block::xor_assign`].
+    pub fn xor_assign_bytes(&mut self, other: &[u8]) {
+        xor_slices(&mut self.bytes, other);
+    }
+
+    /// Whether every byte is zero (true for `a ⊕ a`), checked word-wise.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.bytes.iter().all(|&b| b == 0)
+        slice_is_zero(&self.bytes)
+    }
+
+    /// The block's 64-bit XOR-fold (see [`fingerprint_bytes`] for the
+    /// guarantees). Equality of track-sized blocks can short-circuit on
+    /// this summary: unequal fingerprints prove inequality without a
+    /// full byte scan, and the fold is linear under XOR, so parity
+    /// fingerprints compose from member fingerprints.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_bytes(&self.bytes)
     }
 }
 
@@ -121,6 +293,16 @@ mod tests {
         assert_ne!(a1, b);
         assert_ne!(a1, c);
         assert_ne!(b, c);
+    }
+
+    #[test]
+    fn fill_synthetic_matches_synthetic() {
+        for len in [0usize, 1, 7, 8, 9, 13, 64, 1000] {
+            let block = Block::synthetic(7, 11, len);
+            let mut buf = vec![0xAAu8; len];
+            fill_synthetic(7, 11, &mut buf);
+            assert_eq!(block.as_bytes(), &buf[..], "len {len}");
+        }
     }
 
     #[test]
@@ -154,6 +336,24 @@ mod tests {
     }
 
     #[test]
+    fn wordwise_xor_matches_scalar_reference() {
+        // Every tail length against a byte-at-a-time reference.
+        for len in 0..=40usize {
+            let a = Block::synthetic(5, 1, len);
+            let b = Block::synthetic(5, 2, len);
+            let mut fast = a.clone();
+            fast.xor_assign(&b);
+            let reference: Vec<u8> = a
+                .as_bytes()
+                .iter()
+                .zip(b.as_bytes())
+                .map(|(x, y)| x ^ y)
+                .collect();
+            assert_eq!(fast.as_bytes(), &reference[..], "len {len}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "same size")]
     fn mismatched_lengths_panic() {
         let mut a = Block::zeroed(4);
@@ -167,6 +367,80 @@ mod tests {
         let mut x = a.clone();
         x.xor_assign(&a);
         assert!(x.is_zero());
+    }
+
+    #[test]
+    fn is_zero_catches_every_byte_position() {
+        for len in 1..=24usize {
+            for hot in 0..len {
+                let mut b = Block::zeroed(len);
+                assert!(b.is_zero());
+                b.as_bytes_mut()[hot] = 1;
+                assert!(!b.is_zero(), "len {len} hot byte {hot}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_linear_under_xor() {
+        for len in [8usize, 13, 64, 100] {
+            let a = Block::synthetic(1, 7, len);
+            let b = Block::synthetic(2, 9, len);
+            let mut x = a.clone();
+            x.xor_assign(&b);
+            assert_eq!(x.fingerprint(), a.fingerprint() ^ b.fingerprint());
+        }
+        assert_eq!(Block::zeroed(40).fingerprint(), 0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_typical_blocks() {
+        let fps: Vec<u64> = (0..64u64)
+            .map(|t| Block::synthetic(3, t, 200).fingerprint())
+            .collect();
+        let mut sorted = fps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), fps.len(), "fingerprint collision");
+    }
+
+    #[test]
+    fn synthetic_fingerprint_matches_materialized() {
+        for len in [0usize, 1, 7, 8, 9, 13, 64, 1000] {
+            assert_eq!(
+                synthetic_fingerprint(3, 17, len),
+                Block::synthetic(3, 17, len).fingerprint(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_synthetic_matches_fill_then_xor() {
+        for len in [0usize, 1, 7, 8, 9, 29, 64] {
+            let mut fused = vec![0x5Cu8; len];
+            xor_synthetic(6, 10, &mut fused);
+            let mut reference = vec![0x5Cu8; len];
+            let mut scratch = vec![0u8; len];
+            fill_synthetic(6, 10, &mut scratch);
+            xor_slices(&mut reference, &scratch);
+            assert_eq!(fused, reference, "len {len}");
+        }
+    }
+
+    #[test]
+    fn boxed_round_trip_preserves_bytes() {
+        let a = Block::synthetic(4, 4, 37);
+        let raw = a.clone().into_boxed_bytes();
+        assert_eq!(Block::from_boxed_bytes(raw), a);
+    }
+
+    #[test]
+    fn zero_resets_in_place() {
+        let mut a = Block::synthetic(8, 8, 24);
+        a.zero();
+        assert!(a.is_zero());
+        assert_eq!(a.len(), 24);
     }
 
     #[test]

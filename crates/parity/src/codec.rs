@@ -41,8 +41,12 @@ impl std::error::Error for ParityError {}
 /// (`X0p = X0 ⊕ X1 ⊕ X2 ⊕ X3` in the paper's Figure 3).
 ///
 /// # Panics
-/// Panics if blocks have differing lengths (a layout invariant violation).
-/// An empty iterator yields an empty block.
+/// Panics on the *first* block whose length differs from the group head's,
+/// with the same layout-invariant message as [`Block::xor_assign`]
+/// ("parity group members must be the same size") — the group is
+/// homogeneous by construction, so a mismatch is a layout bug. An empty
+/// iterator yields a zero-length block (the crate-level empty-group
+/// contract; see the crate docs).
 pub fn parity_of<'a, I>(blocks: I) -> Block
 where
     I: IntoIterator<Item = &'a Block>,
@@ -53,6 +57,11 @@ where
     };
     let mut parity = first.clone();
     for b in iter {
+        assert_eq!(
+            parity.len(),
+            b.len(),
+            "parity group members must be the same size"
+        );
         parity.xor_assign(b);
     }
     parity
@@ -154,6 +163,22 @@ mod tests {
         let p = Block::zeroed(8);
         assert_eq!(reconstruct(0, &[], &p), Err(ParityError::EmptyGroup));
         assert_eq!(verify(&[], &p), Err(ParityError::EmptyGroup));
+    }
+
+    #[test]
+    #[should_panic(expected = "parity group members must be the same size")]
+    fn parity_of_panics_on_first_mismatched_block() {
+        // The third member is the first length mismatch; the panic fires
+        // there with the same message as Block::xor_assign.
+        let blocks = [Block::zeroed(16), Block::zeroed(16), Block::zeroed(8)];
+        let _ = parity_of(blocks.iter());
+    }
+
+    #[test]
+    fn parity_of_empty_iterator_is_zero_length_block() {
+        let p = parity_of(std::iter::empty::<&Block>());
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
     }
 
     #[test]

@@ -8,17 +8,39 @@
 //!
 //! This crate implements that primitive over real byte buffers:
 //!
-//! * [`Block`] — a track-sized byte buffer with XOR operations and a
+//! * [`Block`] — a track-sized byte buffer with word-wise XOR operations,
+//!   a 64-bit [`fingerprint`](Block::fingerprint) XOR-fold, and a
 //!   deterministic synthetic-content generator (substituting for MPEG data,
 //!   whose bytes are opaque to the schemes).
 //! * [`codec`] — group-level encode / single-erasure reconstruct / verify.
 //! * [`XorAccumulator`] — a *running* XOR used by the Non-clustered
 //!   scheme's delayed transition ("we should buffer A0 ⊕ A1 (after delivery
 //!   of A0 and A1) until the reconstruction of A2 is complete", Section 3).
+//! * [`ParityAccumulator`] — a *reusable* streaming XOR for hot
+//!   verification paths: reset per group, fed byte slices, allocation-free
+//!   after warm-up.
+//! * [`TrackPool`] — a free list of track-sized buffers checked out and
+//!   back in per cycle, so degraded-mode scratch space is recycled instead
+//!   of reallocated.
 //!
 //! Observation 2 of the paper hinges on the XOR being fast enough to
 //! reconstruct in real time; the `mms-bench` crate measures this codec's
-//! throughput to substantiate that.
+//! throughput to substantiate that. The XOR kernel operates on `u64`
+//! lanes (with a safe byte fallback for unaligned tails), so track-sized
+//! blocks move at memory bandwidth without any `unsafe`.
+//!
+//! ## The empty-group contract
+//!
+//! [`codec::parity_of`] over an **empty iterator** yields a
+//! **zero-length block**: the XOR identity of a group with no members has
+//! no defined track size, so the empty [`Block`] stands in for it. A
+//! zero-length block XORs only with another zero-length block (any other
+//! pairing trips the layout-invariant panic, "parity group members must
+//! be the same size"), is [`is_zero`](Block::is_zero), and fingerprints
+//! to `0`. Group-level operations that *require* members
+//! ([`codec::reconstruct`], [`codec::verify`]) instead report
+//! [`ParityError::EmptyGroup`] rather than silently treating the empty
+//! group as consistent.
 //!
 //! ```
 //! use mms_parity::{codec, Block};
@@ -37,8 +59,13 @@ mod accum;
 mod block;
 pub mod codec;
 mod group;
+mod pool;
 
-pub use accum::XorAccumulator;
-pub use block::Block;
+pub use accum::{ParityAccumulator, XorAccumulator};
+pub use block::{
+    fill_synthetic, fingerprint_bytes, slice_is_zero, synthetic_fingerprint, xor_slices,
+    xor_synthetic, Block,
+};
 pub use codec::ParityError;
 pub use group::ParityGroupId;
+pub use pool::{PoolStats, TrackPool};

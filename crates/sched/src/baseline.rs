@@ -163,10 +163,10 @@ impl SchemeScheduler for BaselineScheduler {
         })
     }
 
-    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+    fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
-        let mut plan = CyclePlan::empty(cycle);
+        plan.reset(cycle);
         let layout = *self.catalog.layout();
         let bpg = self.bpg();
 
@@ -256,7 +256,6 @@ impl SchemeScheduler for BaselineScheduler {
                 self.buffers.free_all(OwnerId(id.0));
             }
         }
-        plan
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {

@@ -244,10 +244,10 @@ impl SchemeScheduler for ImprovedScheduler {
         })
     }
 
-    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+    fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
-        let mut plan = CyclePlan::empty(cycle);
+        plan.reset(cycle);
         self.last_shift_path.clear();
         let layout = *self.catalog.layout();
         let geometry = *layout.geometry();
@@ -325,7 +325,7 @@ impl SchemeScheduler for ImprovedScheduler {
             if hops > max_hops {
                 // No capacity anywhere: degradation of service — drop the
                 // stream whose parity could not be placed.
-                self.drop_stream(sid, cycle, &mut plan);
+                self.drop_stream(sid, cycle, plan);
                 incoming.remove(&sid);
                 continue;
             }
@@ -381,7 +381,7 @@ impl SchemeScheduler for ImprovedScheduler {
                 None => {
                     // Nothing displaceable (all reads are parity):
                     // degradation of service.
-                    self.drop_stream(sid, cycle, &mut plan);
+                    self.drop_stream(sid, cycle, plan);
                     incoming.remove(&sid);
                 }
                 Some(ix) => {
@@ -523,8 +523,6 @@ impl SchemeScheduler for ImprovedScheduler {
                 st.pending_buffered = charged;
             }
         }
-
-        plan
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, mid_cycle: bool) -> FailureReport {

@@ -609,10 +609,10 @@ impl SchemeScheduler for NonClusteredScheduler {
         })
     }
 
-    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+    fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
-        let mut plan = CyclePlan::empty(cycle);
+        plan.reset(cycle);
         let layout = *self.catalog.layout();
         let geometry = *layout.geometry();
 
@@ -634,7 +634,7 @@ impl SchemeScheduler for NonClusteredScheduler {
                     let parity_pos = geometry.disks_per_cluster() - 1;
                     let parity_alive =
                         d.failed_pos != parity_pos && !d.also_failed.contains(&parity_pos);
-                    self.plan_group_at_once(&mut plan, id, &s, g, cycle, &d, parity_alive);
+                    self.plan_group_at_once(plan, id, &s, g, cycle, &d, parity_alive);
                     continue;
                 }
                 if self.delayed_window(cluster, t_g) {
@@ -879,8 +879,6 @@ impl SchemeScheduler for NonClusteredScheduler {
                 }
             }
         }
-
-        plan
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, _mid_cycle: bool) -> FailureReport {

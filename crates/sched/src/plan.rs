@@ -120,6 +120,22 @@ impl CyclePlan {
         }
     }
 
+    /// Reset the plan to cover `cycle` with no activity, keeping all
+    /// allocated storage: the delivery/hiccup/finished vectors are
+    /// cleared in place, and every per-disk read list is cleared but kept
+    /// in the map so its capacity is reused next cycle. Stale map entries
+    /// are indistinguishable from absent ones through the read API
+    /// ([`reads_on`](CyclePlan::reads_on) returns `&[]` either way).
+    pub fn reset(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        for reads in self.reads.values_mut() {
+            reads.clear();
+        }
+        self.deliveries.clear();
+        self.hiccups.clear();
+        self.finished.clear();
+    }
+
     /// Total tracks read this cycle.
     #[must_use]
     pub fn total_reads(&self) -> usize {
@@ -166,6 +182,32 @@ mod tests {
         assert_eq!(p.total_reads(), 2);
         assert_eq!(p.reads_on(DiskId(1)).len(), 2);
         assert!(p.reads_on(DiskId(9)).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_but_reads_api_hides_stale_entries() {
+        let mut p = CyclePlan::empty(1);
+        p.push_read(
+            DiskId(2),
+            PlannedRead {
+                stream: StreamId(0),
+                addr: BlockAddr::data(ObjectId(0), 0, 2),
+                purpose: ReadPurpose::Parity,
+            },
+        );
+        p.deliveries.push(Delivery {
+            stream: StreamId(0),
+            addr: BlockAddr::data(ObjectId(0), 0, 2),
+            reconstructed: false,
+        });
+        p.finished.push(StreamId(0));
+        p.reset(2);
+        assert_eq!(p.cycle, 2);
+        assert_eq!(p.total_reads(), 0);
+        assert!(p.reads_on(DiskId(2)).is_empty());
+        assert!(p.deliveries.is_empty());
+        assert!(p.hiccups.is_empty());
+        assert!(p.finished.is_empty());
     }
 
     #[test]

@@ -198,10 +198,10 @@ impl SchemeScheduler for StreamingRaidScheduler {
         })
     }
 
-    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+    fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
-        let mut plan = CyclePlan::empty(cycle);
+        plan.reset(cycle);
         let layout = self.catalog.layout();
         let geometry = *layout.geometry();
 
@@ -339,7 +339,6 @@ impl SchemeScheduler for StreamingRaidScheduler {
             plan.reads.values().all(|v| v.len() <= cap),
             "slot overflow in Streaming RAID plan"
         );
-        plan
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, _mid_cycle: bool) -> FailureReport {

@@ -187,9 +187,24 @@ pub trait SchemeScheduler {
     /// Snapshot of one stream.
     fn stream_info(&self, id: StreamId) -> Option<StreamInfo>;
 
-    /// Plan (and internally commit) one cycle. Cycles must be planned in
-    /// increasing order without gaps.
-    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan;
+    /// Plan (and internally commit) one cycle into caller-owned storage.
+    /// Cycles must be planned in increasing order without gaps.
+    ///
+    /// This is the allocation-free form: `plan` is
+    /// [`reset`](CyclePlan::reset) and refilled, so a driver that reuses
+    /// one `CyclePlan` across cycles pays no per-cycle heap traffic once
+    /// the plan's vectors have grown to their steady-state capacity.
+    fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan);
+
+    /// Plan (and internally commit) one cycle, returning a fresh plan.
+    /// Convenience wrapper over
+    /// [`plan_cycle_into`](SchemeScheduler::plan_cycle_into) for tests
+    /// and one-shot callers; hot loops should reuse a plan instead.
+    fn plan_cycle(&mut self, cycle: u64) -> CyclePlan {
+        let mut plan = CyclePlan::empty(cycle);
+        self.plan_cycle_into(cycle, &mut plan);
+        plan
+    }
 
     /// React to a disk failure. `mid_cycle` indicates the failure struck
     /// after `cycle`'s read schedule was already committed (relevant for

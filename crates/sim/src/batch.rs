@@ -7,9 +7,14 @@
 //! hands each job its own [`StdRng`] pre-split from one caller seed, so
 //! stochastic batches are reproducible at any thread count.
 
-use mms_exec::{par_map_indexed, Parallelism, SeedSequence};
+use mms_exec::{par_map_indexed_min, Parallelism, SeedSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Batch jobs are whole simulations — expensive enough that the pool
+/// pays for itself from two jobs up, unlike the tiny analytic jobs the
+/// default [`mms_exec::SMALL_BATCH_THRESHOLD`] guards against.
+const MIN_BATCH_JOBS: usize = 2;
 
 /// Run `job` over every input, returning results in input order.
 ///
@@ -22,7 +27,7 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    par_map_indexed(par, inputs.len(), |i| job(&inputs[i]))
+    par_map_indexed_min(par, inputs.len(), MIN_BATCH_JOBS, |i| job(&inputs[i]))
 }
 
 /// Like [`run_batch`], but each job also receives a private RNG.
@@ -39,7 +44,7 @@ where
     F: Fn(&I, StdRng) -> T + Sync,
 {
     let seeds = SeedSequence::from_rng(rng);
-    par_map_indexed(par, inputs.len(), |i| {
+    par_map_indexed_min(par, inputs.len(), MIN_BATCH_JOBS, |i| {
         job(&inputs[i], StdRng::seed_from_u64(seeds.seed(i as u64)))
     })
 }

@@ -6,7 +6,7 @@ use crate::rebuild::{Rebuild, RebuildManager, RebuildSource};
 use crate::verify::BlockOracle;
 use crate::workload::WorkloadGen;
 use mms_disk::{DiskArray, DiskError, DiskParams, Time};
-use mms_layout::{BlockKind, ObjectId};
+use mms_layout::ObjectId;
 use mms_sched::{AdmissionError, CyclePlan, SchemeScheduler, StreamId};
 use mms_telemetry::{counter, event, gauge, span, Level};
 use rand::Rng;
@@ -95,6 +95,13 @@ pub struct Simulator<S: SchemeScheduler> {
     /// Plans retained for trace rendering (bounded).
     trace: Vec<CyclePlan>,
     trace_limit: usize,
+    /// Reused cycle-plan storage: reset and refilled every step, so the
+    /// steady-state loop rebuilds no per-cycle containers.
+    plan: CyclePlan,
+    /// Reused per-disk load map for the rebuild idle-slot computation.
+    loads: BTreeMap<mms_disk::DiskId, usize>,
+    /// Reused scratch for the rebuild reads issued this cycle.
+    rebuild_reads: Vec<(mms_disk::DiskId, usize)>,
 }
 
 impl<S: SchemeScheduler> Simulator<S> {
@@ -125,6 +132,9 @@ impl<S: SchemeScheduler> Simulator<S> {
             cycle: 0,
             trace: Vec::new(),
             trace_limit: 0,
+            plan: CyclePlan::empty(0),
+            loads: BTreeMap::new(),
+            rebuild_reads: Vec::new(),
         }
     }
 
@@ -271,19 +281,19 @@ impl<S: SchemeScheduler> Simulator<S> {
             }
         }
 
-        // 2. Plan and execute the cycle.
+        // 2. Plan and execute the cycle, refilling the reused plan.
         let t_cyc = self.scheduler.config().t_cyc();
-        let plan = {
+        {
             let _s = span!(Level::Debug, "plan", cycle = cycle);
-            self.scheduler.plan_cycle(cycle)
-        };
+            self.scheduler.plan_cycle_into(cycle, &mut self.plan);
+        }
         let mut report = CycleReport {
             cycle,
             ..CycleReport::default()
         };
         {
             let _s = span!(Level::Debug, "read", cycle = cycle);
-            for (&disk, reads) in &plan.reads {
+            for (&disk, reads) in &self.plan.reads {
                 if reads.is_empty() {
                     continue;
                 }
@@ -293,29 +303,35 @@ impl<S: SchemeScheduler> Simulator<S> {
             }
         }
 
-        // 3. Verify deliveries against ground truth.
+        // 3. Verify deliveries against ground truth through the pooled
+        //    zero-allocation oracle path.
         {
             let _s = span!(Level::Debug, "verify", cycle = cycle);
-            for d in &plan.deliveries {
+            for d in &self.plan.deliveries {
                 report.delivered += 1;
                 if d.reconstructed {
                     report.reconstructed += 1;
                 }
-                if let Some(oracle) = &self.oracle {
-                    let expected = oracle.block(d.addr);
-                    let produced = if d.reconstructed {
-                        match d.addr.kind {
-                            BlockKind::Data(ix) => {
-                                oracle.reconstruct_and_check(d.addr.object, d.addr.group, ix)
-                            }
-                            BlockKind::Parity => expected.clone(),
-                        }
-                    } else {
-                        oracle.block(d.addr)
-                    };
-                    assert_eq!(produced, expected, "delivered bytes must match stored");
+                if let Some(oracle) = self.oracle.as_mut() {
+                    oracle.verify_delivery(d.addr, d.reconstructed);
                     self.metrics.verified += 1;
                     counter!("sim.verified", 1, scheme = scheme);
+                }
+            }
+            // Scratch-pool health, for Trace-level diagnostics only:
+            // metric macros are not level-gated, so the guard keeps
+            // default-level JSONL byte-identical with or without pooling.
+            if mms_telemetry::enabled(Level::Trace) {
+                if let Some(oracle) = &self.oracle {
+                    let stats = oracle.pool_stats();
+                    gauge!("pool.hit_rate", stats.hit_rate(), scheme = scheme);
+                    gauge!("pool.hits", stats.hits as f64, scheme = scheme);
+                    gauge!("pool.misses", stats.misses as f64, scheme = scheme);
+                    gauge!(
+                        "pool.outstanding",
+                        stats.outstanding as f64,
+                        scheme = scheme
+                    );
                 }
             }
         }
@@ -325,14 +341,17 @@ impl<S: SchemeScheduler> Simulator<S> {
             let p = self.disks.disk(mms_disk::DiskId(0))?.params();
             p.slots_per_cycle(t_cyc)
         };
-        let loads: std::collections::BTreeMap<mms_disk::DiskId, usize> =
-            plan.reads.iter().map(|(&d, v)| (d, v.len())).collect();
-        let mut rebuild_reads: Vec<(mms_disk::DiskId, usize)> = Vec::new();
+        self.loads.clear();
+        self.loads
+            .extend(self.plan.reads.iter().map(|(&d, v)| (d, v.len())));
+        self.rebuild_reads.clear();
         let disks_view = &self.disks;
+        let loads_view = &self.loads;
+        let rebuild_reads = &mut self.rebuild_reads;
         let finished_rebuilds = self.rebuilds.advance(
             |d| {
                 if disks_view.is_operational(d) {
-                    slots.saturating_sub(loads.get(&d).copied().unwrap_or(0))
+                    slots.saturating_sub(loads_view.get(&d).copied().unwrap_or(0))
                 } else {
                     0
                 }
@@ -340,7 +359,7 @@ impl<S: SchemeScheduler> Simulator<S> {
             |d, n| rebuild_reads.push((d, n)),
         );
         let mut cycle_rebuild_reads = 0u64;
-        for (d, n) in rebuild_reads {
+        for &(d, n) in self.rebuild_reads.iter() {
             let t = self.disks.disk_mut(d)?.read_tracks(n, t_cyc)?;
             self.metrics.disk_busy += t;
             self.metrics.rebuild_reads += n as u64;
@@ -360,7 +379,7 @@ impl<S: SchemeScheduler> Simulator<S> {
         // 4. Account hiccups and completions.
         {
             let _s = span!(Level::Debug, "deliver", cycle = cycle);
-            for h in &plan.hiccups {
+            for h in &self.plan.hiccups {
                 report.hiccups += 1;
                 self.metrics.count_hiccup(h.reason);
                 event!(
@@ -377,8 +396,8 @@ impl<S: SchemeScheduler> Simulator<S> {
                     reason = h.reason.as_str()
                 );
             }
-            report.finished = plan.finished.len();
-            self.metrics.streams_finished += plan.finished.len() as u64;
+            report.finished = self.plan.finished.len();
+            self.metrics.streams_finished += self.plan.finished.len() as u64;
             report.buffer_in_use = self.scheduler.buffer_in_use();
         }
 
@@ -411,7 +430,9 @@ impl<S: SchemeScheduler> Simulator<S> {
         self.metrics.buffer_series.push(report.buffer_in_use);
 
         if self.trace.len() < self.trace_limit {
-            self.trace.push(plan);
+            // Trace retention is a debugging path; the clone is the one
+            // place a retained plan still allocates.
+            self.trace.push(self.plan.clone());
         }
         Ok(report)
     }

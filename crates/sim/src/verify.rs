@@ -1,8 +1,45 @@
 //! Ground-truth block contents for end-to-end data verification.
 
 use mms_layout::{BlockAddr, BlockKind, ObjectId};
-use mms_parity::{codec, Block};
+use mms_parity::{
+    codec, fill_synthetic, synthetic_fingerprint, xor_synthetic, Block, PoolStats, TrackPool,
+};
 use std::collections::BTreeMap;
+
+/// Capacity of the memoized parity-fingerprint cache. Streams revisit a
+/// small working set of `(object, group)` pairs per cycle, so a modest
+/// bound keeps the cache hot without growing with object count.
+const FP_CACHE_CAP: usize = 128;
+
+/// A tiny LRU map from `(object, group)` to the group's parity
+/// fingerprint. Lookup is a linear scan (the capacity is small and the
+/// entries are 24 bytes), with move-to-back on hit and front eviction
+/// when full.
+#[derive(Debug, Clone, Default)]
+struct FingerprintLru {
+    entries: Vec<((ObjectId, u64), u64)>,
+}
+
+impl FingerprintLru {
+    fn get(&mut self, key: (ObjectId, u64)) -> Option<u64> {
+        let ix = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(ix);
+        let fp = entry.1;
+        self.entries.push(entry);
+        Some(fp)
+    }
+
+    fn insert(&mut self, key: (ObjectId, u64), fp: u64) {
+        if self.entries.len() >= FP_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, fp));
+    }
+
+    fn invalidate_object(&mut self, object: ObjectId) {
+        self.entries.retain(|((o, _), _)| *o != object);
+    }
+}
 
 /// Knows the synthetic contents of every block in the system, so the
 /// simulator can verify that what the scheduler delivers — including
@@ -10,7 +47,22 @@ use std::collections::BTreeMap;
 ///
 /// Substitutes for MPEG data: the schemes treat content as opaque bytes,
 /// so deterministic synthetic tracks exercise the identical code paths.
-#[derive(Debug, Clone)]
+///
+/// Two API generations coexist:
+///
+/// * the original allocating methods ([`data_block`](Self::data_block),
+///   [`parity_block`](Self::parity_block),
+///   [`reconstruct_and_check`](Self::reconstruct_and_check)) build fresh
+///   [`Block`]s per call — convenient for tests, and the "before" side of
+///   the `bench_datapath` comparison;
+/// * the streaming methods
+///   ([`write_data_block_into`](Self::write_data_block_into),
+///   [`parity_into`](Self::parity_into),
+///   [`verify_delivery`](Self::verify_delivery)) XOR group members into
+///   reused scratch buffers from an internal [`TrackPool`] and memoize
+///   per-`(object, group)` parity fingerprints, so steady-state verified
+///   delivery runs with zero heap allocations.
+#[derive(Debug)]
 pub struct BlockOracle {
     /// Track length of every object, to bound partial final groups.
     tracks: BTreeMap<ObjectId, u64>,
@@ -18,6 +70,19 @@ pub struct BlockOracle {
     blocks_per_group: u32,
     /// Bytes per track in the synthetic universe.
     track_bytes: usize,
+    /// Free list of track-sized scratch buffers for the streaming paths.
+    pool: TrackPool,
+    /// Memoized parity fingerprints per `(object, group)`.
+    fp_cache: FingerprintLru,
+}
+
+impl Clone for BlockOracle {
+    /// Clones the ground truth (object lengths and geometry). The scratch
+    /// state — buffer pool and fingerprint cache — is per-instance and
+    /// starts cold in the clone.
+    fn clone(&self) -> Self {
+        BlockOracle::new(self.tracks.clone(), self.blocks_per_group, self.track_bytes)
+    }
 }
 
 impl BlockOracle {
@@ -28,6 +93,8 @@ impl BlockOracle {
             tracks,
             blocks_per_group,
             track_bytes,
+            pool: TrackPool::new(track_bytes),
+            fp_cache: FingerprintLru::default(),
         }
     }
 
@@ -40,11 +107,29 @@ impl BlockOracle {
         total.saturating_sub(group * bpg).min(bpg) as u32
     }
 
+    /// The global track index of data block `(group, index)`.
+    fn track_of(&self, group: u64, index: u32) -> u64 {
+        group * u64::from(self.blocks_per_group) + u64::from(index)
+    }
+
     /// The stored bytes of a data block.
     #[must_use]
     pub fn data_block(&self, object: ObjectId, group: u64, index: u32) -> Block {
-        let track = group * u64::from(self.blocks_per_group) + u64::from(index);
-        Block::synthetic(object.0, track, self.track_bytes)
+        Block::synthetic(object.0, self.track_of(group, index), self.track_bytes)
+    }
+
+    /// Write the stored bytes of a data block into caller-owned storage,
+    /// without allocating.
+    ///
+    /// # Panics
+    /// Panics if `out` is not [`track_bytes`](Self::track_bytes) long.
+    pub fn write_data_block_into(&self, object: ObjectId, group: u64, index: u32, out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            self.track_bytes,
+            "output buffer must be one track"
+        );
+        fill_synthetic(object.0, self.track_of(group, index), out);
     }
 
     /// The stored bytes of a group's parity block (XOR over the actual —
@@ -56,6 +141,42 @@ impl BlockOracle {
             .map(|i| self.data_block(object, group, i))
             .collect();
         codec::parity_of(members.iter())
+    }
+
+    /// Compute a group's parity block into a reused [`Block`], streaming
+    /// each member's bytes through the XOR kernel without materializing
+    /// any of them. `out` is resized only if its length differs from the
+    /// track size; otherwise no allocation occurs.
+    ///
+    /// An empty group (unknown object or group past the end) yields an
+    /// all-zero track — the streaming analogue of the crate-level
+    /// empty-group contract, sized for buffer reuse.
+    pub fn parity_into(&self, object: ObjectId, group: u64, out: &mut Block) {
+        if out.len() != self.track_bytes {
+            *out = Block::zeroed(self.track_bytes);
+        } else {
+            out.zero();
+        }
+        let blocks = self.blocks_in_group(object, group);
+        for i in 0..blocks {
+            xor_synthetic(object.0, self.track_of(group, i), out.as_bytes_mut());
+        }
+    }
+
+    /// The fingerprint of a group's parity block, memoized in an LRU
+    /// cache keyed by `(object, group)`. The XOR-fold is linear, so the
+    /// parity fingerprint is computed as the XOR of the members'
+    /// fingerprints — no track-sized buffer is ever touched.
+    pub fn parity_fingerprint(&mut self, object: ObjectId, group: u64) -> u64 {
+        if let Some(fp) = self.fp_cache.get((object, group)) {
+            return fp;
+        }
+        let blocks = self.blocks_in_group(object, group);
+        let fp = (0..blocks).fold(0u64, |acc, i| {
+            acc ^ synthetic_fingerprint(object.0, self.track_of(group, i), self.track_bytes)
+        });
+        self.fp_cache.insert((object, group), fp);
+        fp
     }
 
     /// The stored bytes of any block address.
@@ -70,6 +191,9 @@ impl BlockOracle {
     /// Reconstruct a data block the way a degraded-mode server would —
     /// XOR of the surviving group members and the parity block — and
     /// confirm it matches the stored original. Returns the rebuilt block.
+    ///
+    /// This is the allocating reference path; the simulator's hot loop
+    /// uses [`verify_delivery`](Self::verify_delivery) instead.
     ///
     /// # Panics
     /// Panics if reconstruction does not round-trip: that would be a
@@ -90,6 +214,86 @@ impl BlockOracle {
         rebuilt
     }
 
+    /// Verify one delivery against ground truth without allocating
+    /// (after pool warm-up). The work mirrors what a real server's data
+    /// path would do for that delivery:
+    ///
+    /// * **Reconstructed data block** — rebuild it the degraded-mode way
+    ///   (XOR the surviving members, then the parity block, into pooled
+    ///   scratch) and compare against the stored original: the
+    ///   fingerprint check short-circuits any mismatch, and a full byte
+    ///   compare confirms equality.
+    /// * **Plain data block** — regenerate the stored bytes once into
+    ///   pooled scratch (modeling the delivery buffer) and fingerprint-
+    ///   check them.
+    /// * **Parity block** — recompute the parity fingerprint and check it
+    ///   against the memoized `(object, group)` value.
+    ///
+    /// # Panics
+    /// Panics with "delivered bytes must match stored" if verification
+    /// fails — a parity-coding bug, not a simulated failure condition.
+    pub fn verify_delivery(&mut self, addr: BlockAddr, reconstructed: bool) {
+        match addr.kind {
+            BlockKind::Data(ix) if reconstructed => {
+                let object = addr.object;
+                let group = addr.group;
+                let blocks = self.blocks_in_group(object, group);
+                assert!(ix < blocks, "missing index out of group");
+                // Rebuild into pooled scratch: survivors first …
+                let mut rebuilt = self.pool.check_out_zeroed_block();
+                for i in (0..blocks).filter(|&i| i != ix) {
+                    xor_synthetic(object.0, self.track_of(group, i), rebuilt.as_bytes_mut());
+                }
+                // … then the parity block, itself streamed into pooled
+                // scratch (the same buffer a real server would have read
+                // the parity track into).
+                let mut parity = self.pool.check_out_zeroed_block();
+                self.parity_into(object, group, &mut parity);
+                rebuilt.xor_assign(&parity);
+                // Compare with the stored original: fingerprints catch
+                // any mismatch cheaply; equality still gets a full byte
+                // compare (the fold is a filter, not a proof).
+                let expected_fp =
+                    synthetic_fingerprint(object.0, self.track_of(group, ix), self.track_bytes);
+                let mut ok = rebuilt.fingerprint() == expected_fp;
+                if ok {
+                    self.write_data_block_into(object, group, ix, parity.as_bytes_mut());
+                    ok = rebuilt == parity;
+                }
+                self.pool.check_in_block(parity);
+                self.pool.check_in_block(rebuilt);
+                assert!(ok, "delivered bytes must match stored");
+            }
+            BlockKind::Data(ix) => {
+                let mut scratch = self.pool.check_out_zeroed_block();
+                self.write_data_block_into(addr.object, addr.group, ix, scratch.as_bytes_mut());
+                let ok = scratch.fingerprint()
+                    == synthetic_fingerprint(
+                        addr.object.0,
+                        self.track_of(addr.group, ix),
+                        self.track_bytes,
+                    );
+                self.pool.check_in_block(scratch);
+                assert!(ok, "delivered bytes must match stored");
+            }
+            BlockKind::Parity => {
+                let expected = self.parity_fingerprint(addr.object, addr.group);
+                let mut scratch = self.pool.check_out_zeroed_block();
+                self.parity_into(addr.object, addr.group, &mut scratch);
+                let ok = scratch.fingerprint() == expected;
+                self.pool.check_in_block(scratch);
+                assert!(ok, "delivered bytes must match stored");
+            }
+        }
+    }
+
+    /// Scratch-pool counters (hits, misses, outstanding), for the
+    /// simulator's `pool.*` gauges.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Bytes per track.
     #[must_use]
     pub fn track_bytes(&self) -> usize {
@@ -98,11 +302,13 @@ impl BlockOracle {
 
     /// Register a newly staged object's length (the load path).
     pub fn insert_object(&mut self, object: ObjectId, tracks: u64) {
+        self.fp_cache.invalidate_object(object);
         self.tracks.insert(object, tracks);
     }
 
     /// Forget a purged object.
     pub fn remove_object(&mut self, object: ObjectId) {
+        self.fp_cache.invalidate_object(object);
         self.tracks.remove(&object);
     }
 }
@@ -154,5 +360,97 @@ mod tests {
         assert_eq!(d, o.data_block(ObjectId(1), 0, 1));
         let p = o.block(BlockAddr::parity(ObjectId(1), 2));
         assert_eq!(p, o.parity_block(ObjectId(1), 2));
+    }
+
+    #[test]
+    fn write_into_matches_data_block() {
+        let o = oracle();
+        let mut buf = vec![0u8; 64];
+        o.write_data_block_into(ObjectId(1), 1, 2, &mut buf);
+        assert_eq!(&buf[..], o.data_block(ObjectId(1), 1, 2).as_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "one track")]
+    fn write_into_rejects_wrong_size() {
+        let o = oracle();
+        let mut buf = vec![0u8; 63];
+        o.write_data_block_into(ObjectId(1), 0, 0, &mut buf);
+    }
+
+    #[test]
+    fn parity_into_matches_parity_block() {
+        let o = oracle();
+        let mut out = Block::zeroed(0); // wrong size: must self-correct
+        for g in 0..3 {
+            o.parity_into(ObjectId(1), g, &mut out);
+            assert_eq!(out, o.parity_block(ObjectId(1), g), "group {g}");
+        }
+        // Empty group → zero track (not a zero-length block).
+        o.parity_into(ObjectId(1), 9, &mut out);
+        assert_eq!(out.len(), 64);
+        assert!(out.is_zero());
+    }
+
+    #[test]
+    fn parity_fingerprint_is_memoized_and_correct() {
+        let mut o = oracle();
+        for g in 0..3 {
+            let fp = o.parity_fingerprint(ObjectId(1), g);
+            assert_eq!(fp, o.parity_block(ObjectId(1), g).fingerprint());
+            // Second call hits the cache and agrees.
+            assert_eq!(o.parity_fingerprint(ObjectId(1), g), fp);
+        }
+    }
+
+    #[test]
+    fn fingerprint_cache_invalidated_on_object_change() {
+        let mut o = oracle();
+        let before = o.parity_fingerprint(ObjectId(1), 2);
+        // Re-stage the object with more tracks: group 2 becomes full.
+        o.insert_object(ObjectId(1), 16);
+        let after = o.parity_fingerprint(ObjectId(1), 2);
+        assert_eq!(after, o.parity_block(ObjectId(1), 2).fingerprint());
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn verify_delivery_accepts_all_kinds_without_allocating_after_warmup() {
+        let mut o = oracle();
+        for g in 0..3 {
+            let blocks = o.blocks_in_group(ObjectId(1), g);
+            for i in 0..blocks {
+                o.verify_delivery(BlockAddr::data(ObjectId(1), g, i), false);
+                o.verify_delivery(BlockAddr::data(ObjectId(1), g, i), true);
+            }
+            o.verify_delivery(BlockAddr::parity(ObjectId(1), g), false);
+        }
+        let stats = o.pool_stats();
+        // The pool holds at most two scratch buffers at once; everything
+        // beyond the first two checkouts is a hit.
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert!(stats.hits > 0);
+        assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn clone_copies_truth_but_not_scratch_state() {
+        let mut o = oracle();
+        o.verify_delivery(BlockAddr::data(ObjectId(1), 0, 0), true);
+        let c = o.clone();
+        assert_eq!(c.track_bytes(), o.track_bytes());
+        assert_eq!(c.blocks_in_group(ObjectId(1), 2), 2);
+        assert_eq!(c.pool_stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_beyond_capacity() {
+        let mut lru = FingerprintLru::default();
+        for g in 0..(FP_CACHE_CAP as u64 + 10) {
+            lru.insert((ObjectId(7), g), g);
+        }
+        assert_eq!(lru.entries.len(), FP_CACHE_CAP);
+        assert!(lru.get((ObjectId(7), 0)).is_none());
+        assert_eq!(lru.get((ObjectId(7), 50)), Some(50));
     }
 }

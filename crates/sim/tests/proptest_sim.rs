@@ -1,14 +1,16 @@
 //! Property tests for the simulation substrate: failure schedules,
-//! workload distributions, and the rebuild manager.
+//! workload distributions, the rebuild manager, and the block oracle.
 
 use mms_disk::{DiskId, ReliabilityParams, Time};
-use mms_layout::ObjectId;
+use mms_layout::{BlockAddr, ObjectId};
 use mms_sim::{
-    FailureEvent, FailureSchedule, Rebuild, RebuildManager, RebuildSource, WorkloadGen, Zipf,
+    BlockOracle, FailureEvent, FailureSchedule, Rebuild, RebuildManager, RebuildSource,
+    WorkloadGen, Zipf,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -116,5 +118,59 @@ proptest! {
         }
         prop_assert_eq!(spent as u64, total * sources as u64);
         prop_assert_eq!(cycles, total.div_ceil(idle as u64));
+    }
+
+    /// The oracle's group accounting, parity coding, and degraded-mode
+    /// reconstruction agree when the track count is **not** a multiple of
+    /// C−1: `tracks = full·(C−1) + rem` with `0 < rem < C−1` always ends
+    /// in a partial final group (`rem = 1` is the 1-block group), and on
+    /// that group the materializing path (`parity_block`,
+    /// `reconstruct_and_check`), the streaming path (`parity_into`,
+    /// `write_data_block_into`, `verify_delivery`), and the memoized
+    /// fingerprints must all describe the same bytes.
+    #[test]
+    fn oracle_paths_agree_on_partial_final_groups(
+        bpg in 2u32..8,
+        full_groups in 0u64..20,
+        rem in 1u64..7,
+        track_bytes in 16usize..96,
+    ) {
+        let rem = rem.min(u64::from(bpg) - 1);
+        let tracks = full_groups * u64::from(bpg) + rem;
+        let object = ObjectId(3);
+        let mut oracle =
+            BlockOracle::new(BTreeMap::from([(object, tracks)]), bpg, track_bytes);
+
+        let last = tracks.div_ceil(u64::from(bpg)) - 1;
+        prop_assert_eq!(oracle.blocks_in_group(object, last), rem as u32);
+        prop_assert_eq!(oracle.blocks_in_group(object, last + 1), 0);
+
+        for group in 0..=last {
+            let blocks = oracle.blocks_in_group(object, group);
+            let expected = if group == last { rem as u32 } else { bpg };
+            prop_assert_eq!(blocks, expected, "group {} of {}", group, tracks);
+
+            // Materializing and streaming parity agree byte for byte,
+            // and the memoized fingerprint matches both.
+            let parity = oracle.parity_block(object, group);
+            let mut streamed = mms_parity::Block::zeroed(track_bytes);
+            oracle.parity_into(object, group, &mut streamed);
+            prop_assert_eq!(&streamed, &parity);
+            prop_assert_eq!(oracle.parity_fingerprint(object, group), parity.fingerprint());
+
+            for ix in 0..blocks {
+                let stored = oracle.data_block(object, group, ix);
+                let mut written = vec![0u8; track_bytes];
+                oracle.write_data_block_into(object, group, ix, &mut written);
+                prop_assert_eq!(written.as_slice(), stored.as_bytes());
+
+                let rebuilt = oracle.reconstruct_and_check(object, group, ix);
+                prop_assert_eq!(&rebuilt, &stored);
+
+                oracle.verify_delivery(BlockAddr::data(object, group, ix), true);
+                oracle.verify_delivery(BlockAddr::data(object, group, ix), false);
+            }
+            oracle.verify_delivery(BlockAddr::parity(object, group), false);
+        }
     }
 }
