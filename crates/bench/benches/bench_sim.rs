@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mms_server::disk::DiskId;
 use mms_server::layout::{BandwidthClass, MediaObject, ObjectId};
-use mms_server::sim::DataMode;
+use mms_server::sim::{DataMode, FailureEvent};
 use mms_server::{Scheme, ServerBuilder};
 
 fn bench_sim(c: &mut Criterion) {
@@ -35,7 +35,9 @@ fn bench_sim(c: &mut Criterion) {
         for _ in 0..20 {
             let _ = server.admit(m);
         }
-        server.fail_disk(DiskId(1)).unwrap();
+        server
+            .inject(FailureEvent::fail(server.cycle(), DiskId(1)))
+            .unwrap();
         group.bench_function(label, |b| b.iter(|| server.step().unwrap()));
     }
     group.finish();

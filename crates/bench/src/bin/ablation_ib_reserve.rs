@@ -9,7 +9,7 @@
 
 use mms_server::disk::DiskId;
 use mms_server::layout::{BandwidthClass, MediaObject, ObjectId};
-use mms_server::sim::{run_batch, DataMode};
+use mms_server::sim::{run_batch, DataMode, FailureEvent};
 use mms_server::{Parallelism, Scheme, ServerBuilder};
 
 fn run(reserve: usize) -> (usize, u64, u64, u64) {
@@ -40,7 +40,9 @@ fn run(reserve: usize) -> (usize, u64, u64, u64) {
             server.step().unwrap();
         }
     }
-    server.fail_disk(DiskId(0)).unwrap();
+    server
+        .inject(FailureEvent::fail(server.cycle(), DiskId(0)))
+        .unwrap();
     server.run(40).unwrap();
     let metrics = server.metrics();
     (

@@ -10,7 +10,7 @@ use mms_server::layout::{
     BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
 };
 use mms_server::sched::{BaselineScheduler, CycleConfig};
-use mms_server::sim::{DataMode, ObjectDirectory, Simulator};
+use mms_server::sim::{DataMode, FailureEvent, ObjectDirectory, Simulator};
 use mms_server::{Scheme, ServerBuilder};
 
 const TRACKS: u64 = 2_000;
@@ -94,7 +94,9 @@ fn scheme_run(scheme: Scheme) -> (u64, u64) {
     let repair_at = REPAIR_AT / stretch;
     for t in 4..cycles {
         if t == fail_at {
-            server.fail_disk(DiskId(1)).unwrap();
+            server
+                .inject(FailureEvent::fail(server.cycle(), DiskId(1)))
+                .unwrap();
         }
         if t == repair_at {
             server.repair_disk(DiskId(1)).unwrap();

@@ -25,7 +25,7 @@
 use mms_server::disk::DiskId;
 use mms_server::layout::{BandwidthClass, BlockAddr, MediaObject, ObjectId};
 use mms_server::parity::xor_slices;
-use mms_server::sim::{BlockOracle, DataMode};
+use mms_server::sim::{BlockOracle, DataMode, FailureEvent};
 use mms_server::{Scheme, ServerBuilder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
@@ -190,7 +190,9 @@ fn bench_sim_cycles(quick: bool) -> SimResult {
         server.admit(object).expect("admission");
         server.step().expect("cycle");
     }
-    server.fail_disk(DiskId(1)).expect("fail disk");
+    server
+        .inject(FailureEvent::fail(server.cycle(), DiskId(1)))
+        .expect("fail disk");
     for _ in 0..warmup {
         server.step().expect("cycle");
     }

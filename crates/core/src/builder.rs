@@ -19,7 +19,7 @@ use std::fmt;
 pub type Scheme = mms_sched::SchemeKind;
 
 /// Errors from [`ServerBuilder::build`].
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
     /// Disk count does not divide into the scheme's clusters.
     Geometry(GeometryError),

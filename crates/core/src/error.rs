@@ -1,0 +1,162 @@
+//! The unified public error type for [`MultimediaServer`].
+//!
+//! Before this type, each subsystem surfaced its own enum — [`SimError`]
+//! from the simulator, [`AdmissionError`] from admission control,
+//! [`CatalogError`] from the catalog, [`RetireError`] from purging, and
+//! [`BuildError`] from construction — and callers juggling a server had
+//! to import all five. [`ServerError`] wraps them under one
+//! [`std::error::Error`] with lossless `From` conversions; the inner
+//! enums stay public (and re-exported from the crate root) so existing
+//! pattern-matching code keeps compiling.
+//!
+//! [`MultimediaServer`]: crate::MultimediaServer
+
+use crate::builder::BuildError;
+use mms_disk::DiskError;
+use mms_layout::CatalogError;
+use mms_sched::{AdmissionError, RetireError};
+use mms_sim::SimError;
+use std::fmt;
+
+/// Anything a [`MultimediaServer`](crate::MultimediaServer) operation
+/// can fail with.
+///
+/// Admission rejections nested inside a [`SimError`] are flattened to
+/// [`ServerError::Admission`], so callers match one variant per cause
+/// regardless of which layer reported it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The simulator's disk layer refused an operation (down disk,
+    /// slot overload, unknown disk).
+    Sim(SimError),
+    /// An admission was rejected.
+    Admission(AdmissionError),
+    /// The catalog refused an object (duplicate, no space).
+    Catalog(CatalogError),
+    /// An object could not be retired.
+    Retire(RetireError),
+    /// The server could not be constructed.
+    Build(BuildError),
+    /// A fault made data unrecoverable: a second disk failed inside an
+    /// already-degraded parity group's span, so `tracks` data tracks
+    /// have no surviving reconstruction path (the paper's
+    /// *catastrophic failure*). The failure **was** applied — the
+    /// scheduler is in catastrophic mode and a tertiary-storage rebuild
+    /// is the only way back.
+    DataLoss {
+        /// Data tracks lost (parity tracks excluded — they carry no
+        /// payload of their own).
+        tracks: u64,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Sim(e) => write!(f, "simulation error: {e}"),
+            ServerError::Admission(e) => write!(f, "admission error: {e}"),
+            ServerError::Catalog(e) => write!(f, "catalog error: {e}"),
+            ServerError::Retire(e) => write!(f, "retire error: {e}"),
+            ServerError::Build(e) => write!(f, "build error: {e}"),
+            ServerError::DataLoss { tracks } => {
+                write!(
+                    f,
+                    "catastrophic failure: {tracks} data tracks unrecoverable"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Sim(e) => Some(e),
+            ServerError::Admission(e) => Some(e),
+            ServerError::Catalog(e) => Some(e),
+            ServerError::Retire(e) => Some(e),
+            ServerError::Build(e) => Some(e),
+            ServerError::DataLoss { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for ServerError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Admission(a) => ServerError::Admission(a),
+            other => ServerError::Sim(other),
+        }
+    }
+}
+
+impl From<AdmissionError> for ServerError {
+    fn from(e: AdmissionError) -> Self {
+        ServerError::Admission(e)
+    }
+}
+
+impl From<CatalogError> for ServerError {
+    fn from(e: CatalogError) -> Self {
+        ServerError::Catalog(e)
+    }
+}
+
+impl From<RetireError> for ServerError {
+    fn from(e: RetireError) -> Self {
+        ServerError::Retire(e)
+    }
+}
+
+impl From<BuildError> for ServerError {
+    fn from(e: BuildError) -> Self {
+        ServerError::Build(e)
+    }
+}
+
+impl From<DiskError> for ServerError {
+    fn from(e: DiskError) -> Self {
+        ServerError::Sim(SimError::Disk(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn sim_admission_errors_flatten() {
+        let e: ServerError = SimError::Admission(AdmissionError::Catastrophic).into();
+        assert_eq!(e, ServerError::Admission(AdmissionError::Catastrophic));
+    }
+
+    #[test]
+    fn display_and_source_cover_every_variant() {
+        let variants: Vec<ServerError> = vec![
+            DiskError::NoSuchDisk {
+                disk: mms_disk::DiskId(7),
+            }
+            .into(),
+            AdmissionError::Catastrophic.into(),
+            CatalogError::Duplicate {
+                id: mms_layout::ObjectId(1),
+            }
+            .into(),
+            RetireError::NotFound {
+                object: mms_layout::ObjectId(1),
+            }
+            .into(),
+            BuildError::EmptyCatalog.into(),
+            ServerError::DataLoss { tracks: 9 },
+        ];
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+            match v {
+                ServerError::DataLoss { .. } => assert!(v.source().is_none()),
+                _ => assert!(v.source().is_some(), "{v}"),
+            }
+        }
+        assert!(variants[5].to_string().contains("9 data tracks"));
+    }
+}

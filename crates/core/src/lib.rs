@@ -28,24 +28,43 @@
 //! let movie = server.objects()[0];
 //! server.admit(movie).unwrap();
 //! // One disk dies mid-movie; Streaming RAID masks it completely.
-//! server.fail_disk(mms_server::disk::DiskId(2)).unwrap();
+//! use mms_server::sim::FailureEvent;
+//! server.inject(FailureEvent::fail(server.cycle(), mms_server::disk::DiskId(2))).unwrap();
 //! server.run(40).unwrap();
 //! assert_eq!(server.metrics().total_hiccups(), 0);
 //! assert!(server.metrics().reconstructed > 0);
 //! ```
+//!
+//! ## Fault injection
+//!
+//! [`MultimediaServer::inject`] is the single fault-surface entry
+//! point, and the [`scenario`] module scripts whole
+//! deterministic failure scenarios (see `ScenarioRunner`). All
+//! fallible server methods return the unified [`ServerError`]; the
+//! legacy per-subsystem enums remain re-exported below for
+//! pattern-matching callers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod any;
 mod builder;
+mod error;
 mod library;
+pub mod scenario;
 mod server;
 
 pub use any::AnyScheduler;
 pub use builder::{BuildError, Scheme, ServerBuilder};
+pub use error::ServerError;
 pub use library::{Librarian, StagingJob};
 pub use server::MultimediaServer;
+
+// Legacy per-subsystem error enums, re-exported so pattern-matching
+// callers predating [`ServerError`] keep compiling.
+pub use mms_layout::CatalogError;
+pub use mms_sched::{AdmissionError, RetireError};
+pub use mms_sim::SimError;
 
 /// Deterministic parallel execution ([`mms_exec`]).
 pub use mms_exec as exec;

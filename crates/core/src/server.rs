@@ -1,16 +1,15 @@
 //! The multimedia-server facade.
 
 use crate::any::AnyScheduler;
+use crate::error::ServerError;
 use crate::library::Librarian;
 use mms_disk::{DiskId, ReliabilityParams};
 use mms_exec::Parallelism;
 use mms_layout::{CatalogError, MediaObject, ObjectId};
 use mms_reliability::montecarlo::{CatastropheRule, MonteCarlo, TrialStats};
-use mms_sched::{
-    AdmissionError, CycleConfig, FailureReport, SchemeKind, SchemeScheduler, StreamId, StreamInfo,
-};
+use mms_sched::{CycleConfig, FailureReport, SchemeKind, SchemeScheduler, StreamId, StreamInfo};
 use mms_sim::{
-    CycleReport, FailureSchedule, Metrics, RebuildSource, SimError, Simulator, WorkloadGen,
+    CycleReport, FailureEvent, FailureSchedule, Metrics, RebuildSource, Simulator, WorkloadGen,
 };
 use rand::Rng;
 
@@ -102,11 +101,17 @@ impl MultimediaServer {
     }
 
     /// Begin delivering `object` to a new viewer.
-    pub fn admit(&mut self, object: ObjectId) -> Result<StreamId, AdmissionError> {
+    pub fn admit(&mut self, object: ObjectId) -> Result<StreamId, ServerError> {
         let id = self.sim.admit(object)?;
         let cycle = self.sim.cycle();
         self.last_use.insert(object, cycle);
         Ok(id)
+    }
+
+    /// The current cycle number (cycles simulated so far).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
     }
 
     /// Maximum concurrent streams the scheme admits.
@@ -129,7 +134,7 @@ impl MultimediaServer {
 
     /// Simulate one delivery cycle (advancing any tertiary staging by one
     /// tape cycle first).
-    pub fn step(&mut self) -> Result<CycleReport, SimError> {
+    pub fn step(&mut self) -> Result<CycleReport, ServerError> {
         let cycle = self.sim.cycle();
         let (scheduler, oracle) = self.sim.scheduler_and_oracle();
         let mut placed_meta: Option<(ObjectId, u64)> = None;
@@ -151,12 +156,12 @@ impl MultimediaServer {
             self.last_use.insert(id, cycle);
         }
         debug_assert_eq!(placed.is_some(), placed_meta.is_some());
-        self.sim.step()
+        Ok(self.sim.step()?)
     }
 
     /// Simulate `cycles` cycles.
-    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
-        self.sim.run(cycles)
+    pub fn run(&mut self, cycles: u64) -> Result<(), ServerError> {
+        Ok(self.sim.run(cycles)?)
     }
 
     /// Simulate with Poisson arrivals; returns rejected admissions.
@@ -165,26 +170,79 @@ impl MultimediaServer {
         cycles: u64,
         workload: &WorkloadGen,
         rng: &mut R,
-    ) -> Result<u64, SimError> {
-        self.sim.run_with_workload(cycles, workload, rng)
+    ) -> Result<u64, ServerError> {
+        Ok(self.sim.run_with_workload(cycles, workload, rng)?)
+    }
+
+    /// Inject one failure or repair event — the single entry point for
+    /// the fault surface (build events with [`FailureEvent::fail`],
+    /// [`FailureEvent::fail_mid_cycle`], [`FailureEvent::repair`]).
+    ///
+    /// An event dated after the current [`cycle`](Self::cycle) is queued
+    /// and fires during [`step`](Self::step); the report is then empty
+    /// and scheduled outcomes land in [`metrics`](Self::metrics). An
+    /// event due now is applied immediately and its
+    /// [`FailureReport`] returned.
+    ///
+    /// A failure that makes data unrecoverable — a second fault inside
+    /// an already-degraded parity group's span — returns
+    /// [`ServerError::DataLoss`] with the unrecoverable track count.
+    /// The failure is still applied (the disk is down and the scheduler
+    /// is in catastrophic mode); the error is the typed verdict, never
+    /// a panic.
+    pub fn inject(&mut self, event: FailureEvent) -> Result<FailureReport, ServerError> {
+        if event.cycle() > self.sim.cycle() {
+            self.sim.push_failure(event);
+            return Ok(FailureReport::default());
+        }
+        match event {
+            FailureEvent::Fail {
+                disk, mid_cycle, ..
+            } => {
+                let report = self.sim.fail_disk_now(disk, mid_cycle)?;
+                if report.catastrophic {
+                    return Err(ServerError::DataLoss {
+                        tracks: report.data_loss_tracks,
+                    });
+                }
+                Ok(report)
+            }
+            FailureEvent::Repair { disk, .. } => {
+                self.sim.repair_disk_now(disk)?;
+                Ok(FailureReport::default())
+            }
+        }
     }
 
     /// Fail a disk effective next cycle.
-    pub fn fail_disk(&mut self, disk: DiskId) -> Result<FailureReport, SimError> {
-        self.sim.fail_disk_now(disk, false)
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `inject(FailureEvent::fail(cycle, disk))`"
+    )]
+    pub fn fail_disk(&mut self, disk: DiskId) -> Result<FailureReport, ServerError> {
+        Ok(self.sim.fail_disk_now(disk, false)?)
     }
 
     /// Fail a disk mid-cycle (after the current read schedule committed).
-    pub fn fail_disk_mid_cycle(&mut self, disk: DiskId) -> Result<FailureReport, SimError> {
-        self.sim.fail_disk_now(disk, true)
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `inject(FailureEvent::fail_mid_cycle(cycle, disk))`"
+    )]
+    pub fn fail_disk_mid_cycle(&mut self, disk: DiskId) -> Result<FailureReport, ServerError> {
+        Ok(self.sim.fail_disk_now(disk, true)?)
     }
 
     /// Repair a disk effective next cycle.
-    pub fn repair_disk(&mut self, disk: DiskId) -> Result<(), SimError> {
-        self.sim.repair_disk_now(disk)
+    pub fn repair_disk(&mut self, disk: DiskId) -> Result<(), ServerError> {
+        Ok(self.sim.repair_disk_now(disk)?)
     }
 
     /// Install a failure/repair schedule.
+    #[deprecated(
+        since = "0.1.0",
+        note = "queue events with `inject`, or install whole schedules via \
+                `simulator_mut().set_failures`"
+    )]
     pub fn set_failures(&mut self, failures: FailureSchedule) {
         self.sim.set_failures(failures);
     }
@@ -194,10 +252,11 @@ impl MultimediaServer {
     /// delivery schedule leaves idle on the surviving source disks;
     /// streams are never slowed. On completion the disk returns to
     /// service automatically.
-    pub fn start_parity_rebuild(&mut self, disk: DiskId) -> Result<(), SimError> {
+    pub fn start_parity_rebuild(&mut self, disk: DiskId) -> Result<(), ServerError> {
         let (sources, tracks) = self.sim.scheduler().rebuild_spec(disk);
-        self.sim
-            .start_rebuild(disk, tracks, RebuildSource::Parity { sources })
+        Ok(self
+            .sim
+            .start_rebuild(disk, tracks, RebuildSource::Parity { sources })?)
     }
 
     /// Begin rebuilding a failed disk from tertiary storage at
@@ -208,10 +267,11 @@ impl MultimediaServer {
         &mut self,
         disk: DiskId,
         tracks_per_cycle: u64,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), ServerError> {
         let (_, tracks) = self.sim.scheduler().rebuild_spec(disk);
-        self.sim
-            .start_rebuild(disk, tracks, RebuildSource::Tertiary { tracks_per_cycle })
+        Ok(self
+            .sim
+            .start_rebuild(disk, tracks, RebuildSource::Tertiary { tracks_per_cycle })?)
     }
 
     /// Request that an object be staged from tertiary storage onto disk.
@@ -219,9 +279,9 @@ impl MultimediaServer {
     /// [`MultimediaServer::is_resident`]). Staging runs at tape speed, one
     /// object at a time, and never competes with delivery bandwidth (the
     /// paper's tertiary store is a separate device).
-    pub fn request_from_tertiary(&mut self, object: MediaObject) -> Result<(), CatalogError> {
+    pub fn request_from_tertiary(&mut self, object: MediaObject) -> Result<(), ServerError> {
         if self.objects.contains(&object.id) || self.librarian.is_staging(object.id) {
-            return Err(CatalogError::Duplicate { id: object.id });
+            return Err(CatalogError::Duplicate { id: object.id }.into());
         }
         self.librarian.request(object);
         Ok(())
@@ -247,7 +307,7 @@ impl MultimediaServer {
 
     /// Purge a resident object to reclaim disk space; refuses while any
     /// stream is still delivering it.
-    pub fn purge_object(&mut self, id: ObjectId) -> Result<(), mms_sched::RetireError> {
+    pub fn purge_object(&mut self, id: ObjectId) -> Result<(), ServerError> {
         let (scheduler, oracle) = self.sim.scheduler_and_oracle();
         scheduler.retire_object(id)?;
         if let Some(oracle) = oracle {
@@ -339,7 +399,7 @@ mod tests {
             let movie = s.objects()[0];
             s.admit(movie).unwrap();
             s.run(3).unwrap();
-            s.fail_disk(DiskId(1)).unwrap();
+            s.inject(FailureEvent::fail(s.cycle(), DiskId(1))).unwrap();
             s.run(200).unwrap();
             let m = s.metrics();
             assert_eq!(m.streams_finished, 1, "{scheme:?}");

@@ -89,6 +89,20 @@ impl CatastropheRule {
             CatastropheRule::AnyConcurrent { k } => failed.len() >= k,
         }
     }
+
+    /// Whether failing `new_disk` while `already_failed` are down is
+    /// catastrophic on a `d`-disk array under this rule — the same
+    /// terminal test the Monte-Carlo trials use, exposed so behavioral
+    /// scenario runs can cross-check the scheduler's verdicts against
+    /// the analytical rule.
+    #[must_use]
+    pub fn is_catastrophic<I>(&self, already_failed: I, new_disk: usize, d: usize) -> bool
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let failed: HashSet<usize> = already_failed.into_iter().collect();
+        self.is_terminal(&failed, new_disk, d)
+    }
 }
 
 /// Result of a Monte-Carlo run.

@@ -13,7 +13,8 @@ use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{
-    emit_mode_transition, AdmissionError, FailureReport, SchemeKind, SchemeScheduler,
+    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, SchemeKind,
+    SchemeScheduler,
 };
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
@@ -550,6 +551,23 @@ impl SchemeScheduler for ImprovedScheduler {
         if mid_cycle {
             self.midcycle_pending = Some(disk);
         }
+        let data_loss_tracks = if catastrophic {
+            // Parity groups straddle cluster boundaries here, so the
+            // unrecoverable span is every failed disk in this cluster
+            // and its two neighbours.
+            let mut clusters = vec![prev, cluster, next];
+            clusters.sort_unstable_by_key(|c| c.0);
+            clusters.dedup();
+            let failed = clusters.into_iter().flat_map(|c| {
+                self.failed
+                    .get(&c)
+                    .into_iter()
+                    .flat_map(move |set| set.iter().map(move |&p| geometry.disk_at(c, p)))
+            });
+            data_tracks_on_disks(&self.catalog, failed)
+        } else {
+            0
+        };
         let (from, to) = if catastrophic {
             ("degraded", "catastrophic")
         } else {
@@ -559,6 +577,7 @@ impl SchemeScheduler for ImprovedScheduler {
         FailureReport {
             degraded_clusters: vec![cluster],
             catastrophic,
+            data_loss_tracks,
             ..FailureReport::default()
         }
     }

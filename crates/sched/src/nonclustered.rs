@@ -894,6 +894,10 @@ impl SchemeScheduler for NonClusteredScheduler {
             // Second failure in one cluster: catastrophic.
             d.also_failed.insert(pos);
             report.catastrophic = true;
+            let failed = std::iter::once(d.failed_pos)
+                .chain(d.also_failed.iter().copied())
+                .map(|p| geometry.disk_at(cluster, p));
+            report.data_loss_tracks = crate::traits::data_tracks_on_disks(&self.catalog, failed);
             mms_telemetry::event!(
                 mms_telemetry::Level::Info,
                 "mode_transition",

@@ -4,7 +4,8 @@ use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{
-    emit_mode_transition, AdmissionError, FailureReport, SchemeKind, SchemeScheduler,
+    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, SchemeKind,
+    SchemeScheduler,
 };
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
@@ -345,6 +346,12 @@ impl SchemeScheduler for StaggeredScheduler {
         let entry = self.failed.entry(cluster).or_default();
         entry.insert(pos);
         let catastrophic = entry.len() >= 2;
+        let data_loss_tracks = if catastrophic {
+            let failed = entry.iter().map(|&p| geometry.disk_at(cluster, p));
+            data_tracks_on_disks(&self.catalog, failed)
+        } else {
+            0
+        };
         let (from, to) = if catastrophic {
             ("degraded", "catastrophic")
         } else {
@@ -354,6 +361,7 @@ impl SchemeScheduler for StaggeredScheduler {
         FailureReport {
             degraded_clusters: vec![cluster],
             catastrophic,
+            data_loss_tracks,
             ..FailureReport::default()
         }
     }

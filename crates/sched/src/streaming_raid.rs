@@ -4,7 +4,8 @@ use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{
-    emit_mode_transition, AdmissionError, FailureReport, SchemeKind, SchemeScheduler,
+    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, SchemeKind,
+    SchemeScheduler,
 };
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
@@ -349,6 +350,12 @@ impl SchemeScheduler for StreamingRaidScheduler {
         entry.insert(pos);
         let catastrophic = entry.len() >= 2;
         self.catastrophic |= catastrophic;
+        let data_loss_tracks = if catastrophic {
+            let failed = entry.iter().map(|&p| geometry.disk_at(cluster, p));
+            data_tracks_on_disks(&self.catalog, failed)
+        } else {
+            0
+        };
         let (from, to) = if catastrophic {
             ("degraded", "catastrophic")
         } else {
@@ -356,11 +363,10 @@ impl SchemeScheduler for StreamingRaidScheduler {
         };
         emit_mode_transition(self.scheme(), cluster, cycle, from, to);
         FailureReport {
-            lost: Vec::new(),
-            dropped_streams: Vec::new(),
             degraded_clusters: vec![cluster],
             catastrophic,
-            shift_path: Vec::new(),
+            data_loss_tracks,
+            ..FailureReport::default()
         }
     }
 

@@ -4,7 +4,7 @@ use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, LostBlock};
 use crate::streams::{StreamId, StreamInfo};
 use mms_disk::DiskId;
-use mms_layout::{ClusterId, ObjectId};
+use mms_layout::{BlockKind, Catalog, ClusterId, Layout, ObjectId};
 use std::fmt;
 
 /// Which of the paper's four schemes a scheduler implements.
@@ -114,6 +114,32 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Count the *data* tracks resident on `disks` in `catalog`.
+///
+/// When a parity group holds two or more concurrently-failed disks, no
+/// surviving parity can reconstruct the data blocks on any of them, so
+/// the catastrophic loss is exactly the data tracks on the failed set
+/// (parity blocks carry no payload of their own and are excluded).
+/// This walks the whole catalog — acceptable on the rare catastrophic
+/// path, not for per-cycle use.
+#[must_use]
+pub fn data_tracks_on_disks<L, I>(catalog: &Catalog<L>, disks: I) -> u64
+where
+    L: Layout,
+    I: IntoIterator<Item = DiskId>,
+{
+    disks
+        .into_iter()
+        .map(|d| {
+            catalog
+                .blocks_on_disk(d)
+                .iter()
+                .filter(|a| matches!(a.kind, BlockKind::Data(_)))
+                .count() as u64
+        })
+        .sum()
+}
+
 /// What a disk failure did to the system, as seen by the scheduler.
 #[derive(Debug, Clone, Default)]
 pub struct FailureReport {
@@ -126,6 +152,11 @@ pub struct FailureReport {
     /// True if data was lost irrecoverably (second failure within one
     /// parity group's span — the paper's *catastrophic failure*).
     pub catastrophic: bool,
+    /// Data tracks rendered unrecoverable by this failure (0 unless
+    /// [`catastrophic`](Self::catastrophic)): the data blocks resident
+    /// on the failed disks of the affected parity group, which no
+    /// surviving parity can reconstruct.
+    pub data_loss_tracks: u64,
     /// Clusters visited by the Improved-bandwidth "shift to the right"
     /// cascade (empty for other schemes).
     pub shift_path: Vec<ClusterId>,

@@ -27,11 +27,47 @@ pub enum FailureEvent {
 }
 
 impl FailureEvent {
+    /// A cycle-boundary failure of `disk` at `cycle`.
+    #[must_use]
+    pub fn fail(cycle: u64, disk: DiskId) -> Self {
+        FailureEvent::Fail {
+            cycle,
+            disk,
+            mid_cycle: false,
+        }
+    }
+
+    /// A mid-cycle failure of `disk` at `cycle` (strikes after the
+    /// cycle's read schedule is committed — the Improved-bandwidth
+    /// unmaskable case).
+    #[must_use]
+    pub fn fail_mid_cycle(cycle: u64, disk: DiskId) -> Self {
+        FailureEvent::Fail {
+            cycle,
+            disk,
+            mid_cycle: true,
+        }
+    }
+
+    /// A repair of `disk` completing before `cycle`.
+    #[must_use]
+    pub fn repair(cycle: u64, disk: DiskId) -> Self {
+        FailureEvent::Repair { cycle, disk }
+    }
+
     /// The cycle at which the event fires.
     #[must_use]
     pub fn cycle(&self) -> u64 {
         match *self {
             FailureEvent::Fail { cycle, .. } | FailureEvent::Repair { cycle, .. } => cycle,
+        }
+    }
+
+    /// The disk the event concerns.
+    #[must_use]
+    pub fn disk(&self) -> DiskId {
+        match *self {
+            FailureEvent::Fail { disk, .. } | FailureEvent::Repair { disk, .. } => disk,
         }
     }
 }
@@ -136,14 +172,38 @@ impl FailureSchedule {
         FailureSchedule::new(events)
     }
 
-    /// Drain the events due at `cycle`.
+    /// Pop the next event due at or before `cycle`, or `None` when no
+    /// more are due. This is the hot-path form: the simulator drains one
+    /// event at a time (`while let Some(e) = schedule.next_due(cycle)`)
+    /// without building a per-cycle `Vec`.
+    pub fn next_due(&mut self, cycle: u64) -> Option<FailureEvent> {
+        let event = *self.events.get(self.next)?;
+        if event.cycle() > cycle {
+            return None;
+        }
+        self.next += 1;
+        Some(event)
+    }
+
+    /// Drain the events due at `cycle` into a fresh `Vec`.
+    ///
+    /// Allocating convenience for tests and one-shot callers; cycle
+    /// loops should drain with [`next_due`](Self::next_due) instead.
     pub fn due(&mut self, cycle: u64) -> Vec<FailureEvent> {
         let mut out = Vec::new();
-        while self.next < self.events.len() && self.events[self.next].cycle() <= cycle {
-            out.push(self.events[self.next]);
-            self.next += 1;
+        while let Some(event) = self.next_due(cycle) {
+            out.push(event);
         }
         out
+    }
+
+    /// Insert one more event, keeping the undrained tail sorted by
+    /// cycle. An event dated before already-drained cycles is not lost:
+    /// it lands at the drain cursor and fires on the next drain.
+    pub fn push(&mut self, event: FailureEvent) {
+        let ix =
+            self.next + self.events[self.next..].partition_point(|e| e.cycle() <= event.cycle());
+        self.events.insert(ix, event);
     }
 
     /// Remaining event count.
@@ -213,5 +273,35 @@ mod tests {
     #[should_panic(expected = "repair_cycle > fail_cycle")]
     fn repair_must_follow_failure() {
         let _ = FailureSchedule::fail_and_repair(5, 5, DiskId(0));
+    }
+
+    #[test]
+    fn next_due_drains_one_event_at_a_time() {
+        let mut s = FailureSchedule::new(vec![
+            FailureEvent::fail(3, DiskId(0)),
+            FailureEvent::fail(3, DiskId(1)),
+            FailureEvent::repair(7, DiskId(0)),
+        ]);
+        assert_eq!(s.next_due(2), None);
+        assert_eq!(s.next_due(3), Some(FailureEvent::fail(3, DiskId(0))));
+        assert_eq!(s.next_due(3), Some(FailureEvent::fail(3, DiskId(1))));
+        assert_eq!(s.next_due(3), None);
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.next_due(10), Some(FailureEvent::repair(7, DiskId(0))));
+        assert_eq!(s.next_due(10), None);
+    }
+
+    #[test]
+    fn push_keeps_the_undrained_tail_sorted() {
+        let mut s = FailureSchedule::fail_at(2, DiskId(0));
+        assert!(matches!(s.next_due(2), Some(FailureEvent::Fail { .. })));
+        s.push(FailureEvent::repair(9, DiskId(0)));
+        s.push(FailureEvent::fail(5, DiskId(1)));
+        // An event dated in the already-drained past still fires next.
+        s.push(FailureEvent::fail(1, DiskId(2)));
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.next_due(5), Some(FailureEvent::fail(1, DiskId(2))));
+        assert_eq!(s.next_due(5), Some(FailureEvent::fail(5, DiskId(1))));
+        assert_eq!(s.next_due(9), Some(FailureEvent::repair(9, DiskId(0))));
     }
 }

@@ -27,6 +27,9 @@
 //! * [`batch`] — deterministic parallel execution of independent
 //!   scenario grids (ablations, design drills) over `mms-exec`'s worker
 //!   pool.
+//! * [`scenario`] — the declarative fault-injection model: seeded
+//!   scripts of timed failure/repair/rebuild events with paper-derived
+//!   invariants, executed by `mms-server`'s `ScenarioRunner`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@ pub mod batch;
 mod failure;
 mod metrics;
 mod rebuild;
+pub mod scenario;
 mod simulator;
 pub mod trace;
 mod verify;
@@ -44,6 +48,7 @@ pub use batch::{run_batch, run_batch_seeded};
 pub use failure::{FailureEvent, FailureSchedule};
 pub use metrics::{BufferSeries, CycleReport, Metrics};
 pub use rebuild::{Rebuild, RebuildManager, RebuildSource};
+pub use scenario::{Check, Expectation, Horizon, Scenario, ScenarioEvent, ScenarioReport};
 pub use simulator::{DataMode, ObjectDirectory, SimError, Simulator};
 pub use verify::BlockOracle;
 pub use workload::{WorkloadGen, Zipf};

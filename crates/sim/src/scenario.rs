@@ -1,0 +1,560 @@
+//! Declarative fault-injection scenarios.
+//!
+//! A [`Scenario`] is a seeded script of timed events — admissions, disk
+//! failures (cycle-boundary and mid-cycle), repairs, rebuild starts,
+//! and optionally a stochastic failure/repair process — together with
+//! the paper-derived invariants the run must satisfy, expressed as
+//! [`Expectation`]s. The script is pure data: this module defines the
+//! model, the [`ScenarioReport`] a run produces, and the invariant
+//! checks; `mms-server`'s `scenario` module owns the runner that
+//! executes a scenario against any of the four schemes.
+//!
+//! Determinism: every scenario carries a `seed`, and stochastic fault
+//! processes are expanded from it per scheme via `mms-exec`'s
+//! SplitMix64 pre-splitting before the run starts, so reports are
+//! bit-identical at any thread count.
+
+use crate::failure::FailureEvent;
+use mms_disk::DiskId;
+use mms_sched::SchemeKind;
+use mms_telemetry::{EventRecord, Value};
+use std::fmt::Write as _;
+
+/// One timed action in a scenario script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioEvent {
+    /// Admit a viewer for the `index`-th registered object.
+    Admit {
+        /// Cycle at which the viewer arrives.
+        cycle: u64,
+        /// Index into the server's registration-ordered object list
+        /// (scenarios are written against a topology, not concrete
+        /// [`mms_layout::ObjectId`]s).
+        object: usize,
+    },
+    /// Inject a disk failure or repair.
+    Fault(FailureEvent),
+    /// Start a background parity rebuild of `disk` onto a spare.
+    RebuildParity {
+        /// Cycle at which the rebuild starts.
+        cycle: u64,
+        /// The disk under rebuild.
+        disk: DiskId,
+    },
+    /// Start a tertiary-storage rebuild of `disk` (the slow path after
+    /// a catastrophe).
+    RebuildTertiary {
+        /// Cycle at which the rebuild starts.
+        cycle: u64,
+        /// The disk under rebuild.
+        disk: DiskId,
+        /// Tape bandwidth in tracks per cycle.
+        tracks_per_cycle: u64,
+    },
+}
+
+impl ScenarioEvent {
+    /// The cycle at which the event fires.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            ScenarioEvent::Admit { cycle, .. }
+            | ScenarioEvent::RebuildParity { cycle, .. }
+            | ScenarioEvent::RebuildTertiary { cycle, .. } => cycle,
+            ScenarioEvent::Fault(e) => e.cycle(),
+        }
+    }
+}
+
+/// When a scenario run stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Horizon {
+    /// Run until no streams are active (and no rebuild is in flight),
+    /// but at most `max_cycles`.
+    Drain {
+        /// Hard stop even if streams never drain.
+        max_cycles: u64,
+    },
+    /// Run exactly this many cycles.
+    Fixed(u64),
+}
+
+impl Horizon {
+    /// The hard upper bound on simulated cycles.
+    #[must_use]
+    pub fn max_cycles(&self) -> u64 {
+        match *self {
+            Horizon::Drain { max_cycles } => max_cycles,
+            Horizon::Fixed(n) => n,
+        }
+    }
+}
+
+/// A stochastic failure/repair process layered over the scripted
+/// events, expanded deterministically from the scenario seed (split
+/// per scheme) before the run starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StochasticFaults {
+    /// MTTF acceleration factor (shrinks the paper's disk lifetime so
+    /// failures land inside short behavioral runs).
+    pub acceleration: f64,
+    /// Mean time to repair, in cycles.
+    pub mttr_cycles: u64,
+    /// Cycle horizon for generated events.
+    pub horizon_cycles: u64,
+}
+
+/// One paper-derived invariant over a [`ScenarioReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// No tracks were lost (zero hiccups).
+    NoLostTracks,
+    /// Exactly this many tracks were lost (the NC Fig. 6/7 bounds).
+    LostTracksExactly(u64),
+    /// At most this many tracks were lost (the Section 4.3 bound).
+    LostTracksAtMost(u64),
+    /// No catastrophic (unrecoverable) failure occurred.
+    NoCatastrophe,
+    /// At least one injected fault returned typed data loss.
+    DataLoss,
+    /// No streams were dropped (no degradation of service).
+    NoDroppedStreams,
+    /// At least one stream was dropped (e.g. buffer-server exhaustion).
+    DroppedStreams,
+    /// Every started rebuild completed within the horizon.
+    RebuildCompletes,
+    /// Every admitted stream either finished or was deliberately
+    /// dropped; none is still active at the horizon.
+    AllStreamsFinish,
+    /// The Improved-bandwidth "shift right" cascade moved load through
+    /// at least one cluster (only meaningful for IB).
+    ShiftCascade,
+}
+
+/// A [`Check`] scoped to one scheme, or to all schemes when `scheme`
+/// is `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expectation {
+    /// Which scheme the check applies to (`None` = every scheme).
+    pub scheme: Option<SchemeKind>,
+    /// The invariant.
+    pub check: Check,
+}
+
+impl Expectation {
+    /// An invariant every scheme must satisfy.
+    #[must_use]
+    pub fn all(check: Check) -> Self {
+        Expectation {
+            scheme: None,
+            check,
+        }
+    }
+
+    /// An invariant for one scheme.
+    #[must_use]
+    pub fn for_scheme(scheme: SchemeKind, check: Check) -> Self {
+        Expectation {
+            scheme: Some(scheme),
+            check,
+        }
+    }
+}
+
+/// A named, seeded fault-injection script with its invariants.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique name (the `mms-ctl scenario <name>` handle).
+    pub name: &'static str,
+    /// One-line description of what the scenario exercises.
+    pub summary: &'static str,
+    /// Master seed; stochastic processes split it per scheme.
+    pub seed: u64,
+    /// Stop condition.
+    pub horizon: Horizon,
+    /// Scripted events (any order; the runner sorts by cycle).
+    pub events: Vec<ScenarioEvent>,
+    /// Optional stochastic failure/repair overlay.
+    pub stochastic: Option<StochasticFaults>,
+    /// The invariants a run must satisfy.
+    pub expectations: Vec<Expectation>,
+}
+
+impl Scenario {
+    /// A new empty scenario draining within `max_cycles`.
+    #[must_use]
+    pub fn new(name: &'static str, summary: &'static str) -> Self {
+        Scenario {
+            name,
+            summary,
+            seed: 0x5ca1ab1e,
+            horizon: Horizon::Drain { max_cycles: 400 },
+            events: Vec::new(),
+            stochastic: None,
+            expectations: Vec::new(),
+        }
+    }
+
+    /// The expectations that apply to `scheme`.
+    pub fn expectations_for(&self, scheme: SchemeKind) -> impl Iterator<Item = &Expectation> {
+        self.expectations
+            .iter()
+            .filter(move |e| e.scheme.is_none() || e.scheme == Some(scheme))
+    }
+
+    /// Evaluate every applicable invariant against `report`, returning
+    /// a human-readable violation per failed check (empty = pass).
+    #[must_use]
+    pub fn evaluate(&self, report: &ScenarioReport) -> Vec<String> {
+        let mut violations = Vec::new();
+        for e in self.expectations_for(report.scheme) {
+            if let Some(v) = check_violation(e.check, report) {
+                violations.push(v);
+            }
+        }
+        violations
+    }
+}
+
+fn check_violation(check: Check, r: &ScenarioReport) -> Option<String> {
+    match check {
+        Check::NoLostTracks => {
+            (r.tracks_lost != 0).then(|| format!("expected 0 lost tracks, got {}", r.tracks_lost))
+        }
+        Check::LostTracksExactly(n) => (r.tracks_lost != n)
+            .then(|| format!("expected exactly {n} lost tracks, got {}", r.tracks_lost)),
+        Check::LostTracksAtMost(n) => (r.tracks_lost > n)
+            .then(|| format!("expected at most {n} lost tracks, got {}", r.tracks_lost)),
+        Check::NoCatastrophe => (r.catastrophes != 0 || !r.data_loss.is_empty())
+            .then(|| format!("expected no catastrophe, got {}", r.catastrophes.max(r.data_loss.len() as u64))),
+        Check::DataLoss => r
+            .data_loss
+            .is_empty()
+            .then(|| "expected a typed data-loss result, got none".to_string()),
+        Check::NoDroppedStreams => {
+            (r.dropped != 0).then(|| format!("expected 0 dropped streams, got {}", r.dropped))
+        }
+        Check::DroppedStreams => {
+            (r.dropped == 0).then(|| "expected dropped streams, got none".to_string())
+        }
+        Check::RebuildCompletes => (r.rebuilds_started != r.rebuilds_completed).then(|| {
+            format!(
+                "expected {} rebuilds to complete, {} did",
+                r.rebuilds_started, r.rebuilds_completed
+            )
+        }),
+        Check::AllStreamsFinish => {
+            (r.active_at_end != 0 || r.finished + r.dropped != r.admitted).then(|| {
+                format!(
+                    "expected all {} admitted streams to finish ({} finished, {} dropped, {} active at end)",
+                    r.admitted, r.finished, r.dropped, r.active_at_end
+                )
+            })
+        }
+        Check::ShiftCascade => r
+            .shift_clusters
+            .is_empty()
+            .then(|| "expected a shift-right cascade, saw none".to_string()),
+    }
+}
+
+/// One cluster's operating-mode change, reconstructed from telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeTransition {
+    /// Cycle of the transition.
+    pub cycle: u64,
+    /// The cluster that changed mode.
+    pub cluster: u64,
+    /// Mode before (`normal`, `degraded`, `catastrophic`).
+    pub from: String,
+    /// Mode after.
+    pub to: String,
+}
+
+/// Extract the mode-transition timeline from captured telemetry
+/// events, in emission order.
+#[must_use]
+pub fn transitions_from_events(events: &[EventRecord]) -> Vec<ModeTransition> {
+    events
+        .iter()
+        .filter(|e| e.name == "mode_transition")
+        .filter_map(|e| {
+            let num = |k: &str| match e.field(k) {
+                Some(Value::U64(v)) => Some(*v),
+                Some(Value::I64(v)) => Some(*v as u64),
+                _ => None,
+            };
+            let s = |k: &str| match e.field(k) {
+                Some(Value::Str(v)) => Some(v.to_string()),
+                _ => None,
+            };
+            Some(ModeTransition {
+                cycle: num("cycle")?,
+                cluster: num("cluster")?,
+                from: s("from")?,
+                to: s("to")?,
+            })
+        })
+        .collect()
+}
+
+/// Sum, over all clusters, of the cycles each spent out of normal mode
+/// (degraded or catastrophic), integrating `transitions` to
+/// `end_cycle`.
+#[must_use]
+pub fn degraded_cycles(transitions: &[ModeTransition], end_cycle: u64) -> u64 {
+    use std::collections::BTreeMap;
+    let mut since: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut total = 0;
+    for t in transitions {
+        if t.to == "normal" {
+            if let Some(start) = since.remove(&t.cluster) {
+                total += t.cycle.saturating_sub(start);
+            }
+        } else {
+            since.entry(t.cluster).or_insert(t.cycle);
+        }
+    }
+    for (_, start) in since {
+        total += end_cycle.saturating_sub(start);
+    }
+    total
+}
+
+/// One typed data-loss outcome from an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataLossRecord {
+    /// Cycle of the fault.
+    pub cycle: u64,
+    /// The disk whose failure tipped the group over.
+    pub disk: DiskId,
+    /// Unrecoverable data tracks.
+    pub tracks: u64,
+}
+
+/// What one scenario run did, for one scheme.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The scheme it ran against.
+    pub scheme: SchemeKind,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Viewers admitted.
+    pub admitted: u64,
+    /// Admissions rejected (capacity or catastrophic mode).
+    pub rejected: u64,
+    /// Streams that played to completion.
+    pub finished: u64,
+    /// Streams dropped (degradation of service).
+    pub dropped: u64,
+    /// Streams still active at the horizon.
+    pub active_at_end: u64,
+    /// Tracks lost to hiccups (missed deliveries).
+    pub tracks_lost: u64,
+    /// Deliveries reconstructed from parity.
+    pub reconstructed: u64,
+    /// Catastrophic failures counted by the simulator (scheduled
+    /// faults; immediate faults surface in [`data_loss`](Self::data_loss)).
+    pub catastrophes: u64,
+    /// Typed data-loss outcomes from injected faults.
+    pub data_loss: Vec<DataLossRecord>,
+    /// Mode-transition timeline from telemetry.
+    pub transitions: Vec<ModeTransition>,
+    /// Total cluster-cycles spent out of normal mode.
+    pub degraded_cycles: u64,
+    /// Rebuilds started by the script.
+    pub rebuilds_started: u64,
+    /// Rebuilds that completed within the horizon.
+    pub rebuilds_completed: u64,
+    /// Cycles from first rebuild start to last rebuild completion.
+    pub rebuild_duration: Option<u64>,
+    /// Clusters visited by the IB shift cascade (empty elsewhere).
+    pub shift_clusters: Vec<u64>,
+    /// Invariant violations (empty = the scenario passed).
+    pub violations: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// An empty report for `scenario` under `scheme`.
+    #[must_use]
+    pub fn new(scenario: &str, scheme: SchemeKind) -> Self {
+        ScenarioReport {
+            scenario: scenario.to_string(),
+            scheme,
+            cycles: 0,
+            admitted: 0,
+            rejected: 0,
+            finished: 0,
+            dropped: 0,
+            active_at_end: 0,
+            tracks_lost: 0,
+            reconstructed: 0,
+            catastrophes: 0,
+            data_loss: Vec::new(),
+            transitions: Vec::new(),
+            degraded_cycles: 0,
+            rebuilds_started: 0,
+            rebuilds_completed: 0,
+            rebuild_duration: None,
+            shift_clusters: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total unrecoverable data tracks across all typed losses.
+    #[must_use]
+    pub fn data_loss_tracks(&self) -> u64 {
+        self.data_loss.iter().map(|d| d.tracks).sum()
+    }
+
+    /// Render a deterministic, human-readable summary block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "[{verdict}] {} / {} ({} cycles)",
+            self.scenario,
+            self.scheme.abbrev(),
+            self.cycles
+        );
+        let _ = writeln!(
+            out,
+            "  streams: {} admitted, {} finished, {} dropped, {} rejected, {} active at end",
+            self.admitted, self.finished, self.dropped, self.rejected, self.active_at_end
+        );
+        let _ = writeln!(
+            out,
+            "  delivery: {} lost tracks, {} reconstructed, {} degraded cluster-cycles",
+            self.tracks_lost, self.reconstructed, self.degraded_cycles
+        );
+        if !self.data_loss.is_empty() || self.catastrophes > 0 {
+            let _ = writeln!(
+                out,
+                "  catastrophic: {} scheduled, {} typed losses ({} data tracks unrecoverable)",
+                self.catastrophes,
+                self.data_loss.len(),
+                self.data_loss_tracks()
+            );
+        }
+        if self.rebuilds_started > 0 {
+            let _ = writeln!(
+                out,
+                "  rebuild: {}/{} completed{}",
+                self.rebuilds_completed,
+                self.rebuilds_started,
+                match self.rebuild_duration {
+                    Some(d) => format!(" in {d} cycles"),
+                    None => String::new(),
+                }
+            );
+        }
+        if !self.shift_clusters.is_empty() {
+            let path: Vec<String> = self.shift_clusters.iter().map(u64::to_string).collect();
+            let _ = writeln!(out, "  shift cascade: clusters {}", path.join(" -> "));
+        }
+        for t in &self.transitions {
+            let _ = writeln!(
+                out,
+                "  cycle {:>4}: cluster {} {} -> {}",
+                t.cycle, t.cluster, t.from, t.to
+            );
+        }
+        for v in &self.violations {
+            let _ = writeln!(out, "  VIOLATION: {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ScenarioReport {
+        ScenarioReport::new("t", SchemeKind::StreamingRaid)
+    }
+
+    #[test]
+    fn checks_fire_on_violations_only() {
+        let mut r = report();
+        assert!(check_violation(Check::NoLostTracks, &r).is_none());
+        assert!(check_violation(Check::DataLoss, &r).is_some());
+        r.tracks_lost = 6;
+        assert!(check_violation(Check::NoLostTracks, &r).is_some());
+        assert!(check_violation(Check::LostTracksExactly(6), &r).is_none());
+        assert!(check_violation(Check::LostTracksExactly(3), &r).is_some());
+        assert!(check_violation(Check::LostTracksAtMost(5), &r).is_some());
+        assert!(check_violation(Check::LostTracksAtMost(6), &r).is_none());
+        r.data_loss.push(DataLossRecord {
+            cycle: 4,
+            disk: DiskId(1),
+            tracks: 8,
+        });
+        assert!(check_violation(Check::DataLoss, &r).is_none());
+        assert!(check_violation(Check::NoCatastrophe, &r).is_some());
+        assert_eq!(r.data_loss_tracks(), 8);
+    }
+
+    #[test]
+    fn expectations_scope_by_scheme() {
+        let mut s = Scenario::new("t", "test");
+        s.expectations = vec![
+            Expectation::all(Check::NoLostTracks),
+            Expectation::for_scheme(SchemeKind::NonClustered, Check::LostTracksExactly(3)),
+        ];
+        assert_eq!(s.expectations_for(SchemeKind::StreamingRaid).count(), 1);
+        assert_eq!(s.expectations_for(SchemeKind::NonClustered).count(), 2);
+        let mut r = report();
+        r.tracks_lost = 0;
+        assert!(s.evaluate(&r).is_empty());
+        r.scheme = SchemeKind::NonClustered;
+        let v = s.evaluate(&r);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn degraded_cycles_integrates_transitions() {
+        let ts = vec![
+            ModeTransition {
+                cycle: 4,
+                cluster: 0,
+                from: "normal".into(),
+                to: "degraded".into(),
+            },
+            ModeTransition {
+                cycle: 10,
+                cluster: 0,
+                from: "degraded".into(),
+                to: "normal".into(),
+            },
+            ModeTransition {
+                cycle: 12,
+                cluster: 1,
+                from: "normal".into(),
+                to: "degraded".into(),
+            },
+        ];
+        // Cluster 0: 6 cycles; cluster 1: open until the end (20).
+        assert_eq!(degraded_cycles(&ts, 20), 6 + 8);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_verdict() {
+        let mut r = report();
+        r.violations.push("boom".into());
+        let text = r.render();
+        assert!(text.starts_with("[FAIL]"));
+        assert!(text.contains("VIOLATION: boom"));
+        assert_eq!(text, r.render());
+    }
+}

@@ -57,7 +57,7 @@ impl ObjectDirectory {
 /// Simulation errors: a scheduler planned something the hardware cannot
 /// do (these are bugs surfaced by the simulator, not recoverable runtime
 /// conditions — which is exactly why the simulator exists).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// A planned read failed at the disk layer (down disk / overload).
     Disk(DiskError),
@@ -141,6 +141,13 @@ impl<S: SchemeScheduler> Simulator<S> {
     /// Install a failure/repair schedule.
     pub fn set_failures(&mut self, failures: FailureSchedule) {
         self.failures = failures;
+    }
+
+    /// Queue one more failure/repair event on the installed schedule
+    /// (an event dated at or before the current cycle fires on the next
+    /// [`step`](Self::step)).
+    pub fn push_failure(&mut self, event: FailureEvent) {
+        self.failures.push(event);
     }
 
     /// Retain up to `n` cycle plans for trace rendering.
@@ -256,8 +263,9 @@ impl<S: SchemeScheduler> Simulator<S> {
         let scheme = self.scheduler.scheme().abbrev();
         let _cycle_span = span!(Level::Debug, "cycle", cycle = cycle, scheme = scheme);
 
-        // 1. Apply failure/repair events due now.
-        for event in self.failures.due(cycle) {
+        // 1. Apply failure/repair events due now, drained one at a time
+        //    so the steady-state loop allocates no per-cycle event list.
+        while let Some(event) = self.failures.next_due(cycle) {
             match event {
                 FailureEvent::Fail {
                     disk, mid_cycle, ..

@@ -8,11 +8,13 @@ use ft_media_server::disk::{Bandwidth, DiskId, DiskParams};
 use ft_media_server::layout::{
     BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
 };
+use ft_media_server::scenario::{find, ScenarioRunner};
 use ft_media_server::sched::{
     CycleConfig, NonClusteredScheduler, SchemeScheduler, TransitionPolicy,
 };
 use ft_media_server::sim::trace;
 use ft_media_server::telemetry::{dashboard, jsonl, Level, Recorder};
+use ft_media_server::Parallelism;
 use std::collections::BTreeMap;
 
 /// Stream names as in the figures.
@@ -132,6 +134,19 @@ fn main() {
     println!(
         "Figure 6 (simple):  six tracks lost (Y1 W2 Y2 U3 W3 Y3).\n\
          Figure 7 (delayed): three tracks lost (W2 Y2 Y3) — the delayed\n\
-         transition buffers a running XOR and moves reads only when needed."
+         transition buffers a running XOR and moves reads only when needed.\n"
     );
+
+    // The same two drills are named scenarios in the corpus: replay them
+    // through the full server stack (real disks, real parity bytes) via
+    // the scenario engine, which checks the exact loss counts as
+    // invariants.
+    println!("== the same drills through the scenario engine ==\n");
+    let runner = ScenarioRunner::new(Parallelism::Sequential);
+    for name in ["nc-transition-simple", "nc-transition-delayed"] {
+        let case = find(name, true).expect("corpus scenario");
+        for report in runner.run_case(&case) {
+            print!("{}", report.render());
+        }
+    }
 }

@@ -15,7 +15,7 @@ use ft_media_server::analysis::{
 };
 use ft_media_server::disk::{Bandwidth, DiskId};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
-use ft_media_server::sim::DataMode;
+use ft_media_server::sim::{DataMode, FailureEvent};
 use ft_media_server::{MultimediaServer, Scheme, ServerBuilder};
 
 /// Round a fractional disk requirement up to whole clusters of C.
@@ -89,8 +89,12 @@ fn main() {
     );
 
     // One disk dies in each partition; both mask it.
-    mpeg1.fail_disk(DiskId(1)).unwrap();
-    mpeg2.fail_disk(DiskId(2)).unwrap();
+    mpeg1
+        .inject(FailureEvent::fail(mpeg1.cycle(), DiskId(1)))
+        .unwrap();
+    mpeg2
+        .inject(FailureEvent::fail(mpeg2.cycle(), DiskId(2)))
+        .unwrap();
     // Run both for the same simulated wall time (~80 s).
     for server in [&mut mpeg1, &mut mpeg2] {
         let cycles = (80.0 / server.cycle_config().t_cyc().as_secs()) as u64;

@@ -6,6 +6,7 @@
 
 use ft_media_server::disk::DiskId;
 use ft_media_server::layout::BandwidthClass;
+use ft_media_server::sim::FailureEvent;
 use ft_media_server::{Scheme, ServerBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Let playback get going, then fail a data disk.
     server.run(5)?;
-    let report = server.fail_disk(DiskId(2))?;
+    let report = server.inject(FailureEvent::fail(server.cycle(), DiskId(2)))?;
     println!(
         "disk 2 failed     : degraded clusters {:?}, catastrophic: {}",
         report.degraded_clusters, report.catastrophic

@@ -9,7 +9,7 @@
 
 use ft_media_server::disk::DiskId;
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
-use ft_media_server::sim::DataMode;
+use ft_media_server::sim::{DataMode, FailureEvent};
 use ft_media_server::telemetry::{dashboard, Level, Recorder};
 use ft_media_server::{Scheme, ServerBuilder};
 
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.admit(movie)?;
     }
     server.run(4)?;
-    server.fail_disk(DiskId(2))?;
+    server.inject(FailureEvent::fail(server.cycle(), DiskId(2)))?;
     println!("disk 2 failed; streams continue via on-the-fly reconstruction");
     server.run(4)?;
     server.start_parity_rebuild(DiskId(2))?;
@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))
         .data_mode(DataMode::MetadataOnly)
         .build()?;
-    server.fail_disk(DiskId(2))?;
+    server.inject(FailureEvent::fail(server.cycle(), DiskId(2)))?;
     // The paper's footnote: a $1000 tape drive moves ~4 Mb/s ≈ 1 track
     // (50 KB) per MPEG-1 cycle; a disk moves ~8x that.
     server.start_tertiary_rebuild(DiskId(2), 1)?;
@@ -101,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let movie = server.objects()[0];
         server.admit(movie)?;
         server.run(3)?;
-        server.fail_disk_mid_cycle(DiskId(5))?;
+        server.inject(FailureEvent::fail_mid_cycle(server.cycle(), DiskId(5)))?;
         while server.active_streams() > 0 {
             server.step()?;
         }

@@ -10,7 +10,7 @@
 
 use ft_media_server::disk::DiskId;
 use ft_media_server::layout::{BandwidthClass, ObjectId};
-use ft_media_server::sim::{DataMode, Zipf};
+use ft_media_server::sim::{DataMode, FailureEvent, Zipf};
 use ft_media_server::{Scheme, ServerBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 next_arrival += 1;
             }
             if cycle == fail_cycle {
-                server.fail_disk(DiskId(1))?;
+                server.inject(FailureEvent::fail(server.cycle(), DiskId(1)))?;
             }
             if cycle == repair_cycle {
                 server.repair_disk(DiskId(1))?;

@@ -18,6 +18,9 @@
 //!   --threads N|auto|seq   worker pool for the trials (default auto)
 //! mms-ctl design <streams> [options]         cheapest feasible design
 //!   --threads N|auto|seq   worker pool for the sweep (default auto)
+//! mms-ctl scenario <name|all|list> [options]  run the fault-injection corpus
+//!   --quick                shorten the stochastic soak (CI smoke mode)
+//!   --threads N|auto|seq   worker pool for the scheme fan-out (default auto)
 //! ```
 //!
 //! `simulate` and `mttf` additionally take the observability flags:
@@ -38,9 +41,10 @@ use ft_media_server::analysis::{
 use ft_media_server::disk::{DiskId, ReliabilityParams};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
 use ft_media_server::reliability::{formulas, CatastropheRule, MonteCarlo, PoolMarkov};
-use ft_media_server::sim::DataMode;
+use ft_media_server::scenario;
+use ft_media_server::sim::{DataMode, FailureEvent};
 use ft_media_server::telemetry::{dashboard, jsonl, Level, Recorder};
-use ft_media_server::{Parallelism, Scheme, ServerBuilder};
+use ft_media_server::{Parallelism, Scheme, ServerBuilder, ServerError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -52,8 +56,11 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("mttf") => cmd_mttf(&args[1..]),
         Some("design") => cmd_design(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         _ => {
-            eprintln!("usage: mms-ctl <table|simulate|mttf|design> …  (see --help in source)");
+            eprintln!(
+                "usage: mms-ctl <table|simulate|mttf|design|scenario> …  (see --help in source)"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -237,17 +244,21 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     while t < horizon && (server.active_streams() > 0 || t < cycles) {
         for &(d, at) in &fails {
             if at == t {
-                let r = server.fail_disk(DiskId(d))?;
-                println!(
-                    "cycle {t}: disk {d} FAILED (catastrophic: {}, dropped: {})",
-                    r.catastrophic,
-                    r.dropped_streams.len()
-                );
+                match server.inject(FailureEvent::fail(t, DiskId(d))) {
+                    Ok(r) => println!(
+                        "cycle {t}: disk {d} FAILED (dropped: {})",
+                        r.dropped_streams.len()
+                    ),
+                    Err(ServerError::DataLoss { tracks }) => {
+                        println!("cycle {t}: disk {d} FAILED — DATA LOSS ({tracks} track(s))");
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
         for &(d, at) in &repairs {
             if at == t {
-                server.repair_disk(DiskId(d))?;
+                server.inject(FailureEvent::repair(t, DiskId(d)))?;
                 println!("cycle {t}: disk {d} repaired");
             }
         }
@@ -342,6 +353,33 @@ fn cmd_mttf(args: &[String]) -> CmdResult {
         telem.finish(recorder)?;
     }
     Ok(())
+}
+
+fn cmd_scenario(args: &[String]) -> CmdResult {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .ok_or("usage: mms-ctl scenario <name|all|list> [--quick] [--threads N|auto|seq]")?;
+    let quick = args.iter().any(|a| a == "--quick");
+    let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
+    if name == "list" {
+        for case in scenario::corpus(quick) {
+            println!("{:<26} {}", case.scenario.name, case.scenario.summary);
+        }
+        return Ok(());
+    }
+    let only = (name != "all").then_some(name.as_str());
+    if only.is_some() && scenario::find(&name, quick).is_none() {
+        return Err(format!("unknown scenario '{name}' (try `mms-ctl scenario list`)").into());
+    }
+    let (text, ok) = scenario::run_corpus_rendered(par, quick, only);
+    print!("{text}");
+    if ok {
+        Ok(())
+    } else {
+        Err("scenario invariants violated".into())
+    }
 }
 
 fn cmd_design(args: &[String]) -> CmdResult {

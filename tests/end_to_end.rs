@@ -6,8 +6,16 @@
 use ft_media_server::disk::DiskId;
 use ft_media_server::layout::BandwidthClass;
 use ft_media_server::sched::{SchemeScheduler, TransitionPolicy};
-use ft_media_server::sim::DataMode;
-use ft_media_server::{MultimediaServer, Scheme, ServerBuilder};
+use ft_media_server::sim::{DataMode, FailureEvent};
+use ft_media_server::{MultimediaServer, Scheme, ServerBuilder, ServerError};
+
+/// Inject a cycle-boundary failure effective now.
+fn fail_now(
+    s: &mut MultimediaServer,
+    disk: u32,
+) -> Result<ft_media_server::sched::FailureReport, ServerError> {
+    s.inject(FailureEvent::fail(s.cycle(), DiskId(disk)))
+}
 
 fn server(scheme: Scheme, disks: usize, c: usize) -> MultimediaServer {
     ServerBuilder::new(scheme)
@@ -58,7 +66,7 @@ fn failure_and_repair_cycle_leaves_no_residue() {
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
         s.run(5).unwrap();
-        s.fail_disk(DiskId(2)).unwrap();
+        fail_now(&mut s, 2).unwrap();
         s.run(20).unwrap();
         s.repair_disk(DiskId(2)).unwrap();
         while s.active_streams() > 0 {
@@ -86,8 +94,8 @@ fn clustered_schemes_tolerate_one_failure_per_cluster() {
         let mut s = server(scheme, 10, 5);
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
-        let r1 = s.fail_disk(DiskId(0)).unwrap(); // cluster 0
-        let r2 = s.fail_disk(DiskId(7)).unwrap(); // cluster 1
+        let r1 = fail_now(&mut s, 0).unwrap(); // cluster 0
+        let r2 = fail_now(&mut s, 7).unwrap(); // cluster 1
         assert!(!r1.catastrophic && !r2.catastrophic, "{scheme:?}");
         while s.active_streams() > 0 {
             s.step().unwrap();
@@ -109,8 +117,12 @@ fn second_failure_in_one_cluster_is_catastrophic_for_clustered() {
         let mut s = server(scheme, 10, 5);
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
-        assert!(!s.fail_disk(DiskId(0)).unwrap().catastrophic, "{scheme:?}");
-        assert!(s.fail_disk(DiskId(3)).unwrap().catastrophic, "{scheme:?}");
+        assert!(!fail_now(&mut s, 0).unwrap().catastrophic, "{scheme:?}");
+        let err = fail_now(&mut s, 3).unwrap_err();
+        assert!(
+            matches!(err, ServerError::DataLoss { tracks } if tracks > 0),
+            "{scheme:?}: {err}"
+        );
         assert_eq!(s.metrics().catastrophes, 1, "{scheme:?}");
     }
 }
@@ -120,8 +132,12 @@ fn improved_bandwidth_is_catastrophic_on_adjacent_clusters() {
     // "In the improved bandwidth scheme, a failure in each of two
     // adjacent clusters causes data to be lost."
     let mut s = server(Scheme::ImprovedBandwidth, 12, 5); // 3 clusters of 4
-    assert!(!s.fail_disk(DiskId(0)).unwrap().catastrophic); // cluster 0
-    assert!(s.fail_disk(DiskId(5)).unwrap().catastrophic); // cluster 1: adjacent
+    assert!(!fail_now(&mut s, 0).unwrap().catastrophic); // cluster 0
+    let err = fail_now(&mut s, 5).unwrap_err(); // cluster 1: adjacent
+    assert!(
+        matches!(err, ServerError::DataLoss { tracks } if tracks > 0),
+        "{err}"
+    );
 }
 
 #[test]
@@ -131,8 +147,8 @@ fn improved_bandwidth_tolerates_non_adjacent_failures() {
     let mut s = server(Scheme::ImprovedBandwidth, 16, 5);
     let movie = s.objects()[0];
     s.admit(movie).unwrap();
-    assert!(!s.fail_disk(DiskId(0)).unwrap().catastrophic); // cluster 0
-    assert!(!s.fail_disk(DiskId(9)).unwrap().catastrophic); // cluster 2
+    assert!(!fail_now(&mut s, 0).unwrap().catastrophic); // cluster 0
+    assert!(!fail_now(&mut s, 9).unwrap().catastrophic); // cluster 2
     while s.active_streams() > 0 {
         s.step().unwrap();
     }
@@ -158,9 +174,9 @@ fn nonclustered_buffer_server_exhaustion_degrades_service() {
     s.admit(movie).unwrap();
     s.admit(movie).unwrap();
     s.run(6).unwrap();
-    let r1 = s.fail_disk(DiskId(1)).unwrap(); // cluster 0 -> server attached
+    let r1 = fail_now(&mut s, 1).unwrap(); // cluster 0 -> server attached
     assert!(r1.dropped_streams.is_empty());
-    let r2 = s.fail_disk(DiskId(6)).unwrap(); // cluster 1 -> no server left
+    let r2 = fail_now(&mut s, 6).unwrap(); // cluster 1 -> no server left
     assert!(
         !r2.dropped_streams.is_empty(),
         "second degraded cluster must shed streams"
@@ -185,7 +201,7 @@ fn nc_policies_agree_on_steady_state_but_not_transition() {
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
         s.run(6).unwrap();
-        s.fail_disk(DiskId(2)).unwrap();
+        fail_now(&mut s, 2).unwrap();
         while s.active_streams() > 0 {
             s.step().unwrap();
         }
@@ -220,7 +236,8 @@ fn midcycle_failure_only_hurts_improved_bandwidth() {
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
         s.run(4).unwrap();
-        s.fail_disk_mid_cycle(DiskId(1)).unwrap();
+        s.inject(FailureEvent::fail_mid_cycle(s.cycle(), DiskId(1)))
+            .unwrap();
         while s.active_streams() > 0 {
             s.step().unwrap();
         }

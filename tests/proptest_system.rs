@@ -5,8 +5,8 @@
 use ft_media_server::disk::DiskId;
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
 use ft_media_server::sched::{SchemeScheduler, TransitionPolicy};
-use ft_media_server::sim::DataMode;
-use ft_media_server::{MultimediaServer, Scheme, ServerBuilder};
+use ft_media_server::sim::{DataMode, FailureEvent};
+use ft_media_server::{MultimediaServer, Scheme, ServerBuilder, ServerError};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -145,8 +145,11 @@ proptest! {
         let mut catastrophic = false;
         if let Some(d) = sc.fail_disk {
             let disks = s.simulator().disks().len() as u32;
-            let report = s.fail_disk(DiskId(d % disks)).unwrap();
-            catastrophic = report.catastrophic;
+            catastrophic = match s.inject(FailureEvent::fail(s.cycle(), DiskId(d % disks))) {
+                Ok(report) => report.catastrophic,
+                Err(ServerError::DataLoss { .. }) => true,
+                Err(e) => panic!("unexpected error: {e}"),
+            };
         }
         // Generous horizon: every stream must terminate.
         let horizon = (sc.tracks + 8) * (sc.c as u64) * (sc.viewers as u64 + 2) + 64;
@@ -199,7 +202,8 @@ proptest! {
             s.admit(movie).unwrap();
             s.run(fail_after).unwrap();
             let disks = s.simulator().disks().len() as u32;
-            s.fail_disk(DiskId(fail_disk % disks)).unwrap();
+            s.inject(FailureEvent::fail(s.cycle(), DiskId(fail_disk % disks)))
+                .unwrap();
             let mut steps = 0u64;
             while s.active_streams() > 0 {
                 s.step().unwrap();
@@ -246,6 +250,58 @@ proptest! {
         // Running must never hit a disk overload (SimError).
         for _ in 0..60 {
             s.step().unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Section 5 single-fault invariants, sharply: one
+    /// cycle-boundary failure is fully masked by SR, SG, and IB (zero
+    /// lost tracks), while NC loses at most the Section 4.3 transition
+    /// set — C(C−1)/2 tracks per viewer in the worst (simple-policy)
+    /// case.
+    #[test]
+    fn single_fault_loss_is_zero_or_bounded_by_scheme(
+        sc in arb_scenario(),
+        d in 0u32..64,
+    ) {
+        let mut s = build(&sc);
+        let movie = s.objects()[0];
+        let mut admitted = 0u64;
+        for _ in 0..sc.viewers {
+            if s.admit(movie).is_ok() {
+                admitted += 1;
+            }
+            s.step().unwrap();
+        }
+        prop_assume!(admitted > 0);
+        s.run(sc.fail_after).unwrap();
+        let disks = s.simulator().disks().len() as u32;
+        s.inject(FailureEvent::fail(s.cycle(), DiskId(d % disks)))
+            .unwrap();
+        let horizon = (sc.tracks + 8) * (sc.c as u64) * (sc.viewers as u64 + 2) + 64;
+        let mut steps = 0;
+        while s.active_streams() > 0 {
+            s.step().unwrap();
+            steps += 1;
+            prop_assert!(steps < horizon, "stream never finished");
+        }
+        let m = s.metrics();
+        prop_assert_eq!(m.catastrophes, 0, "single fault must never be catastrophic");
+        match sc.scheme {
+            Scheme::NonClustered => {
+                let bound = (sc.c * (sc.c - 1) / 2) as u64 * admitted;
+                prop_assert!(
+                    m.total_hiccups() <= bound,
+                    "NC lost {} > bound {}", m.total_hiccups(), bound
+                );
+            }
+            _ => prop_assert_eq!(
+                m.total_hiccups(), 0,
+                "{:?} must mask a cycle-boundary failure", sc.scheme
+            ),
         }
     }
 }

@@ -5,7 +5,7 @@
 
 use ft_media_server::disk::{DiskId, DiskState};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
-use ft_media_server::sim::DataMode;
+use ft_media_server::sim::{DataMode, FailureEvent};
 use ft_media_server::{MultimediaServer, Scheme, ServerBuilder};
 
 fn server(scheme: Scheme) -> MultimediaServer {
@@ -35,7 +35,7 @@ fn parity_rebuild_returns_disk_to_service_for_every_scheme() {
         let movie = s.objects()[0];
         s.admit(movie).unwrap();
         s.run(3).unwrap();
-        s.fail_disk(DiskId(1)).unwrap();
+        s.inject(FailureEvent::fail(s.cycle(), DiskId(1))).unwrap();
         s.run(2).unwrap();
         s.start_parity_rebuild(DiskId(1)).unwrap();
         assert!(matches!(
@@ -72,7 +72,8 @@ fn rebuild_never_delays_streams() {
     let movie = with.objects()[0];
     with.admit(movie).unwrap();
     with.run(3).unwrap();
-    with.fail_disk(DiskId(2)).unwrap();
+    with.inject(FailureEvent::fail(with.cycle(), DiskId(2)))
+        .unwrap();
     with.start_parity_rebuild(DiskId(2)).unwrap();
     while with.active_streams() > 0 {
         with.step().unwrap();
@@ -82,7 +83,9 @@ fn rebuild_never_delays_streams() {
     let movie = without.objects()[0];
     without.admit(movie).unwrap();
     without.run(3).unwrap();
-    without.fail_disk(DiskId(2)).unwrap();
+    without
+        .inject(FailureEvent::fail(without.cycle(), DiskId(2)))
+        .unwrap();
     while without.active_streams() > 0 {
         without.step().unwrap();
     }
@@ -101,7 +104,7 @@ fn tertiary_rebuild_is_slower_but_needs_no_array_bandwidth() {
     let mut s = server(Scheme::StreamingRaid);
     let movie = s.objects()[0];
     s.admit(movie).unwrap();
-    s.fail_disk(DiskId(1)).unwrap();
+    s.inject(FailureEvent::fail(s.cycle(), DiskId(1))).unwrap();
     // Tape speed: the paper's footnote prices a tape drive at ~4 Mb/s =
     // 1 track (50 KB) per second ≈ 1 track per cycle at MPEG-1 T_cyc.
     s.start_tertiary_rebuild(DiskId(1), 1).unwrap();
@@ -138,7 +141,7 @@ fn rebuild_progress_is_observable() {
         .data_mode(DataMode::MetadataOnly)
         .build()
         .unwrap();
-    s.fail_disk(DiskId(3)).unwrap();
+    s.inject(FailureEvent::fail(s.cycle(), DiskId(3))).unwrap();
     s.start_parity_rebuild(DiskId(3)).unwrap();
     s.run(1).unwrap();
     let r = &s.simulator().rebuilds().active()[0];

@@ -45,7 +45,7 @@ fn stochastic_soak_across_all_schemes() {
         };
         let schedule = FailureSchedule::stochastic(&mut rng, disks, rel, t_cyc, CYCLES, 2.0e6);
         let injected = schedule.remaining();
-        server.set_failures(schedule);
+        server.simulator_mut().set_failures(schedule);
 
         let workload = WorkloadGen::new(server.objects().to_vec(), 0.271, 0.15);
         let mut wrng = StdRng::seed_from_u64(7 + disks as u64);

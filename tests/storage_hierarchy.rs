@@ -5,7 +5,7 @@
 use ft_media_server::layout::{BandwidthClass, CatalogError, MediaObject, ObjectId};
 use ft_media_server::sched::RetireError;
 use ft_media_server::sim::DataMode;
-use ft_media_server::{Scheme, ServerBuilder};
+use ft_media_server::{Scheme, ServerBuilder, ServerError};
 
 fn movie(id: u64, tracks: u64) -> MediaObject {
     MediaObject::new(
@@ -53,13 +53,13 @@ fn duplicate_requests_are_rejected() {
     // Already resident.
     assert!(matches!(
         s.request_from_tertiary(movie(0, 8)),
-        Err(CatalogError::Duplicate { .. })
+        Err(ServerError::Catalog(CatalogError::Duplicate { .. }))
     ));
     // Already queued.
     s.request_from_tertiary(movie(1, 8)).unwrap();
     assert!(matches!(
         s.request_from_tertiary(movie(1, 8)),
-        Err(CatalogError::Duplicate { .. })
+        Err(ServerError::Catalog(CatalogError::Duplicate { .. }))
     ));
 }
 
@@ -72,7 +72,7 @@ fn purge_refuses_objects_with_viewers() {
     s.admit(ObjectId(0)).unwrap();
     assert!(matches!(
         s.purge_object(ObjectId(0)),
-        Err(RetireError::InUse { streams: 1, .. })
+        Err(ServerError::Retire(RetireError::InUse { streams: 1, .. }))
     ));
     while s.active_streams() > 0 {
         s.step().unwrap();
@@ -81,7 +81,7 @@ fn purge_refuses_objects_with_viewers() {
     assert!(!s.is_resident(ObjectId(0)));
     assert!(matches!(
         s.purge_object(ObjectId(0)),
-        Err(RetireError::NotFound { .. })
+        Err(ServerError::Retire(RetireError::NotFound { .. }))
     ));
 }
 
