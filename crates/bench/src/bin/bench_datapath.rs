@@ -90,6 +90,7 @@ fn bench_xor(quick: bool) -> XorResult {
     let src: Vec<u8> = (0..TRACK_BYTES).map(|i| (i * 131) as u8).collect();
     let mb = (passes * TRACK_BYTES) as f64 / 1e6;
 
+    #[allow(clippy::disallowed_methods)] // benchmark timing is wall-clock by definition
     let start = Instant::now();
     for _ in 0..passes {
         xor_scalar_reference(&mut dst, &src);
@@ -97,6 +98,7 @@ fn bench_xor(quick: bool) -> XorResult {
     let scalar_mb_per_s = mb / start.elapsed().as_secs_f64();
     black_box(&dst);
 
+    #[allow(clippy::disallowed_methods)] // benchmark timing is wall-clock by definition
     let start = Instant::now();
     for _ in 0..passes {
         xor_slices(&mut dst, &src);
@@ -132,6 +134,7 @@ fn bench_deliveries(quick: bool) -> DeliveryResult {
     let groups = tracks / u64::from(bpg);
     let mut oracle = BlockOracle::new(BTreeMap::from([(object, tracks)]), bpg, TRACK_BYTES);
 
+    #[allow(clippy::disallowed_methods)] // benchmark timing is wall-clock by definition
     let start = Instant::now();
     let allocs_before = allocations();
     for i in 0..deliveries {
@@ -148,6 +151,7 @@ fn bench_deliveries(quick: bool) -> DeliveryResult {
     for i in 0..4u64 {
         oracle.verify_delivery(BlockAddr::data(object, i % groups, 0), true);
     }
+    #[allow(clippy::disallowed_methods)] // benchmark timing is wall-clock by definition
     let start = Instant::now();
     let allocs_before = allocations();
     for i in 0..deliveries {

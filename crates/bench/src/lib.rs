@@ -23,6 +23,8 @@
 //! | `ablation_kprime` | the k′ continuum between SR and SG |
 //! | `design_space` | §5 design exercise + §1 mixed-class farm split |
 
+#![forbid(unsafe_code)]
+
 use mms_server::disk::{Bandwidth, DiskId, DiskParams};
 use mms_server::layout::{
     BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
@@ -63,7 +65,7 @@ pub const FIGURE_FAIL_CYCLE: u64 = 4;
 /// disks, one slot per disk per cycle, four-track objects.
 #[must_use]
 pub fn figure_scheduler(policy: TransitionPolicy) -> NonClusteredScheduler {
-    let geo = Geometry::clustered(5, 5).unwrap();
+    let geo = Geometry::clustered(5, 5).expect("5x5 is a valid clustered geometry");
     let mut catalog = Catalog::new(ClusteredLayout::new(geo), 10_000);
     for (id, name) in FIGURE_NAMES {
         catalog
@@ -73,7 +75,7 @@ pub fn figure_scheduler(policy: TransitionPolicy) -> NonClusteredScheduler {
                 4,
                 BandwidthClass::Custom(Bandwidth::from_megabytes(1.0)),
             ))
-            .unwrap();
+            .expect("figure objects fit the catalog and have unique ids");
     }
     let cfg = CycleConfig::new(
         DiskParams::paper_table1(),
@@ -90,7 +92,7 @@ pub fn figure_scheduler(policy: TransitionPolicy) -> NonClusteredScheduler {
 /// `ablation_transition` grid and the `bench_parallel` harness.
 #[must_use]
 pub fn nc_transition_losses(c: usize, f: u32, policy: TransitionPolicy) -> usize {
-    let geo = Geometry::clustered(c, c).unwrap();
+    let geo = Geometry::clustered(c, c).expect("square clustered geometry is valid for c >= 2");
     let mut catalog = Catalog::new(ClusteredLayout::new(geo), 100_000);
     let bpg = c - 1;
     for i in 0..(3 * bpg) as u64 {
@@ -101,7 +103,7 @@ pub fn nc_transition_losses(c: usize, f: u32, policy: TransitionPolicy) -> usize
                 bpg as u64,
                 BandwidthClass::Custom(Bandwidth::from_megabytes(1.0)),
             ))
-            .unwrap();
+            .expect("transition objects fit the catalog and have unique ids");
     }
     let cfg = CycleConfig::new(
         DiskParams::paper_table1(),
@@ -117,7 +119,9 @@ pub fn nc_transition_losses(c: usize, f: u32, policy: TransitionPolicy) -> usize
         // One new stream starts every cycle from cycle 1 on, keeping
         // every phase busy by the time the failure strikes.
         if t >= 1 && next_obj < (3 * bpg) as u64 {
-            sched.admit(ObjectId(next_obj), t).unwrap();
+            sched
+                .admit(ObjectId(next_obj), t)
+                .expect("one stream per phase stays within admission capacity");
             next_obj += 1;
         }
         if t == fail_at {

@@ -110,7 +110,10 @@ impl ReconstructionLedger {
         entry.acc.absorb(block);
         entry.remaining -= 1;
         if entry.remaining == 0 {
-            let done = self.open.remove(&group).expect("present");
+            let done = self
+                .open
+                .remove(&group)
+                .expect("remaining hit zero, so the group entry is open");
             self.completed += 1;
             // All survivors and parity absorbed: the running XOR *is* the
             // missing member.

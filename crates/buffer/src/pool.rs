@@ -172,7 +172,10 @@ impl BufferPool {
         if held == tracks {
             self.owners.remove(&owner);
         } else {
-            *self.owners.get_mut(&owner).expect("held > 0") -= tracks;
+            *self
+                .owners
+                .get_mut(&owner)
+                .expect("held > tracks, so the owner entry exists") -= tracks;
         }
         Ok(())
     }

@@ -217,6 +217,8 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
+                    #[allow(clippy::disallowed_methods)]
+                    // lint:allow(determinism): worker busy-time is a Trace-only diagnostic; it never feeds results
                     let started = trace_pool.then(std::time::Instant::now);
                     let mut mine = Vec::new();
                     loop {

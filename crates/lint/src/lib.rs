@@ -1,0 +1,367 @@
+//! # mms-lint — static enforcement of the workspace's invariants
+//!
+//! PRs 1–4 established three load-bearing guarantees: bit-identical
+//! output at any thread count, a zero-allocation data path, and
+//! scheduler behavior pinned to the paper's equations. Each was
+//! enforced only by runtime tests that a refactor could silently route
+//! around. This crate is the static layer: a comment- and
+//! string-literal-aware token scanner ([`scan`]), a structural model of
+//! each file ([`model`]), and five rules ([`rules`]) that fail CI the
+//! moment a diff violates an invariant.
+//!
+//! ## Rules
+//!
+//! * `determinism` — no `Instant`/`SystemTime`/`HashMap`/`HashSet`/
+//!   ambient randomness in the deterministic crates' library code.
+//! * `hot-path-alloc` — the registered hot functions (the simulation
+//!   step, every scheduler's `plan_cycle_into`, the XOR kernels, the
+//!   `BlockOracle` streaming paths) must not contain
+//!   `Vec::new`/`vec!`/`.to_vec()`/`Box::new`/`format!`/`.collect()`.
+//! * `unsafe-pragma` — every first-party crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//! * `panic-policy` — `.unwrap()`/`.expect(…)`/`panic!` in non-test
+//!   library code must state the invariant they rely on.
+//! * `paper-refs` — comment citations must exist in the paper
+//!   (Eqs 1–19, Figures 1–9, Tables 1–3), and every equation's
+//!   registered implementing item must still exist and cite it.
+//!
+//! ## Escape hatch
+//!
+//! A finding can be suppressed in place:
+//!
+//! ```text
+//! // lint:allow(determinism): pool diagnostics are trace-only wall time
+//! let started = trace_pool.then(std::time::Instant::now);
+//! ```
+//!
+//! The annotation names one or more rules, requires a reason after the
+//! colon, and applies to its own line or the next line carrying code.
+//! An annotation that suppresses nothing is itself an error, so stale
+//! allows cannot accumulate.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p mms-lint -- check [--rule <name>] [--json] [--root <dir>]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use model::FileModel;
+use report::{EqCoverage, Finding, Report};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Which rules a run enforces.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    active: Vec<String>,
+}
+
+impl RuleSet {
+    /// All five rules.
+    #[must_use]
+    pub fn all() -> RuleSet {
+        RuleSet {
+            active: rules::RULE_NAMES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Only the named rules; errors on an unknown name.
+    pub fn only(names: &[String]) -> Result<RuleSet, String> {
+        for n in names {
+            if !rules::RULE_NAMES.contains(&n.as_str()) {
+                return Err(format!(
+                    "unknown rule `{n}` (known: {})",
+                    rules::RULE_NAMES.join(", ")
+                ));
+            }
+        }
+        Ok(RuleSet {
+            active: names.to_vec(),
+        })
+    }
+
+    /// Whether `rule` is enforced by this run.
+    #[must_use]
+    pub fn is_active(&self, rule: &str) -> bool {
+        self.active.iter().any(|r| r == rule)
+    }
+}
+
+/// Per-file lint outcome: findings after annotation filtering, plus the
+/// equation citations the file carries (for workspace coverage).
+pub struct FileOutcome {
+    /// Surviving findings.
+    pub findings: Vec<Finding>,
+    /// Equation numbers cited in this file's comments.
+    pub eq_cited: Vec<u32>,
+    /// Which hot-registry entries this file matched.
+    pub hot_matched: Vec<bool>,
+}
+
+/// Lint a single source text as if it lived at workspace-relative
+/// `path`. This is the per-file core used both by [`check_workspace`]
+/// and by fixture tests.
+#[must_use]
+pub fn lint_source(path: &str, src: &str, set: &RuleSet) -> FileOutcome {
+    let m = FileModel::build(path, src);
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut eq_cited = Vec::new();
+    let mut hot_matched = vec![false; rules::HOT_FNS.len()];
+    if set.is_active("determinism") {
+        raw.extend(rules::determinism(&m));
+    }
+    if set.is_active("hot-path-alloc") {
+        raw.extend(rules::hot_path_alloc(&m, &mut hot_matched));
+    }
+    if set.is_active("unsafe-pragma") {
+        raw.extend(rules::unsafe_pragma(&m));
+    }
+    if set.is_active("panic-policy") {
+        raw.extend(rules::panic_policy(&m));
+    }
+    if set.is_active("paper-refs") {
+        let (f, eqs) = rules::paper_refs(&m);
+        raw.extend(f);
+        eq_cited.extend(eqs.iter().map(|c| c.num));
+    }
+
+    // Annotation filtering: an allow for the finding's rule targeting
+    // the finding's line suppresses it and marks the allow used.
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        for a in m.allows_for(&f.rule, f.line) {
+            if a.has_reason {
+                a.used.set(true);
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    // Annotation hygiene: unknown rules, missing reasons, unused allows.
+    for a in &m.allows {
+        for r in &a.rules {
+            if !rules::RULE_NAMES.contains(&r.as_str()) {
+                findings.push(Finding {
+                    rule: "lint-allow".into(),
+                    file: m.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "`lint:allow({r})` names an unknown rule (known: {})",
+                        rules::RULE_NAMES.join(", ")
+                    ),
+                });
+            }
+        }
+        let relevant = a.rules.iter().any(|r| set.is_active(r));
+        if !relevant {
+            continue;
+        }
+        if !a.has_reason {
+            findings.push(Finding {
+                rule: "lint-allow".into(),
+                file: m.path.clone(),
+                line: a.line,
+                message: "`lint:allow(…)` requires a reason: `// lint:allow(<rule>): <why>`".into(),
+            });
+        } else if !a.used.get() {
+            findings.push(Finding {
+                rule: "lint-allow".into(),
+                file: m.path.clone(),
+                line: a.line,
+                message: format!(
+                    "unused `lint:allow({})`: nothing on line {} violates it — remove the annotation",
+                    a.rules.join(", "),
+                    a.target_line
+                ),
+            });
+        }
+    }
+
+    FileOutcome {
+        findings,
+        eq_cited,
+        hot_matched,
+    }
+}
+
+/// Source files the linter walks: first-party Rust under these roots.
+const WALK_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Paths never linted: vendored third-party subsets, build output, and
+/// the linter's own known-bad fixture corpus.
+fn excluded(rel: &str) -> bool {
+    rel.starts_with("vendor/") || rel.starts_with("target/") || rel.contains("/fixtures/")
+}
+
+/// Recursively collect the workspace's first-party `.rs` files, sorted
+/// for deterministic output.
+fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in WALK_ROOTS {
+        walk(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Run the active rules over the workspace rooted at `root`.
+///
+/// Beyond the per-file rules this adds the two registry cross-checks:
+/// every hot-function entry must match a function somewhere (a rename
+/// would otherwise silently drop protection), and every equation's
+/// implementing item must exist and be cited in its registered file.
+pub fn check_workspace(root: &Path, set: &RuleSet) -> Result<Report, String> {
+    let files = collect_files(root);
+    if files.is_empty() {
+        return Err(format!(
+            "no source files found under {} — wrong --root?",
+            root.display()
+        ));
+    }
+    let mut report = Report::default();
+    let mut hot_matched = vec![false; rules::HOT_FNS.len()];
+    let mut eqs_by_file: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    let mut item_present: BTreeMap<(String, String), bool> = BTreeMap::new();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| "path escaped root".to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if excluded(&rel) {
+            continue;
+        }
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let outcome = lint_source(&rel, &src, set);
+        report.files_checked += 1;
+        report.findings.extend(outcome.findings);
+        for (i, m) in outcome.hot_matched.iter().enumerate() {
+            hot_matched[i] |= m;
+        }
+        if set.is_active("paper-refs") {
+            eqs_by_file
+                .entry(rel.clone())
+                .or_default()
+                .extend(outcome.eq_cited);
+            // Track registry item presence in the files that matter.
+            for e in rules::EQ_REGISTRY {
+                if rel.ends_with(e.file) {
+                    let present = src.contains(e.item);
+                    *item_present
+                        .entry((e.file.to_string(), e.item.to_string()))
+                        .or_insert(false) |= present;
+                }
+            }
+        }
+    }
+
+    if set.is_active("hot-path-alloc") {
+        for (i, reg) in rules::HOT_FNS.iter().enumerate() {
+            if !hot_matched[i] {
+                let qual = reg
+                    .impl_type
+                    .map(|t| format!("{t}::{}", reg.name))
+                    .unwrap_or_else(|| reg.name.to_string());
+                report.findings.push(Finding {
+                    rule: "hot-path-alloc".into(),
+                    file: reg.file.into(),
+                    line: 1,
+                    message: format!(
+                        "hot-path registry entry `{qual}` not found — renamed or moved? update the registry in crates/lint/src/rules.rs"
+                    ),
+                });
+            }
+        }
+    }
+
+    if set.is_active("paper-refs") {
+        for e in rules::EQ_REGISTRY {
+            let cited = eqs_by_file
+                .iter()
+                .any(|(f, eqs)| f.ends_with(e.file) && eqs.contains(&e.eq));
+            let present = item_present
+                .get(&(e.file.to_string(), e.item.to_string()))
+                .copied()
+                .unwrap_or(false);
+            if !present {
+                report.findings.push(Finding {
+                    rule: "paper-refs".into(),
+                    file: e.file.into(),
+                    line: 1,
+                    message: format!(
+                        "registered implementing item `{}` for Eq. {} not found — renamed? update the registry in crates/lint/src/rules.rs",
+                        e.item, e.eq
+                    ),
+                });
+            }
+            if !cited {
+                report.findings.push(Finding {
+                    rule: "paper-refs".into(),
+                    file: e.file.into(),
+                    line: 1,
+                    message: format!(
+                        "Eq. {} ({}) is no longer cited in this file — restore the doc citation on `{}`",
+                        e.eq, e.what, e.item
+                    ),
+                });
+            }
+            report.coverage.push(EqCoverage {
+                eq: e.eq,
+                item: e.item.to_string(),
+                file: e.file.to_string(),
+                what: e.what.to_string(),
+                cited,
+            });
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing `[workspace]` is found.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(d) = cur {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        cur = d.parent();
+    }
+    None
+}

@@ -1,0 +1,119 @@
+//! CLI driver: `mms-lint check [--rule <name>] [--json] [--root <dir>]`
+//! and `mms-lint rules`.
+
+use mms_lint::{check_workspace, find_root, RuleSet};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mms-lint — static enforcement of the workspace's invariants
+
+USAGE:
+    mms-lint check [--rule <name>]... [--json] [--root <dir>]
+    mms-lint rules
+
+OPTIONS:
+    --rule <name>   Run only the named rule (repeatable). Known rules:
+                    determinism, hot-path-alloc, unsafe-pragma,
+                    panic-policy, paper-refs
+    --json          Emit findings and coverage as JSON
+    --root <dir>    Workspace root (default: nearest [workspace] above
+                    the linter's own manifest, or the current directory)
+
+EXIT STATUS:
+    0  clean tree
+    1  findings
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "rules" => {
+            for r in mms_lint::rules::RULE_NAMES {
+                println!("{r}");
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => run_check(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut rules: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rule" => match it.next() {
+                Some(r) => rules.push(r.clone()),
+                None => return usage_err("--rule needs a value"),
+            },
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage_err("--root needs a value"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let set = if rules.is_empty() {
+        RuleSet::all()
+    } else {
+        match RuleSet::only(&rules) {
+            Ok(s) => s,
+            Err(e) => return usage_err(&e),
+        }
+    };
+    let root = root.or_else(default_root);
+    let Some(root) = root else {
+        return usage_err("could not locate the workspace root; pass --root");
+    };
+    match check_workspace(&root, &set) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text(true));
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mms-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Root discovery: prefer the workspace above this crate's manifest
+/// (correct under `cargo run -p mms-lint` from anywhere inside the
+/// repo), falling back to the current directory's enclosing workspace.
+fn default_root() -> Option<PathBuf> {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    find_root(&compiled).or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d)))
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("mms-lint: {msg}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

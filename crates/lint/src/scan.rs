@@ -1,0 +1,453 @@
+//! A comment- and string-literal-aware Rust token scanner.
+//!
+//! This is deliberately *not* a full lexer: it produces just enough
+//! structure for mechanical invariant checks — identifiers, punctuation,
+//! literals, and comments, each tagged with its source line — while
+//! guaranteeing that text inside string literals and comments can never
+//! be mistaken for code (the classic failure mode of grep-based lints).
+//!
+//! Handled edge cases: nested block comments, raw strings with any hash
+//! depth (`r##"…"##`), byte and raw-byte strings, character literals
+//! versus lifetimes (`'a'` vs `'a`), raw identifiers (`r#fn`), and
+//! escape sequences inside string/char literals.
+
+/// The coarse token classes the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `Vec`, `unwrap`, …).
+    Ident,
+    /// Numeric literal (value is never interpreted).
+    Num,
+    /// String literal of any flavor; `text` keeps the quoted content.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`), without the leading quote.
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+    /// `//`-style comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* … */` comment; `line` is the line the comment opens on.
+    BlockComment,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: Kind,
+    /// Source text. For `Str` this is the *contents* (quotes and any
+    /// raw-string hashes stripped); for comments the full comment text
+    /// including the delimiters.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either flavor.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+}
+
+/// Scan `src` into a token stream. Never panics on malformed input:
+/// unterminated literals simply extend to end of input.
+#[must_use]
+pub fn scan(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::LineComment,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.push(Tok {
+                kind: Kind::BlockComment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // String-ish prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…', r#ident.
+        if c == 'r' || c == 'b' {
+            if let Some(tok_len) = try_string_prefix(&b, i, &mut line, &mut out) {
+                i = tok_len;
+                continue;
+            }
+        }
+        if c == '"' {
+            let (end, text) = lex_quoted(&b, i, &mut line);
+            out.push(Tok {
+                kind: Kind::Str,
+                text,
+                line,
+            });
+            i = end;
+            continue;
+        }
+        if c == '\'' {
+            i = lex_quote_or_lifetime(&b, i, line, &mut out);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        out.push(Tok {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Try to lex a raw/byte string (or raw identifier, or byte char)
+/// starting at `i` where `b[i]` is `r` or `b`. Returns the index one
+/// past the token if one was produced.
+fn try_string_prefix(b: &[char], i: usize, line: &mut u32, out: &mut Vec<Tok>) -> Option<usize> {
+    let start_line = *line;
+    let mut j = i + 1;
+    let mut raw = b[i] == 'r';
+    if b[i] == 'b' {
+        match b.get(j) {
+            Some('\'') => {
+                // Byte char literal b'…'.
+                let end = lex_char_body(b, j);
+                out.push(Tok {
+                    kind: Kind::Char,
+                    text: b[i..end].iter().collect(),
+                    line: start_line,
+                });
+                return Some(end);
+            }
+            Some('r') => {
+                raw = true;
+                j += 1;
+            }
+            Some('"') => {}
+            _ => return None,
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&'"') {
+            // `r#ident` raw identifier (or plain ident starting with r).
+            if hashes == 1 && b.get(j).is_some_and(|c| c.is_alphanumeric() || *c == '_') {
+                let start = j;
+                let mut k = j;
+                while k < b.len() && (b[k].is_alphanumeric() || b[k] == '_') {
+                    k += 1;
+                }
+                out.push(Tok {
+                    kind: Kind::Ident,
+                    text: b[start..k].iter().collect(),
+                    line: start_line,
+                });
+                return Some(k);
+            }
+            return None;
+        }
+        // Raw string: scan to `"` followed by `hashes` hashes.
+        j += 1;
+        let content_start = j;
+        loop {
+            if j >= b.len() {
+                break;
+            }
+            if b[j] == '\n' {
+                *line += 1;
+            }
+            if b[j] == '"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(k) == Some(&'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    out.push(Tok {
+                        kind: Kind::Str,
+                        text: b[content_start..j].iter().collect(),
+                        line: start_line,
+                    });
+                    return Some(k);
+                }
+            }
+            j += 1;
+        }
+        out.push(Tok {
+            kind: Kind::Str,
+            text: b[content_start..j].iter().collect(),
+            line: start_line,
+        });
+        return Some(j);
+    }
+    if b.get(j) == Some(&'"') {
+        let (end, text) = lex_quoted(b, j, line);
+        out.push(Tok {
+            kind: Kind::Str,
+            text,
+            line: start_line,
+        });
+        return Some(end);
+    }
+    None
+}
+
+/// Lex a `"…"` literal starting at the opening quote; returns (index
+/// one past the closing quote, contents without quotes).
+fn lex_quoted(b: &[char], start: usize, line: &mut u32) -> (usize, String) {
+    let mut j = start + 1;
+    let content_start = j;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => {
+                return (j + 1, b[content_start..j].iter().collect());
+            }
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, b[content_start..j.min(b.len())].iter().collect())
+}
+
+/// Lex the body of a char literal whose opening `'` is at `start`;
+/// returns the index one past the closing `'` (best effort).
+fn lex_char_body(b: &[char], start: usize) -> usize {
+    let mut j = start + 1;
+    if b.get(j) == Some(&'\\') {
+        j += 2; // skip the escape introducer and the escaped char
+        if b.get(j.wrapping_sub(1)) == Some(&'u') {
+            // \u{…}
+            while j < b.len() && b[j] != '}' {
+                j += 1;
+            }
+            j += 1;
+        } else if b.get(j.wrapping_sub(1)) == Some(&'x') {
+            j += 2;
+        }
+    } else {
+        j += 1;
+    }
+    if b.get(j) == Some(&'\'') {
+        j += 1;
+    }
+    j
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime) at `i` (the quote).
+/// Returns the index one past the produced token.
+fn lex_quote_or_lifetime(b: &[char], i: usize, line: u32, out: &mut Vec<Tok>) -> usize {
+    let next = b.get(i + 1).copied();
+    if next == Some('\\') {
+        let end = lex_char_body(b, i);
+        out.push(Tok {
+            kind: Kind::Char,
+            text: b[i..end].iter().collect(),
+            line,
+        });
+        return end;
+    }
+    if let Some(c) = next {
+        if c.is_alphanumeric() || c == '_' {
+            // Scan the ident run; a trailing quote makes it a char.
+            let mut k = i + 1;
+            while k < b.len() && (b[k].is_alphanumeric() || b[k] == '_') {
+                k += 1;
+            }
+            if b.get(k) == Some(&'\'') {
+                out.push(Tok {
+                    kind: Kind::Char,
+                    text: b[i..=k].iter().collect(),
+                    line,
+                });
+                return k + 1;
+            }
+            out.push(Tok {
+                kind: Kind::Lifetime,
+                text: b[i + 1..k].iter().collect(),
+                line,
+            });
+            return k;
+        }
+        if c == '\'' {
+            // `''` — malformed; emit punct and move on.
+            out.push(Tok {
+                kind: Kind::Punct,
+                text: "'".into(),
+                line,
+            });
+            return i + 1;
+        }
+        // Any other single character closed by a quote is still a char
+        // literal — `'"'`, `'('`, `' '` — and the `"` case matters:
+        // treating it as punct would leak the quote into string state.
+        if b.get(i + 2) == Some(&'\'') {
+            out.push(Tok {
+                kind: Kind::Char,
+                text: b[i..i + 3].iter().collect(),
+                line,
+            });
+            return i + 3;
+        }
+    }
+    out.push(Tok {
+        kind: Kind::Punct,
+        text: "'".into(),
+        line,
+    });
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        scan(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_text() {
+        let toks = kinds(r#"let x = "Vec::new() // not code";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && t.contains("Vec::new")));
+        assert!(!toks.iter().any(|(k, t)| *k == Kind::Ident && t == "Vec"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" b"#;"###);
+        let s = toks.iter().find(|(k, _)| *k == Kind::Str);
+        assert_eq!(
+            s.map(|(_, t)| t.as_str()),
+            Some(r#"a "quoted" b"#),
+            "raw string contents survive"
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Char && t == "'x'"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = scan("/* a /* b */ c */\nfn x() {}\n");
+        assert_eq!(toks[0].kind, Kind::BlockComment);
+        let f = toks
+            .iter()
+            .find(|t| t.text == "fn")
+            .expect("fn token survives the comment");
+        assert_eq!(f.line, 2);
+    }
+
+    #[test]
+    fn line_comments_capture_text() {
+        let toks = scan("// lint:allow(determinism): trace-only timing\nlet y = 1;");
+        assert_eq!(toks[0].kind, Kind::LineComment);
+        assert!(toks[0].text.contains("lint:allow"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn char_literal_holding_a_quote_does_not_open_a_string() {
+        let toks = scan("let q = '\"'; let s = \"after\";\n");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Kind::Char && t.text == "'\"'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Kind::Str && t.text == "after"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'\n';"#);
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Str && t == "bytes"));
+        assert!(toks.iter().any(|(k, _)| *k == Kind::Char));
+    }
+}

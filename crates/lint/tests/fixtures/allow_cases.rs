@@ -1,0 +1,23 @@
+//! Annotation hygiene cases.
+
+pub fn suppressed() -> u64 {
+    // lint:allow(determinism): this fixture proves suppression works
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn unused() -> u32 {
+    // lint:allow(determinism): nothing on the next line violates this
+    42
+}
+
+pub fn missing_reason() -> u64 {
+    // lint:allow(determinism)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn unknown_rule() -> u32 {
+    // lint:allow(no-such-rule): misspelled rule names must not pass
+    7
+}

@@ -1,0 +1,16 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn cache() -> HashMap<u32, Instant> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_collections_are_fine_in_tests() {
+        let _ = HashSet::<u32>::new();
+    }
+}

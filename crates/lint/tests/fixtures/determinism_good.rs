@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn cache() -> BTreeMap<u32, u64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,14 @@
+pub struct Simulator;
+
+impl Simulator {
+    pub fn step(&mut self) -> usize {
+        let mut v = Vec::new();
+        v.push(1u32);
+        let w = vec![0u8; 4];
+        let s = format!("{}", v.len());
+        let t = w.to_vec();
+        let b = Box::new(3u8);
+        let c: Vec<u32> = v.iter().copied().collect();
+        v.len() + w.len() + s.len() + t.len() + c.len() + usize::from(*b)
+    }
+}

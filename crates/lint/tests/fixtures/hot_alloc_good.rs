@@ -1,0 +1,21 @@
+pub struct Simulator;
+
+impl Simulator {
+    pub fn step(&mut self, scratch: &mut Vec<u32>) -> usize {
+        scratch.clear();
+        scratch.extend(0..4u32);
+        scratch.len()
+    }
+}
+
+pub struct Other;
+
+impl Other {
+    pub fn step(&mut self) -> Vec<u32> {
+        Vec::new()
+    }
+}
+
+pub fn helper() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,27 @@
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("bad")
+}
+
+pub fn third(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        panic!("empty")
+    }
+    v[0]
+}
+
+pub fn fourth(v: &[u32], msg: &str) -> u32 {
+    *v.first().expect(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1u32];
+        let _ = *v.first().unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().expect("caller guarantees a non-empty slice")
+}
+
+pub fn checked(v: &[u32]) -> u32 {
+    if v.len() < 2 {
+        panic!("admission control caps streams below the slice length")
+    }
+    v[1]
+}
+
+pub fn annotated(v: &[u32]) -> u32 {
+    // lint:allow(panic-policy): index checked by the caller's loop bound
+    *v.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Citations that overreach the paper.
+
+/// Computes the bound of Eq. 23 (the paper stops at 19).
+pub fn a() {}
+
+// See Figure 12 for the topology (the paper stops at 9).
+pub fn b() {}
+
+// Compare Table 9 and Eq. 7.
+pub fn c() {}

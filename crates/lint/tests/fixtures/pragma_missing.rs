@@ -1,0 +1,5 @@
+//! A crate root that forgot the pragma.
+
+// #![forbid(unsafe_code)] in a comment must not count
+
+pub fn noop() {}

@@ -1,0 +1,57 @@
+//! The integration check: the real workspace must be lint-clean, every
+//! hot-registry entry must resolve, and all 19 equations must be cited.
+//! If a refactor renames a registered item or introduces a violation,
+//! this test fails with the full report.
+
+use mms_lint::{check_workspace, find_root, RuleSet};
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the linter crate lives inside the workspace")
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let report = check_workspace(&root(), &RuleSet::all()).expect("workspace scan succeeds");
+    assert!(
+        report.ok(),
+        "the workspace has lint findings:\n{}",
+        report.render_text(true)
+    );
+    assert!(
+        report.files_checked > 100,
+        "only {} files scanned — walk roots look wrong",
+        report.files_checked
+    );
+}
+
+#[test]
+fn every_equation_is_cited_in_its_registered_file() {
+    let report = check_workspace(&root(), &RuleSet::all()).expect("workspace scan succeeds");
+    assert_eq!(report.coverage.len(), 19, "one coverage row per equation");
+    assert_eq!(
+        report.cited(),
+        19,
+        "uncited equations:\n{}",
+        report.render_text(true)
+    );
+}
+
+#[test]
+fn single_rule_runs_see_the_same_clean_tree() {
+    for rule in [
+        "determinism",
+        "hot-path-alloc",
+        "unsafe-pragma",
+        "panic-policy",
+    ] {
+        let set = RuleSet::only(&[rule.to_string()]).expect("known rule name");
+        let report = check_workspace(&root(), &set).expect("workspace scan succeeds");
+        assert!(
+            report.ok(),
+            "rule {rule} found violations:\n{}",
+            report.render_text(false)
+        );
+    }
+}

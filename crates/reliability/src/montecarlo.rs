@@ -13,7 +13,7 @@ use mms_exec::{par_map_indexed, Parallelism, SeedSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// The terminal event being measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +54,7 @@ impl CatastropheRule {
 
     /// Whether the set of failed disks (after adding `new_disk`) is
     /// terminal.
-    fn is_terminal(&self, failed: &HashSet<usize>, new_disk: usize, d: usize) -> bool {
+    fn is_terminal(&self, failed: &BTreeSet<usize>, new_disk: usize, d: usize) -> bool {
         match *self {
             CatastropheRule::SameCluster { .. } => {
                 let nc = self.cluster_of(new_disk);
@@ -100,7 +100,7 @@ impl CatastropheRule {
     where
         I: IntoIterator<Item = usize>,
     {
-        let failed: HashSet<usize> = already_failed.into_iter().collect();
+        let failed: BTreeSet<usize> = already_failed.into_iter().collect();
         self.is_terminal(&failed, new_disk, d)
     }
 }
@@ -172,7 +172,7 @@ impl MonteCarlo {
             let t = sample_exponential(rng, self.rel.mttf).as_secs();
             queue.push(Reverse(Entry(t, Event::Fail(disk))));
         }
-        let mut failed: HashSet<usize> = HashSet::new();
+        let mut failed: BTreeSet<usize> = BTreeSet::new();
         while let Some(Reverse(Entry(now, event))) = queue.pop() {
             match event {
                 Event::Fail(disk) => {
@@ -389,7 +389,7 @@ mod tests {
         let rule = CatastropheRule::SameOrAdjacentCluster { c: 4 };
         let d = 10;
         let fail = |already: &[usize], new_disk: usize| {
-            let failed: HashSet<usize> = already.iter().copied().collect();
+            let failed: BTreeSet<usize> = already.iter().copied().collect();
             rule.is_terminal(&failed, new_disk, d)
         };
         // Trailing cluster {9} is adjacent to cluster 0 (wrap) …
@@ -413,10 +413,10 @@ mod tests {
         // D = 8, C = 5: two clusters of width 4 — any concurrent pair of
         // failures is catastrophic, including within one cluster.
         let rule = CatastropheRule::SameOrAdjacentCluster { c: 5 };
-        let failed: HashSet<usize> = [0].into_iter().collect();
+        let failed: BTreeSet<usize> = [0].into_iter().collect();
         assert!(rule.is_terminal(&failed, 5, 8));
         assert!(rule.is_terminal(&failed, 1, 8));
-        assert!(!rule.is_terminal(&HashSet::new(), 3, 8));
+        assert!(!rule.is_terminal(&BTreeSet::new(), 3, 8));
     }
 
     #[test]

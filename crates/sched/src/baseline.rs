@@ -52,6 +52,8 @@ pub struct BaselineScheduler {
     buffers: BufferPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
+    ids_scratch: Vec<StreamId>,
 }
 
 impl BaselineScheduler {
@@ -71,6 +73,7 @@ impl BaselineScheduler {
             buffers: BufferPool::unbounded(),
             next_stream: 0,
             next_cycle: 0,
+            ids_scratch: Vec::new(),
         }
     }
 
@@ -170,9 +173,14 @@ impl SchemeScheduler for BaselineScheduler {
         let layout = *self.catalog.layout();
         let bpg = self.bpg();
 
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
-        // Reads: one block per stream per cycle; failed disks just skip.
-        let mut unreadable: Vec<(StreamId, BlockAddr)> = Vec::new();
+        // Snapshot stream ids into the reusable scratch so the loops can
+        // mutate `self.streams` without holding a borrow on it.
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
+        // Reads: one block per stream per cycle; a block on a failed
+        // disk is simply not read — the hiccup surfaces at delivery
+        // time next cycle when the same placement check fails again.
         for id in ids.iter().copied() {
             let s = self.streams[&id].clone();
             if cycle < s.start_cycle {
@@ -189,9 +197,7 @@ impl SchemeScheduler for BaselineScheduler {
             }
             let p = layout.data_placement(s.start_cluster, g, i);
             let addr = BlockAddr::data(s.object, g, i);
-            if self.failed_disks.contains(&p.disk) {
-                unreadable.push((id, addr));
-            } else {
+            if !self.failed_disks.contains(&p.disk) {
                 plan.push_read(
                     p.disk,
                     PlannedRead {
@@ -200,20 +206,14 @@ impl SchemeScheduler for BaselineScheduler {
                         purpose: ReadPurpose::Delivery,
                     },
                 );
-                self.buffers.alloc(OwnerId(id.0), 1).expect("unbounded");
+                self.buffers
+                    .alloc(OwnerId(id.0), 1)
+                    .expect("unbounded pool never refuses an allocation");
             }
         }
 
-        // Deliveries: block read last cycle — holes for unreadable blocks.
-        let holes: BTreeSet<(StreamId, u64, u32)> = unreadable
-            .iter()
-            .filter_map(|(id, a)| match a.kind {
-                mms_layout::BlockKind::Data(ix) => Some((*id, a.group, ix)),
-                mms_layout::BlockKind::Parity => None,
-            })
-            .collect();
-        let _ = &holes; // holes are for *this* cycle's reads, delivered next.
-        for id in ids {
+        // Deliveries: the block read last cycle.
+        for id in ids.iter().copied() {
             let Some(s) = self.streams.get(&id).cloned() else {
                 continue;
             };
@@ -229,7 +229,10 @@ impl SchemeScheduler for BaselineScheduler {
             if i < blocks {
                 let addr = BlockAddr::data(s.object, g, i);
                 let p = layout.data_placement(s.start_cluster, g, i);
-                let st = self.streams.get_mut(&id).expect("live");
+                let st = self
+                    .streams
+                    .get_mut(&id)
+                    .expect("stream id snapshot only holds live streams");
                 if self.failed_disks.contains(&p.disk) {
                     // The read last cycle failed: hiccup, repeating every
                     // time the stream rotates back onto the dead disk.
@@ -247,7 +250,9 @@ impl SchemeScheduler for BaselineScheduler {
                         reconstructed: false,
                     });
                     st.delivered += 1;
-                    self.buffers.free(OwnerId(id.0), 1).expect("held");
+                    self.buffers
+                        .free(OwnerId(id.0), 1)
+                        .expect("every delivered block was allocated last cycle");
                 }
             }
             if g + 1 == s.groups && i + 1 >= blocks {
@@ -256,6 +261,7 @@ impl SchemeScheduler for BaselineScheduler {
                 self.buffers.free_all(OwnerId(id.0));
             }
         }
+        self.ids_scratch = ids;
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {

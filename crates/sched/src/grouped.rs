@@ -52,6 +52,11 @@ pub struct GroupedScheduler {
     buffers: BufferPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
+    ids_scratch: Vec<StreamId>,
+    /// Recycled hiccup vectors: each read cycle swaps a stream's old
+    /// hiccup list for a pooled one instead of allocating.
+    hiccup_pool: Vec<Vec<u32>>,
 }
 
 impl GroupedScheduler {
@@ -76,6 +81,8 @@ impl GroupedScheduler {
             buffers: BufferPool::unbounded(),
             next_stream: 0,
             next_cycle: 0,
+            ids_scratch: Vec::new(),
+            hiccup_pool: Vec::new(),
         }
     }
 
@@ -189,7 +196,11 @@ impl SchemeScheduler for GroupedScheduler {
         let period = self.period();
         let k_prime = self.config.k_prime as u64;
 
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        // Snapshot stream ids into the reusable scratch so the passes
+        // can mutate `self.streams` without holding a borrow on it.
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
 
         // Pass 1 — whole-group reads at each stream's read cycles.
         for id in ids.iter().copied() {
@@ -207,7 +218,8 @@ impl SchemeScheduler for GroupedScheduler {
             let parity_pos = geometry.disks_per_cluster() - 1;
             let parity_ok = !failed.contains(&parity_pos);
             let mut reconstructed = None;
-            let mut hiccups = Vec::new();
+            let mut hiccups = self.hiccup_pool.pop().unwrap_or_default();
+            hiccups.clear();
             let mut reads = 0usize;
             for i in 0..blocks {
                 let p = layout.data_placement(s.start_cluster, g, i);
@@ -242,16 +254,22 @@ impl SchemeScheduler for GroupedScheduler {
                 );
                 reads += 1;
             }
-            self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
-            let st = self.streams.get_mut(&id).expect("live");
+            self.buffers
+                .alloc(OwnerId(id.0), reads)
+                .expect("unbounded pool never refuses an allocation");
+            let st = self
+                .streams
+                .get_mut(&id)
+                .expect("stream id snapshot only holds live streams");
             st.parity_held = parity_ok && reconstructed.is_none();
             st.reconstructed = reconstructed;
-            st.hiccups = hiccups;
+            let retired = std::mem::replace(&mut st.hiccups, hiccups);
+            self.hiccup_pool.push(retired);
         }
 
         // Pass 2 — deliver k' tracks per cycle, offset one cycle after
         // the read cycle, and free per delivery.
-        for id in ids {
+        for id in ids.iter().copied() {
             let Some(s) = self.streams.get(&id).cloned() else {
                 continue;
             };
@@ -268,7 +286,10 @@ impl SchemeScheduler for GroupedScheduler {
             for i in first..(first + k_prime).min(u64::from(blocks)) {
                 let i = i as u32;
                 let addr = mms_layout::BlockAddr::data(s.object, g, i);
-                let st = self.streams.get_mut(&id).expect("live");
+                let st = self
+                    .streams
+                    .get_mut(&id)
+                    .expect("pass 2 checks the stream is still live above");
                 if st.hiccups.contains(&i) {
                     plan.hiccups.push(LostBlock {
                         stream: id,
@@ -284,7 +305,9 @@ impl SchemeScheduler for GroupedScheduler {
                         reconstructed: st.reconstructed == Some(i),
                     });
                     st.delivered += 1;
-                    self.buffers.free(OwnerId(id.0), 1).expect("held");
+                    self.buffers
+                        .free(OwnerId(id.0), 1)
+                        .expect("every delivered block was allocated at its read cycle");
                 }
                 if g + 1 == st.groups && u64::from(i) + 1 >= u64::from(blocks) {
                     plan.finished.push(id);
@@ -296,19 +319,30 @@ impl SchemeScheduler for GroupedScheduler {
         }
 
         // End of cycle: release parity for groups fully read this cycle
-        // (once resident, the group no longer needs it).
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
-        for id in ids {
-            let s = self.streams.get(&id).expect("live");
+        // (once resident, the group no longer needs it). Refill the
+        // snapshot: pass 2 may have retired streams.
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
+        for id in ids.iter().copied() {
+            let s = self
+                .streams
+                .get(&id)
+                .expect("stream id snapshot only holds live streams");
             if cycle >= s.start_cycle
                 && (cycle - s.start_cycle).is_multiple_of(period)
                 && s.parity_held
             {
-                let st = self.streams.get_mut(&id).expect("live");
+                let st = self
+                    .streams
+                    .get_mut(&id)
+                    .expect("stream id snapshot only holds live streams");
                 st.parity_held = false;
-                self.buffers.free(OwnerId(id.0), 1).expect("held parity");
+                self.buffers
+                    .free(OwnerId(id.0), 1)
+                    .expect("parity_held implies a parity buffer is allocated");
             }
         }
+        self.ids_scratch = ids;
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {

@@ -73,6 +73,16 @@ pub struct ImprovedScheduler {
     /// Set while a failure happened mid-cycle and the next planned cycle
     /// must hiccup the failed disk's uncompleted reads.
     midcycle_pending: Option<DiskId>,
+    /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
+    ids_scratch: Vec<StreamId>,
+    /// Reusable prefetch-pass id snapshot.
+    prefetch_scratch: Vec<StreamId>,
+    /// Reusable parity work queue for the shift-to-the-right cascade.
+    parity_scratch: Vec<(StreamId, ObjectId, u32, u64)>,
+    /// Recycled `pending_reconstructed` vectors (swapped per read cycle).
+    rec_pool: Vec<Vec<u32>>,
+    /// Recycled `pending_hiccups` vectors (swapped per read cycle).
+    hic_pool: Vec<Vec<(u32, LossReason)>>,
 }
 
 impl ImprovedScheduler {
@@ -115,6 +125,11 @@ impl ImprovedScheduler {
             next_cycle: 0,
             last_shift_path: Vec::new(),
             midcycle_pending: None,
+            ids_scratch: Vec::new(),
+            prefetch_scratch: Vec::new(),
+            parity_scratch: Vec::new(),
+            rec_pool: Vec::new(),
+            hic_pool: Vec::new(),
         }
     }
 
@@ -254,7 +269,11 @@ impl SchemeScheduler for ImprovedScheduler {
         let geometry = *layout.geometry();
         let midcycle_disk = self.midcycle_pending.take();
 
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        // Snapshot stream ids into the reusable scratch so the passes
+        // can mutate `self.streams` without holding a borrow on it.
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
 
         // Pass 1 — base reads and allocations: each stream reads its
         // whole group of C−1 data tracks from its current cluster;
@@ -262,7 +281,8 @@ impl SchemeScheduler for ImprovedScheduler {
         // the next cluster instead. Allocations precede every free of
         // the cycle so the pool's peak reflects true simultaneity
         // (2(C−1) per stream).
-        let mut parity_needed: Vec<(StreamId, ObjectId, u32, u64)> = Vec::new();
+        let mut parity_needed = std::mem::take(&mut self.parity_scratch);
+        parity_needed.clear();
         let mut incoming: BTreeMap<StreamId, IncomingGroup> = BTreeMap::new();
         for id in ids.iter().copied() {
             let s = self.streams[&id].clone();
@@ -273,8 +293,10 @@ impl SchemeScheduler for ImprovedScheduler {
             if read_group >= s.groups {
                 continue;
             }
-            let mut reconstructed = Vec::new();
-            let mut hiccups = Vec::new();
+            let mut reconstructed = self.rec_pool.pop().unwrap_or_default();
+            reconstructed.clear();
+            let mut hiccups = self.hic_pool.pop().unwrap_or_default();
+            hiccups.clear();
             let blocks = self.blocks_in_group(s.tracks, read_group);
             let cluster = layout.data_cluster(s.start_cluster, read_group);
             let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
@@ -310,7 +332,9 @@ impl SchemeScheduler for ImprovedScheduler {
                     reads += 1;
                 }
             }
-            self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
+            self.buffers
+                .alloc(OwnerId(id.0), reads)
+                .expect("unbounded pool never refuses an allocation");
             incoming.insert(id, (reconstructed, hiccups, reads));
         }
 
@@ -318,7 +342,7 @@ impl SchemeScheduler for ImprovedScheduler {
         // until idle capacity is found. Displaced local reads become
         // partial failures that need *their* parity one cluster further.
         let cap = self.config.slots_per_disk();
-        let mut queue: Vec<(StreamId, ObjectId, u32, u64)> = parity_needed;
+        let mut queue = parity_needed;
         let mut hops = 0usize;
         let max_hops = self.clusters() as usize * cap * 4 + 16;
         while let Some((sid, object, idx, group)) = queue.pop() {
@@ -365,7 +389,9 @@ impl SchemeScheduler for ImprovedScheduler {
                         purpose: ReadPurpose::Parity,
                     },
                 );
-                self.buffers.alloc(OwnerId(sid.0), 1).expect("unbounded");
+                self.buffers
+                    .alloc(OwnerId(sid.0), 1)
+                    .expect("unbounded pool never refuses an allocation");
                 if let Some((_, _, charged)) = incoming.get_mut(&sid) {
                     *charged += 1;
                 }
@@ -386,7 +412,11 @@ impl SchemeScheduler for ImprovedScheduler {
                     incoming.remove(&sid);
                 }
                 Some(ix) => {
-                    let victim = plan.reads.get_mut(&disk).expect("loaded disk").remove(ix);
+                    let victim = plan
+                        .reads
+                        .get_mut(&disk)
+                        .expect("a disk with a displaceable read has a read list")
+                        .remove(ix);
                     // The displaced block will be reconstructed via its
                     // own parity group one cluster to the right.
                     if let mms_layout::BlockKind::Data(vi) = victim.addr.kind {
@@ -408,13 +438,16 @@ impl SchemeScheduler for ImprovedScheduler {
                             purpose: ReadPurpose::Parity,
                         },
                     );
-                    self.buffers.alloc(OwnerId(sid.0), 1).expect("unbounded");
+                    self.buffers
+                        .alloc(OwnerId(sid.0), 1)
+                        .expect("unbounded pool never refuses an allocation");
                     if let Some((_, _, charged)) = incoming.get_mut(&sid) {
                         *charged += 1;
                     }
                 }
             }
         }
+        self.parity_scratch = queue;
 
         // Pass 2.5 — adaptive parity prefetch (Section 4's sophisticated
         // scheduler): where a group's parity disk still has an idle slot,
@@ -422,8 +455,10 @@ impl SchemeScheduler for ImprovedScheduler {
         // this cycle's mid-cycle loss (the read was part of the committed
         // schedule), and load always wins: full disks skip the prefetch.
         if self.parity_prefetch {
-            let ids2: Vec<StreamId> = incoming.keys().copied().collect();
-            for id in ids2 {
+            let mut ids2 = std::mem::take(&mut self.prefetch_scratch);
+            ids2.clear();
+            ids2.extend(incoming.keys().copied());
+            for id in ids2.iter().copied() {
                 let s = self.streams[&id].clone();
                 let read_group = cycle - s.start_cycle;
                 // Skip groups whose parity is already being read
@@ -453,8 +488,12 @@ impl SchemeScheduler for ImprovedScheduler {
                         purpose: ReadPurpose::Parity,
                     },
                 );
-                self.buffers.alloc(OwnerId(id.0), 1).expect("unbounded");
-                let entry = incoming.get_mut(&id).expect("read this cycle");
+                self.buffers
+                    .alloc(OwnerId(id.0), 1)
+                    .expect("unbounded pool never refuses an allocation");
+                let entry = incoming
+                    .get_mut(&id)
+                    .expect("prefetch snapshot only holds streams read this cycle");
                 entry.2 += 1;
                 // Rescue a mid-cycle loss: with parity and the group's
                 // surviving members resident by end of cycle, the block
@@ -468,10 +507,11 @@ impl SchemeScheduler for ImprovedScheduler {
                     entry.0.push(block);
                 }
             }
+            self.prefetch_scratch = ids2;
         }
 
         // Pass 3 — deliveries of last cycle's groups and frees.
-        for id in ids {
+        for id in ids.iter().copied() {
             let Some(s) = self.streams.get(&id).cloned() else {
                 continue;
             };
@@ -483,7 +523,10 @@ impl SchemeScheduler for ImprovedScheduler {
                 continue;
             }
             let blocks = self.blocks_in_group(s.tracks, g);
-            let st = self.streams.get_mut(&id).expect("live");
+            let st = self
+                .streams
+                .get_mut(&id)
+                .expect("pass 3 checks the stream is still live above");
             for i in 0..blocks {
                 let addr = BlockAddr::data(s.object, g, i);
                 if let Some(&(_, reason)) = st.pending_hiccups.iter().find(|(ix, _)| *ix == i) {
@@ -506,7 +549,9 @@ impl SchemeScheduler for ImprovedScheduler {
             // Release exactly what the group charged when it was read.
             let charged = st.pending_buffered;
             st.pending_buffered = 0;
-            self.buffers.free(OwnerId(id.0), charged).expect("held");
+            self.buffers
+                .free(OwnerId(id.0), charged)
+                .expect("pending_buffered tracks exactly what the read cycle charged");
             if g + 1 == st.groups {
                 plan.finished.push(id);
                 let class = st.class as usize;
@@ -516,14 +561,21 @@ impl SchemeScheduler for ImprovedScheduler {
             }
         }
 
-        // Commit the just-read groups' state.
+        // Commit the just-read groups' state, recycling the vectors the
+        // new state displaces (or carries, for retired streams).
         for (id, (reconstructed, hiccups, charged)) in incoming {
             if let Some(st) = self.streams.get_mut(&id) {
-                st.pending_reconstructed = reconstructed;
-                st.pending_hiccups = hiccups;
+                let old_rec = std::mem::replace(&mut st.pending_reconstructed, reconstructed);
+                let old_hic = std::mem::replace(&mut st.pending_hiccups, hiccups);
                 st.pending_buffered = charged;
+                self.rec_pool.push(old_rec);
+                self.hic_pool.push(old_hic);
+            } else {
+                self.rec_pool.push(reconstructed);
+                self.hic_pool.push(hiccups);
             }
         }
+        self.ids_scratch = ids;
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, mid_cycle: bool) -> FailureReport {

@@ -100,6 +100,15 @@ pub struct NonClusteredScheduler {
     servers: BufferServerPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
+    ids_scratch: Vec<StreamId>,
+    /// Reusable list of blocks displaced past slot capacity this cycle.
+    displaced_scratch: Vec<LostBlock>,
+    /// Reusable list of parity reads displaced past slot capacity.
+    displaced_parity_scratch: Vec<(StreamId, u64)>,
+    /// Reusable partitions for the slot-capacity priority sort.
+    keep_scratch: Vec<PlannedRead>,
+    spill_scratch: Vec<PlannedRead>,
 }
 
 impl NonClusteredScheduler {
@@ -139,6 +148,11 @@ impl NonClusteredScheduler {
             servers: BufferServerPool::new(buffer_servers, per_server),
             next_stream: 0,
             next_cycle: 0,
+            ids_scratch: Vec::new(),
+            displaced_scratch: Vec::new(),
+            displaced_parity_scratch: Vec::new(),
+            keep_scratch: Vec::new(),
+            spill_scratch: Vec::new(),
         }
     }
 
@@ -330,7 +344,9 @@ impl NonClusteredScheduler {
             // The parity buffer morphs into the reconstructed block whose
             // free is registered above, so no separate free entry.
         }
-        self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
+        self.buffers
+            .alloc(OwnerId(id.0), reads)
+            .expect("unbounded pool never refuses an allocation");
         // Charge the degraded cluster's buffer server: the group is held
         // there until delivered ("a cluster in degraded mode sends the
         // data read from the disk to the buffer server"), draining one
@@ -618,8 +634,10 @@ impl SchemeScheduler for NonClusteredScheduler {
 
         // 1. Normal-schedule reads + group-at-a-time + delayed-window
         //    planning for groups starting this cycle.
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
-        for id in ids.clone() {
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
+        for id in ids.iter().copied() {
             let s = self.streams[&id].clone();
             let Some((g, i)) = self.position_at(&s, cycle) else {
                 continue;
@@ -630,7 +648,11 @@ impl SchemeScheduler for NonClusteredScheduler {
 
             if i == 0 {
                 if self.group_at_a_time(cluster, t_g) {
-                    let d = self.degraded.get(&cluster).cloned().expect("degraded");
+                    let d = self
+                        .degraded
+                        .get(&cluster)
+                        .cloned()
+                        .expect("group_at_a_time is only true for degraded clusters");
                     let parity_pos = geometry.disks_per_cluster() - 1;
                     let parity_alive =
                         d.failed_pos != parity_pos && !d.also_failed.contains(&parity_pos);
@@ -638,7 +660,11 @@ impl SchemeScheduler for NonClusteredScheduler {
                     continue;
                 }
                 if self.delayed_window(cluster, t_g) {
-                    let d = self.degraded.get(&cluster).cloned().expect("degraded");
+                    let d = self
+                        .degraded
+                        .get(&cluster)
+                        .cloned()
+                        .expect("delayed_window is only true for degraded clusters");
                     let parity_alive = d.failed_pos != geometry.disks_per_cluster() - 1;
                     self.plan_delayed_group_events(id, &s, g, d.failed_pos, parity_alive);
                     // Normal per-cycle reads still apply below for the
@@ -678,7 +704,9 @@ impl SchemeScheduler for NonClusteredScheduler {
                             purpose: ReadPurpose::Delivery,
                         },
                     );
-                    self.buffers.alloc(OwnerId(id.0), 1).expect("unbounded");
+                    self.buffers
+                        .alloc(OwnerId(id.0), 1)
+                        .expect("unbounded pool never refuses an allocation");
                     self.deferred_frees
                         .entry(cycle + 1)
                         .or_default()
@@ -694,13 +722,13 @@ impl SchemeScheduler for NonClusteredScheduler {
                     // XOR-accumulator charge marker.
                     self.buffers
                         .alloc(OwnerId(read.stream.0), 1)
-                        .expect("unbounded");
+                        .expect("unbounded pool never refuses an allocation");
                     continue;
                 }
                 plan.push_read(disk, read);
                 self.buffers
                     .alloc(OwnerId(read.stream.0), 1)
-                    .expect("unbounded");
+                    .expect("unbounded pool never refuses an allocation");
                 // Freed at the block's delivery cycle — registered by the
                 // transition planner (deferred_frees). Parity reads are
                 // absorbed into the reconstruction: free next cycle.
@@ -721,15 +749,19 @@ impl SchemeScheduler for NonClusteredScheduler {
         //    boundary), the excess reconstruction reads are displaced too
         //    and their blocks are lost — the hardware budget is absolute.
         let cap = self.config.slots_per_disk();
-        let mut displaced: Vec<LostBlock> = Vec::new();
-        let mut displaced_parity: Vec<(StreamId, u64)> = Vec::new();
+        let mut displaced = std::mem::take(&mut self.displaced_scratch);
+        displaced.clear();
+        let mut displaced_parity = std::mem::take(&mut self.displaced_parity_scratch);
+        displaced_parity.clear();
+        let mut keep = std::mem::take(&mut self.keep_scratch);
+        let mut spill = std::mem::take(&mut self.spill_scratch);
         for (_disk, reads) in plan.reads.iter_mut() {
             if reads.len() <= cap {
                 continue;
             }
             // Stable partition: keep high-priority reads first.
-            let mut keep: Vec<PlannedRead> = Vec::with_capacity(cap);
-            let mut spill: Vec<PlannedRead> = Vec::new();
+            keep.clear();
+            spill.clear();
             for r in reads.iter().copied() {
                 if r.purpose != ReadPurpose::Delivery {
                     keep.push(r);
@@ -740,10 +772,13 @@ impl SchemeScheduler for NonClusteredScheduler {
             // Reconstruction overload: spill the most recently planned
             // high-priority reads beyond capacity.
             while keep.len() > cap {
-                spill.push(keep.pop().expect("non-empty"));
+                spill.push(
+                    keep.pop()
+                        .expect("loop condition guarantees keep is non-empty"),
+                );
             }
             let mut room = cap.saturating_sub(keep.len());
-            for r in spill {
+            for r in spill.drain(..) {
                 if room > 0 && r.purpose == ReadPurpose::Delivery {
                     keep.push(r);
                     room -= 1;
@@ -786,9 +821,12 @@ impl SchemeScheduler for NonClusteredScheduler {
                 }
             }
             debug_assert!(keep.len() <= cap);
-            *reads = keep;
+            reads.clear();
+            reads.extend_from_slice(&keep);
         }
-        for (sid, group) in displaced_parity {
+        self.keep_scratch = keep;
+        self.spill_scratch = spill;
+        for (sid, group) in displaced_parity.drain(..) {
             // Find the reconstruction this parity read was serving.
             let target = self
                 .reconstructions
@@ -809,27 +847,31 @@ impl SchemeScheduler for NonClusteredScheduler {
                 }
             }
         }
-        for loss in displaced {
+        for loss in displaced.drain(..) {
             self.record_loss(loss);
         }
+        self.displaced_scratch = displaced;
+        self.displaced_parity_scratch = displaced_parity;
 
         // Deliveries and hiccups: block (g, q) is delivered at
         //    `t_g + q + 1` unless recorded lost.
         let losses_now = self.pending_losses.remove(&cycle).unwrap_or_default();
-        let lost_keys: BTreeSet<(StreamId, u64, u32)> = losses_now
-            .iter()
-            .filter_map(|l| match l.addr.kind {
-                mms_layout::BlockKind::Data(ix) => Some((l.stream, l.addr.group, ix)),
-                mms_layout::BlockKind::Parity => None,
-            })
-            .collect();
-        for loss in losses_now {
+        for loss in losses_now.iter().copied() {
             if let Some(st) = self.streams.get_mut(&loss.stream) {
                 st.lost += 1;
             }
             plan.hiccups.push(loss);
         }
-        for id in ids {
+        // Whether block (id, g, q) is among this cycle's losses. The list
+        // is tiny (bounded by one loss per stream per cycle), so a linear
+        // scan beats building a set — and allocates nothing.
+        let is_lost = |id: StreamId, g: u64, q: u32| {
+            losses_now.iter().any(|l| match l.addr.kind {
+                mms_layout::BlockKind::Data(ix) => l.stream == id && l.addr.group == g && ix == q,
+                mms_layout::BlockKind::Parity => false,
+            })
+        };
+        for id in ids.iter().copied() {
             let Some(s) = self.streams.get(&id).cloned() else {
                 continue;
             };
@@ -843,13 +885,16 @@ impl SchemeScheduler for NonClusteredScheduler {
                 continue;
             }
             let blocks = self.blocks_in_group(s.tracks, g);
-            if q < blocks && !lost_keys.contains(&(id, g, q)) {
+            if q < blocks && !is_lost(id, g, q) {
                 plan.deliveries.push(Delivery {
                     stream: id,
                     addr: BlockAddr::data(s.object, g, q),
                     reconstructed: self.reconstructions.remove(&(id, g, q)),
                 });
-                let st = self.streams.get_mut(&id).expect("live");
+                let st = self
+                    .streams
+                    .get_mut(&id)
+                    .expect("delivery loop checks the stream is still live above");
                 st.delivered += 1;
             }
             // Stream finishes after its final group's last real block's
@@ -879,6 +924,7 @@ impl SchemeScheduler for NonClusteredScheduler {
                 }
             }
         }
+        self.ids_scratch = ids;
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, _mid_cycle: bool) -> FailureReport {
@@ -946,7 +992,9 @@ impl SchemeScheduler for NonClusteredScheduler {
                 .map(|(&id, _)| id)
                 .collect();
             for id in victims {
-                self.streams.remove(&id).expect("victim");
+                self.streams
+                    .remove(&id)
+                    .expect("victim ids were taken from the live stream map");
                 self.buffers.free_all(OwnerId(id.0));
                 report.dropped_streams.push(id);
             }

@@ -57,6 +57,11 @@ pub struct StaggeredScheduler {
     buffers: BufferPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
+    ids_scratch: Vec<StreamId>,
+    /// Recycled hiccup vectors: each read cycle swaps a stream's old
+    /// hiccup list for a pooled one instead of allocating.
+    hiccup_pool: Vec<Vec<u32>>,
 }
 
 impl StaggeredScheduler {
@@ -78,6 +83,8 @@ impl StaggeredScheduler {
             buffers: BufferPool::unbounded(),
             next_stream: 0,
             next_cycle: 0,
+            ids_scratch: Vec::new(),
+            hiccup_pool: Vec::new(),
         }
     }
 
@@ -208,7 +215,11 @@ impl SchemeScheduler for StaggeredScheduler {
         let geometry = *layout.geometry();
         let period = self.period();
 
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        // Snapshot stream ids into the reusable scratch so the passes
+        // can mutate `self.streams` without holding a borrow on it.
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
 
         // Pass 1 — reads and allocations. All of a cycle's reads are in
         // flight while the previous data is still being transmitted, so
@@ -234,7 +245,8 @@ impl SchemeScheduler for StaggeredScheduler {
             let parity_pos = geometry.disks_per_cluster() - 1;
             let parity_ok = !failed.contains(&parity_pos);
             let mut reconstructed = None;
-            let mut hiccups = Vec::new();
+            let mut hiccups = self.hiccup_pool.pop().unwrap_or_default();
+            hiccups.clear();
             let mut reads = 0usize;
             for i in 0..blocks {
                 let p = layout.data_placement(s.start_cluster, g, i);
@@ -271,15 +283,21 @@ impl SchemeScheduler for StaggeredScheduler {
             }
             // Reconstruction replaces the parity buffer with the missing
             // data block, so the group holds `reads` tracks either way.
-            self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
-            let st = self.streams.get_mut(&id).expect("live");
+            self.buffers
+                .alloc(OwnerId(id.0), reads)
+                .expect("unbounded pool never refuses an allocation");
+            let st = self
+                .streams
+                .get_mut(&id)
+                .expect("stream id snapshot only holds live streams");
             st.parity_held = parity_ok && reconstructed.is_none();
             st.reconstructed = reconstructed;
-            st.hiccups = hiccups;
+            let retired = std::mem::replace(&mut st.hiccups, hiccups);
+            self.hiccup_pool.push(retired);
         }
 
         // Pass 2 — deliveries, hiccups, and frees.
-        for id in ids {
+        for id in ids.iter().copied() {
             let Some(s) = self.streams.get(&id).cloned() else {
                 continue;
             };
@@ -295,7 +313,10 @@ impl SchemeScheduler for StaggeredScheduler {
             let blocks = self.blocks_in_group(&s, g);
             if i < blocks {
                 let addr = mms_layout::BlockAddr::data(s.object, g, i);
-                let st = self.streams.get_mut(&id).expect("live");
+                let st = self
+                    .streams
+                    .get_mut(&id)
+                    .expect("pass 2 checks the stream is still live above");
                 if st.hiccups.contains(&i) {
                     plan.hiccups.push(LostBlock {
                         stream: id,
@@ -311,12 +332,17 @@ impl SchemeScheduler for StaggeredScheduler {
                         reconstructed: st.reconstructed == Some(i),
                     });
                     st.delivered += 1;
-                    self.buffers.free(OwnerId(id.0), 1).expect("held");
+                    self.buffers
+                        .free(OwnerId(id.0), 1)
+                        .expect("every delivered block was allocated at its read cycle");
                 }
                 if g + 1 == st.groups && i + 1 == blocks {
                     plan.finished.push(id);
                     let class = st.class;
-                    *self.class_load.get_mut(&class).expect("class") -= 1;
+                    *self
+                        .class_load
+                        .get_mut(&class)
+                        .expect("admission registered this stream's class") -= 1;
                     self.streams.remove(&id);
                     self.buffers.free_all(OwnerId(id.0));
                     continue;
@@ -326,17 +352,28 @@ impl SchemeScheduler for StaggeredScheduler {
 
         // End of cycle: groups read this cycle are fully resident, so
         // their parity tracks are no longer needed for failure masking.
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
-        for id in ids {
-            let s = self.streams.get(&id).expect("live");
+        // Refill the snapshot: pass 2 may have retired streams.
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
+        for id in ids.iter().copied() {
+            let s = self
+                .streams
+                .get(&id)
+                .expect("stream id snapshot only holds live streams");
             if cycle >= s.start_cycle && (cycle - s.start_cycle).is_multiple_of(period) {
-                let st = self.streams.get_mut(&id).expect("live");
+                let st = self
+                    .streams
+                    .get_mut(&id)
+                    .expect("stream id snapshot only holds live streams");
                 if st.parity_held {
                     st.parity_held = false;
-                    self.buffers.free(OwnerId(id.0), 1).expect("held parity");
+                    self.buffers
+                        .free(OwnerId(id.0), 1)
+                        .expect("parity_held implies a parity buffer is allocated");
                 }
             }
         }
+        self.ids_scratch = ids;
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, _mid_cycle: bool) -> FailureReport {

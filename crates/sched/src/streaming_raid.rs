@@ -58,6 +58,12 @@ pub struct StreamingRaidScheduler {
     next_stream: u64,
     next_cycle: u64,
     catastrophic: bool,
+    /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
+    ids_scratch: Vec<StreamId>,
+    /// Reusable staging area for the groups read this cycle.
+    incoming_scratch: Vec<(StreamId, Vec<u32>, Vec<u32>, usize)>,
+    /// Recycled index vectors for reconstruction/hiccup lists.
+    vec_pool: Vec<Vec<u32>>,
 }
 
 impl StreamingRaidScheduler {
@@ -82,6 +88,9 @@ impl StreamingRaidScheduler {
             next_stream: 0,
             next_cycle: 0,
             catastrophic: false,
+            ids_scratch: Vec::new(),
+            incoming_scratch: Vec::new(),
+            vec_pool: Vec::new(),
         }
     }
 
@@ -206,14 +215,19 @@ impl SchemeScheduler for StreamingRaidScheduler {
         let layout = self.catalog.layout();
         let geometry = *layout.geometry();
 
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        // Snapshot stream ids into the reusable scratch so the passes
+        // can mutate `self.streams` without holding a borrow on it.
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.streams.keys().copied());
 
         // Pass 1 — reads and allocations for every stream. All of a
         // cycle's reads are in flight while the previous groups are
         // still being transmitted, so allocations logically precede the
         // frees of the same cycle; the pool's high-water mark then
         // measures the paper's 2C-per-stream peak.
-        let mut incoming: Vec<(StreamId, Vec<u32>, Vec<u32>, usize)> = Vec::new();
+        let mut incoming = std::mem::take(&mut self.incoming_scratch);
+        incoming.clear();
         for id in ids.iter().copied() {
             let s = self.streams[&id].clone();
             if cycle < s.start_cycle {
@@ -223,8 +237,10 @@ impl SchemeScheduler for StreamingRaidScheduler {
             if read_group >= s.groups {
                 continue;
             }
-            let mut reconstructed = Vec::new();
-            let mut hiccups = Vec::new();
+            let mut reconstructed = self.vec_pool.pop().unwrap_or_default();
+            reconstructed.clear();
+            let mut hiccups = self.vec_pool.pop().unwrap_or_default();
+            hiccups.clear();
             let blocks = self.blocks_in_group(&s, read_group);
             let cluster = layout.data_cluster(s.start_cluster, read_group);
             let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
@@ -270,12 +286,14 @@ impl SchemeScheduler for StreamingRaidScheduler {
             // materializes in the parity buffer), held until its
             // delivery completes next cycle; the paper charges the full
             // 2C per stream, which this reproduces at steady state.
-            self.buffers.alloc(OwnerId(id.0), reads).expect("unbounded");
+            self.buffers
+                .alloc(OwnerId(id.0), reads)
+                .expect("unbounded pool never refuses an allocation");
             incoming.push((id, reconstructed, hiccups, reads));
         }
 
         // Pass 2 — deliveries of the groups read last cycle, and frees.
-        for id in ids {
+        for id in ids.iter().copied() {
             let Some(s) = self.streams.get(&id).cloned() else {
                 continue;
             };
@@ -325,14 +343,23 @@ impl SchemeScheduler for StreamingRaidScheduler {
             }
         }
 
-        // Commit the just-read groups' reconstruction/hiccup state.
-        for (id, reconstructed, hiccups, buffered) in incoming {
+        // Commit the just-read groups' reconstruction/hiccup state,
+        // recycling the vectors the new state displaces (or carries,
+        // for streams retired in pass 2).
+        for (id, reconstructed, hiccups, buffered) in incoming.drain(..) {
             if let Some(st) = self.streams.get_mut(&id) {
-                st.pending_reconstructed = reconstructed;
-                st.pending_hiccups = hiccups;
+                let old_rec = std::mem::replace(&mut st.pending_reconstructed, reconstructed);
+                let old_hic = std::mem::replace(&mut st.pending_hiccups, hiccups);
                 st.pending_buffered = buffered;
+                self.vec_pool.push(old_rec);
+                self.vec_pool.push(old_hic);
+            } else {
+                self.vec_pool.push(reconstructed);
+                self.vec_pool.push(hiccups);
             }
         }
+        self.incoming_scratch = incoming;
+        self.ids_scratch = ids;
 
         // Sanity: no disk over capacity. Admission control guarantees it.
         let cap = self.config.slots_per_disk();

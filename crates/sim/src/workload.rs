@@ -33,7 +33,9 @@ impl Zipf {
             *w = acc;
         }
         // Guard the tail against floating point dust.
-        *weights.last_mut().expect("non-empty") = 1.0;
+        *weights
+            .last_mut()
+            .expect("a zipf distribution has at least one weight") = 1.0;
         Zipf { cdf: weights }
     }
 
