@@ -240,11 +240,9 @@ fn main() {
         sim.allocs_per_cycle, sim.cycles
     );
 
-    let alloc_reduction = if del.streaming_allocs_per > 0.0 {
-        format!("{:.1}", del.legacy_allocs_per / del.streaming_allocs_per)
-    } else {
-        "null".to_string()
-    };
+    // A ratio degenerates (division by zero) precisely when the pooled
+    // path wins outright; the difference stays meaningful at 0.
+    let allocs_eliminated = del.legacy_allocs_per - del.streaming_allocs_per;
     let json = format!(
         "{{\n\
          \x20 \"quick\": {quick},\n\
@@ -262,7 +260,7 @@ fn main() {
          \x20   \"legacy_allocs_per_delivery\": {lal:.2},\n\
          \x20   \"streaming_deliveries_per_s\": {sps:.1},\n\
          \x20   \"streaming_allocs_per_delivery\": {sal:.2},\n\
-         \x20   \"alloc_reduction\": {red}\n\
+         \x20   \"allocs_eliminated_per_delivery\": {red:.2}\n\
          \x20 }},\n\
          \x20 \"simulator\": {{\n\
          \x20   \"scheme\": \"sr\",\n\
@@ -282,7 +280,7 @@ fn main() {
         lal = del.legacy_allocs_per,
         sps = del.streaming_per_s,
         sal = del.streaming_allocs_per,
-        red = alloc_reduction,
+        red = allocs_eliminated,
         cycles = sim.cycles,
         apc = sim.allocs_per_cycle,
     );

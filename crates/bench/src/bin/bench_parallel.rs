@@ -155,10 +155,16 @@ fn main() {
     json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!("  \"thread_counts\": {THREAD_COUNTS:?},\n"));
     json.push_str(&format!("  \"all_bit_identical\": {all_identical},\n"));
-    json.push_str(
+    json.push_str(&format!(
         "  \"note\": \"wall-clock medians of 3 runs; speedup = seconds at 1 thread / best; \
-         parallel speedup requires host_cores > 1\",\n",
-    );
+         parallel speedup requires host_cores > 1{}\",\n",
+        if host_cores == 1 {
+            " — this run used a 1-core host, so the timings document determinism and pool \
+             overhead, not speedup"
+        } else {
+            ""
+        }
+    ));
     json.push_str("  \"workloads\": {\n");
     for (i, w) in workloads.iter().enumerate() {
         let t1 = w.seconds[0].1;

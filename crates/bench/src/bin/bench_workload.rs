@@ -1,0 +1,268 @@
+//! Stall-rate vs. utilization curves for the four schemes under the
+//! heavy-traffic session engine, written to `BENCH_workload.json`.
+//!
+//! The grid is scheme (SR/SG/NC/IB) x offered load (fraction of the
+//! scheme's admission capacity) x mode (normal, or degraded by a single
+//! disk failure early in the run). Every cell runs the full session
+//! lifecycle — Zipf popularity, Poisson arrivals at the load-matched
+//! rate, a mean-1 VBR ladder, 10% viewer abandonment, Reject admission —
+//! in `DataMode::MetadataOnly`, and reports the utilization the server
+//! actually sustained against the stall (hiccup) rate its viewers saw.
+//!
+//! The whole grid is executed three times, at 1, 2, and 8 worker
+//! threads, through `run_batch_seeded`; `bit_identical` records that all
+//! three produced byte-for-byte the same numbers, which is the
+//! determinism contract and must hold on any host.
+//!
+//! Usage: `bench_workload [output.json] [--quick]`
+//!
+//! `--quick` shrinks the per-cell horizon for CI smoke runs; the default
+//! horizon offers over a million sessions across the grid (a
+//! "million-session day").
+
+use mms_server::disk::DiskId;
+use mms_server::layout::{BandwidthClass, MediaObject, ObjectId};
+use mms_server::sim::{
+    run_batch_seeded, AdmissionPolicy, ArrivalProcess, DataMode, FailureEvent, SessionEngine,
+};
+use mms_server::{Parallelism, Scheme, ServerBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const SCHEMES: [(Scheme, &str); 4] = [
+    (Scheme::StreamingRaid, "SR"),
+    (Scheme::StaggeredGroup, "SG"),
+    (Scheme::NonClustered, "NC"),
+    (Scheme::ImprovedBandwidth, "IB"),
+];
+/// Offered load as a fraction of each scheme's stream capacity; past 1.0
+/// the admission policy is what separates the schemes' viewer experience.
+const LOADS: [f64; 6] = [0.5, 0.7, 0.85, 1.0, 1.2, 1.5];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const SEED: u64 = 1995;
+const MOVIES: usize = 16;
+const TRACKS: u64 = 200;
+const THETA: f64 = 0.271;
+const ABANDON: f64 = 0.1;
+/// Mean-1 ladder: load targeting stays exact while holds still vary.
+const VBR_LADDER: [f64; 3] = [0.75, 1.0, 1.25];
+
+#[derive(Clone, Copy)]
+struct Cell {
+    scheme: Scheme,
+    label: &'static str,
+    load: f64,
+    degraded: bool,
+}
+
+#[derive(Clone, PartialEq)]
+struct CellResult {
+    label: &'static str,
+    load: f64,
+    degraded: bool,
+    rate: f64,
+    offered: u64,
+    admitted: u64,
+    blocking_rate: f64,
+    delivered: u64,
+    hiccups: u64,
+    stall_rate: f64,
+    utilization: f64,
+}
+
+fn run_cell(cell: &Cell, mut rng: StdRng, cycles: u64) -> CellResult {
+    let disks = if cell.scheme == Scheme::ImprovedBandwidth {
+        8
+    } else {
+        10
+    };
+    let mut builder = ServerBuilder::new(cell.scheme)
+        .disks(disks)
+        .parity_group(5)
+        .data_mode(DataMode::MetadataOnly);
+    for m in 0..MOVIES {
+        builder = builder.object(MediaObject::new(
+            ObjectId(m as u64),
+            format!("movie-{m}"),
+            TRACKS,
+            BandwidthClass::Mpeg1,
+        ));
+    }
+    let mut server = builder.build().expect("grid cell builds");
+    let cfg = server.cycle_config();
+    let nominal = TRACKS.div_ceil(cfg.k as u64) * cfg.read_period() as u64;
+    // Little's law: `load x capacity` concurrent sessions of mean hold
+    // `nominal x (1 - ABANDON/2)` cycles need this many arrivals/cycle.
+    let rate =
+        cell.load * server.stream_capacity() as f64 / (nominal as f64 * (1.0 - ABANDON / 2.0));
+    let catalog: Vec<(ObjectId, u64)> = server.objects().iter().map(|&o| (o, nominal)).collect();
+    let mut engine = SessionEngine::new(
+        catalog,
+        THETA,
+        ArrivalProcess::poisson(rate),
+        AdmissionPolicy::Reject,
+    )
+    .with_vbr(VBR_LADDER.to_vec())
+    .with_abandonment(ABANDON);
+
+    let fail_at = cycles / 10;
+    if cell.degraded {
+        server
+            .run_sessions(fail_at, &mut engine, &mut rng)
+            .expect("warmup");
+        server
+            .inject(FailureEvent::fail(fail_at, DiskId(2)))
+            .expect("single failure is survivable");
+        server
+            .run_sessions(cycles - fail_at, &mut engine, &mut rng)
+            .expect("degraded run");
+    } else {
+        server
+            .run_sessions(cycles, &mut engine, &mut rng)
+            .expect("normal run");
+    }
+
+    let s = engine.stats();
+    let m = server.metrics();
+    let hiccups = m.total_hiccups();
+    let scheduled = m.delivered + hiccups;
+    CellResult {
+        label: cell.label,
+        load: cell.load,
+        degraded: cell.degraded,
+        rate,
+        offered: s.offered,
+        admitted: s.admitted,
+        blocking_rate: s.blocking_rate(),
+        delivered: m.delivered,
+        hiccups,
+        stall_rate: if scheduled == 0 {
+            0.0
+        } else {
+            hiccups as f64 / scheduled as f64
+        },
+        utilization: m.utilization(server.cycle_config().t_cyc(), disks),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_workload.json".into());
+    // 20k cycles/cell offers ~1.2M sessions over the 48-cell grid.
+    let cycles: u64 = if quick { 300 } else { 20_000 };
+
+    let grid: Vec<Cell> = SCHEMES
+        .into_iter()
+        .flat_map(|(scheme, label)| {
+            LOADS.into_iter().flat_map(move |load| {
+                [false, true].into_iter().map(move |degraded| Cell {
+                    scheme,
+                    label,
+                    load,
+                    degraded,
+                })
+            })
+        })
+        .collect();
+    println!(
+        "{} cells ({} schemes x {} loads x normal/degraded), {cycles} cycles each",
+        grid.len(),
+        SCHEMES.len(),
+        LOADS.len()
+    );
+
+    let mut runs: Vec<(usize, f64, Vec<CellResult>)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        #[allow(clippy::disallowed_methods)] // benchmark timing is wall-clock by definition
+        let start = Instant::now();
+        let results = run_batch_seeded(
+            Parallelism::threads(threads),
+            &mut StdRng::seed_from_u64(SEED),
+            &grid,
+            |cell, rng| run_cell(cell, rng, cycles),
+        );
+        let secs = start.elapsed().as_secs_f64();
+        println!("{threads} thread(s): {secs:.2}s");
+        runs.push((threads, secs, results));
+    }
+    let bit_identical = runs.iter().all(|(_, _, r)| *r == runs[0].2);
+    let results = &runs[0].2;
+    let offered_total: u64 = results.iter().map(|r| r.offered).sum();
+    println!("sessions offered (per grid pass): {offered_total}");
+    println!("bit-identical across {THREAD_COUNTS:?} threads: {bit_identical}");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"cycles_per_cell\": {cycles},\n"));
+    json.push_str(&format!(
+        "  \"catalog\": \"{MOVIES} movies x {TRACKS} tracks, Zipf theta {THETA}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"engine\": \"Poisson arrivals at load-matched rate, VBR ladder {VBR_LADDER:?}, \
+         abandonment {ABANDON}, Reject admission\",\n"
+    ));
+    json.push_str(&format!("  \"sessions_offered_total\": {offered_total},\n"));
+    json.push_str(&format!("  \"thread_counts\": {THREAD_COUNTS:?},\n"));
+    json.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    json.push_str("  \"seconds_per_pass\": {");
+    json.push_str(
+        &runs
+            .iter()
+            .map(|(t, s, _)| format!("\"{t}\": {s:.2}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("},\n");
+    json.push_str(
+        "  \"note\": \"stall_rate = hiccups / (delivered + hiccups); utilization is the \
+         busy fraction of total disk-time; degraded = one disk failed at cycles/10\",\n",
+    );
+    json.push_str("  \"schemes\": {\n");
+    for (si, (_, label)) in SCHEMES.iter().enumerate() {
+        json.push_str(&format!("    \"{label}\": {{\n"));
+        for (mi, (mode, degraded)) in [("normal", false), ("degraded", true)].iter().enumerate() {
+            json.push_str(&format!("      \"{mode}\": [\n"));
+            let points: Vec<&CellResult> = results
+                .iter()
+                .filter(|r| r.label == *label && r.degraded == *degraded)
+                .collect();
+            for (pi, r) in points.iter().enumerate() {
+                json.push_str(&format!(
+                    "        {{\"load\": {:.2}, \"rate_per_cycle\": {:.4}, \"offered\": {}, \
+                     \"admitted\": {}, \"blocking_rate\": {:.4}, \"utilization\": {:.4}, \
+                     \"stall_rate\": {:.6}, \"delivered\": {}, \"hiccups\": {}}}{}\n",
+                    r.load,
+                    r.rate,
+                    r.offered,
+                    r.admitted,
+                    r.blocking_rate,
+                    r.utilization,
+                    r.stall_rate,
+                    r.delivered,
+                    r.hiccups,
+                    if pi + 1 == points.len() { "" } else { "," }
+                ));
+            }
+            json.push_str(if mi == 0 { "      ],\n" } else { "      ]\n" });
+        }
+        json.push_str(if si + 1 == SCHEMES.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+    assert!(
+        bit_identical,
+        "determinism contract violated: results differ across thread counts"
+    );
+}

@@ -153,6 +153,10 @@ impl SchemeScheduler for AnyScheduler {
         delegate!(self, s => s.stream_info(id))
     }
 
+    fn release(&mut self, id: StreamId) -> bool {
+        delegate!(self, s => s.release(id))
+    }
+
     fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         delegate!(self, s => s.plan_cycle_into(cycle, plan))
     }

@@ -9,7 +9,8 @@ use mms_layout::{CatalogError, MediaObject, ObjectId};
 use mms_reliability::montecarlo::{CatastropheRule, MonteCarlo, TrialStats};
 use mms_sched::{CycleConfig, FailureReport, SchemeKind, SchemeScheduler, StreamId, StreamInfo};
 use mms_sim::{
-    CycleReport, FailureEvent, FailureSchedule, Metrics, RebuildSource, Simulator, WorkloadGen,
+    CycleReport, FailureEvent, FailureSchedule, Metrics, RebuildSource, SessionEngine, Simulator,
+    WorkloadGen,
 };
 use rand::Rng;
 
@@ -172,6 +173,27 @@ impl MultimediaServer {
         rng: &mut R,
     ) -> Result<u64, ServerError> {
         Ok(self.sim.run_with_workload(cycles, workload, rng)?)
+    }
+
+    /// End a viewer's stream early (they stopped watching). Buffered
+    /// groups drain and the stream retires at the next delivery
+    /// boundary; returns `false` if the stream is not active.
+    pub fn release(&mut self, id: StreamId) -> bool {
+        self.sim.release(id)
+    }
+
+    /// Simulate `cycles` cycles under a [`SessionEngine`]'s full session
+    /// lifecycle — bursty arrivals, VBR holds, abandonment, and the
+    /// configured Reject/Degrade/Queue admission policy. Counters and
+    /// admission-wait percentiles accumulate in
+    /// [`SessionEngine::stats`].
+    pub fn run_sessions<R: Rng + ?Sized>(
+        &mut self,
+        cycles: u64,
+        engine: &mut SessionEngine,
+        rng: &mut R,
+    ) -> Result<(), ServerError> {
+        Ok(self.sim.run_sessions(cycles, engine, rng)?)
     }
 
     /// Inject one failure or repair event — the single entry point for
@@ -431,6 +453,50 @@ mod tests {
             results.push(stats.mean.as_secs().to_bits());
         }
         assert_eq!(results[0], results[1], "thread count changed the MTTF");
+    }
+
+    #[test]
+    fn sessions_churn_on_every_scheme_without_hiccups() {
+        use mms_sim::{AdmissionPolicy, ArrivalProcess, SplitMix64};
+        for scheme in Scheme::ALL {
+            let mut s = server(scheme);
+            let movie = s.objects()[0];
+            let mut engine = SessionEngine::new(
+                vec![(movie, 10)],
+                0.0,
+                ArrivalProcess::poisson(2.0),
+                AdmissionPolicy::Reject,
+            )
+            .with_abandonment(0.8);
+            let mut rng = SplitMix64::new(5);
+            s.run_sessions(150, &mut engine, &mut rng).unwrap();
+            let stats = engine.stats();
+            assert!(stats.admitted > 50, "{scheme:?}: {stats:?}");
+            assert!(stats.released_early > 0, "{scheme:?}: {stats:?}");
+            // Ending a session early is not a service failure: the
+            // stream drains its buffered groups and retires cleanly.
+            assert_eq!(s.metrics().total_hiccups(), 0, "{scheme:?}");
+            assert_eq!(s.metrics().catastrophes, 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn release_is_idempotent_and_rejects_unknown_streams() {
+        let mut s = server(Scheme::StreamingRaid);
+        let movie = s.objects()[0];
+        let id = s.admit(movie).unwrap();
+        // Nothing read yet: the stream retires immediately.
+        assert!(s.release(id));
+        assert_eq!(s.active_streams(), 0);
+        assert!(!s.release(id), "second release of the same stream");
+        assert!(!s.release(StreamId(999)), "never-admitted stream");
+        // The freed slot is reusable and plays to completion.
+        let id2 = s.admit(movie).unwrap();
+        s.run(5).unwrap();
+        assert!(s.release(id2), "release mid-flight truncates");
+        s.run(40).unwrap();
+        assert_eq!(s.active_streams(), 0);
+        assert_eq!(s.metrics().total_hiccups(), 0);
     }
 
     #[test]

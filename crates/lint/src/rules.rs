@@ -192,6 +192,48 @@ pub const HOT_FNS: &[HotFn] = &[
         name: "verify_delivery",
         why: "zero-allocation delivery verification",
     },
+    HotFn {
+        file: "crates/sim/src/workload.rs",
+        impl_type: None,
+        name: "poisson",
+        why: "per-cycle arrival sampling",
+    },
+    HotFn {
+        file: "crates/sim/src/workload.rs",
+        impl_type: Some("ArrivalProcess"),
+        name: "arrivals",
+        why: "per-cycle arrival-process step",
+    },
+    HotFn {
+        file: "crates/sim/src/workload.rs",
+        impl_type: Some("SessionEngine"),
+        name: "tick",
+        why: "per-cycle session lifecycle",
+    },
+    HotFn {
+        file: "crates/sim/src/workload.rs",
+        impl_type: Some("SessionEngine"),
+        name: "admit_session",
+        why: "per-arrival admission decision",
+    },
+    HotFn {
+        file: "crates/sim/src/workload.rs",
+        impl_type: Some("SessionEngine"),
+        name: "sample_hold",
+        why: "per-arrival VBR/abandonment draw",
+    },
+    HotFn {
+        file: "crates/sim/src/simulator.rs",
+        impl_type: Some("Simulator"),
+        name: "run_sessions",
+        why: "session-driven simulation loop",
+    },
+    HotFn {
+        file: "crates/telemetry/src/quantile.rs",
+        impl_type: Some("P2Quantile"),
+        name: "observe",
+        why: "streaming quantile update (per admission)",
+    },
 ];
 
 /// One entry of the paper-equation registry.
@@ -440,6 +482,11 @@ const HOT_FORBIDDEN: &[(&[&str], &str)] = &[
     (&["Box", ":", ":", "new"], "Box::new"),
     (&["format", "!"], "format!"),
     (&[".", "collect"], ".collect()"),
+    // Cloning a stream entry or failure set hides a heap allocation the
+    // moment the struct holds a non-empty Vec/BTreeSet; planners must
+    // copy scalar fields or hold a shared borrow instead.
+    (&[".", "clone"], ".clone()"),
+    (&[".", "cloned"], ".cloned()"),
 ];
 
 /// `hot-path-alloc`: registered hot functions must not allocate via the

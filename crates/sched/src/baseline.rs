@@ -23,8 +23,9 @@ use mms_disk::DiskId;
 use mms_layout::{BlockAddr, Catalog, ClusteredLayout, Layout, ObjectId};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Per-stream state.
-#[derive(Debug, Clone)]
+/// Per-stream state. All fields are scalars, so the snapshot taken by
+/// `plan_cycle_into` is a plain copy — no heap traffic on the hot path.
+#[derive(Debug, Clone, Copy)]
 struct BlStream {
     object: ObjectId,
     start_cluster: u32,
@@ -166,6 +167,28 @@ impl SchemeScheduler for BaselineScheduler {
         })
     }
 
+    fn release(&mut self, id: StreamId) -> bool {
+        let bpg = self.bpg();
+        let Some(st) = self.streams.get_mut(&id) else {
+            return false;
+        };
+        // One block is read per cycle, `bpg` cycles per group, so the
+        // started-group count is the ceiling of the elapsed span.
+        let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
+        let started = elapsed.div_ceil(bpg);
+        if started == 0 {
+            // Nothing read yet: retire immediately. Admission counts
+            // live streams directly, so no class bookkeeping to undo.
+            self.streams.remove(&id);
+            self.buffers.free_all(OwnerId(id.0));
+            return true;
+        }
+        // Truncate to the started group; its remaining blocks drain and
+        // the normal finish path retires the stream.
+        st.groups = st.groups.min(started);
+        true
+    }
+
     fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
@@ -182,7 +205,7 @@ impl SchemeScheduler for BaselineScheduler {
         // disk is simply not read — the hiccup surfaces at delivery
         // time next cycle when the same placement check fails again.
         for id in ids.iter().copied() {
-            let s = self.streams[&id].clone();
+            let s = self.streams[&id];
             if cycle < s.start_cycle {
                 continue;
             }
@@ -214,7 +237,7 @@ impl SchemeScheduler for BaselineScheduler {
 
         // Deliveries: the block read last cycle.
         for id in ids.iter().copied() {
-            let Some(s) = self.streams.get(&id).cloned() else {
+            let Some(s) = self.streams.get(&id).copied() else {
                 continue;
             };
             if cycle < s.start_cycle + 1 {

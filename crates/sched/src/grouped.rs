@@ -96,9 +96,9 @@ impl GroupedScheduler {
         self.config.read_period() as u64
     }
 
-    fn blocks_in_group(&self, s: &GrStream, g: u64) -> u32 {
+    fn blocks_in_group(&self, tracks: u64, g: u64) -> u32 {
         let bpg = u64::from(self.catalog.layout().blocks_per_group());
-        (s.tracks - g * bpg).min(bpg) as u32
+        (tracks - g * bpg).min(bpg) as u32
     }
 
     fn class_of(&self, h: u32, at_cycle: u64) -> (u32, u32) {
@@ -187,6 +187,28 @@ impl SchemeScheduler for GroupedScheduler {
         })
     }
 
+    fn release(&mut self, id: StreamId) -> bool {
+        let period = self.period();
+        let Some(st) = self.streams.get_mut(&id) else {
+            return false;
+        };
+        // Group g is read at `start + g·period`, so the resident count
+        // is the ceiling of the elapsed span over the period.
+        let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
+        let read = elapsed.div_ceil(period);
+        if read == 0 {
+            // Nothing read yet: retire immediately. Admission counts
+            // live streams directly, so no class bookkeeping to undo.
+            self.streams.remove(&id);
+            self.buffers.free_all(OwnerId(id.0));
+            return true;
+        }
+        // Truncate to what was read; the in-flight group drains and the
+        // normal finish path in pass 2 retires the stream.
+        st.groups = st.groups.min(read);
+        true
+    }
+
     fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
@@ -204,28 +226,33 @@ impl SchemeScheduler for GroupedScheduler {
 
         // Pass 1 — whole-group reads at each stream's read cycles.
         for id in ids.iter().copied() {
-            let s = self.streams[&id].clone();
-            if cycle < s.start_cycle || !(cycle - s.start_cycle).is_multiple_of(period) {
+            // Copy the scalar fields instead of cloning the entry: the
+            // hiccups vector makes a full clone allocate under failures.
+            let (object, start_cluster, groups, tracks, start_cycle) = {
+                let s = &self.streams[&id];
+                (s.object, s.start_cluster, s.groups, s.tracks, s.start_cycle)
+            };
+            if cycle < start_cycle || !(cycle - start_cycle).is_multiple_of(period) {
                 continue;
             }
-            let g = (cycle - s.start_cycle) / period;
-            if g >= s.groups {
+            let g = (cycle - start_cycle) / period;
+            if g >= groups {
                 continue;
             }
-            let blocks = self.blocks_in_group(&s, g);
-            let cluster = layout.data_cluster(s.start_cluster, g);
-            let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
+            let blocks = self.blocks_in_group(tracks, g);
+            let cluster = layout.data_cluster(start_cluster, g);
+            let failed = self.failed.get(&cluster);
             let parity_pos = geometry.disks_per_cluster() - 1;
-            let parity_ok = !failed.contains(&parity_pos);
+            let parity_ok = failed.is_none_or(|f| !f.contains(&parity_pos));
             let mut reconstructed = None;
             let mut hiccups = self.hiccup_pool.pop().unwrap_or_default();
             hiccups.clear();
             let mut reads = 0usize;
             for i in 0..blocks {
-                let p = layout.data_placement(s.start_cluster, g, i);
+                let p = layout.data_placement(start_cluster, g, i);
                 let pos = geometry.position_in_cluster(p.disk);
-                if failed.contains(&pos) {
-                    if failed.len() == 1 && parity_ok {
+                if failed.is_some_and(|f| f.contains(&pos)) {
+                    if failed.map_or(0, std::collections::BTreeSet::len) == 1 && parity_ok {
                         reconstructed = Some(i);
                     } else {
                         hiccups.push(i);
@@ -235,7 +262,7 @@ impl SchemeScheduler for GroupedScheduler {
                         p.disk,
                         PlannedRead {
                             stream: id,
-                            addr: mms_layout::BlockAddr::data(s.object, g, i),
+                            addr: mms_layout::BlockAddr::data(object, g, i),
                             purpose: ReadPurpose::Delivery,
                         },
                     );
@@ -243,12 +270,12 @@ impl SchemeScheduler for GroupedScheduler {
                 }
             }
             if parity_ok {
-                let pp = layout.parity_placement(s.start_cluster, g);
+                let pp = layout.parity_placement(start_cluster, g);
                 plan.push_read(
                     pp.disk,
                     PlannedRead {
                         stream: id,
-                        addr: mms_layout::BlockAddr::parity(s.object, g),
+                        addr: mms_layout::BlockAddr::parity(object, g),
                         purpose: ReadPurpose::Parity,
                     },
                 );
@@ -270,22 +297,28 @@ impl SchemeScheduler for GroupedScheduler {
         // Pass 2 — deliver k' tracks per cycle, offset one cycle after
         // the read cycle, and free per delivery.
         for id in ids.iter().copied() {
-            let Some(s) = self.streams.get(&id).cloned() else {
+            // Scalar copies again: the mutable re-borrow in the loop body
+            // must not overlap a borrow of the stream entry.
+            let Some((object, groups, tracks, start_cycle)) = self
+                .streams
+                .get(&id)
+                .map(|s| (s.object, s.groups, s.tracks, s.start_cycle))
+            else {
                 continue;
             };
-            if cycle < s.start_cycle + 1 {
+            if cycle < start_cycle + 1 {
                 continue;
             }
-            let rel = cycle - s.start_cycle - 1;
+            let rel = cycle - start_cycle - 1;
             let g = rel / period;
-            if g >= s.groups {
+            if g >= groups {
                 continue;
             }
-            let blocks = self.blocks_in_group(&s, g);
+            let blocks = self.blocks_in_group(tracks, g);
             let first = (rel % period) * k_prime;
             for i in first..(first + k_prime).min(u64::from(blocks)) {
                 let i = i as u32;
-                let addr = mms_layout::BlockAddr::data(s.object, g, i);
+                let addr = mms_layout::BlockAddr::data(object, g, i);
                 let st = self
                     .streams
                     .get_mut(&id)

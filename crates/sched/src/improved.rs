@@ -23,8 +23,28 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-group-read bookkeeping gathered in pass 1 of `plan_cycle`:
 /// reconstructed block indices, hiccup indices with reasons, and the
-/// buffer tracks charged.
-type IncomingGroup = (Vec<u32>, Vec<(u32, LossReason)>, usize);
+/// buffer tracks charged. Entries live in a reusable Vec sorted by
+/// stream id; a dropped stream clears `live` (its vectors return to the
+/// pools immediately) instead of removing the entry, so the staging
+/// structure itself never reallocates at steady state.
+#[derive(Debug)]
+struct IncomingEntry {
+    stream: StreamId,
+    reconstructed: Vec<u32>,
+    hiccups: Vec<(u32, LossReason)>,
+    charged: usize,
+    live: bool,
+}
+
+/// Look up a live staging entry by stream id (entries are pushed in
+/// ascending id order, so a binary search suffices).
+fn incoming_entry(incoming: &mut [IncomingEntry], sid: StreamId) -> Option<&mut IncomingEntry> {
+    incoming
+        .binary_search_by_key(&sid, |e| e.stream)
+        .ok()
+        .map(move |ix| &mut incoming[ix])
+        .filter(|e| e.live)
+}
 
 /// Per-stream state.
 #[derive(Debug, Clone)]
@@ -83,6 +103,8 @@ pub struct ImprovedScheduler {
     rec_pool: Vec<Vec<u32>>,
     /// Recycled `pending_hiccups` vectors (swapped per read cycle).
     hic_pool: Vec<Vec<(u32, LossReason)>>,
+    /// Reusable pass-1 staging table (sorted by stream id).
+    incoming_scratch: Vec<IncomingEntry>,
 }
 
 impl ImprovedScheduler {
@@ -130,6 +152,7 @@ impl ImprovedScheduler {
             parity_scratch: Vec::new(),
             rec_pool: Vec::new(),
             hic_pool: Vec::new(),
+            incoming_scratch: Vec::new(),
         }
     }
 
@@ -260,6 +283,26 @@ impl SchemeScheduler for ImprovedScheduler {
         })
     }
 
+    fn release(&mut self, id: StreamId) -> bool {
+        let Some(st) = self.streams.get_mut(&id) else {
+            return false;
+        };
+        // One group is read per cycle, so `elapsed` groups are resident.
+        let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
+        if elapsed == 0 {
+            // Nothing read yet: retire immediately, returning the slot.
+            let class = st.class as usize;
+            self.class_load[class] -= 1;
+            self.streams.remove(&id);
+            self.buffers.free_all(OwnerId(id.0));
+            return true;
+        }
+        // Truncate to what was read; the normal finish path in pass 3
+        // delivers the final resident group and retires the stream.
+        st.groups = st.groups.min(elapsed);
+        true
+    }
+
     fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
@@ -283,29 +326,35 @@ impl SchemeScheduler for ImprovedScheduler {
         // (2(C−1) per stream).
         let mut parity_needed = std::mem::take(&mut self.parity_scratch);
         parity_needed.clear();
-        let mut incoming: BTreeMap<StreamId, IncomingGroup> = BTreeMap::new();
+        let mut incoming = std::mem::take(&mut self.incoming_scratch);
+        incoming.clear();
         for id in ids.iter().copied() {
-            let s = self.streams[&id].clone();
-            if cycle < s.start_cycle {
+            // Copy the scalar fields out of the stream entry instead of
+            // cloning it: the pending_* vectors make a full clone allocate.
+            let (object, start_cluster, groups, tracks, start_cycle) = {
+                let s = &self.streams[&id];
+                (s.object, s.start_cluster, s.groups, s.tracks, s.start_cycle)
+            };
+            if cycle < start_cycle {
                 continue;
             }
-            let read_group = cycle - s.start_cycle;
-            if read_group >= s.groups {
+            let read_group = cycle - start_cycle;
+            if read_group >= groups {
                 continue;
             }
             let mut reconstructed = self.rec_pool.pop().unwrap_or_default();
             reconstructed.clear();
             let mut hiccups = self.hic_pool.pop().unwrap_or_default();
             hiccups.clear();
-            let blocks = self.blocks_in_group(s.tracks, read_group);
-            let cluster = layout.data_cluster(s.start_cluster, read_group);
-            let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
+            let blocks = self.blocks_in_group(tracks, read_group);
+            let cluster = layout.data_cluster(start_cluster, read_group);
+            let failed = self.failed.get(&cluster);
             let mut reads = 0usize;
             for i in 0..blocks {
-                let p = layout.data_placement(s.start_cluster, read_group, i);
+                let p = layout.data_placement(start_cluster, read_group, i);
                 let pos = geometry.position_in_cluster(p.disk);
-                if failed.contains(&pos) {
-                    if failed.len() == 1 {
+                if failed.is_some_and(|f| f.contains(&pos)) {
+                    if failed.map_or(0, std::collections::BTreeSet::len) == 1 {
                         if midcycle_disk == Some(p.disk) {
                             // Mid-cycle failure: this cycle's read on
                             // the failed disk cannot be masked — unless
@@ -314,7 +363,7 @@ impl SchemeScheduler for ImprovedScheduler {
                             hiccups.push((i, LossReason::MidCycle));
                         } else {
                             reconstructed.push(i);
-                            parity_needed.push((id, s.object, i, read_group));
+                            parity_needed.push((id, object, i, read_group));
                         }
                     } else {
                         // Two failures in one cluster: data loss.
@@ -325,7 +374,7 @@ impl SchemeScheduler for ImprovedScheduler {
                         p.disk,
                         PlannedRead {
                             stream: id,
-                            addr: BlockAddr::data(s.object, read_group, i),
+                            addr: BlockAddr::data(object, read_group, i),
                             purpose: ReadPurpose::Delivery,
                         },
                     );
@@ -335,7 +384,14 @@ impl SchemeScheduler for ImprovedScheduler {
             self.buffers
                 .alloc(OwnerId(id.0), reads)
                 .expect("unbounded pool never refuses an allocation");
-            incoming.insert(id, (reconstructed, hiccups, reads));
+            // `ids` ascends, so the staging table stays sorted by id.
+            incoming.push(IncomingEntry {
+                stream: id,
+                reconstructed,
+                hiccups,
+                charged: reads,
+                live: true,
+            });
         }
 
         // Pass 2 — place parity reads, shifting right through clusters
@@ -351,14 +407,17 @@ impl SchemeScheduler for ImprovedScheduler {
                 // No capacity anywhere: degradation of service — drop the
                 // stream whose parity could not be placed.
                 self.drop_stream(sid, cycle, plan);
-                incoming.remove(&sid);
+                if let Some(e) = incoming_entry(&mut incoming, sid) {
+                    e.live = false;
+                    self.rec_pool.push(std::mem::take(&mut e.reconstructed));
+                    self.hic_pool.push(std::mem::take(&mut e.hiccups));
+                }
                 continue;
             }
-            let s = match self.streams.get(&sid) {
-                Some(s) => s.clone(),
-                None => continue, // already dropped/finished
+            let Some(start_cluster) = self.streams.get(&sid).map(|s| s.start_cluster) else {
+                continue; // already dropped/finished
             };
-            let pp = layout.parity_placement(s.start_cluster, group);
+            let pp = layout.parity_placement(start_cluster, group);
             let disk = pp.disk;
             if !self.last_shift_path.contains(&pp.cluster) {
                 self.last_shift_path.push(pp.cluster);
@@ -371,10 +430,10 @@ impl SchemeScheduler for ImprovedScheduler {
                 .map(|f| f.contains(&parity_pos))
                 .unwrap_or(false)
             {
-                if let Some((rec, hic, _)) = incoming.get_mut(&sid) {
-                    rec.retain(|&x| x != idx);
-                    if !hic.iter().any(|(i, _)| *i == idx) {
-                        hic.push((idx, LossReason::FailedDisk));
+                if let Some(e) = incoming_entry(&mut incoming, sid) {
+                    e.reconstructed.retain(|&x| x != idx);
+                    if !e.hiccups.iter().any(|(i, _)| *i == idx) {
+                        e.hiccups.push((idx, LossReason::FailedDisk));
                     }
                 }
                 continue;
@@ -392,8 +451,8 @@ impl SchemeScheduler for ImprovedScheduler {
                 self.buffers
                     .alloc(OwnerId(sid.0), 1)
                     .expect("unbounded pool never refuses an allocation");
-                if let Some((_, _, charged)) = incoming.get_mut(&sid) {
-                    *charged += 1;
+                if let Some(e) = incoming_entry(&mut incoming, sid) {
+                    e.charged += 1;
                 }
                 continue;
             }
@@ -409,7 +468,11 @@ impl SchemeScheduler for ImprovedScheduler {
                     // Nothing displaceable (all reads are parity):
                     // degradation of service.
                     self.drop_stream(sid, cycle, plan);
-                    incoming.remove(&sid);
+                    if let Some(e) = incoming_entry(&mut incoming, sid) {
+                        e.live = false;
+                        self.rec_pool.push(std::mem::take(&mut e.reconstructed));
+                        self.hic_pool.push(std::mem::take(&mut e.hiccups));
+                    }
                 }
                 Some(ix) => {
                     let victim = plan
@@ -420,11 +483,11 @@ impl SchemeScheduler for ImprovedScheduler {
                     // The displaced block will be reconstructed via its
                     // own parity group one cluster to the right.
                     if let mms_layout::BlockKind::Data(vi) = victim.addr.kind {
-                        if let Some((rec, _, charged)) = incoming.get_mut(&victim.stream) {
-                            rec.push(vi);
+                        if let Some(e) = incoming_entry(&mut incoming, victim.stream) {
+                            e.reconstructed.push(vi);
                             // Undo the victim's data-read buffer charge;
                             // its parity read (when placed) re-charges.
-                            *charged = charged.saturating_sub(1);
+                            e.charged = e.charged.saturating_sub(1);
                         }
                         queue.push((victim.stream, victim.addr.object, vi, victim.addr.group));
                         let _ = self.buffers.free(OwnerId(victim.stream.0), 1);
@@ -441,8 +504,8 @@ impl SchemeScheduler for ImprovedScheduler {
                     self.buffers
                         .alloc(OwnerId(sid.0), 1)
                         .expect("unbounded pool never refuses an allocation");
-                    if let Some((_, _, charged)) = incoming.get_mut(&sid) {
-                        *charged += 1;
+                    if let Some(e) = incoming_entry(&mut incoming, sid) {
+                        e.charged += 1;
                     }
                 }
             }
@@ -457,17 +520,20 @@ impl SchemeScheduler for ImprovedScheduler {
         if self.parity_prefetch {
             let mut ids2 = std::mem::take(&mut self.prefetch_scratch);
             ids2.clear();
-            ids2.extend(incoming.keys().copied());
+            ids2.extend(incoming.iter().filter(|e| e.live).map(|e| e.stream));
             for id in ids2.iter().copied() {
-                let s = self.streams[&id].clone();
-                let read_group = cycle - s.start_cycle;
+                let (object, start_cluster, start_cycle) = {
+                    let s = &self.streams[&id];
+                    (s.object, s.start_cluster, s.start_cycle)
+                };
+                let read_group = cycle - start_cycle;
                 // Skip groups whose parity is already being read
                 // (failure-reconstruction path placed it in pass 2).
-                let pp = layout.parity_placement(s.start_cluster, read_group);
+                let pp = layout.parity_placement(start_cluster, read_group);
                 let already = plan
                     .reads_on(pp.disk)
                     .iter()
-                    .any(|r| r.stream == id && r.addr == BlockAddr::parity(s.object, read_group));
+                    .any(|r| r.stream == id && r.addr == BlockAddr::parity(object, read_group));
                 if already {
                     continue;
                 }
@@ -484,27 +550,26 @@ impl SchemeScheduler for ImprovedScheduler {
                     pp.disk,
                     PlannedRead {
                         stream: id,
-                        addr: BlockAddr::parity(s.object, read_group),
+                        addr: BlockAddr::parity(object, read_group),
                         purpose: ReadPurpose::Parity,
                     },
                 );
                 self.buffers
                     .alloc(OwnerId(id.0), 1)
                     .expect("unbounded pool never refuses an allocation");
-                let entry = incoming
-                    .get_mut(&id)
+                let entry = incoming_entry(&mut incoming, id)
                     .expect("prefetch snapshot only holds streams read this cycle");
-                entry.2 += 1;
+                entry.charged += 1;
                 // Rescue a mid-cycle loss: with parity and the group's
                 // surviving members resident by end of cycle, the block
                 // is reconstructed in time.
                 if let Some(ix) = entry
-                    .1
+                    .hiccups
                     .iter()
                     .position(|(_, reason)| *reason == LossReason::MidCycle)
                 {
-                    let (block, _) = entry.1.remove(ix);
-                    entry.0.push(block);
+                    let (block, _) = entry.hiccups.remove(ix);
+                    entry.reconstructed.push(block);
                 }
             }
             self.prefetch_scratch = ids2;
@@ -512,23 +577,29 @@ impl SchemeScheduler for ImprovedScheduler {
 
         // Pass 3 — deliveries of last cycle's groups and frees.
         for id in ids.iter().copied() {
-            let Some(s) = self.streams.get(&id).cloned() else {
+            // Scalar copies again: the mutable re-borrow below must not
+            // overlap a borrow of the stream entry.
+            let Some((object, groups, tracks, start_cycle)) = self
+                .streams
+                .get(&id)
+                .map(|s| (s.object, s.groups, s.tracks, s.start_cycle))
+            else {
                 continue;
             };
-            if cycle < s.start_cycle + 1 {
+            if cycle < start_cycle + 1 {
                 continue;
             }
-            let g = cycle - s.start_cycle - 1;
-            if g >= s.groups {
+            let g = cycle - start_cycle - 1;
+            if g >= groups {
                 continue;
             }
-            let blocks = self.blocks_in_group(s.tracks, g);
+            let blocks = self.blocks_in_group(tracks, g);
             let st = self
                 .streams
                 .get_mut(&id)
                 .expect("pass 3 checks the stream is still live above");
             for i in 0..blocks {
-                let addr = BlockAddr::data(s.object, g, i);
+                let addr = BlockAddr::data(object, g, i);
                 if let Some(&(_, reason)) = st.pending_hiccups.iter().find(|(ix, _)| *ix == i) {
                     plan.hiccups.push(LostBlock {
                         stream: id,
@@ -562,19 +633,24 @@ impl SchemeScheduler for ImprovedScheduler {
         }
 
         // Commit the just-read groups' state, recycling the vectors the
-        // new state displaces (or carries, for retired streams).
-        for (id, (reconstructed, hiccups, charged)) in incoming {
-            if let Some(st) = self.streams.get_mut(&id) {
-                let old_rec = std::mem::replace(&mut st.pending_reconstructed, reconstructed);
-                let old_hic = std::mem::replace(&mut st.pending_hiccups, hiccups);
-                st.pending_buffered = charged;
+        // new state displaces (or carries, for retired streams). Dropped
+        // entries already recycled theirs when `live` was cleared.
+        for e in incoming.drain(..) {
+            if !e.live {
+                continue;
+            }
+            if let Some(st) = self.streams.get_mut(&e.stream) {
+                let old_rec = std::mem::replace(&mut st.pending_reconstructed, e.reconstructed);
+                let old_hic = std::mem::replace(&mut st.pending_hiccups, e.hiccups);
+                st.pending_buffered = e.charged;
                 self.rec_pool.push(old_rec);
                 self.hic_pool.push(old_hic);
             } else {
-                self.rec_pool.push(reconstructed);
-                self.hic_pool.push(hiccups);
+                self.rec_pool.push(e.reconstructed);
+                self.hic_pool.push(e.hiccups);
             }
         }
+        self.incoming_scratch = incoming;
         self.ids_scratch = ids;
     }
 

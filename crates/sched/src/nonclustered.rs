@@ -44,8 +44,9 @@ impl TransitionPolicy {
     }
 }
 
-/// Per-stream state.
-#[derive(Debug, Clone)]
+/// Per-stream state. All fields are scalars, so the snapshot taken by
+/// `plan_cycle_into` is a plain copy — no heap traffic on the hot path.
+#[derive(Debug, Clone, Copy)]
 struct NcStream {
     object: ObjectId,
     start_cluster: u32,
@@ -57,15 +58,30 @@ struct NcStream {
     lost: u64,
 }
 
-/// Degraded-cluster state.
-#[derive(Debug, Clone)]
+/// Degraded-cluster state. Failure positions beyond the first are kept
+/// as a bitmask (positions are within one cluster, bounded well below
+/// 128) so the struct is `Copy` and the planning hot path can snapshot
+/// it without touching the heap.
+#[derive(Debug, Clone, Copy)]
 struct Degraded {
     /// Failed disk position within the cluster (`C−1` = parity disk).
     failed_pos: u32,
     /// Cycle from which the failure is effective.
     since: u64,
-    /// Second failure positions (catastrophic).
-    also_failed: BTreeSet<u32>,
+    /// Second failure positions (catastrophic), one bit per position.
+    also_failed: u128,
+}
+
+impl Degraded {
+    /// Does the bitmask of *additional* failures contain `pos`?
+    fn also_contains(self, pos: u32) -> bool {
+        self.also_failed & (1u128 << pos) != 0
+    }
+
+    /// Every failed position (first and subsequent) as one bitmask.
+    fn all_failed_mask(self) -> u128 {
+        self.also_failed | (1u128 << self.failed_pos)
+    }
 }
 
 /// The Non-clustered scheduler (`k = k' = 1`).
@@ -128,6 +144,10 @@ impl NonClusteredScheduler {
     ) -> Self {
         assert_eq!(config.k, 1, "Non-clustered requires k = 1");
         assert_eq!(config.k_prime, 1, "Non-clustered requires k' = 1");
+        assert!(
+            catalog.layout().geometry().disks_per_cluster() <= 128,
+            "failure bitmask supports at most 128 disks per cluster"
+        );
         // Each degraded cluster needs the staggered-group buffer profile:
         // C(C+1)/2 tracks per C−1 streams, bounded by slots per class.
         let c = catalog.layout().geometry().group_size() as usize;
@@ -234,7 +254,7 @@ impl NonClusteredScheduler {
         match self.degraded.get(&cluster) {
             None => false,
             Some(d) => {
-                if d.failed_pos == parity_pos && d.also_failed.is_empty() {
+                if d.failed_pos == parity_pos && d.also_failed == 0 {
                     // Parity-disk failure: data flow is unaffected; stay
                     // in normal per-cycle mode (unprotected).
                     false
@@ -286,20 +306,17 @@ impl NonClusteredScheduler {
         let layout = *self.catalog.layout();
         let geometry = *layout.geometry();
         let blocks = self.blocks_in_group(s.tracks, g);
-        let mut failed_positions = degraded.also_failed.clone();
-        failed_positions.insert(degraded.failed_pos);
+        let failed_positions = degraded.all_failed_mask();
         // A single data-disk failure with live parity is reconstructable;
         // anything more loses the affected blocks.
-        let data_failures = failed_positions
-            .iter()
-            .filter(|&&p| p < geometry.disks_per_cluster() - 1)
-            .count();
+        let data_mask = (1u128 << (geometry.disks_per_cluster() - 1)) - 1;
+        let data_failures = (failed_positions & data_mask).count_ones();
         let recoverable = parity_alive && data_failures <= 1;
         let mut reads = 0usize;
         for i in 0..blocks {
             let p = layout.data_placement(s.start_cluster, g, i);
             let pos = geometry.position_in_cluster(p.disk);
-            if failed_positions.contains(&pos) {
+            if failed_positions & (1u128 << pos) != 0 {
                 if recoverable {
                     self.reconstructions.insert((id, g, i));
                     self.deferred_frees
@@ -330,7 +347,7 @@ impl NonClusteredScheduler {
                 .or_default()
                 .push((id, BlockAddr::data(s.object, g, i)));
         }
-        if recoverable && failed_positions.iter().any(|&p| p < blocks) {
+        if recoverable && failed_positions & ((1u128 << blocks) - 1) != 0 {
             let pp = layout.parity_placement(s.start_cluster, g);
             plan.push_read(
                 pp.disk,
@@ -369,7 +386,7 @@ impl NonClusteredScheduler {
                 let buffered = {
                     let p = layout.data_placement(s.start_cluster, g, i);
                     let pos = geometry.position_in_cluster(p.disk);
-                    recoverable || !failed_positions.contains(&pos)
+                    recoverable || failed_positions & (1u128 << pos) == 0
                 };
                 if buffered {
                     self.server_frees
@@ -625,6 +642,30 @@ impl SchemeScheduler for NonClusteredScheduler {
         })
     }
 
+    fn release(&mut self, id: StreamId) -> bool {
+        let bpg = self.bpg();
+        let Some(st) = self.streams.get_mut(&id) else {
+            return false;
+        };
+        // One block is read per cycle in normal mode, `bpg` cycles per
+        // group, so the started-group count is the elapsed ceiling.
+        let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
+        let started = elapsed.div_ceil(bpg);
+        if started == 0 {
+            // Nothing read yet: retire immediately. Transition state
+            // keyed by this stream is tolerated by the delivery and
+            // deferred-free paths, which ignore unknown streams.
+            self.streams.remove(&id);
+            self.buffers.free_all(OwnerId(id.0));
+            return true;
+        }
+        // Truncate to the started group; its remaining blocks drain
+        // (including any degraded-mode reconstruction already planned)
+        // and the normal finish path retires the stream.
+        st.groups = st.groups.min(started);
+        true
+    }
+
     fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
@@ -638,7 +679,7 @@ impl SchemeScheduler for NonClusteredScheduler {
         ids.clear();
         ids.extend(self.streams.keys().copied());
         for id in ids.iter().copied() {
-            let s = self.streams[&id].clone();
+            let s = self.streams[&id];
             let Some((g, i)) = self.position_at(&s, cycle) else {
                 continue;
             };
@@ -651,11 +692,10 @@ impl SchemeScheduler for NonClusteredScheduler {
                     let d = self
                         .degraded
                         .get(&cluster)
-                        .cloned()
+                        .copied()
                         .expect("group_at_a_time is only true for degraded clusters");
                     let parity_pos = geometry.disks_per_cluster() - 1;
-                    let parity_alive =
-                        d.failed_pos != parity_pos && !d.also_failed.contains(&parity_pos);
+                    let parity_alive = d.failed_pos != parity_pos && !d.also_contains(parity_pos);
                     self.plan_group_at_once(plan, id, &s, g, cycle, &d, parity_alive);
                     continue;
                 }
@@ -663,7 +703,7 @@ impl SchemeScheduler for NonClusteredScheduler {
                     let d = self
                         .degraded
                         .get(&cluster)
-                        .cloned()
+                        .copied()
                         .expect("delayed_window is only true for degraded clusters");
                     let parity_alive = d.failed_pos != geometry.disks_per_cluster() - 1;
                     self.plan_delayed_group_events(id, &s, g, d.failed_pos, parity_alive);
@@ -684,7 +724,7 @@ impl SchemeScheduler for NonClusteredScheduler {
                 let failed_here = self
                     .degraded
                     .get(&cluster)
-                    .map(|d| d.failed_pos == pos || d.also_failed.contains(&pos))
+                    .map(|d| d.failed_pos == pos || d.also_contains(pos))
                     .unwrap_or(false);
                 if failed_here {
                     // A normal read aimed at a failed disk with no
@@ -872,7 +912,7 @@ impl SchemeScheduler for NonClusteredScheduler {
             })
         };
         for id in ids.iter().copied() {
-            let Some(s) = self.streams.get(&id).cloned() else {
+            let Some(s) = self.streams.get(&id).copied() else {
                 continue;
             };
             if cycle == 0 || cycle < s.start_cycle + 1 {
@@ -938,10 +978,11 @@ impl SchemeScheduler for NonClusteredScheduler {
 
         if let Some(d) = self.degraded.get_mut(&cluster) {
             // Second failure in one cluster: catastrophic.
-            d.also_failed.insert(pos);
+            d.also_failed |= 1u128 << pos;
             report.catastrophic = true;
-            let failed = std::iter::once(d.failed_pos)
-                .chain(d.also_failed.iter().copied())
+            let mask = d.all_failed_mask();
+            let failed = (0..geometry.disks_per_cluster())
+                .filter(|&p| mask & (1u128 << p) != 0)
                 .map(|p| geometry.disk_at(cluster, p));
             report.data_loss_tracks = crate::traits::data_tracks_on_disks(&self.catalog, failed);
             mms_telemetry::event!(
@@ -961,7 +1002,7 @@ impl SchemeScheduler for NonClusteredScheduler {
             Degraded {
                 failed_pos: pos,
                 since: cycle,
-                also_failed: BTreeSet::new(),
+                also_failed: 0,
             },
         );
         mms_telemetry::event!(
@@ -1010,7 +1051,7 @@ impl SchemeScheduler for NonClusteredScheduler {
         let losses_before: usize = self.pending_losses.values().map(Vec::len).sum();
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();
         for id in ids {
-            let s = self.streams[&id].clone();
+            let s = self.streams[&id];
             let Some((g, p)) = self.position_at(&s, cycle) else {
                 continue;
             };
@@ -1044,7 +1085,7 @@ impl SchemeScheduler for NonClusteredScheduler {
         let cluster = geometry.cluster_of(disk);
         if let Some(d) = self.degraded.get_mut(&cluster) {
             let pos = geometry.position_in_cluster(disk);
-            if d.failed_pos == pos && d.also_failed.is_empty() {
+            if d.failed_pos == pos && d.also_failed == 0 {
                 self.degraded.remove(&cluster);
                 let _ = self.servers.detach(cluster.0);
                 mms_telemetry::event!(
@@ -1058,7 +1099,7 @@ impl SchemeScheduler for NonClusteredScheduler {
                     policy = self.policy.as_str()
                 );
             } else {
-                d.also_failed.remove(&pos);
+                d.also_failed &= !(1u128 << pos);
             }
         }
     }

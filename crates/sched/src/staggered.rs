@@ -98,9 +98,9 @@ impl StaggeredScheduler {
         self.config.read_period() as u64
     }
 
-    fn blocks_in_group(&self, s: &SgStream, g: u64) -> u32 {
+    fn blocks_in_group(&self, tracks: u64, g: u64) -> u32 {
         let bpg = u64::from(self.catalog.layout().blocks_per_group());
-        (s.tracks - g * bpg).min(bpg) as u32
+        (tracks - g * bpg).min(bpg) as u32
     }
 
     /// Admission class of a stream starting at `at_cycle` for start
@@ -207,6 +207,32 @@ impl SchemeScheduler for StaggeredScheduler {
         })
     }
 
+    fn release(&mut self, id: StreamId) -> bool {
+        let period = self.period();
+        let Some(st) = self.streams.get_mut(&id) else {
+            return false;
+        };
+        // Group g is read at `start + g·period`, so the resident count
+        // is the ceiling of the elapsed span over the period.
+        let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
+        let read = elapsed.div_ceil(period);
+        if read == 0 {
+            // Nothing read yet: retire immediately, returning the slot.
+            let class = st.class;
+            *self
+                .class_load
+                .get_mut(&class)
+                .expect("admission registered this stream's class") -= 1;
+            self.streams.remove(&id);
+            self.buffers.free_all(OwnerId(id.0));
+            return true;
+        }
+        // Truncate to what was read; the in-flight group drains and the
+        // normal finish path in pass 2 retires the stream.
+        st.groups = st.groups.min(read);
+        true
+    }
+
     fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
@@ -227,32 +253,37 @@ impl SchemeScheduler for StaggeredScheduler {
         // pool's high-water mark then measures the paper's start-of-cycle
         // occupancy (Figure 4).
         for id in ids.iter().copied() {
-            let s = self.streams[&id].clone();
-            if cycle < s.start_cycle {
+            // Copy the scalar fields instead of cloning the entry: the
+            // hiccups vector makes a full clone allocate under failures.
+            let (object, start_cluster, groups, tracks, start_cycle) = {
+                let s = &self.streams[&id];
+                (s.object, s.start_cluster, s.groups, s.tracks, s.start_cycle)
+            };
+            if cycle < start_cycle {
                 continue;
             }
-            let rel = cycle - s.start_cycle;
+            let rel = cycle - start_cycle;
             if !rel.is_multiple_of(period) {
                 continue;
             }
             let g = rel / period;
-            if g >= s.groups {
+            if g >= groups {
                 continue;
             }
-            let blocks = self.blocks_in_group(&s, g);
-            let cluster = layout.data_cluster(s.start_cluster, g);
-            let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
+            let blocks = self.blocks_in_group(tracks, g);
+            let cluster = layout.data_cluster(start_cluster, g);
+            let failed = self.failed.get(&cluster);
             let parity_pos = geometry.disks_per_cluster() - 1;
-            let parity_ok = !failed.contains(&parity_pos);
+            let parity_ok = failed.is_none_or(|f| !f.contains(&parity_pos));
             let mut reconstructed = None;
             let mut hiccups = self.hiccup_pool.pop().unwrap_or_default();
             hiccups.clear();
             let mut reads = 0usize;
             for i in 0..blocks {
-                let p = layout.data_placement(s.start_cluster, g, i);
+                let p = layout.data_placement(start_cluster, g, i);
                 let pos = geometry.position_in_cluster(p.disk);
-                if failed.contains(&pos) {
-                    if failed.len() == 1 && parity_ok {
+                if failed.is_some_and(|f| f.contains(&pos)) {
+                    if failed.map_or(0, std::collections::BTreeSet::len) == 1 && parity_ok {
                         reconstructed = Some(i);
                     } else {
                         hiccups.push(i);
@@ -262,7 +293,7 @@ impl SchemeScheduler for StaggeredScheduler {
                         p.disk,
                         PlannedRead {
                             stream: id,
-                            addr: mms_layout::BlockAddr::data(s.object, g, i),
+                            addr: mms_layout::BlockAddr::data(object, g, i),
                             purpose: ReadPurpose::Delivery,
                         },
                     );
@@ -270,12 +301,12 @@ impl SchemeScheduler for StaggeredScheduler {
                 }
             }
             if parity_ok {
-                let pp = layout.parity_placement(s.start_cluster, g);
+                let pp = layout.parity_placement(start_cluster, g);
                 plan.push_read(
                     pp.disk,
                     PlannedRead {
                         stream: id,
-                        addr: mms_layout::BlockAddr::parity(s.object, g),
+                        addr: mms_layout::BlockAddr::parity(object, g),
                         purpose: ReadPurpose::Parity,
                     },
                 );
@@ -298,21 +329,27 @@ impl SchemeScheduler for StaggeredScheduler {
 
         // Pass 2 — deliveries, hiccups, and frees.
         for id in ids.iter().copied() {
-            let Some(s) = self.streams.get(&id).cloned() else {
+            // Scalar copies again: the mutable re-borrow in the body must
+            // not overlap a borrow of the stream entry.
+            let Some((object, groups, tracks, start_cycle)) = self
+                .streams
+                .get(&id)
+                .map(|s| (s.object, s.groups, s.tracks, s.start_cycle))
+            else {
                 continue;
             };
-            if cycle < s.start_cycle + 1 {
+            if cycle < start_cycle + 1 {
                 continue;
             }
-            let rel = cycle - s.start_cycle;
+            let rel = cycle - start_cycle;
             let g = (rel - 1) / period;
             let i = ((rel - 1) % period) as u32;
-            if g >= s.groups {
+            if g >= groups {
                 continue;
             }
-            let blocks = self.blocks_in_group(&s, g);
+            let blocks = self.blocks_in_group(tracks, g);
             if i < blocks {
-                let addr = mms_layout::BlockAddr::data(s.object, g, i);
+                let addr = mms_layout::BlockAddr::data(object, g, i);
                 let st = self
                     .streams
                     .get_mut(&id)

@@ -106,11 +106,11 @@ impl StreamingRaidScheduler {
 
     /// Number of data blocks in group `g` of a stream (the final group may
     /// be partial).
-    fn blocks_in_group(&self, s: &SrStream, g: u64) -> u32 {
+    fn blocks_in_group(&self, object: mms_layout::ObjectId, g: u64) -> u32 {
         let bpg = u64::from(self.catalog.layout().blocks_per_group());
         let tracks = self
             .catalog
-            .get(s.object)
+            .get(object)
             .expect("admitted object")
             .object
             .tracks;
@@ -208,6 +208,26 @@ impl SchemeScheduler for StreamingRaidScheduler {
         })
     }
 
+    fn release(&mut self, id: StreamId) -> bool {
+        let Some(st) = self.streams.get_mut(&id) else {
+            return false;
+        };
+        // One group is read per cycle, so `elapsed` groups are resident.
+        let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
+        if elapsed == 0 {
+            // Nothing read yet: retire immediately, returning the slot.
+            let class = st.class as usize;
+            self.class_load[class] -= 1;
+            self.streams.remove(&id);
+            self.buffers.free_all(OwnerId(id.0));
+            return true;
+        }
+        // Truncate to what was read; the normal finish path in pass 2
+        // delivers the final resident group and retires the stream.
+        st.groups = st.groups.min(elapsed);
+        true
+    }
+
     fn plan_cycle_into(&mut self, cycle: u64, plan: &mut CyclePlan) {
         assert_eq!(cycle, self.next_cycle, "cycles must be planned in order");
         self.next_cycle += 1;
@@ -229,31 +249,36 @@ impl SchemeScheduler for StreamingRaidScheduler {
         let mut incoming = std::mem::take(&mut self.incoming_scratch);
         incoming.clear();
         for id in ids.iter().copied() {
-            let s = self.streams[&id].clone();
-            if cycle < s.start_cycle {
+            // Copy the scalar fields out of the stream entry instead of
+            // cloning it: the pending_* vectors make a full clone allocate.
+            let (object, start_cluster, groups, start_cycle) = {
+                let s = &self.streams[&id];
+                (s.object, s.start_cluster, s.groups, s.start_cycle)
+            };
+            if cycle < start_cycle {
                 continue;
             }
-            let read_group = cycle - s.start_cycle;
-            if read_group >= s.groups {
+            let read_group = cycle - start_cycle;
+            if read_group >= groups {
                 continue;
             }
             let mut reconstructed = self.vec_pool.pop().unwrap_or_default();
             reconstructed.clear();
             let mut hiccups = self.vec_pool.pop().unwrap_or_default();
             hiccups.clear();
-            let blocks = self.blocks_in_group(&s, read_group);
-            let cluster = layout.data_cluster(s.start_cluster, read_group);
-            let failed = self.failed.get(&cluster).cloned().unwrap_or_default();
+            let blocks = self.blocks_in_group(object, read_group);
+            let cluster = layout.data_cluster(start_cluster, read_group);
+            let failed = self.failed.get(&cluster);
             let parity_pos = geometry.disks_per_cluster() - 1;
-            let parity_ok = !failed.contains(&parity_pos);
+            let parity_ok = failed.is_none_or(|f| !f.contains(&parity_pos));
             let mut reads = 0usize;
             for i in 0..blocks {
-                let p = layout.data_placement(s.start_cluster, read_group, i);
+                let p = layout.data_placement(start_cluster, read_group, i);
                 let pos = geometry.position_in_cluster(p.disk);
-                if failed.contains(&pos) {
+                if failed.is_some_and(|f| f.contains(&pos)) {
                     // Single failure + live parity: on-the-fly
                     // reconstruction; otherwise a hiccup.
-                    if failed.len() == 1 && parity_ok {
+                    if failed.map_or(0, std::collections::BTreeSet::len) == 1 && parity_ok {
                         reconstructed.push(i);
                     } else {
                         hiccups.push(i);
@@ -263,7 +288,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
                         p.disk,
                         PlannedRead {
                             stream: id,
-                            addr: mms_layout::BlockAddr::data(s.object, read_group, i),
+                            addr: mms_layout::BlockAddr::data(object, read_group, i),
                             purpose: ReadPurpose::Delivery,
                         },
                     );
@@ -271,12 +296,12 @@ impl SchemeScheduler for StreamingRaidScheduler {
                 }
             }
             if parity_ok {
-                let pp = layout.parity_placement(s.start_cluster, read_group);
+                let pp = layout.parity_placement(start_cluster, read_group);
                 plan.push_read(
                     pp.disk,
                     PlannedRead {
                         stream: id,
-                        addr: mms_layout::BlockAddr::parity(s.object, read_group),
+                        addr: mms_layout::BlockAddr::parity(object, read_group),
                         purpose: ReadPurpose::Parity,
                     },
                 );
@@ -294,7 +319,9 @@ impl SchemeScheduler for StreamingRaidScheduler {
 
         // Pass 2 — deliveries of the groups read last cycle, and frees.
         for id in ids.iter().copied() {
-            let Some(s) = self.streams.get(&id).cloned() else {
+            // Shared borrow only — every push below targets `plan` or a
+            // disjoint field, and the mutable re-borrow happens after.
+            let Some(s) = self.streams.get(&id) else {
                 continue;
             };
             if cycle < s.start_cycle + 1 {
@@ -305,7 +332,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
             if g >= s.groups {
                 continue;
             }
-            let blocks = self.blocks_in_group(&s, g);
+            let blocks = self.blocks_in_group(s.object, g);
             for i in 0..blocks {
                 let addr = mms_layout::BlockAddr::data(s.object, g, i);
                 if s.pending_hiccups.contains(&i) {

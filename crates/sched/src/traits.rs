@@ -237,6 +237,18 @@ pub trait SchemeScheduler {
         plan
     }
 
+    /// Gracefully release a stream before its natural end (viewer
+    /// abandonment, or a degraded-quality session finishing early).
+    ///
+    /// Groups already read drain normally: the stream's remaining length
+    /// is truncated to the groups read so far, so the scheduler's usual
+    /// finish path fires at the next delivery boundary and the stream is
+    /// reported in [`CyclePlan::finished`]. A stream that has read
+    /// nothing yet is retired immediately with its admission slot and
+    /// buffers returned. Returns `false` if the stream is unknown
+    /// (already finished or never admitted) — releasing twice is safe.
+    fn release(&mut self, id: StreamId) -> bool;
+
     /// React to a disk failure. `mid_cycle` indicates the failure struck
     /// after `cycle`'s read schedule was already committed (relevant for
     /// the Improved-bandwidth scheme's unmaskable first-cycle hiccup).

@@ -17,6 +17,10 @@
 //! * [`WorkloadGen`] — Poisson stream arrivals over a Zipf-popularity
 //!   catalog of MPEG-1/MPEG-2 movies (the movie-on-demand workload the
 //!   paper's introduction motivates).
+//! * [`SessionEngine`] — the heavy-traffic session lifecycle on top of
+//!   it: bursty (MMPP) arrival modulation, per-stream VBR holds, viewer
+//!   abandonment, and the Reject / Degrade / Queue admission policies,
+//!   with streaming (P²) admission-wait percentiles.
 //! * [`FailureSchedule`] — deterministic or stochastic disk-failure
 //!   injection, sharing `mms-disk`'s exponential processes.
 //! * [`RebuildManager`] — the third operating mode (rebuild): restore a
@@ -51,4 +55,7 @@ pub use rebuild::{Rebuild, RebuildManager, RebuildSource};
 pub use scenario::{Check, Expectation, Horizon, Scenario, ScenarioEvent, ScenarioReport};
 pub use simulator::{DataMode, ObjectDirectory, SimError, Simulator};
 pub use verify::BlockOracle;
-pub use workload::{WorkloadGen, Zipf};
+pub use workload::{
+    poisson, AdmissionPolicy, ArrivalProcess, SessionEngine, SessionStats, SplitMix64, WorkloadGen,
+    Zipf,
+};

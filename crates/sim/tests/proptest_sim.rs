@@ -76,6 +76,33 @@ proptest! {
         prop_assert!(c_hi + 200 >= c_lo, "lo {c_lo} hi {c_hi}");
     }
 
+    /// The Zipf CDF stays a proper distribution under extreme skew:
+    /// monotone non-decreasing, every prefix in (0, 1], and terminating
+    /// at exactly 1 — so inversion sampling can never index out of
+    /// range, even at θ far beyond the paper's 0.271 fit.
+    #[test]
+    fn zipf_cdf_is_monotone_and_in_range_under_extreme_theta(
+        n in 1usize..500,
+        theta in 0.0f64..12.0,
+        seed in any::<u64>(),
+    ) {
+        let z = Zipf::new(n, theta);
+        let cdf = z.cdf();
+        prop_assert_eq!(cdf.len(), n);
+        let mut prev = 0.0f64;
+        for (i, &c) in cdf.iter().enumerate() {
+            prop_assert!(c.is_finite(), "cdf[{i}] not finite at theta {theta}");
+            prop_assert!(c > 0.0 && c <= 1.0, "cdf[{i}] = {c} out of (0, 1]");
+            prop_assert!(c >= prev, "cdf[{i}] = {c} < cdf[{}] = {prev}", i - 1);
+            prev = c;
+        }
+        prop_assert!((cdf[n - 1] - 1.0).abs() < 1e-9, "cdf ends at {prev}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
     /// Workload arrivals have the Poisson mean and never panic for any
     /// rate in a sane range.
     #[test]

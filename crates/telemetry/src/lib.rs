@@ -11,6 +11,9 @@
 //!   collector installed (the default) every macro is a single
 //!   thread-local flag check; compiled without the `enabled` feature
 //!   they vanish entirely.
+//! * **Streaming quantiles** — [`P2Quantile`], the O(1)-memory P²
+//!   estimator, so long runs report latency/stall percentiles without
+//!   per-event sample vectors.
 //! * **Exporters** — JSON-lines emission of events and metric
 //!   snapshots ([`jsonl`]), a [`Snapshot`] struct for programmatic
 //!   inspection, and an ASCII [`dashboard`] renderer in the style of
@@ -54,6 +57,7 @@ mod event;
 pub(crate) mod json;
 pub mod jsonl;
 mod macros;
+mod quantile;
 mod recorder;
 mod registry;
 
@@ -62,6 +66,7 @@ pub use collect::{
     dispatch_histogram, enabled, install, Collect, CollectorGuard,
 };
 pub use event::{EventKind, EventRecord, SpanGuard, Value};
+pub use quantile::P2Quantile;
 pub use recorder::Recorder;
 pub use registry::{
     Histogram, LabelValue, Labels, MetricKey, MetricValue, Registry, Snapshot, DEFAULT_BOUNDS,

@@ -21,9 +21,27 @@
 //! mms-ctl scenario <name|all|list> [options]  run the fault-injection corpus
 //!   --quick                shorten the stochastic soak (CI smoke mode)
 //!   --threads N|auto|seq   worker pool for the scheme fan-out (default auto)
+//! mms-ctl workload [options]                 heavy-traffic session engine
+//!   --scheme sr|sg|nc|ib   (default sr)
+//!   --disks N              (default 10; IB default 8)
+//!   --group C              (default 5)
+//!   --movies N             catalog size (default 8)
+//!   --tracks N             tracks per movie (default 200)
+//!   --cycles N             (default 1000)
+//!   --theta F              Zipf skew (default 0.271, the video-store fit)
+//!   --rate F               Poisson arrivals per cycle (default 2.0)
+//!   --burst Q:B:PIN:POUT   MMPP instead: quiet/burst rates + switch probs
+//!   --policy P             reject|degrade|queue (default reject)
+//!   --threshold F          degrade above this utilization (default 0.8)
+//!   --quality F            degraded duration multiplier (default 0.5)
+//!   --max-wait N           queue patience in cycles (default 10)
+//!   --vbr A,B,…            bitrate-ladder hold multipliers
+//!   --abandon F            viewer abandonment probability (default 0)
+//!   --fail DISK@CYCLE      (repeatable; run degraded)
+//!   --seed N               (default 1995)
 //! ```
 //!
-//! `simulate` and `mttf` additionally take the observability flags:
+//! `simulate`, `mttf`, and `workload` additionally take the observability flags:
 //!
 //! ```text
 //!   --telemetry PATH.jsonl export events + final metric snapshot as JSONL
@@ -42,7 +60,9 @@ use ft_media_server::disk::{DiskId, ReliabilityParams};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
 use ft_media_server::reliability::{formulas, CatastropheRule, MonteCarlo, PoolMarkov};
 use ft_media_server::scenario;
-use ft_media_server::sim::{DataMode, FailureEvent};
+use ft_media_server::sim::{
+    AdmissionPolicy, ArrivalProcess, DataMode, FailureEvent, SessionEngine,
+};
 use ft_media_server::telemetry::{dashboard, jsonl, Level, Recorder};
 use ft_media_server::{Parallelism, Scheme, ServerBuilder, ServerError};
 use rand::rngs::StdRng;
@@ -57,9 +77,10 @@ fn main() -> ExitCode {
         Some("mttf") => cmd_mttf(&args[1..]),
         Some("design") => cmd_design(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mms-ctl <table|simulate|mttf|design|scenario> …  (see --help in source)"
+                "usage: mms-ctl <table|simulate|mttf|design|scenario|workload> …  (see --help in source)"
             );
             return ExitCode::FAILURE;
         }
@@ -191,19 +212,25 @@ impl TelemetryOpts {
     }
 }
 
-fn cmd_simulate(args: &[String]) -> CmdResult {
+/// Parse `--scheme` plus the per-scheme default disk count.
+fn parse_scheme(args: &[String]) -> Result<(Scheme, usize), String> {
     let scheme = match flag_value(args, "--scheme", "sr".to_string())?.as_str() {
         "sr" => Scheme::StreamingRaid,
         "sg" => Scheme::StaggeredGroup,
         "nc" => Scheme::NonClustered,
         "ib" => Scheme::ImprovedBandwidth,
-        other => return Err(format!("unknown scheme '{other}'").into()),
+        other => return Err(format!("unknown scheme '{other}'")),
     };
     let default_disks = if scheme == Scheme::ImprovedBandwidth {
         8
     } else {
         10
     };
+    Ok((scheme, default_disks))
+}
+
+fn cmd_simulate(args: &[String]) -> CmdResult {
+    let (scheme, default_disks) = parse_scheme(args)?;
     let disks: usize = flag_value(args, "--disks", default_disks)?;
     let group: usize = flag_value(args, "--group", 5)?;
     let viewers: usize = flag_value(args, "--viewers", 4)?;
@@ -398,6 +425,152 @@ fn cmd_design(args: &[String]) -> CmdResult {
             p.scheme, p.c, p.cost, p.disks, p.buffer_tracks, p.streams
         ),
         None => println!("no configuration reaches {required:.0} streams at W = 100 GB"),
+    }
+    Ok(())
+}
+
+fn cmd_workload(args: &[String]) -> CmdResult {
+    let (scheme, default_disks) = parse_scheme(args)?;
+    let disks: usize = flag_value(args, "--disks", default_disks)?;
+    let group: usize = flag_value(args, "--group", 5)?;
+    let movies: usize = flag_value(args, "--movies", 8)?;
+    let tracks: u64 = flag_value(args, "--tracks", 200)?;
+    let cycles: u64 = flag_value(args, "--cycles", 1000)?;
+    let theta: f64 = flag_value(args, "--theta", 0.271)?;
+    let abandon: f64 = flag_value(args, "--abandon", 0.0)?;
+    let seed: u64 = flag_value(args, "--seed", 1995)?;
+    let mut fails = parse_events(args, "--fail")?;
+    fails.sort_by_key(|&(_, at)| at);
+    let telem = TelemetryOpts::parse(args)?;
+    let recorder = telem.recorder();
+    let _guard = recorder.as_ref().map(Recorder::install);
+
+    let arrivals = match args.windows(2).find(|w| w[0] == "--burst") {
+        Some(w) => {
+            let parts: Result<Vec<f64>, _> = w[1].split(':').map(str::parse).collect();
+            match parts.as_deref() {
+                Ok([quiet, burst, p_enter, p_exit]) => {
+                    ArrivalProcess::bursty(*quiet, *burst, *p_enter, *p_exit)
+                }
+                _ => {
+                    return Err(format!(
+                        "bad --burst spec '{}': want QUIET:BURST:P_ENTER:P_EXIT",
+                        w[1]
+                    )
+                    .into())
+                }
+            }
+        }
+        None => ArrivalProcess::poisson(flag_value(args, "--rate", 2.0)?),
+    };
+    let policy = match flag_value(args, "--policy", "reject".to_string())?.as_str() {
+        "reject" => AdmissionPolicy::Reject,
+        "degrade" => AdmissionPolicy::Degrade {
+            threshold: flag_value(args, "--threshold", 0.8)?,
+            quality: flag_value(args, "--quality", 0.5)?,
+        },
+        "queue" => AdmissionPolicy::Queue {
+            max_wait: flag_value(args, "--max-wait", 10)?,
+        },
+        other => return Err(format!("unknown policy '{other}' (reject|degrade|queue)").into()),
+    };
+
+    let mut builder = ServerBuilder::new(scheme)
+        .disks(disks)
+        .parity_group(group)
+        .data_mode(DataMode::MetadataOnly);
+    for m in 0..movies.max(1) {
+        builder = builder.object(MediaObject::new(
+            ObjectId(m as u64),
+            format!("movie-{m}"),
+            tracks,
+            BandwidthClass::Mpeg1,
+        ));
+    }
+    let mut server = builder.build()?;
+    // A session's nominal slot-hold time: one read cycle per group,
+    // spaced k/k' cycles apart.
+    let cfg = server.cycle_config();
+    let nominal = tracks.div_ceil(cfg.k as u64) * cfg.read_period() as u64;
+    let catalog: Vec<(ObjectId, u64)> = server.objects().iter().map(|&o| (o, nominal)).collect();
+    let mut engine = SessionEngine::new(catalog, theta, arrivals, policy).with_abandonment(abandon);
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--vbr") {
+        let ladder: Vec<f64> = w[1]
+            .split(',')
+            .map(|s| s.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad --vbr ladder '{}'", w[1]))?;
+        engine = engine.with_vbr(ladder);
+    }
+    println!(
+        "{} | {} disks, C = {group}, capacity {} streams, {} movies x {} tracks (~{} cycles/session)",
+        server.scheme(),
+        disks,
+        server.stream_capacity(),
+        movies.max(1),
+        tracks,
+        nominal,
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0u64;
+    for &(d, at) in &fails {
+        if at >= cycles {
+            break;
+        }
+        server.run_sessions(at - now, &mut engine, &mut rng)?;
+        now = at;
+        match server.inject(FailureEvent::fail(now, DiskId(d))) {
+            Ok(r) => println!(
+                "cycle {now}: disk {d} FAILED (dropped: {})",
+                r.dropped_streams.len()
+            ),
+            Err(ServerError::DataLoss { tracks }) => {
+                println!("cycle {now}: disk {d} FAILED — DATA LOSS ({tracks} track(s))");
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    server.run_sessions(cycles - now, &mut engine, &mut rng)?;
+
+    let s = engine.stats();
+    println!("\nsessions offered   : {}", s.offered);
+    println!(
+        "admitted           : {} ({} degraded, {} released early)",
+        s.admitted, s.degraded, s.released_early
+    );
+    println!(
+        "denied             : {} rejected, {} balked ({:.2}% blocking)",
+        s.rejected,
+        s.balked,
+        s.blocking_rate() * 100.0
+    );
+    if s.queued > 0 {
+        let p = |q: &ft_media_server::telemetry::P2Quantile| q.value().unwrap_or(0.0);
+        println!(
+            "queueing           : {} queued, {} still waiting; wait p50/p95/p99 = {:.1}/{:.1}/{:.1} cycles",
+            s.queued,
+            engine.queue_len(),
+            p(&s.wait_p50),
+            p(&s.wait_p95),
+            p(&s.wait_p99)
+        );
+    }
+    let m = server.metrics();
+    println!("\ncycles simulated   : {}", m.cycles);
+    println!("active at end      : {}", server.active_streams());
+    println!("tracks delivered   : {}", m.delivered);
+    println!(
+        "hiccups            : {} (delivery rate {:.4})",
+        m.total_hiccups(),
+        m.delivery_rate()
+    );
+    println!(
+        "disk utilization   : {:.1}%",
+        m.utilization(server.cycle_config().t_cyc(), disks) * 100.0
+    );
+    if let Some(recorder) = recorder {
+        telem.finish(recorder)?;
     }
     Ok(())
 }

@@ -6,8 +6,13 @@
 
 use ft_media_server::disk::{ReliabilityParams, Time};
 use ft_media_server::exec::Parallelism;
+use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
 use ft_media_server::reliability::{CatastropheRule, MonteCarlo};
+use ft_media_server::sim::{
+    run_batch_seeded, AdmissionPolicy, ArrivalProcess, DataMode, SessionEngine,
+};
 use ft_media_server::telemetry::{jsonl, Level, Recorder};
+use ft_media_server::{Scheme, ServerBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,6 +59,76 @@ fn montecarlo_jsonl_is_byte_identical_at_1_2_and_8_threads() {
             seq,
             traced_run(par, Level::Debug),
             "{threads}-thread JSONL diverged from sequential"
+        );
+    }
+}
+
+/// A fan-out of session-engine runs (one per scheme, stochastic
+/// arrivals, VBR, abandonment) under a recorder, exported as JSONL.
+fn traced_workload_run(par: Parallelism) -> Vec<u8> {
+    let recorder = Recorder::new(Level::Debug);
+    let guard = recorder.install();
+    let grid: Vec<(Scheme, f64)> = vec![
+        (Scheme::StreamingRaid, 2.0),
+        (Scheme::StaggeredGroup, 0.6),
+        (Scheme::NonClustered, 0.6),
+        (Scheme::ImprovedBandwidth, 2.0),
+    ];
+    let offered = run_batch_seeded(
+        par,
+        &mut StdRng::seed_from_u64(7),
+        &grid,
+        |&(scheme, rate), mut rng| {
+            let disks = if scheme == Scheme::ImprovedBandwidth {
+                8
+            } else {
+                10
+            };
+            let mut server = ServerBuilder::new(scheme)
+                .disks(disks)
+                .parity_group(5)
+                .object(MediaObject::new(
+                    ObjectId(0),
+                    "m",
+                    80,
+                    BandwidthClass::Mpeg1,
+                ))
+                .data_mode(DataMode::MetadataOnly)
+                .build()
+                .expect("server builds");
+            let cfg = server.cycle_config();
+            let nominal = 80u64.div_ceil(cfg.k as u64) * cfg.read_period() as u64;
+            let mut engine = SessionEngine::new(
+                vec![(ObjectId(0), nominal)],
+                0.271,
+                ArrivalProcess::poisson(rate),
+                AdmissionPolicy::Reject,
+            )
+            .with_vbr(vec![0.75, 1.0, 1.25])
+            .with_abandonment(0.2);
+            server
+                .run_sessions(120, &mut engine, &mut rng)
+                .expect("run");
+            engine.stats().offered
+        },
+    );
+    assert!(offered.iter().sum::<u64>() > 100, "workload barely ran");
+    drop(guard);
+
+    let mut out = Vec::new();
+    jsonl::write_all(&mut out, &recorder.take_events(), &recorder.snapshot()).unwrap();
+    out
+}
+
+#[test]
+fn workload_jsonl_is_byte_identical_at_1_2_and_8_threads() {
+    let seq = traced_workload_run(Parallelism::threads(1));
+    assert!(!seq.is_empty(), "workload run must produce records");
+    for threads in [2, 8] {
+        assert_eq!(
+            seq,
+            traced_workload_run(Parallelism::threads(threads)),
+            "{threads}-thread workload JSONL diverged from 1-thread"
         );
     }
 }
