@@ -229,7 +229,13 @@ impl ScenarioRunner {
         events.sort_by_key(ScenarioEvent::cycle);
         let objects = server.objects().to_vec();
 
-        let recorder = mms_telemetry::Recorder::new(mms_telemetry::Level::Info);
+        // The internal recorder needs Info to harvest mode transitions;
+        // if an ambient collector wants more (e.g. Debug cycle spans for
+        // a flight recording), match it so nothing is lost in transit.
+        let level = mms_telemetry::current_max_level().map_or(mms_telemetry::Level::Info, |l| {
+            l.max(mms_telemetry::Level::Info)
+        });
+        let recorder = mms_telemetry::Recorder::new(level);
         let guard = recorder.install();
         let max_cycles = scenario.horizon.max_cycles();
         let mut ev_ix = 0;
@@ -289,13 +295,29 @@ impl ScenarioRunner {
         // scheduled (step-path) faults, as documented on the report.
         report.catastrophes = m.catastrophes.saturating_sub(report.data_loss.len() as u64);
         report.rebuilds_completed = m.rebuilds_completed;
-        report.transitions = transitions_from_events(&recorder.take_events());
+        let (events, registry) = recorder.into_parts();
+        report.transitions = transitions_from_events(&events);
         report.degraded_cycles = degraded_cycles(&report.transitions, report.cycles);
         report.rebuild_duration = match (rebuild_started_at, last_rebuild_done) {
             (Some(s), Some(e)) => Some(e.saturating_sub(s)),
             _ => None,
         };
         report.violations.extend(scenario.evaluate(&report));
+        // Forward the run's telemetry to any ambient collector (the
+        // guard is already dropped, so this reaches e.g. mms-ctl's
+        // recorder). Absorption happens whole-run at a time, in the
+        // caller's invocation order, so the combined stream stays
+        // byte-identical at every thread count.
+        mms_telemetry::dispatch_absorb(events, &registry);
+        for violation in &report.violations {
+            mms_telemetry::event!(
+                mms_telemetry::Level::Error,
+                "check_violation",
+                scenario = scenario.name,
+                scheme = scheme.abbrev(),
+                message = violation.clone(),
+            );
+        }
         report
     }
 

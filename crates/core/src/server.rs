@@ -223,6 +223,13 @@ impl MultimediaServer {
             } => {
                 let report = self.sim.fail_disk_now(disk, mid_cycle)?;
                 if report.catastrophic {
+                    mms_telemetry::event!(
+                        mms_telemetry::Level::Error,
+                        "data_loss",
+                        cycle = self.sim.cycle(),
+                        disk = disk.0,
+                        tracks = report.data_loss_tracks,
+                    );
                     return Err(ServerError::DataLoss {
                         tracks: report.data_loss_tracks,
                     });

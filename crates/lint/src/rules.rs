@@ -234,6 +234,18 @@ pub const HOT_FNS: &[HotFn] = &[
         name: "observe",
         why: "streaming quantile update (per admission)",
     },
+    HotFn {
+        file: "crates/telemetry/src/flight.rs",
+        impl_type: Some("FlightRecorder"),
+        name: "record",
+        why: "per-event black-box append",
+    },
+    HotFn {
+        file: "crates/telemetry/src/health.rs",
+        impl_type: Some("HealthModel"),
+        name: "observe",
+        why: "per-event SLO update",
+    },
 ];
 
 /// One entry of the paper-equation registry.

@@ -188,8 +188,21 @@ impl<S: SchemeScheduler> Simulator<S> {
     }
 
     /// Admit a stream for `object` starting at the next cycle.
+    ///
+    /// Emits an `Info` "admit" event carrying the stream id, so a flight
+    /// recording can anchor the stream's causal timeline (admit →
+    /// deliveries → hiccups → release).
     pub fn admit(&mut self, object: ObjectId) -> Result<StreamId, AdmissionError> {
-        self.scheduler.admit(object, self.cycle)
+        let stream = self.scheduler.admit(object, self.cycle)?;
+        event!(
+            Level::Info,
+            "admit",
+            cycle = self.cycle,
+            stream = stream.0,
+            object = object.0,
+            scheme = self.scheduler.scheme().abbrev(),
+        );
+        Ok(stream)
     }
 
     /// Fail a disk effective at the next cycle, returning the
@@ -236,6 +249,13 @@ impl<S: SchemeScheduler> Simulator<S> {
             done_tracks: 0,
             source,
         });
+        event!(
+            Level::Info,
+            "rebuild_started",
+            cycle = self.cycle,
+            disk = disk.0,
+            total_tracks = total_tracks,
+        );
         Ok(())
     }
 
@@ -487,7 +507,11 @@ impl<S: SchemeScheduler> Simulator<S> {
     /// next delivery boundary; returns `false` if the stream is not
     /// active (already finished or never admitted).
     pub fn release(&mut self, id: StreamId) -> bool {
-        self.scheduler.release(id)
+        let released = self.scheduler.release(id);
+        if released {
+            event!(Level::Info, "release", cycle = self.cycle, stream = id.0);
+        }
+        released
     }
 
     /// Simulate `cycles` cycles under a [`SessionEngine`]: each cycle

@@ -376,6 +376,7 @@ impl SessionStats {
         self.wait_p50.observe(w);
         self.wait_p95.observe(w);
         self.wait_p99.observe(w);
+        mms_telemetry::quantile!("workload.wait_cycles", w);
     }
 
     /// Fraction of offered sessions denied service (rejected or balked).

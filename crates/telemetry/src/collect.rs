@@ -35,6 +35,13 @@ pub trait Collect {
     /// Record a histogram sample.
     fn histogram(&self, name: &'static str, labels: Labels, value: f64);
 
+    /// Record a streaming-quantile (p50/p95/p99) sample. Defaulted to a
+    /// no-op so existing collectors keep compiling; collectors that own
+    /// a [`Registry`] override it.
+    fn quantile(&self, name: &'static str, labels: Labels, value: f64) {
+        let _ = (name, labels, value);
+    }
+
     /// Absorb the output of a finished parallel job: replay `events` in
     /// order, then merge `registry`. The default implementation replays
     /// events only; collectors that own a [`Registry`] (like
@@ -158,6 +165,14 @@ pub fn dispatch_gauge(name: &'static str, labels: Labels, value: f64) {
 pub fn dispatch_histogram(name: &'static str, labels: Labels, value: f64) {
     #[cfg(feature = "enabled")]
     with_top(|c| c.histogram(name, labels, value));
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, labels, value);
+}
+
+/// Dispatch a streaming-quantile observation.
+pub fn dispatch_quantile(name: &'static str, labels: Labels, value: f64) {
+    #[cfg(feature = "enabled")]
+    with_top(|c| c.quantile(name, labels, value));
     #[cfg(not(feature = "enabled"))]
     let _ = (name, labels, value);
 }

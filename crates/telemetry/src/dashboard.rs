@@ -44,8 +44,9 @@ fn render_histogram(out: &mut String, key: &MetricKey, h: &Histogram) {
 }
 
 /// Render `snapshot` as an ASCII dashboard: a counters table, a gauges
-/// table, then one bar chart per histogram. Returns an empty string for
-/// an empty snapshot.
+/// table, one bar chart per histogram, then a percentile table for the
+/// streaming quantile sets. Returns an empty string for an empty
+/// snapshot.
 #[must_use]
 pub fn render(snapshot: &Snapshot) -> String {
     let mut out = String::new();
@@ -82,16 +83,35 @@ pub fn render(snapshot: &Snapshot) -> String {
             render_histogram(&mut out, key, h);
         }
     }
+    if !snapshot.quantiles.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "quantiles");
+        let width = key_column(snapshot.quantiles.iter().map(|(k, _)| k.to_string()));
+        let _ = writeln!(out, "{}", "-".repeat(width + 12));
+        for (key, q) in &snapshot.quantiles {
+            let _ = writeln!(
+                out,
+                "{:<width$}  count {:>8}  p50 {:>10.3}  p95 {:>10.3}  p99 {:>10.3}",
+                key.to_string(),
+                q.count(),
+                q.p50().unwrap_or(0.0),
+                q.p95().unwrap_or(0.0),
+                q.p99().unwrap_or(0.0),
+            );
+        }
+    }
     out
 }
 
 #[cfg(all(test, feature = "enabled"))]
 mod tests {
     use super::*;
-    use crate::{counter, gauge, histogram, Level, Recorder};
+    use crate::{counter, gauge, histogram, quantile, Level, Recorder};
 
     #[test]
-    fn renders_all_three_sections() {
+    fn renders_all_four_sections() {
         let rec = Recorder::new(Level::Info);
         {
             let _g = rec.install();
@@ -100,6 +120,9 @@ mod tests {
             gauge!("rebuild.progress", 0.5, disk = 2u64);
             for v in [0.3, 4.0, 4.5, 2000.0] {
                 histogram!("disk.service_ms", v, disk = 0u64);
+            }
+            for v in [1.0, 2.0, 10.0] {
+                quantile!("workload.wait_cycles", v, scheme = "SR");
             }
         }
         let text = render(&rec.snapshot());
@@ -114,6 +137,9 @@ mod tests {
         // Two samples share the (2, 5] bucket → the longest bar.
         let full_bar = "#".repeat(32);
         assert!(text.contains(&full_bar), "{text}");
+        assert!(text.contains("quantiles"), "{text}");
+        assert!(text.contains("workload.wait_cycles{scheme=SR}"), "{text}");
+        assert!(text.contains("p95"), "{text}");
     }
 
     #[test]

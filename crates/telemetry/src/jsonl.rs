@@ -18,6 +18,7 @@
 //! {"t":"counter","name":"sim.delivered","labels":{"scheme":"SR"},"value":92}
 //! {"t":"gauge","name":"rebuild.progress","labels":{"disk":2},"value":0.5}
 //! {"t":"histogram","name":"disk.service_ms","labels":{"disk":0},"count":12,"sum":130.1,"min":2.5,"max":19.9,"bounds":[…],"counts":[…],"overflow":0}
+//! {"t":"quantile","name":"workload.wait_cycles","labels":{"scheme":"SR"},"count":40,"sum":91.5,"p50":1.5,"p95":6,"p99":9}
 //! ```
 
 use crate::event::{EventKind, EventRecord, Value};
@@ -117,7 +118,7 @@ fn write_histogram_body<W: Write>(out: &mut W, h: &Histogram) -> io::Result<()> 
 }
 
 /// Write every metric in `snapshot` as JSONL lines: counters, then
-/// gauges, then histograms, each key-ordered.
+/// gauges, then histograms, then quantile sets, each key-ordered.
 pub fn write_snapshot<W: Write>(out: &mut W, snapshot: &Snapshot) -> io::Result<()> {
     for (key, value) in &snapshot.counters {
         write_metric_head(out, "counter", key)?;
@@ -132,6 +133,19 @@ pub fn write_snapshot<W: Write>(out: &mut W, snapshot: &Snapshot) -> io::Result<
     for (key, h) in &snapshot.histograms {
         write_metric_head(out, "histogram", key)?;
         write_histogram_body(out, h)?;
+        out.write_all(b"}\n")?;
+    }
+    for (key, q) in &snapshot.quantiles {
+        write_metric_head(out, "quantile", key)?;
+        write!(out, ",\"count\":{},\"sum\":", q.count())?;
+        json::write_f64(out, q.sum())?;
+        for (tag, value) in [("p50", q.p50()), ("p95", q.p95()), ("p99", q.p99())] {
+            write!(out, ",\"{tag}\":")?;
+            match value {
+                Some(v) => json::write_f64(out, v)?,
+                None => out.write_all(b"null")?,
+            }
+        }
         out.write_all(b"}\n")?;
     }
     Ok(())
@@ -185,6 +199,25 @@ mod tests {
         assert!(lines[3].contains("\"t\":\"counter\"") && lines[3].contains("\"value\":92"));
         assert!(lines[4].contains("\"labels\":{\"disk\":2}"));
         assert!(lines[5].contains("\"overflow\":0"));
+    }
+
+    #[test]
+    fn quantile_lines_carry_all_three_percentiles() {
+        let rec = Recorder::new(Level::Info);
+        {
+            let _g = rec.install();
+            for v in [1.0, 2.0, 3.0] {
+                crate::quantile!("wait", v, scheme = "SR");
+            }
+        }
+        let text = export(&rec);
+        assert!(
+            text.contains(
+                "{\"t\":\"quantile\",\"name\":\"wait\",\"labels\":{\"scheme\":\"SR\"},\
+                 \"count\":3,\"sum\":6,\"p50\":2,\"p95\":3,\"p99\":3}"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

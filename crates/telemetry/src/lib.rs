@@ -15,9 +15,16 @@
 //!   estimator, so long runs report latency/stall percentiles without
 //!   per-event sample vectors.
 //! * **Exporters** — JSON-lines emission of events and metric
-//!   snapshots ([`jsonl`]), a [`Snapshot`] struct for programmatic
-//!   inspection, and an ASCII [`dashboard`] renderer in the style of
-//!   `mms_sim::trace`.
+//!   snapshots ([`jsonl`]), Prometheus text exposition ([`prom`]),
+//!   Chrome/Perfetto trace JSON ([`perfetto`]), a [`Snapshot`] struct
+//!   for programmatic inspection, and an ASCII [`dashboard`] renderer
+//!   in the style of `mms_sim::trace`.
+//! * **Forensics** — [`FlightRecorder`], a fixed-capacity black box of
+//!   the newest events with deterministic virtual-time stamps, dumped
+//!   as replayable JSONL on data loss or check violations.
+//! * **Health** — [`HealthModel`], a streaming SLO tracker: stall-budget
+//!   burn, rebuild ETA, and degraded-exposure seconds as `health.*`
+//!   gauges plus a dashboard panel.
 //!
 //! ## Determinism contract
 //!
@@ -54,19 +61,28 @@
 mod collect;
 pub mod dashboard;
 mod event;
+mod flight;
+mod health;
 pub(crate) mod json;
 pub mod jsonl;
 mod macros;
+pub mod perfetto;
+pub mod prom;
 mod quantile;
 mod recorder;
 mod registry;
 
 pub use collect::{
     active, current_max_level, dispatch_absorb, dispatch_counter, dispatch_event, dispatch_gauge,
-    dispatch_histogram, enabled, install, Collect, CollectorGuard,
+    dispatch_histogram, dispatch_quantile, enabled, install, Collect, CollectorGuard,
 };
 pub use event::{EventKind, EventRecord, SpanGuard, Value};
-pub use quantile::P2Quantile;
+pub use flight::{
+    FlightRecorder, FlightSnapshot, OwnedRecord, OwnedValue, ParseFlightError, StampedRecord,
+    VirtualClock,
+};
+pub use health::{HealthConfig, HealthModel};
+pub use quantile::{P2Quantile, QuantileSet};
 pub use recorder::Recorder;
 pub use registry::{
     Histogram, LabelValue, Labels, MetricKey, MetricValue, Registry, Snapshot, DEFAULT_BOUNDS,
@@ -163,5 +179,27 @@ mod tests {
         assert_eq!(" trace ".parse(), Ok(Level::Trace));
         assert!("loud".parse::<Level>().is_err());
         assert_eq!(Level::Debug.to_string(), "debug");
+    }
+
+    #[test]
+    fn level_round_trips_through_as_str() {
+        for level in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(level.as_str().parse::<Level>(), Ok(level));
+            assert_eq!(level.to_string().parse::<Level>(), Ok(level));
+        }
+    }
+
+    #[test]
+    fn parse_level_error_reports_the_offending_string() {
+        let err = "LOUD ".parse::<Level>().expect_err("must not parse");
+        let message = err.to_string();
+        assert!(message.contains("\"LOUD \""), "{message}");
+        assert!(message.contains("expected error|warn|info|debug|trace"));
     }
 }

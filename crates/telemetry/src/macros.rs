@@ -116,6 +116,28 @@ macro_rules! histogram {
     }};
 }
 
+/// Record one `f64` sample into the streaming p50/p95/p99 quantile set
+/// `name` with the given labels.
+///
+/// ```
+/// use mms_telemetry::quantile;
+/// quantile!("workload.wait_cycles", 3.0, scheme = "SR");
+/// ```
+#[macro_export]
+macro_rules! quantile {
+    ($name:expr, $value:expr $(, $key:ident = $value2:expr)* $(,)?) => {{
+        if $crate::active() {
+            $crate::dispatch_quantile(
+                $name,
+                $crate::Labels::new(vec![
+                    $((stringify!($key), $crate::LabelValue::from($value2))),*
+                ]),
+                $value,
+            );
+        }
+    }};
+}
+
 #[cfg(all(test, feature = "enabled"))]
 mod tests {
     use crate::{Labels, Level, Recorder, Value};
@@ -129,6 +151,7 @@ mod tests {
             crate::counter!("sim.hiccups", 1, reason = "failed-disk");
             crate::gauge!("sim.buffer", 3.0);
             crate::histogram!("svc", 2.5, disk = 1u64);
+            crate::quantile!("wait", 4.0, scheme = "SR");
         }
         let events = rec.take_events();
         assert_eq!(events.len(), 1);
@@ -140,6 +163,8 @@ mod tests {
         );
         assert_eq!(snap.gauges[0].1, 3.0);
         assert_eq!(snap.histograms[0].1.sum(), 2.5);
+        assert_eq!(snap.quantiles[0].1.count(), 1);
+        assert_eq!(snap.quantiles[0].1.p50(), Some(4.0));
         assert_eq!(
             rec.snapshot().counters[0].0.labels,
             Labels::new(vec![("reason", "failed-disk".into())])

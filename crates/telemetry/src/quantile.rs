@@ -27,7 +27,7 @@
 /// Determinism: the estimate is a pure function of the observation
 /// sequence — no clocks, no randomness — so parallel jobs that feed
 /// identical streams produce bit-identical estimators.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct P2Quantile {
     /// The target quantile in `(0, 1)`.
     q: f64,
@@ -174,6 +174,117 @@ impl P2Quantile {
     }
 }
 
+/// Cap on replayed observations when merging mismatched estimator
+/// states, keeping [`QuantileSet::merge`] O(1) per absorb.
+const MERGE_REPLAY_CAP: u64 = 1024;
+
+/// The registry's standard percentile set: p50, p95, and p99 of one
+/// metric, each a streaming [`P2Quantile`], plus exact `count`/`sum`.
+///
+/// This is what the [`quantile!`](crate::quantile) macro records into.
+/// Merging (for parallel absorption) is exact for `count` and `sum`;
+/// the estimator states are approximated by replaying the other set's
+/// current estimates — the same coarsening compromise
+/// [`Histogram::merge`](crate::Histogram::merge) makes for mismatched
+/// bucket layouts. Per-job metric keys usually differ by a `scheme`
+/// label, so in practice merges concatenate rather than blend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSet {
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+    count: u64,
+    sum: f64,
+}
+
+impl QuantileSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        QuantileSet {
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Feed one observation into all three estimators. O(1),
+    /// allocation-free.
+    pub fn observe(&mut self, x: f64) {
+        self.p50.observe(x);
+        self.p95.observe(x);
+        self.p99.observe(x);
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Current p50 estimate, or `None` before any observation.
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.p50.value()
+    }
+
+    /// Current p95 estimate.
+    #[must_use]
+    pub fn p95(&self) -> Option<f64> {
+        self.p95.value()
+    }
+
+    /// Current p99 estimate.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.p99.value()
+    }
+
+    /// Observations fed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merge `other` into `self`. `count` and `sum` combine exactly;
+    /// estimator states are approximated by replaying `other`'s current
+    /// estimates (capped), which drags each marker toward the combined
+    /// distribution without keeping samples.
+    pub fn merge(&mut self, other: &QuantileSet) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let replays = other.count.min(MERGE_REPLAY_CAP);
+        for (mine, theirs) in [
+            (&mut self.p50, &other.p50),
+            (&mut self.p95, &other.p95),
+            (&mut self.p99, &other.p99),
+        ] {
+            if let Some(v) = theirs.value() {
+                for _ in 0..replays {
+                    mine.observe(v);
+                }
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+impl Default for QuantileSet {
+    fn default() -> Self {
+        QuantileSet::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +387,48 @@ mod tests {
     #[should_panic(expected = "inside (0, 1)")]
     fn rejects_quantile_one() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn quantile_set_tracks_all_three_percentiles() {
+        let mut q = QuantileSet::new();
+        assert_eq!(q.p50(), None);
+        for i in 1..=100u32 {
+            q.observe(f64::from(i));
+        }
+        assert_eq!(q.count(), 100);
+        assert_eq!(q.sum(), 5050.0);
+        let p50 = q.p50().unwrap();
+        let p99 = q.p99().unwrap();
+        assert!((p50 - 50.0).abs() < 5.0, "{p50}");
+        assert!(p99 > 90.0 && p99 <= 100.0, "{p99}");
+    }
+
+    #[test]
+    fn quantile_set_merge_is_exact_for_count_and_sum() {
+        let mut a = QuantileSet::new();
+        let mut b = QuantileSet::new();
+        for i in 0..50 {
+            a.observe(f64::from(i));
+            b.observe(f64::from(i) + 100.0);
+        }
+        let b_p50 = b.p50().unwrap();
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(
+            a.sum(),
+            (0..50).map(f64::from).sum::<f64>() * 2.0 + 100.0 * 50.0
+        );
+        // The replayed estimate drags the median toward b's range.
+        let merged = a.p50().unwrap();
+        assert!(merged > 25.0 && merged <= b_p50, "{merged}");
+        // Merging into an empty set copies exactly.
+        let mut empty = QuantileSet::new();
+        empty.merge(&b);
+        assert_eq!(empty, b);
+        // Merging an empty set is a no-op.
+        let before = b.clone();
+        b.merge(&QuantileSet::new());
+        assert_eq!(b, before);
     }
 }

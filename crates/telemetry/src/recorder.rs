@@ -39,6 +39,12 @@ impl Collect for Inner {
             .histogram_observe(name, labels, value);
     }
 
+    fn quantile(&self, name: &'static str, labels: Labels, value: f64) {
+        self.registry
+            .borrow_mut()
+            .quantile_observe(name, labels, value);
+    }
+
     fn absorb(&self, events: Vec<EventRecord>, registry: &Registry) {
         self.events
             .borrow_mut()
@@ -114,6 +120,13 @@ impl Recorder {
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         self.inner.registry.borrow().snapshot()
+    }
+
+    /// Run `f` with mutable access to the underlying registry. Post-run
+    /// publishers (e.g. [`HealthModel::publish_to`](crate::HealthModel::publish_to))
+    /// use this to add derived metrics before the final snapshot.
+    pub fn with_registry_mut(&self, f: impl FnOnce(&mut Registry)) {
+        f(&mut self.inner.registry.borrow_mut());
     }
 
     /// Extract the buffered events and the registry as owned (and

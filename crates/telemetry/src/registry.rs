@@ -1,6 +1,7 @@
 //! The metrics registry: counters, gauges, and fixed-bucket histograms
 //! keyed by static name plus a sorted label set.
 
+use crate::quantile::QuantileSet;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -186,6 +187,16 @@ impl Histogram {
     }
 
     /// Record one sample.
+    ///
+    /// Bucket edges are **inclusive upper bounds**: a sample lands in
+    /// the first bucket `i` with `value <= bounds[i]`, so a value
+    /// exactly on a boundary counts in the bucket the boundary closes
+    /// (e.g. with bounds `[1.0, 10.0]`, `observe(1.0)` increments
+    /// bucket 0 and `observe(10.0)` increments bucket 1). Samples
+    /// strictly above the last bound increment the overflow (`+inf`)
+    /// bucket. This matches Prometheus `le` semantics, which is what
+    /// lets the Prometheus exporter emit cumulative buckets without
+    /// re-binning.
     pub fn observe(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
@@ -291,6 +302,7 @@ pub struct Registry {
     counters: BTreeMap<MetricKey, u64>,
     gauges: BTreeMap<MetricKey, f64>,
     histograms: BTreeMap<MetricKey, Histogram>,
+    quantiles: BTreeMap<MetricKey, QuantileSet>,
     /// Bucket bounds to use for histograms created by name, when a
     /// metric wants something other than [`DEFAULT_BOUNDS`].
     buckets: BTreeMap<&'static str, Vec<f64>>,
@@ -335,6 +347,14 @@ impl Registry {
             .observe(value);
     }
 
+    /// Record a sample into the p50/p95/p99 streaming-quantile set.
+    pub fn quantile_observe(&mut self, name: &'static str, labels: Labels, value: f64) {
+        self.quantiles
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
     /// A counter's current value (0 if never written).
     #[must_use]
     pub fn counter(&self, name: &str, labels: &Labels) -> u64 {
@@ -372,10 +392,22 @@ impl Registry {
             .map(|(_, v)| v)
     }
 
+    /// A quantile set, if any sample was recorded.
+    #[must_use]
+    pub fn quantile(&self, name: &str, labels: &Labels) -> Option<&QuantileSet> {
+        self.quantiles
+            .iter()
+            .find(|(k, _)| k.name == name && &k.labels == labels)
+            .map(|(_, v)| v)
+    }
+
     /// Whether nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.quantiles.is_empty()
     }
 
     /// Merge `other` into `self`: counters and histogram buckets sum;
@@ -396,6 +428,14 @@ impl Registry {
                 }
             }
         }
+        for (k, q) in &other.quantiles {
+            match self.quantiles.get_mut(k) {
+                Some(mine) => mine.merge(q),
+                None => {
+                    self.quantiles.insert(k.clone(), q.clone());
+                }
+            }
+        }
     }
 
     /// An ordered, point-in-time copy of every metric.
@@ -406,6 +446,11 @@ impl Registry {
             gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: self
                 .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            quantiles: self
+                .quantiles
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
@@ -424,13 +469,18 @@ pub struct Snapshot {
     pub gauges: Vec<(MetricKey, f64)>,
     /// Histograms, key-ordered.
     pub histograms: Vec<(MetricKey, Histogram)>,
+    /// Streaming p50/p95/p99 sets, key-ordered.
+    pub quantiles: Vec<(MetricKey, QuantileSet)>,
 }
 
 impl Snapshot {
     /// Whether the snapshot holds no metrics.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.quantiles.is_empty()
     }
 
     /// Sum of a counter across every label set (0 if absent).
@@ -505,6 +555,40 @@ mod tests {
         assert_eq!(h.min(), Some(0.5));
         assert_eq!(h.max(), Some(50.0));
         assert!((h.mean() - 12.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        // Exactly on the first boundary: closes bucket 0.
+        h.observe(1.0);
+        assert_eq!(h.counts(), &[1, 0]);
+        // Exactly on the last boundary: closes bucket 1, not overflow.
+        h.observe(10.0);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.overflow(), 0);
+        // The first value strictly above the last bound overflows.
+        h.observe(10.0 + f64::EPSILON * 16.0);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>() + h.overflow(), h.count());
+    }
+
+    #[test]
+    fn quantiles_register_and_merge() {
+        let mut r = Registry::new();
+        for v in [1.0, 2.0, 3.0] {
+            r.quantile_observe("wait", Labels::empty(), v);
+        }
+        assert_eq!(r.quantile("wait", &Labels::empty()).unwrap().count(), 3);
+        assert!(!r.is_empty());
+        let mut other = Registry::new();
+        other.quantile_observe("wait", Labels::empty(), 9.0);
+        r.merge(&other);
+        assert_eq!(r.quantile("wait", &Labels::empty()).unwrap().count(), 4);
+        let snap = r.snapshot();
+        assert_eq!(snap.quantiles.len(), 1);
+        assert!(!snap.is_empty());
     }
 
     #[test]

@@ -39,15 +39,28 @@
 //!   --abandon F            viewer abandonment probability (default 0)
 //!   --fail DISK@CYCLE      (repeatable; run degraded)
 //!   --seed N               (default 1995)
+//! mms-ctl trace <flight.jsonl> [options]     walk a flight-recorder dump
+//!   --session ID           only records mentioning this stream/session
 //! ```
 //!
-//! `simulate`, `mttf`, and `workload` additionally take the observability flags:
+//! `simulate`, `mttf`, `scenario`, and `workload` additionally take the
+//! observability flags:
 //!
 //! ```text
 //!   --telemetry PATH.jsonl export events + final metric snapshot as JSONL
 //!   --log-level LEVEL      error|warn|info|debug|trace (default info)
 //!   --dash                 print the ASCII metrics dashboard at the end
+//!   --flight-recorder PATH dump the newest events as a replayable black box
+//!   --flight-capacity N    flight-recorder ring size (default 4096)
+//!   --prom-out PATH        write the metric snapshot in Prometheus text format
+//!   --perfetto-out PATH    write the event stream as Chrome/Perfetto trace JSON
+//!   --slo                  print the HealthModel SLO panel at the end
 //! ```
+//!
+//! The flight recorder arms itself on the first `error`-level record
+//! (data loss, check violations); `--flight-recorder` also dumps on a
+//! clean run with trigger `requested`. Replay a dump with `mms-ctl
+//! trace`.
 //!
 //! `--threads` is purely a performance knob: every command's output is
 //! bit-identical for any setting (see `mms_exec`); this holds with
@@ -63,7 +76,10 @@ use ft_media_server::scenario;
 use ft_media_server::sim::{
     AdmissionPolicy, ArrivalProcess, DataMode, FailureEvent, SessionEngine,
 };
-use ft_media_server::telemetry::{dashboard, jsonl, Level, Recorder};
+use ft_media_server::telemetry::{
+    dashboard, jsonl, perfetto, prom, FlightRecorder, FlightSnapshot, HealthConfig, HealthModel,
+    Level, Recorder,
+};
 use ft_media_server::{Parallelism, Scheme, ServerBuilder, ServerError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -78,9 +94,10 @@ fn main() -> ExitCode {
         Some("design") => cmd_design(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mms-ctl <table|simulate|mttf|design|scenario|workload> …  (see --help in source)"
+                "usage: mms-ctl <table|simulate|mttf|design|scenario|workload|trace> …  (see --help in source)"
             );
             return ExitCode::FAILURE;
         }
@@ -153,7 +170,8 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     Ok(default)
 }
 
-/// The observability flags shared by `simulate` and `mttf`.
+/// The observability flags shared by `simulate`, `mttf`, `scenario`,
+/// and `workload`.
 struct TelemetryOpts {
     /// JSONL export path (`--telemetry PATH`).
     path: Option<String>,
@@ -161,39 +179,108 @@ struct TelemetryOpts {
     level: Level,
     /// Print the ASCII dashboard at the end (`--dash`).
     dash: bool,
+    /// Flight-recorder dump path (`--flight-recorder PATH`).
+    flight: Option<String>,
+    /// Flight-recorder ring capacity (`--flight-capacity`, default 4096).
+    flight_capacity: usize,
+    /// Prometheus text-format export path (`--prom-out PATH`).
+    prom: Option<String>,
+    /// Chrome/Perfetto trace JSON export path (`--perfetto-out PATH`).
+    perfetto: Option<String>,
+    /// Print the HealthModel SLO panel at the end (`--slo`).
+    slo: bool,
 }
 
 impl TelemetryOpts {
     fn parse(args: &[String]) -> Result<Self, String> {
-        let mut path = None;
-        for w in args.windows(2) {
-            if w[0] == "--telemetry" {
-                path = Some(w[1].clone());
-            }
-        }
+        let path_flag = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
         Ok(TelemetryOpts {
-            path,
+            path: path_flag("--telemetry"),
             level: flag_value(args, "--log-level", Level::Info)?,
             dash: args.iter().any(|a| a == "--dash"),
+            flight: path_flag("--flight-recorder"),
+            flight_capacity: flag_value(args, "--flight-capacity", 4096)?,
+            prom: path_flag("--prom-out"),
+            perfetto: path_flag("--perfetto-out"),
+            slo: args.iter().any(|a| a == "--slo"),
         })
     }
 
     /// A recorder when any output was requested, else run untraced.
+    /// Flight recordings and Perfetto traces need the `Debug` cycle
+    /// spans for virtual-time stamps, so they raise the floor.
     fn recorder(&self) -> Option<Recorder> {
-        (self.path.is_some() || self.dash).then(|| Recorder::new(self.level))
+        let any = self.path.is_some()
+            || self.dash
+            || self.flight.is_some()
+            || self.prom.is_some()
+            || self.perfetto.is_some()
+            || self.slo;
+        let level = if self.flight.is_some() || self.perfetto.is_some() {
+            self.level.max(Level::Debug)
+        } else {
+            self.level
+        };
+        any.then(|| Recorder::new(level))
     }
 
-    /// Export/print whatever the recorder collected.
-    fn finish(&self, recorder: Recorder) -> CmdResult {
-        let events = recorder.take_events();
+    /// Export/print whatever the recorder collected. `scheme` labels
+    /// the derived `health.*` gauges ("all" for multi-scheme runs).
+    fn finish(&self, recorder: Recorder, scheme: &str) -> CmdResult {
+        use std::io::Write;
+        let mut events = recorder.take_events();
+
+        if self.slo {
+            let mut health = HealthModel::new(HealthConfig::default());
+            for event in &events {
+                health.observe(event);
+            }
+            let end = health.cycle();
+            health.finish(end);
+            recorder.with_registry_mut(|r| health.publish_to(r, scheme));
+            events.extend(health.alert_records());
+            println!("\n{}", health.panel());
+        }
+
         let snapshot = recorder.snapshot();
+        if let Some(path) = &self.flight {
+            let mut flight = FlightRecorder::new(self.flight_capacity.max(1));
+            for event in &events {
+                flight.record(event.clone());
+            }
+            if !flight.triggered() {
+                flight.trigger("requested");
+            }
+            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+            flight.dump(&mut out)?;
+            out.flush()?;
+            println!(
+                "\nflight recorder: kept {} of {} record(s), trigger '{}' -> {path}",
+                flight.len(),
+                flight.recorded(),
+                flight.trigger_reason().unwrap_or("none"),
+            );
+        }
+        if let Some(path) = &self.prom {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+            prom::write_snapshot(&mut out, &snapshot)?;
+            out.flush()?;
+            println!("prometheus snapshot -> {path}");
+        }
+        if let Some(path) = &self.perfetto {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+            perfetto::write_trace(&mut out, &events)?;
+            out.flush()?;
+            println!("perfetto trace: {} event(s) -> {path}", events.len());
+        }
         if let Some(path) = &self.path {
-            use std::io::Write;
             let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
             jsonl::write_all(&mut out, &events, &snapshot)?;
             out.flush()?;
-            let metric_lines =
-                snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len();
+            let metric_lines = snapshot.counters.len()
+                + snapshot.gauges.len()
+                + snapshot.histograms.len()
+                + snapshot.quantiles.len();
             println!(
                 "\ntelemetry: {} event(s) + {} metric line(s) -> {path}",
                 events.len(),
@@ -322,7 +409,7 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     println!("buffer peak        : {} tracks", m.buffer_peak);
     println!("catastrophes       : {}", m.catastrophes);
     if let Some(recorder) = recorder {
-        telem.finish(recorder)?;
+        telem.finish(recorder, scheme.abbrev())?;
     }
     Ok(())
 }
@@ -377,7 +464,7 @@ fn cmd_mttf(args: &[String]) -> CmdResult {
         }
     }
     if let Some(recorder) = recorder {
-        telem.finish(recorder)?;
+        telem.finish(recorder, "all")?;
     }
     Ok(())
 }
@@ -400,8 +487,14 @@ fn cmd_scenario(args: &[String]) -> CmdResult {
     if only.is_some() && scenario::find(&name, quick).is_none() {
         return Err(format!("unknown scenario '{name}' (try `mms-ctl scenario list`)").into());
     }
+    let telem = TelemetryOpts::parse(args)?;
+    let recorder = telem.recorder();
+    let _guard = recorder.as_ref().map(Recorder::install);
     let (text, ok) = scenario::run_corpus_rendered(par, quick, only);
     print!("{text}");
+    if let Some(recorder) = recorder {
+        telem.finish(recorder, "all")?;
+    }
     if ok {
         Ok(())
     } else {
@@ -570,7 +663,52 @@ fn cmd_workload(args: &[String]) -> CmdResult {
         m.utilization(server.cycle_config().t_cyc(), disks) * 100.0
     );
     if let Some(recorder) = recorder {
-        telem.finish(recorder)?;
+        telem.finish(recorder, scheme.abbrev())?;
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> CmdResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: mms-ctl trace <flight.jsonl> [--session ID]")?;
+    let session = match args.windows(2).find(|w| w[0] == "--session") {
+        Some(w) => Some(
+            w[1].parse::<u64>()
+                .map_err(|_| format!("bad --session id '{}'", w[1]))?,
+        ),
+        None => None,
+    };
+    let text = std::fs::read_to_string(path)?;
+    let snap = FlightSnapshot::parse(&text)?;
+    println!(
+        "flight dump {path}: {} record(s) kept of {} seen (capacity {}), trigger '{}'",
+        snap.len,
+        snap.recorded,
+        snap.capacity,
+        snap.trigger.as_deref().unwrap_or("none"),
+    );
+    let mut shown = 0usize;
+    for r in &snap.records {
+        if let Some(id) = session {
+            if !r.mentions_stream(id) {
+                continue;
+            }
+        }
+        shown += 1;
+        let mut line = format!(
+            "cycle {:>6} seq {:>4}  {:<5} {:<10} {}",
+            r.cycle, r.seq, r.level, r.kind, r.name
+        );
+        for (k, v) in &r.fields {
+            line.push_str(&format!("  {k}={v}"));
+        }
+        println!("{line}");
+    }
+    match session {
+        Some(id) => println!("{shown} record(s) mention stream/session {id}"),
+        None => println!("{shown} record(s)"),
     }
     Ok(())
 }
