@@ -4,8 +4,8 @@ use mms_disk::DiskId;
 use mms_layout::ObjectId;
 use mms_sched::{
     AdmissionError, CycleConfig, CyclePlan, FailureReport, ImprovedScheduler,
-    NonClusteredScheduler, SchemeKind, SchemeScheduler, StaggeredScheduler, StreamId, StreamInfo,
-    StreamingRaidScheduler,
+    NonClusteredScheduler, PlanStability, SchemeKind, SchemeScheduler, StaggeredScheduler,
+    StreamId, StreamInfo, StreamingRaidScheduler,
 };
 
 /// A scheduler for any of the four schemes, so [`crate::MultimediaServer`]
@@ -175,5 +175,17 @@ impl SchemeScheduler for AnyScheduler {
 
     fn buffer_high_water(&self) -> usize {
         delegate!(self, s => s.buffer_high_water())
+    }
+
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        delegate!(self, s => s.plan_stability(cycle))
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        delegate!(self, s => s.fast_forward(cycles))
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        delegate!(self, s => s.plan_epoch())
     }
 }

@@ -164,13 +164,27 @@ pub struct ScenarioCase {
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioRunner {
     parallelism: Parallelism,
+    fast_forward: bool,
 }
 
 impl ScenarioRunner {
     /// A runner fanning scheme runs out over `parallelism` workers.
     #[must_use]
     pub fn new(parallelism: Parallelism) -> Self {
-        ScenarioRunner { parallelism }
+        ScenarioRunner {
+            parallelism,
+            fast_forward: false,
+        }
+    }
+
+    /// Fast-forward quiescent stretches between scripted events with
+    /// [`mms_sim::Simulator::advance_quiescent`]. Reports are observably
+    /// identical to per-cycle execution — the event-horizon equivalence
+    /// suite pins this — the run is just faster.
+    #[must_use]
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
     }
 
     /// Run `case` for every scheme it names, in scheme order. Reports
@@ -263,6 +277,24 @@ impl ScenarioRunner {
                 && server.simulator().metrics().cycles > 0
             {
                 break;
+            }
+            // Between scripted events nothing external can perturb the
+            // schedule, so the stretch up to the next event (or the
+            // horizon) is a fast-forward candidate. Tertiary staging
+            // advances only through `server.step`, so the fast path
+            // stays off while the librarian has work.
+            if self.fast_forward && server.staging().queue().is_empty() {
+                let next_event = events
+                    .get(ev_ix)
+                    .map_or(max_cycles, |e| e.cycle().min(max_cycles));
+                match server.simulator_mut().advance_quiescent(next_event) {
+                    Ok(n) if n > 0 => continue,
+                    Ok(_) => {}
+                    Err(e) => {
+                        report.violations.push(format!("cycle {now}: {e}"));
+                        break;
+                    }
+                }
             }
             let rebuilds_before = server.simulator().metrics().rebuilds_completed;
             if let Err(e) = server.step() {
@@ -700,12 +732,15 @@ pub fn find(name: &str, quick: bool) -> Option<ScenarioCase> {
 
 /// Run the whole corpus (or one named scenario) and render every
 /// report, returning the rendered text and whether every invariant
-/// held. The text is bit-identical for every thread count.
+/// held. The text is bit-identical for every thread count, and —
+/// because fast-forwarded runs are observably identical — for either
+/// value of `fast_forward`.
 #[must_use]
 pub fn run_corpus_rendered(
     parallelism: Parallelism,
     quick: bool,
     only: Option<&str>,
+    fast_forward: bool,
 ) -> (String, bool) {
     let cases: Vec<ScenarioCase> = corpus(quick)
         .into_iter()
@@ -716,7 +751,7 @@ pub fn run_corpus_rendered(
         .enumerate()
         .flat_map(|(i, c)| c.schemes.iter().map(move |&s| (i, s)))
         .collect();
-    let runner = ScenarioRunner::new(parallelism);
+    let runner = ScenarioRunner::new(parallelism).with_fast_forward(fast_forward);
     let reports = par_map_indexed_min(parallelism, jobs.len(), 2, |j| {
         let (case_ix, scheme) = jobs[j];
         runner.run(&cases[case_ix], scheme)

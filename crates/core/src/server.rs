@@ -10,7 +10,7 @@ use mms_reliability::montecarlo::{CatastropheRule, MonteCarlo, TrialStats};
 use mms_sched::{CycleConfig, FailureReport, SchemeKind, SchemeScheduler, StreamId, StreamInfo};
 use mms_sim::{
     CycleReport, FailureEvent, FailureSchedule, Metrics, RebuildSource, SessionEngine, Simulator,
-    WorkloadGen,
+    StepMode, WorkloadGen,
 };
 use rand::Rng;
 
@@ -362,6 +362,21 @@ impl MultimediaServer {
             .into_iter()
             .map(|(_, id)| id)
             .find(|&id| self.purge_object(id).is_ok())
+    }
+
+    /// How [`run`](Self::run), [`run_with_workload`](Self::run_with_workload),
+    /// and [`run_sessions`](Self::run_sessions) advance simulated time.
+    /// [`StepMode::EventHorizon`] fast-forwards provably quiescent
+    /// stretches with observably identical results; see
+    /// [`Simulator::advance_quiescent`].
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.sim.set_step_mode(mode);
+    }
+
+    /// The configured [`StepMode`].
+    #[must_use]
+    pub fn step_mode(&self) -> StepMode {
+        self.sim.step_mode()
     }
 
     /// Cumulative metrics.

@@ -150,6 +150,22 @@ impl Disk {
         Ok(t)
     }
 
+    /// Re-apply the accounting of an already-serviced read batch without
+    /// re-checking capacity or emitting per-call telemetry.
+    ///
+    /// The simulator's quiescent fast-forward replays one probed plan
+    /// rotation's charges for each skipped rotation: the identical `t`
+    /// is accumulated by repeated addition, reproducing bit-for-bit the
+    /// `busy_time` a per-cycle run would have accrued. Callers guarantee
+    /// the batch passed [`read_tracks`](Self::read_tracks)'s capacity
+    /// check when it was probed and that the drive state is unchanged.
+    pub fn replay_read(&mut self, tracks: usize, t: Time) {
+        debug_assert!(self.is_operational(), "replay on a non-operational disk");
+        self.stats.tracks_read += tracks as u64;
+        self.stats.busy_cycles += 1;
+        self.stats.busy_time += t;
+    }
+
     /// Mark the drive failed at simulation time `now`.
     pub fn fail(&mut self, now: Time) -> Result<(), DiskError> {
         if !matches!(self.state, DiskState::Normal) {

@@ -229,6 +229,102 @@ pub const HOT_FNS: &[HotFn] = &[
         why: "session-driven simulation loop",
     },
     HotFn {
+        file: "crates/sim/src/simulator.rs",
+        impl_type: Some("Simulator"),
+        name: "advance_quiescent",
+        why: "event-horizon fast-forward (probe, replay, extrapolate)",
+    },
+    HotFn {
+        file: "crates/sim/src/workload.rs",
+        impl_type: Some("SessionEngine"),
+        name: "draw_arrivals",
+        why: "cycle-ordered arrival draw shared by both step modes",
+    },
+    HotFn {
+        file: "crates/sim/src/workload.rs",
+        impl_type: Some("SessionEngine"),
+        name: "next_event_before",
+        why: "event-horizon lookahead over the session queue",
+    },
+    HotFn {
+        file: "crates/disk/src/disk.rs",
+        impl_type: Some("Disk"),
+        name: "replay_read",
+        why: "journaled disk charge replay during fast-forward",
+    },
+    HotFn {
+        file: "crates/sched/src/baseline.rs",
+        impl_type: None,
+        name: "plan_stability",
+        why: "fast-forward window computation (baseline)",
+    },
+    HotFn {
+        file: "crates/sched/src/baseline.rs",
+        impl_type: None,
+        name: "fast_forward",
+        why: "closed-form clock jump (baseline)",
+    },
+    HotFn {
+        file: "crates/sched/src/grouped.rs",
+        impl_type: None,
+        name: "plan_stability",
+        why: "fast-forward window computation (k' continuum)",
+    },
+    HotFn {
+        file: "crates/sched/src/grouped.rs",
+        impl_type: None,
+        name: "fast_forward",
+        why: "closed-form clock jump (k' continuum)",
+    },
+    HotFn {
+        file: "crates/sched/src/improved.rs",
+        impl_type: None,
+        name: "plan_stability",
+        why: "fast-forward window computation (IB)",
+    },
+    HotFn {
+        file: "crates/sched/src/improved.rs",
+        impl_type: None,
+        name: "fast_forward",
+        why: "closed-form clock jump (IB)",
+    },
+    HotFn {
+        file: "crates/sched/src/nonclustered.rs",
+        impl_type: None,
+        name: "plan_stability",
+        why: "fast-forward window computation (NC)",
+    },
+    HotFn {
+        file: "crates/sched/src/nonclustered.rs",
+        impl_type: None,
+        name: "fast_forward",
+        why: "closed-form clock jump (NC)",
+    },
+    HotFn {
+        file: "crates/sched/src/staggered.rs",
+        impl_type: None,
+        name: "plan_stability",
+        why: "fast-forward window computation (SG)",
+    },
+    HotFn {
+        file: "crates/sched/src/staggered.rs",
+        impl_type: None,
+        name: "fast_forward",
+        why: "closed-form clock jump (SG)",
+    },
+    HotFn {
+        file: "crates/sched/src/streaming_raid.rs",
+        impl_type: None,
+        name: "plan_stability",
+        why: "fast-forward window computation (SR)",
+    },
+    HotFn {
+        file: "crates/sched/src/streaming_raid.rs",
+        impl_type: None,
+        name: "fast_forward",
+        why: "closed-form clock jump (SR)",
+    },
+    HotFn {
         file: "crates/telemetry/src/quantile.rs",
         impl_type: Some("P2Quantile"),
         name: "observe",

@@ -17,7 +17,7 @@
 use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
-use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use crate::traits::{AdmissionError, FailureReport, PlanStability, SchemeKind, SchemeScheduler};
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
 use mms_layout::{BlockAddr, Catalog, ClusteredLayout, Layout, ObjectId};
@@ -53,6 +53,9 @@ pub struct BaselineScheduler {
     buffers: BufferPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Plan epoch: bumped by admit/release/failure/repair (see
+    /// [`SchemeScheduler::plan_epoch`]).
+    epoch: u64,
     /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
     ids_scratch: Vec<StreamId>,
 }
@@ -74,6 +77,7 @@ impl BaselineScheduler {
             buffers: BufferPool::unbounded(),
             next_stream: 0,
             next_cycle: 0,
+            epoch: 0,
             ids_scratch: Vec::new(),
         }
     }
@@ -129,6 +133,7 @@ impl SchemeScheduler for BaselineScheduler {
         }
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
+        self.epoch += 1;
         self.streams.insert(
             id,
             BlStream {
@@ -172,6 +177,7 @@ impl SchemeScheduler for BaselineScheduler {
         let Some(st) = self.streams.get_mut(&id) else {
             return false;
         };
+        self.epoch += 1;
         // One block is read per cycle, `bpg` cycles per group, so the
         // started-group count is the ceiling of the elapsed span.
         let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
@@ -288,6 +294,7 @@ impl SchemeScheduler for BaselineScheduler {
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, _cycle: u64, _mid_cycle: bool) -> FailureReport {
+        self.epoch += 1;
         self.failed_disks.insert(disk);
         FailureReport {
             // No parity: any data on the disk is unreadable until repair;
@@ -298,6 +305,7 @@ impl SchemeScheduler for BaselineScheduler {
     }
 
     fn on_disk_repair(&mut self, disk: DiskId, _cycle: u64) {
+        self.epoch += 1;
         self.failed_disks.remove(&disk);
     }
 
@@ -307,6 +315,42 @@ impl SchemeScheduler for BaselineScheduler {
 
     fn buffer_high_water(&self) -> usize {
         self.buffers.high_water()
+    }
+
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        // One block per cycle, `bpg` cycles per group, rotating over N_C
+        // clusters: the disk pattern repeats every bpg · N_C cycles.
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        let period = self.bpg() * nc;
+        if !self.failed_disks.is_empty() {
+            return PlanStability { period, stable: 0 };
+        }
+        let mut stable = u64::MAX;
+        for s in self.streams.values() {
+            if cycle <= s.start_cycle {
+                return PlanStability { period, stable: 0 };
+            }
+            // End before the final (possibly partial) group starts
+            // reading at start + (groups − 1)·bpg.
+            let final_read = s.start_cycle + (s.groups - 1) * self.bpg();
+            stable = stable.min(final_read.saturating_sub(cycle));
+        }
+        PlanStability { period, stable }
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(self.failed_disks.is_empty(), "fast_forward while failed");
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        debug_assert_eq!(cycles % (self.bpg() * nc), 0, "not a whole rotation");
+        self.next_cycle += cycles;
+        // One track delivered per stream per steady cycle.
+        for s in self.streams.values_mut() {
+            s.delivered += cycles;
+        }
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

@@ -18,7 +18,7 @@
 use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
-use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use crate::traits::{AdmissionError, FailureReport, PlanStability, SchemeKind, SchemeScheduler};
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
 use mms_layout::{Catalog, ClusterId, ClusteredLayout, Layout, ObjectId};
@@ -52,6 +52,9 @@ pub struct GroupedScheduler {
     buffers: BufferPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Plan epoch: bumped by admit/release/failure/repair (see
+    /// [`SchemeScheduler::plan_epoch`]).
+    epoch: u64,
     /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
     ids_scratch: Vec<StreamId>,
     /// Recycled hiccup vectors: each read cycle swaps a stream's old
@@ -81,6 +84,7 @@ impl GroupedScheduler {
             buffers: BufferPool::unbounded(),
             next_stream: 0,
             next_cycle: 0,
+            epoch: 0,
             ids_scratch: Vec::new(),
             hiccup_pool: Vec::new(),
         }
@@ -145,6 +149,7 @@ impl SchemeScheduler for GroupedScheduler {
         }
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
+        self.epoch += 1;
         self.streams.insert(
             id,
             GrStream {
@@ -192,6 +197,7 @@ impl SchemeScheduler for GroupedScheduler {
         let Some(st) = self.streams.get_mut(&id) else {
             return false;
         };
+        self.epoch += 1;
         // Group g is read at `start + g·period`, so the resident count
         // is the ceiling of the elapsed span over the period.
         let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
@@ -382,6 +388,7 @@ impl SchemeScheduler for GroupedScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         let entry = self.failed.entry(cluster).or_default();
         entry.insert(pos);
         FailureReport {
@@ -395,6 +402,7 @@ impl SchemeScheduler for GroupedScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         if let Some(set) = self.failed.get_mut(&cluster) {
             set.remove(&pos);
             if set.is_empty() {
@@ -409,6 +417,45 @@ impl SchemeScheduler for GroupedScheduler {
 
     fn buffer_high_water(&self) -> usize {
         self.buffers.high_water()
+    }
+
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        // Whole-group reads recur every `read_period` cycles over a
+        // rotation of N_C clusters.
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        let period = self.period() * nc;
+        if !self.failed.is_empty() {
+            return PlanStability { period, stable: 0 };
+        }
+        let mut stable = u64::MAX;
+        for s in self.streams.values() {
+            if cycle <= s.start_cycle {
+                return PlanStability { period, stable: 0 };
+            }
+            // End the window before the final (possibly partial) group
+            // is read at start + (groups − 1)·read_period.
+            let final_read = s.start_cycle + (s.groups - 1) * self.period();
+            stable = stable.min(final_read.saturating_sub(cycle));
+        }
+        PlanStability { period, stable }
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(self.failed.is_empty(), "fast_forward in degraded mode");
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        debug_assert_eq!(cycles % (self.period() * nc), 0, "not a whole rotation");
+        self.next_cycle += cycles;
+        // k' tracks delivered per stream per steady cycle; parity is
+        // released at the end of each read cycle, so the pending fields
+        // are quiescent.
+        let k_prime = self.config.k_prime as u64;
+        for s in self.streams.values_mut() {
+            s.delivered += cycles * k_prime;
+        }
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

@@ -13,8 +13,8 @@ use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{
-    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, SchemeKind,
-    SchemeScheduler,
+    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, PlanStability,
+    SchemeKind, SchemeScheduler,
 };
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
@@ -88,6 +88,9 @@ pub struct ImprovedScheduler {
     buffers: BufferPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Plan epoch: bumped by admit/release/failure/repair (see
+    /// [`SchemeScheduler::plan_epoch`]).
+    epoch: u64,
     /// Clusters visited by the most recent shift-to-the-right cascade.
     last_shift_path: Vec<ClusterId>,
     /// Set while a failure happened mid-cycle and the next planned cycle
@@ -145,6 +148,7 @@ impl ImprovedScheduler {
             buffers: BufferPool::unbounded(),
             next_stream: 0,
             next_cycle: 0,
+            epoch: 0,
             last_shift_path: Vec::new(),
             midcycle_pending: None,
             ids_scratch: Vec::new(),
@@ -244,6 +248,7 @@ impl SchemeScheduler for ImprovedScheduler {
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
         self.class_load[class] += 1;
+        self.epoch += 1;
         self.streams.insert(
             id,
             IbStream {
@@ -287,6 +292,7 @@ impl SchemeScheduler for ImprovedScheduler {
         let Some(st) = self.streams.get_mut(&id) else {
             return false;
         };
+        self.epoch += 1;
         // One group is read per cycle, so `elapsed` groups are resident.
         let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
         if elapsed == 0 {
@@ -658,6 +664,7 @@ impl SchemeScheduler for ImprovedScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         let entry = self.failed.entry(cluster).or_default();
         entry.insert(pos);
         // A failure in each of two *adjacent* clusters also loses data in
@@ -714,6 +721,7 @@ impl SchemeScheduler for ImprovedScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         if let Some(set) = self.failed.get_mut(&cluster) {
             set.remove(&pos);
             if set.is_empty() {
@@ -729,6 +737,42 @@ impl SchemeScheduler for ImprovedScheduler {
 
     fn buffer_high_water(&self) -> usize {
         self.buffers.high_water()
+    }
+
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        // One whole group per cycle, rotating over N_C clusters (the
+        // prefetch pass is equally periodic: one parity read per stream
+        // per cycle on the next cluster).
+        let period = self.clusters();
+        if !self.failed.is_empty() || self.midcycle_pending.is_some() {
+            return PlanStability { period, stable: 0 };
+        }
+        let mut stable = u64::MAX;
+        for s in self.streams.values() {
+            if cycle <= s.start_cycle {
+                return PlanStability { period, stable: 0 };
+            }
+            // The final (possibly partial) group is read at
+            // start + groups − 1; end the window before it.
+            stable = stable.min((s.start_cycle + s.groups - 1).saturating_sub(cycle));
+        }
+        PlanStability { period, stable }
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(self.failed.is_empty(), "fast_forward in degraded mode");
+        debug_assert_eq!(cycles % self.clusters(), 0, "not a whole rotation");
+        self.next_cycle += cycles;
+        // One full group delivered per stream per steady cycle; the
+        // pending_* lists stay empty and pending_buffered is periodic.
+        let bpg = u64::from(self.catalog.layout().blocks_per_group());
+        for s in self.streams.values_mut() {
+            s.delivered += cycles * bpg;
+        }
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

@@ -57,5 +57,6 @@ pub use staggered::StaggeredScheduler;
 pub use streaming_raid::StreamingRaidScheduler;
 pub use streams::{StreamId, StreamInfo};
 pub use traits::{
-    emit_mode_transition, AdmissionError, FailureReport, RetireError, SchemeKind, SchemeScheduler,
+    emit_mode_transition, AdmissionError, FailureReport, PlanStability, RetireError, SchemeKind,
+    SchemeScheduler,
 };

@@ -10,7 +10,7 @@
 use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
-use crate::traits::{AdmissionError, FailureReport, SchemeKind, SchemeScheduler};
+use crate::traits::{AdmissionError, FailureReport, PlanStability, SchemeKind, SchemeScheduler};
 use mms_buffer::{BufferPool, BufferServerPool, OwnerId};
 use mms_disk::DiskId;
 use mms_layout::{BlockAddr, Catalog, ClusterId, ClusteredLayout, Layout, ObjectId};
@@ -116,6 +116,8 @@ pub struct NonClusteredScheduler {
     servers: BufferServerPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Plan epoch: bumped by admissions, releases, failures and repairs.
+    epoch: u64,
     /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
     ids_scratch: Vec<StreamId>,
     /// Reusable list of blocks displaced past slot capacity this cycle.
@@ -125,6 +127,9 @@ pub struct NonClusteredScheduler {
     /// Reusable partitions for the slot-capacity priority sort.
     keep_scratch: Vec<PlannedRead>,
     spill_scratch: Vec<PlannedRead>,
+    /// Reusable staging area for rekeying `deferred_frees` in
+    /// `fast_forward` (entries move, their block lists are not cloned).
+    rekey_scratch: Vec<(u64, Vec<(StreamId, BlockAddr)>)>,
 }
 
 impl NonClusteredScheduler {
@@ -168,11 +173,13 @@ impl NonClusteredScheduler {
             servers: BufferServerPool::new(buffer_servers, per_server),
             next_stream: 0,
             next_cycle: 0,
+            epoch: 0,
             ids_scratch: Vec::new(),
             displaced_scratch: Vec::new(),
             displaced_parity_scratch: Vec::new(),
             keep_scratch: Vec::new(),
             spill_scratch: Vec::new(),
+            rekey_scratch: Vec::new(),
         }
     }
 
@@ -604,6 +611,7 @@ impl SchemeScheduler for NonClusteredScheduler {
         }
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
+        self.epoch += 1;
         self.streams.insert(
             id,
             NcStream {
@@ -647,6 +655,7 @@ impl SchemeScheduler for NonClusteredScheduler {
         let Some(st) = self.streams.get_mut(&id) else {
             return false;
         };
+        self.epoch += 1;
         // One block is read per cycle in normal mode, `bpg` cycles per
         // group, so the started-group count is the elapsed ceiling.
         let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
@@ -968,6 +977,7 @@ impl SchemeScheduler for NonClusteredScheduler {
     }
 
     fn on_disk_failure(&mut self, disk: DiskId, cycle: u64, _mid_cycle: bool) -> FailureReport {
+        self.epoch += 1;
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
@@ -1081,6 +1091,7 @@ impl SchemeScheduler for NonClusteredScheduler {
     }
 
     fn on_disk_repair(&mut self, disk: DiskId, cycle: u64) {
+        self.epoch += 1;
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         if let Some(d) = self.degraded.get_mut(&cluster) {
@@ -1110,5 +1121,65 @@ impl SchemeScheduler for NonClusteredScheduler {
 
     fn buffer_high_water(&self) -> usize {
         self.buffers.high_water()
+    }
+
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        // The plan repeats once every stream has walked every cluster:
+        // bpg cycles per group × N_C clusters.
+        let period = self.bpg() * u64::from(self.catalog.layout().geometry().clusters());
+        // Stable only in fully-normal mode: no degraded cluster and no
+        // transition debris in flight. `deferred_frees` is *not* a gate —
+        // healthy per-cycle reads always hold one pending free.
+        if !self.degraded.is_empty()
+            || !self.pending_losses.is_empty()
+            || !self.suppressed.is_empty()
+            || !self.extra_reads.is_empty()
+            || !self.reconstructions.is_empty()
+            || !self.server_frees.is_empty()
+        {
+            return PlanStability { period, stable: 0 };
+        }
+        let mut stable = u64::MAX;
+        for s in self.streams.values() {
+            if cycle <= s.start_cycle {
+                // Warm-up: the first cycle reads without delivering.
+                return PlanStability { period, stable: 0 };
+            }
+            // End strictly before the final group's first read: partial
+            // final groups break the one-delivery-per-cycle cadence.
+            let final_group_start = s.start_cycle + (s.groups - 1) * self.bpg();
+            stable = stable.min(final_group_start.saturating_sub(cycle));
+        }
+        PlanStability { period, stable }
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(self.degraded.is_empty(), "fast_forward in degraded mode");
+        debug_assert_eq!(
+            cycles % (self.bpg() * u64::from(self.catalog.layout().geometry().clusters())),
+            0,
+            "fast_forward span must be a whole plan rotation"
+        );
+        self.next_cycle += cycles;
+        for s in self.streams.values_mut() {
+            s.delivered += cycles;
+        }
+        // Pending buffer frees keep their relative schedule: shift every
+        // key by the skipped span. Entries are moved, not cloned; the
+        // staged addresses are only ever matched by same-cycle
+        // displacement cancels, which cannot reference skipped cycles.
+        let mut staged = std::mem::take(&mut self.rekey_scratch);
+        staged.clear();
+        while let Some((k, v)) = self.deferred_frees.pop_first() {
+            staged.push((k + cycles, v));
+        }
+        for (k, v) in staged.drain(..) {
+            self.deferred_frees.insert(k, v);
+        }
+        self.rekey_scratch = staged;
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        self.epoch
     }
 }

@@ -4,8 +4,8 @@ use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{
-    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, SchemeKind,
-    SchemeScheduler,
+    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, PlanStability,
+    SchemeKind, SchemeScheduler,
 };
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
@@ -57,6 +57,9 @@ pub struct StaggeredScheduler {
     buffers: BufferPool,
     next_stream: u64,
     next_cycle: u64,
+    /// Plan epoch: bumped by admit/release/failure/repair (see
+    /// [`SchemeScheduler::plan_epoch`]).
+    epoch: u64,
     /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
     ids_scratch: Vec<StreamId>,
     /// Recycled hiccup vectors: each read cycle swaps a stream's old
@@ -83,6 +86,7 @@ impl StaggeredScheduler {
             buffers: BufferPool::unbounded(),
             next_stream: 0,
             next_cycle: 0,
+            epoch: 0,
             ids_scratch: Vec::new(),
             hiccup_pool: Vec::new(),
         }
@@ -164,6 +168,7 @@ impl SchemeScheduler for StaggeredScheduler {
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
         *self.class_load.entry(class).or_insert(0) += 1;
+        self.epoch += 1;
         self.streams.insert(
             id,
             SgStream {
@@ -212,6 +217,7 @@ impl SchemeScheduler for StaggeredScheduler {
         let Some(st) = self.streams.get_mut(&id) else {
             return false;
         };
+        self.epoch += 1;
         // Group g is read at `start + g·period`, so the resident count
         // is the ceiling of the elapsed span over the period.
         let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
@@ -417,6 +423,7 @@ impl SchemeScheduler for StaggeredScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         let entry = self.failed.entry(cluster).or_default();
         entry.insert(pos);
         let catastrophic = entry.len() >= 2;
@@ -444,6 +451,7 @@ impl SchemeScheduler for StaggeredScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         if let Some(set) = self.failed.get_mut(&cluster) {
             set.remove(&pos);
             if set.is_empty() {
@@ -459,6 +467,45 @@ impl SchemeScheduler for StaggeredScheduler {
 
     fn buffer_high_water(&self) -> usize {
         self.buffers.high_water()
+    }
+
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        // Reads recur every `read_period` cycles and the cluster
+        // trajectory rotates over N_C clusters, so the full disk pattern
+        // repeats every read_period · N_C cycles.
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        let period = self.period() * nc;
+        if !self.failed.is_empty() {
+            return PlanStability { period, stable: 0 };
+        }
+        let mut stable = u64::MAX;
+        for s in self.streams.values() {
+            if cycle <= s.start_cycle {
+                return PlanStability { period, stable: 0 };
+            }
+            // The final (possibly partial) group is read at
+            // start + (groups − 1)·read_period; end the window before it.
+            let final_read = s.start_cycle + (s.groups - 1) * self.period();
+            stable = stable.min(final_read.saturating_sub(cycle));
+        }
+        PlanStability { period, stable }
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(self.failed.is_empty(), "fast_forward in degraded mode");
+        let nc = u64::from(self.catalog.layout().geometry().clusters());
+        debug_assert_eq!(cycles % (self.period() * nc), 0, "not a whole rotation");
+        self.next_cycle += cycles;
+        // One track delivered per stream per steady cycle; parity is
+        // freed at the end of each read cycle, so `parity_held`,
+        // `reconstructed`, and `hiccups` are all quiescent.
+        for s in self.streams.values_mut() {
+            s.delivered += cycles;
+        }
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

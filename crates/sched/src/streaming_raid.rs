@@ -4,8 +4,8 @@ use crate::cycle::CycleConfig;
 use crate::plan::{CyclePlan, Delivery, LossReason, LostBlock, PlannedRead, ReadPurpose};
 use crate::streams::{StreamId, StreamInfo};
 use crate::traits::{
-    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, SchemeKind,
-    SchemeScheduler,
+    data_tracks_on_disks, emit_mode_transition, AdmissionError, FailureReport, PlanStability,
+    SchemeKind, SchemeScheduler,
 };
 use mms_buffer::{BufferPool, OwnerId};
 use mms_disk::DiskId;
@@ -58,6 +58,9 @@ pub struct StreamingRaidScheduler {
     next_stream: u64,
     next_cycle: u64,
     catastrophic: bool,
+    /// Plan epoch: bumped by admit/release/failure/repair (see
+    /// [`SchemeScheduler::plan_epoch`]).
+    epoch: u64,
     /// Reusable per-cycle id snapshot (plan_cycle_into must not allocate).
     ids_scratch: Vec<StreamId>,
     /// Reusable staging area for the groups read this cycle.
@@ -88,6 +91,7 @@ impl StreamingRaidScheduler {
             next_stream: 0,
             next_cycle: 0,
             catastrophic: false,
+            epoch: 0,
             ids_scratch: Vec::new(),
             incoming_scratch: Vec::new(),
             vec_pool: Vec::new(),
@@ -170,6 +174,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
         self.class_load[class] += 1;
+        self.epoch += 1;
         self.streams.insert(
             id,
             SrStream {
@@ -212,6 +217,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
         let Some(st) = self.streams.get_mut(&id) else {
             return false;
         };
+        self.epoch += 1;
         // One group is read per cycle, so `elapsed` groups are resident.
         let elapsed = self.next_cycle.saturating_sub(st.start_cycle);
         if elapsed == 0 {
@@ -400,6 +406,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         let entry = self.failed.entry(cluster).or_default();
         entry.insert(pos);
         let catastrophic = entry.len() >= 2;
@@ -428,6 +435,7 @@ impl SchemeScheduler for StreamingRaidScheduler {
         let geometry = *self.catalog.layout().geometry();
         let cluster = geometry.cluster_of(disk);
         let pos = geometry.position_in_cluster(disk);
+        self.epoch += 1;
         if let Some(set) = self.failed.get_mut(&cluster) {
             set.remove(&pos);
             if set.is_empty() {
@@ -443,6 +451,42 @@ impl SchemeScheduler for StreamingRaidScheduler {
 
     fn buffer_high_water(&self) -> usize {
         self.buffers.high_water()
+    }
+
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        // Disk pattern repeats once every full rotation over the
+        // clusters; a stream is steady from one cycle past its start
+        // (read + deliver every cycle) until its final-group read.
+        let period = self.clusters();
+        if !self.failed.is_empty() {
+            return PlanStability { period, stable: 0 };
+        }
+        let mut stable = u64::MAX;
+        for s in self.streams.values() {
+            if cycle <= s.start_cycle {
+                return PlanStability { period, stable: 0 };
+            }
+            // The final group is read at start + groups − 1 (and may be
+            // partial); the window must end before it.
+            stable = stable.min((s.start_cycle + s.groups - 1).saturating_sub(cycle));
+        }
+        PlanStability { period, stable }
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(self.failed.is_empty(), "fast_forward in degraded mode");
+        debug_assert_eq!(cycles % self.clusters(), 0, "not a whole rotation");
+        self.next_cycle += cycles;
+        // Every steady cycle delivers one full group per stream; the
+        // pending_* lists and buffer charge are periodic and unchanged.
+        let bpg = u64::from(self.catalog.layout().blocks_per_group());
+        for s in self.streams.values_mut() {
+            s.delivered += cycles * bpg;
+        }
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

@@ -162,6 +162,31 @@ pub struct FailureReport {
     pub shift_path: Vec<ClusterId>,
 }
 
+/// How far ahead a scheduler's plan sequence is a pure function of the
+/// cycle number — the contract behind the simulator's event-horizon
+/// fast path.
+///
+/// A scheduler reporting `stable = n` promises that for every cycle `t`
+/// in `[cycle, cycle + n)`, the plan it would produce (reads,
+/// deliveries, hiccups, buffer motion) depends only on `t` and repeats
+/// with period [`period`](Self::period): planning `t` and `t + period`
+/// yields identical per-disk read shapes and identical per-stream
+/// deltas. No stream starts, finishes, or changes phase inside the
+/// window, and no failure/repair state is pending. The window is
+/// invalidated by any call to `admit`/`release`/`on_disk_failure`/
+/// `on_disk_repair` — observable via
+/// [`plan_epoch`](SchemeScheduler::plan_epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStability {
+    /// Cycles per repetition of the plan pattern (≥ 1). For the
+    /// clustered schemes this is a full rotation over the `N_C`
+    /// clusters (times the read period, for multi-cycle read schedules).
+    pub period: u64,
+    /// Length of the stability window starting at the queried cycle; 0
+    /// means the next cycle must be planned normally.
+    pub stable: u64,
+}
+
 /// Why an object could not be retired from the catalog.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RetireError {
@@ -262,6 +287,45 @@ pub trait SchemeScheduler {
 
     /// Peak buffer tracks ever charged (the scheme's measured `BF`).
     fn buffer_high_water(&self) -> usize;
+
+    /// Report the plan-stability window starting at `cycle` (which must
+    /// be the next unplanned cycle). The default is the always-safe
+    /// answer — no stability, plan every cycle — so schemes opt in.
+    ///
+    /// Implementations are conservative: they return `stable > 0` only
+    /// when fully healthy (no failed disks, no mode transitions
+    /// pending) and every active stream is past its warm-up cycle and
+    /// strictly before its final-group read, so every cycle in the
+    /// window is a steady-state cycle.
+    fn plan_stability(&self, cycle: u64) -> PlanStability {
+        let _ = cycle;
+        PlanStability {
+            period: 1,
+            stable: 0,
+        }
+    }
+
+    /// Skip `cycles` quiescent cycles in closed form, advancing internal
+    /// counters (per-stream delivered tracks, the next-cycle cursor, any
+    /// cycle-keyed bookkeeping) exactly as that many
+    /// [`plan_cycle_into`](SchemeScheduler::plan_cycle_into) calls
+    /// would, without planning them.
+    ///
+    /// The caller guarantees `cycles` is a multiple of the current
+    /// [`PlanStability::period`] and does not exceed the `stable` window
+    /// reported for the current cycle. Must not allocate. The default
+    /// no-op matches the default zero-stability report.
+    fn fast_forward(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+
+    /// Monotone counter bumped by every state change that invalidates a
+    /// previously reported stability window (`admit`, `release`,
+    /// `on_disk_failure`, `on_disk_repair`). The simulator re-validates
+    /// the epoch around its probe cycles before multiplying deltas.
+    fn plan_epoch(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

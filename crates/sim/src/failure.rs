@@ -185,6 +185,15 @@ impl FailureSchedule {
         Some(event)
     }
 
+    /// The cycle of the next undrained event, without consuming it.
+    /// `None` when the schedule is exhausted. The event-horizon fast
+    /// path uses this to bound how far it may skip: no stretch ever
+    /// crosses a pending failure or repair.
+    #[must_use]
+    pub fn peek(&self) -> Option<u64> {
+        self.events.get(self.next).map(FailureEvent::cycle)
+    }
+
     /// Drain the events due at `cycle` into a fresh `Vec`.
     ///
     /// Allocating convenience for tests and one-shot callers; cycle

@@ -53,7 +53,7 @@ pub use failure::{FailureEvent, FailureSchedule};
 pub use metrics::{BufferSeries, CycleReport, Metrics};
 pub use rebuild::{Rebuild, RebuildManager, RebuildSource};
 pub use scenario::{Check, Expectation, Horizon, Scenario, ScenarioEvent, ScenarioReport};
-pub use simulator::{DataMode, ObjectDirectory, SimError, Simulator};
+pub use simulator::{DataMode, ObjectDirectory, SimError, Simulator, StepMode};
 pub use verify::BlockOracle;
 pub use workload::{
     poisson, AdmissionPolicy, ArrivalProcess, SessionEngine, SessionStats, SplitMix64, WorkloadGen,

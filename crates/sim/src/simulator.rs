@@ -7,7 +7,7 @@ use crate::verify::BlockOracle;
 use crate::workload::{SessionEngine, WorkloadGen};
 use mms_disk::{DiskArray, DiskError, DiskParams, Time};
 use mms_layout::ObjectId;
-use mms_sched::{AdmissionError, CyclePlan, SchemeScheduler, StreamId};
+use mms_sched::{AdmissionError, CyclePlan, PlanStability, SchemeScheduler, StreamId};
 use mms_telemetry::{counter, event, gauge, span, Level};
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -27,6 +27,70 @@ pub enum DataMode {
     },
     /// Skip content; simulate scheduling and disk occupancy only.
     MetadataOnly,
+}
+
+/// How the [`Simulator`] run drivers advance simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Execute every cycle with a full [`Simulator::step`].
+    #[default]
+    CycleByCycle,
+    /// Fast-forward provably quiescent stretches in closed form (see
+    /// [`Simulator::advance_quiescent`]), stepping cycle by cycle
+    /// everywhere else. Observably identical to
+    /// [`StepMode::CycleByCycle`]: metrics, per-disk statistics, hiccup
+    /// counts, session statistics, and the caller's RNG stream all
+    /// match bit for bit; only per-cycle telemetry probes are collapsed
+    /// to stretch boundaries (and `Debug`-level collection disables the
+    /// fast path entirely, so traces stay complete).
+    EventHorizon,
+}
+
+/// One probed disk charge: replaying the journal once re-applies one
+/// plan rotation's worth of reads in the exact order a per-cycle run
+/// would have issued them.
+#[derive(Debug, Clone, Copy)]
+struct ProbeCharge {
+    disk: mms_disk::DiskId,
+    tracks: usize,
+    time: Time,
+}
+
+/// Scalar metric snapshot taken before a probe rotation, to measure the
+/// per-rotation deltas and to prove the rotation stayed quiescent.
+#[derive(Debug, Clone, Copy)]
+struct MetricSnap {
+    tracks_read: u64,
+    delivered: u64,
+    reconstructed: u64,
+    verified: u64,
+    hiccups_failed_disk: u64,
+    hiccups_displaced: u64,
+    hiccups_mid_cycle: u64,
+    service_degradations: u64,
+    streams_finished: u64,
+    catastrophes: u64,
+    rebuild_reads: u64,
+    rebuilds_completed: u64,
+}
+
+impl MetricSnap {
+    fn of(m: &Metrics) -> Self {
+        MetricSnap {
+            tracks_read: m.tracks_read,
+            delivered: m.delivered,
+            reconstructed: m.reconstructed,
+            verified: m.verified,
+            hiccups_failed_disk: m.hiccups_failed_disk,
+            hiccups_displaced: m.hiccups_displaced,
+            hiccups_mid_cycle: m.hiccups_mid_cycle,
+            service_degradations: m.service_degradations,
+            streams_finished: m.streams_finished,
+            catastrophes: m.catastrophes,
+            rebuild_reads: m.rebuild_reads,
+            rebuilds_completed: m.rebuilds_completed,
+        }
+    }
 }
 
 /// Object lengths registry, used by the oracle and end detection.
@@ -104,6 +168,14 @@ pub struct Simulator<S: SchemeScheduler> {
     loads: Vec<(mms_disk::DiskId, usize)>,
     /// Reused scratch for the rebuild reads issued this cycle.
     rebuild_reads: Vec<(mms_disk::DiskId, usize)>,
+    /// How the run drivers advance time.
+    step_mode: StepMode,
+    /// Disk charges captured while probing a plan rotation (reused).
+    probe_journal: Vec<ProbeCharge>,
+    /// End-of-cycle buffer occupancy pattern from the probe (reused).
+    probe_buffer: Vec<usize>,
+    /// Whether [`step`](Self::step) is journaling its disk charges.
+    probe_recording: bool,
 }
 
 impl<S: SchemeScheduler> Simulator<S> {
@@ -137,7 +209,25 @@ impl<S: SchemeScheduler> Simulator<S> {
             plan: CyclePlan::empty(0),
             loads: Vec::new(),
             rebuild_reads: Vec::new(),
+            step_mode: StepMode::default(),
+            probe_journal: Vec::new(),
+            probe_buffer: Vec::new(),
+            probe_recording: false,
         }
+    }
+
+    /// Choose how the run drivers ([`run`](Self::run),
+    /// [`run_with_workload`](Self::run_with_workload),
+    /// [`run_sessions`](Self::run_sessions)) advance time. Default:
+    /// [`StepMode::CycleByCycle`].
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.step_mode = mode;
+    }
+
+    /// The configured step mode.
+    #[must_use]
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
     }
 
     /// Install a failure/repair schedule.
@@ -330,6 +420,13 @@ impl<S: SchemeScheduler> Simulator<S> {
                 let t = self.disks.disk_mut(disk)?.read_tracks(reads.len(), t_cyc)?;
                 self.metrics.disk_busy += t;
                 report.tracks_read += reads.len();
+                if self.probe_recording {
+                    self.probe_journal.push(ProbeCharge {
+                        disk,
+                        tracks: reads.len(),
+                        time: t,
+                    });
+                }
             }
         }
 
@@ -473,9 +570,166 @@ impl<S: SchemeScheduler> Simulator<S> {
         Ok(report)
     }
 
+    /// Fast-forward a provably quiescent stretch, ending no later than
+    /// `limit`. Returns how many cycles were advanced (0 = nothing was
+    /// provably quiescent; the caller should [`step`](Self::step)).
+    ///
+    /// The scheduler reports via
+    /// [`plan_stability`](SchemeScheduler::plan_stability) how many
+    /// future cycles its plan is a pure function of the cycle index
+    /// (only when fully healthy — degraded stretches always step cycle
+    /// by cycle). One full plan rotation is then *probed* with real
+    /// [`step`](Self::step)s while journaling every disk charge; if the
+    /// probe stayed quiescent (plan epoch unchanged, no finishes,
+    /// hiccups, or rebuild activity), each remaining whole rotation in
+    /// the stretch is applied in closed form: the journal is replayed
+    /// per rotation (bit-for-bit identical float accumulation into
+    /// `disk_busy` and the per-disk stats), integer metrics advance by
+    /// the probed per-rotation deltas, the buffer series replays the
+    /// probed occupancy pattern, and the scheduler bulk-advances with
+    /// [`fast_forward`](SchemeScheduler::fast_forward).
+    ///
+    /// The stretch never crosses the next scheduled failure/repair
+    /// event, and the fast path disables itself whenever a per-cycle
+    /// observer is active: plan-trace retention, `Debug`-level
+    /// telemetry, or an in-progress rebuild. Telemetry for skipped
+    /// rotations is aggregated into the same `sim.*` counters at the
+    /// stretch boundary; in Verified mode the probe rotation verifies
+    /// every delivery and `verified` is extrapolated for the skipped
+    /// repetitions of the identical plan.
+    pub fn advance_quiescent(&mut self, limit: u64) -> Result<u64, SimError> {
+        if self.trace_limit > 0
+            || mms_telemetry::enabled(Level::Debug)
+            || !self.rebuilds.active().is_empty()
+        {
+            return Ok(0);
+        }
+        let start = self.cycle;
+        let mut horizon = limit;
+        if let Some(due) = self.failures.peek() {
+            if due <= start {
+                return Ok(0);
+            }
+            horizon = horizon.min(due);
+        }
+        if horizon <= start {
+            return Ok(0);
+        }
+        let PlanStability { period, stable } = self.scheduler.plan_stability(start);
+        if period == 0 || stable == 0 {
+            return Ok(0);
+        }
+        let end = horizon.min(start.saturating_add(stable));
+        let span = end - start;
+        // One rotation is probed for real; at least one more must be
+        // skippable for the closed form to pay for itself.
+        if span < 2 * period {
+            return Ok(0);
+        }
+
+        let epoch = self.scheduler.plan_epoch();
+        let snap = MetricSnap::of(&self.metrics);
+        self.probe_journal.clear();
+        self.probe_buffer.clear();
+        self.probe_recording = true;
+        for _ in 0..period {
+            match self.step() {
+                Ok(report) => self.probe_buffer.push(report.buffer_in_use),
+                Err(e) => {
+                    self.probe_recording = false;
+                    return Err(e);
+                }
+            }
+        }
+        self.probe_recording = false;
+
+        // Validate the probe stayed quiescent. If anything moved, the
+        // probed cycles still ran for real, so the probe itself is the
+        // (correct) progress and the caller resumes per-cycle stepping.
+        // `reconstructed` must be flat too: right after a repair, groups
+        // that were *read* degraded still drain from stream buffers with
+        // their reconstruction flag set, and that residue decays from
+        // rotation to rotation — extrapolating it would overcount. A
+        // truly steady healthy rotation reconstructs nothing.
+        let quiet = self.scheduler.plan_epoch() == epoch
+            && self.rebuilds.active().is_empty()
+            && self.metrics.reconstructed == snap.reconstructed
+            && self.metrics.streams_finished == snap.streams_finished
+            && self.metrics.catastrophes == snap.catastrophes
+            && self.metrics.service_degradations == snap.service_degradations
+            && self.metrics.hiccups_failed_disk == snap.hiccups_failed_disk
+            && self.metrics.hiccups_displaced == snap.hiccups_displaced
+            && self.metrics.hiccups_mid_cycle == snap.hiccups_mid_cycle
+            && self.metrics.rebuild_reads == snap.rebuild_reads
+            && self.metrics.rebuilds_completed == snap.rebuilds_completed;
+        if !quiet {
+            return Ok(period);
+        }
+        let reps = (span - period) / period;
+        if reps == 0 {
+            return Ok(period);
+        }
+        let skipped = reps * period;
+
+        // Replay the probed charges once per skipped rotation: repeated
+        // addition of the identical f64 service times reproduces the
+        // exact accumulation order of per-cycle stepping, so
+        // `disk_busy` and the per-disk stats land bit-for-bit where a
+        // real run would put them; the buffer series replays the probed
+        // end-of-cycle occupancy pattern.
+        for _ in 0..reps {
+            for charge in &self.probe_journal {
+                self.disks
+                    .disk_mut(charge.disk)?
+                    .replay_read(charge.tracks, charge.time);
+                self.metrics.disk_busy += charge.time;
+            }
+            for &occupancy in &self.probe_buffer {
+                self.metrics.buffer_series.push(occupancy);
+            }
+        }
+        let d_tracks = self.metrics.tracks_read - snap.tracks_read;
+        let d_delivered = self.metrics.delivered - snap.delivered;
+        let d_reconstructed = self.metrics.reconstructed - snap.reconstructed;
+        let d_verified = self.metrics.verified - snap.verified;
+        self.metrics.cycles += skipped;
+        self.metrics.tracks_read += reps * d_tracks;
+        self.metrics.delivered += reps * d_delivered;
+        self.metrics.reconstructed += reps * d_reconstructed;
+        self.metrics.verified += reps * d_verified;
+        self.scheduler.fast_forward(skipped);
+        self.cycle += skipped;
+
+        // Aggregate the skipped rotations' telemetry at the boundary.
+        let scheme = self.scheduler.scheme().abbrev();
+        counter!("sim.cycles", skipped, scheme = scheme);
+        counter!("sim.tracks_read", reps * d_tracks, scheme = scheme);
+        counter!("sim.delivered", reps * d_delivered, scheme = scheme);
+        counter!("sim.reconstructed", reps * d_reconstructed, scheme = scheme);
+        counter!("sim.verified", reps * d_verified, scheme = scheme);
+        gauge!(
+            "sim.buffer_in_use",
+            self.probe_buffer.last().copied().unwrap_or(0) as f64,
+            scheme = scheme
+        );
+        event!(
+            Level::Info,
+            "fast_forward",
+            from = start,
+            cycles = period + skipped,
+            period = period,
+            scheme = scheme
+        );
+        Ok(period + skipped)
+    }
+
     /// Simulate `cycles` cycles.
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
-        for _ in 0..cycles {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            if self.step_mode == StepMode::EventHorizon && self.advance_quiescent(end)? > 0 {
+                continue;
+            }
             self.step()?;
         }
         Ok(())
@@ -483,21 +737,65 @@ impl<S: SchemeScheduler> Simulator<S> {
 
     /// Simulate `cycles` cycles with Poisson arrivals from `workload`;
     /// capacity rejections are counted, not fatal.
+    ///
+    /// Arrival counts are sampled in strict cycle order — one Poisson
+    /// draw per cycle — whichever [`StepMode`] is configured, so the
+    /// RNG stream (and therefore every admitted object) is identical
+    /// across modes; in event-horizon mode the draws for upcoming
+    /// cycles happen eagerly so arrival-free stretches can be skipped.
     pub fn run_with_workload<R: Rng + ?Sized>(
         &mut self,
         cycles: u64,
         workload: &WorkloadGen,
         rng: &mut R,
     ) -> Result<u64, SimError> {
+        let end = self.cycle + cycles;
         let mut rejected = 0u64;
-        for _ in 0..cycles {
-            for _ in 0..workload.arrivals(rng) {
+        // The one pre-drawn nonzero batch, and the watermark below which
+        // every cycle's count has already been drawn (zero unless held in
+        // `presampled`). The watermark keeps a stalled fast path — stepping
+        // per-cycle through an already-scanned stretch — from drawing a
+        // cycle's Poisson count a second time, which would fork the RNG
+        // stream away from a cycle-by-cycle run.
+        let mut presampled: Option<(u64, usize)> = None;
+        let mut sampled_through = self.cycle;
+        while self.cycle < end {
+            let cycle = self.cycle;
+            let arrivals = match presampled {
+                Some((due, n)) if due == cycle => {
+                    presampled = None;
+                    n
+                }
+                Some(_) => 0,
+                None if cycle < sampled_through => 0,
+                None => {
+                    sampled_through = cycle + 1;
+                    workload.arrivals(rng)
+                }
+            };
+            for _ in 0..arrivals {
                 let object = workload.pick(rng);
                 if self.admit(object).is_err() {
                     rejected += 1;
                 }
             }
             self.step()?;
+            if self.step_mode == StepMode::EventHorizon {
+                if presampled.is_none() {
+                    let mut next = self.cycle.max(sampled_through);
+                    while next < end {
+                        sampled_through = next + 1;
+                        let n = workload.arrivals(rng);
+                        if n > 0 {
+                            presampled = Some((next, n));
+                            break;
+                        }
+                        next += 1;
+                    }
+                }
+                let target = presampled.map_or(end, |(due, _)| due);
+                while self.cycle < target && self.advance_quiescent(target)? > 0 {}
+            }
         }
         Ok(rejected)
     }
@@ -521,15 +819,29 @@ impl<S: SchemeScheduler> Simulator<S> {
     /// Session counters and wait percentiles accumulate in
     /// [`SessionEngine::stats`]; memory stays O(active + queued
     /// sessions) no matter how long the run.
+    /// In [`StepMode::EventHorizon`] the engine's
+    /// [`next_event_before`](SessionEngine::next_event_before) bounds
+    /// each quiescent stretch at the next session event (release due,
+    /// queued viewer aging, or pre-sampled arrival), so session
+    /// statistics and the RNG stream match per-cycle runs exactly.
     pub fn run_sessions<R: Rng + ?Sized>(
         &mut self,
         cycles: u64,
         engine: &mut SessionEngine,
         rng: &mut R,
     ) -> Result<(), SimError> {
-        for _ in 0..cycles {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
             engine.tick(self.cycle, &mut self.scheduler, rng);
             self.step()?;
+            if self.step_mode == StepMode::EventHorizon {
+                while self.cycle < end {
+                    let next = engine.next_event_before(self.cycle, end, rng);
+                    if next <= self.cycle || self.advance_quiescent(next)? == 0 {
+                        break;
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -809,6 +1121,136 @@ mod tests {
         // Disk failures surfaced as Warn events from the disk layer.
         let failures = events.iter().filter(|e| e.name == "disk.failed").count();
         assert_eq!(failures, 2);
+    }
+
+    /// Everything the simulator reports, collected for exact-equality
+    /// comparison between step modes (disk busy time bitwise).
+    #[derive(Debug, PartialEq)]
+    struct Observables {
+        end_cycle: u64,
+        cycles: u64,
+        tracks_read: u64,
+        delivered: u64,
+        reconstructed: u64,
+        verified: u64,
+        hiccups: (u64, u64, u64, u64),
+        streams_finished: u64,
+        catastrophes: u64,
+        rebuild_reads: u64,
+        rebuilds_completed: u64,
+        disk_busy_bits: u64,
+        buffer_peak: usize,
+        buffer_series: Vec<usize>,
+        buffer_stride: u64,
+        disk_stats: Vec<mms_disk::DiskStats>,
+    }
+
+    fn observe<S: SchemeScheduler>(sim: &Simulator<S>) -> Observables {
+        let m = sim.metrics();
+        Observables {
+            end_cycle: sim.cycle(),
+            cycles: m.cycles,
+            tracks_read: m.tracks_read,
+            delivered: m.delivered,
+            reconstructed: m.reconstructed,
+            verified: m.verified,
+            hiccups: (
+                m.hiccups_failed_disk,
+                m.hiccups_displaced,
+                m.hiccups_mid_cycle,
+                m.service_degradations,
+            ),
+            streams_finished: m.streams_finished,
+            catastrophes: m.catastrophes,
+            rebuild_reads: m.rebuild_reads,
+            rebuilds_completed: m.rebuilds_completed,
+            disk_busy_bits: m.disk_busy.as_secs().to_bits(),
+            buffer_peak: m.buffer_peak,
+            buffer_series: m.buffer_series.points().to_vec(),
+            buffer_stride: m.buffer_series.stride(),
+            disk_stats: sim.disks().iter().map(|d| d.stats()).collect(),
+        }
+    }
+
+    #[test]
+    fn event_horizon_matches_cycle_by_cycle_exactly() {
+        let run = |mode: StepMode| {
+            let mut sim = build(10, 5, 400);
+            sim.set_step_mode(mode);
+            sim.admit(ObjectId(0)).unwrap();
+            sim.run(150).unwrap();
+            observe(&sim)
+        };
+        let slow = run(StepMode::CycleByCycle);
+        let fast = run(StepMode::EventHorizon);
+        assert!(slow.delivered > 0 && slow.streams_finished == 1);
+        assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn event_horizon_matches_under_failures() {
+        let run = |mode: StepMode| {
+            let mut sim = build(10, 5, 400);
+            sim.set_step_mode(mode);
+            sim.admit(ObjectId(0)).unwrap();
+            sim.set_failures(FailureSchedule::fail_and_repair(30, 60, DiskId(1)));
+            sim.run(150).unwrap();
+            observe(&sim)
+        };
+        let slow = run(StepMode::CycleByCycle);
+        let fast = run(StepMode::EventHorizon);
+        assert!(slow.reconstructed > 0, "failure window must reconstruct");
+        assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn event_horizon_matches_workload_runs() {
+        let run = |mode: StepMode| {
+            let mut sim = build(10, 5, 40);
+            sim.set_step_mode(mode);
+            let workload = WorkloadGen::new(vec![ObjectId(0)], 0.0, 0.05);
+            let mut rng = crate::workload::SplitMix64::new(1995);
+            let rejected = sim.run_with_workload(600, &workload, &mut rng).unwrap();
+            (observe(&sim), rejected)
+        };
+        let slow = run(StepMode::CycleByCycle);
+        let fast = run(StepMode::EventHorizon);
+        assert!(slow.0.streams_finished > 0);
+        assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn event_horizon_matches_session_runs() {
+        use crate::workload::{AdmissionPolicy, ArrivalProcess, SessionEngine, SplitMix64};
+
+        let run = |mode: StepMode| {
+            let mut sim = build(10, 5, 200);
+            sim.set_step_mode(mode);
+            let mut engine = SessionEngine::new(
+                vec![(ObjectId(0), 50)],
+                0.0,
+                ArrivalProcess::poisson(0.02),
+                AdmissionPolicy::Queue { max_wait: 6 },
+            )
+            .with_vbr(vec![0.5, 1.0])
+            .with_abandonment(0.2);
+            let mut rng = SplitMix64::new(7);
+            sim.run_sessions(800, &mut engine, &mut rng).unwrap();
+            let stats = engine.stats().clone();
+            (
+                observe(&sim),
+                stats.offered,
+                stats.admitted,
+                stats.rejected,
+                stats.queued,
+                stats.balked,
+                stats.released_early,
+            )
+        };
+        let slow = run(StepMode::CycleByCycle);
+        let fast = run(StepMode::EventHorizon);
+        assert!(slow.1 > 0, "sessions must be offered");
+        assert_eq!(slow, fast);
     }
 
     #[test]

@@ -436,6 +436,13 @@ pub struct SessionEngine {
     /// Scheduled early releases, keyed by due cycle (min-heap).
     releases: BinaryHeap<Reverse<(u64, StreamId)>>,
     stats: SessionStats,
+    /// Arrival batch pre-sampled for a future cycle by
+    /// [`next_event_before`](Self::next_event_before); `tick` consumes
+    /// it when that cycle comes up, instead of re-drawing.
+    pending_arrival: Option<(u64, u64)>,
+    /// Cycles strictly below this have had their arrival count sampled
+    /// (all zero except the one cached in `pending_arrival`).
+    sampled_through: u64,
 }
 
 impl SessionEngine {
@@ -479,6 +486,8 @@ impl SessionEngine {
             queue: VecDeque::new(),
             releases: BinaryHeap::new(),
             stats: SessionStats::default(),
+            pending_arrival: None,
+            sampled_through: 0,
         }
     }
 
@@ -627,7 +636,7 @@ impl SessionEngine {
         // 3. This cycle's arrivals. Session parameters are sampled
         //    before the admission attempt so the random stream is
         //    identical whatever the outcome.
-        let arrivals = self.arrivals.arrivals(rng);
+        let arrivals = self.draw_arrivals(cycle, rng);
         for _ in 0..arrivals {
             self.stats.offered += 1;
             let (object, nominal) = self.objects[self.zipf.sample(rng)];
@@ -653,6 +662,72 @@ impl SessionEngine {
                 }
             }
         }
+    }
+
+    /// This cycle's arrival count: the pre-sampled batch if
+    /// [`next_event_before`](Self::next_event_before) already drew it,
+    /// a fresh draw otherwise. Cycles are sampled exactly once, in
+    /// order, so the RNG stream is identical whether or not lookahead
+    /// ran.
+    fn draw_arrivals<R: Rng + ?Sized>(&mut self, cycle: u64, rng: &mut R) -> u64 {
+        if cycle < self.sampled_through {
+            return match self.pending_arrival {
+                Some((due, n)) if due == cycle => {
+                    self.pending_arrival = None;
+                    n
+                }
+                _ => 0,
+            };
+        }
+        self.sampled_through = cycle + 1;
+        self.arrivals.arrivals(rng)
+    }
+
+    /// The first cycle in `[from, until)` at which [`tick`](Self::tick)
+    /// would do anything — fire a release, age the wait queue, or admit
+    /// arrivals — or `until` if the whole range is event-free.
+    ///
+    /// Arrival counts for the scanned cycles are sampled here, in cycle
+    /// order (cached for `tick` to consume), so calling this does not
+    /// perturb the engine's random stream relative to per-cycle
+    /// ticking. The simulator's event-horizon mode uses the result to
+    /// bound how far it may fast-forward without skipping a session
+    /// event.
+    pub fn next_event_before<R: Rng + ?Sized>(
+        &mut self,
+        from: u64,
+        until: u64,
+        rng: &mut R,
+    ) -> u64 {
+        if until <= from {
+            return until;
+        }
+        // Waiting viewers age every cycle (balk timing), so any queue
+        // content pins the next event to `from`.
+        if !self.queue.is_empty() {
+            return from;
+        }
+        let mut bound = until;
+        if let Some(&Reverse((due, _))) = self.releases.peek() {
+            if due <= from {
+                return from;
+            }
+            bound = bound.min(due);
+        }
+        if let Some((due, _)) = self.pending_arrival {
+            return due.clamp(from, bound);
+        }
+        let mut cycle = self.sampled_through.max(from);
+        while cycle < bound {
+            self.sampled_through = cycle + 1;
+            let n = self.arrivals.arrivals(rng);
+            if n > 0 {
+                self.pending_arrival = Some((cycle, n));
+                return cycle;
+            }
+            cycle += 1;
+        }
+        bound
     }
 }
 

@@ -21,6 +21,7 @@
 //! mms-ctl scenario <name|all|list> [options]  run the fault-injection corpus
 //!   --quick                shorten the stochastic soak (CI smoke mode)
 //!   --threads N|auto|seq   worker pool for the scheme fan-out (default auto)
+//!   --fast-forward         event-horizon execution (identical reports, faster)
 //! mms-ctl workload [options]                 heavy-traffic session engine
 //!   --scheme sr|sg|nc|ib   (default sr)
 //!   --disks N              (default 10; IB default 8)
@@ -39,6 +40,7 @@
 //!   --abandon F            viewer abandonment probability (default 0)
 //!   --fail DISK@CYCLE      (repeatable; run degraded)
 //!   --seed N               (default 1995)
+//!   --fast-forward         event-horizon execution (identical results, faster)
 //! mms-ctl trace <flight.jsonl> [options]     walk a flight-recorder dump
 //!   --session ID           only records mentioning this stream/session
 //! ```
@@ -476,6 +478,7 @@ fn cmd_scenario(args: &[String]) -> CmdResult {
         .cloned()
         .ok_or("usage: mms-ctl scenario <name|all|list> [--quick] [--threads N|auto|seq]")?;
     let quick = args.iter().any(|a| a == "--quick");
+    let fast_forward = args.iter().any(|a| a == "--fast-forward");
     let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
     if name == "list" {
         for case in scenario::corpus(quick) {
@@ -490,7 +493,7 @@ fn cmd_scenario(args: &[String]) -> CmdResult {
     let telem = TelemetryOpts::parse(args)?;
     let recorder = telem.recorder();
     let _guard = recorder.as_ref().map(Recorder::install);
-    let (text, ok) = scenario::run_corpus_rendered(par, quick, only);
+    let (text, ok) = scenario::run_corpus_rendered(par, quick, only, fast_forward);
     print!("{text}");
     if let Some(recorder) = recorder {
         telem.finish(recorder, "all")?;
@@ -581,6 +584,9 @@ fn cmd_workload(args: &[String]) -> CmdResult {
         ));
     }
     let mut server = builder.build()?;
+    if args.iter().any(|a| a == "--fast-forward") {
+        server.set_step_mode(ft_media_server::sim::StepMode::EventHorizon);
+    }
     // A session's nominal slot-hold time: one read cycle per group,
     // spaced k/k' cycles apart.
     let cfg = server.cycle_config();

@@ -1,0 +1,279 @@
+//! Property-based equivalence of the event-horizon fast path: random
+//! admit/release/run/fail/repair scripts drive two copies of the same
+//! system — one stepping cycle by cycle, one in `StepMode::EventHorizon`
+//! — and every observable outcome must match exactly, for all six
+//! schedulers (the four server schemes plus the grouped and unprotected
+//! baseline schedulers at the `Simulator` level).
+//!
+//! `Op::Run(1)` is over-weighted so the horizon-1 degeneracy — a limit
+//! one cycle away, where the fast path must decline and fall back to a
+//! plain step — is exercised in nearly every script.
+
+use ft_media_server::disk::{Bandwidth, DiskId, DiskParams};
+use ft_media_server::layout::{
+    BandwidthClass, Catalog, ClusteredLayout, Geometry, MediaObject, ObjectId,
+};
+use ft_media_server::sched::{
+    BaselineScheduler, CycleConfig, GroupedScheduler, SchemeScheduler, StreamId,
+};
+use ft_media_server::sim::{DataMode, FailureEvent, Metrics, ObjectDirectory, Simulator, StepMode};
+use ft_media_server::{MultimediaServer, Scheme, ServerBuilder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Advance the clock; `Run(1)` is the horizon-1 degeneracy.
+    Run(u64),
+    /// Admit a viewer on the catalog object at this index (mod catalog).
+    Admit(u8),
+    /// Release the live stream at this index (mod live count).
+    Release(u8),
+    /// Fail this disk (mod array width), if the array is healthy.
+    Fail(u8),
+    /// Repair the one failed disk, if any.
+    Repair,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        // The vendored `prop_oneof!` is unweighted; repeated entries
+        // skew the mix toward clock advances and the Run(1) degeneracy.
+        prop_oneof![
+            (1u64..=40).prop_map(Op::Run),
+            (1u64..=40).prop_map(Op::Run),
+            (1u64..=40).prop_map(Op::Run),
+            Just(Op::Run(1)),
+            Just(Op::Run(1)),
+            any::<u8>().prop_map(Op::Admit),
+            any::<u8>().prop_map(Op::Admit),
+            any::<u8>().prop_map(Op::Release),
+            any::<u8>().prop_map(Op::Fail),
+            Just(Op::Repair),
+        ],
+        1..24,
+    )
+}
+
+/// Everything a run can be observed to have computed.
+fn observe(m: &Metrics, cycle: u64) -> (u64, Vec<u64>, u64, usize) {
+    (
+        cycle,
+        vec![
+            m.cycles,
+            m.tracks_read,
+            m.delivered,
+            m.reconstructed,
+            m.verified,
+            m.hiccups_failed_disk,
+            m.hiccups_displaced,
+            m.hiccups_mid_cycle,
+            m.service_degradations,
+            m.streams_finished,
+            m.catastrophes,
+            m.rebuild_reads,
+            m.rebuilds_completed,
+        ],
+        m.disk_busy.as_secs().to_bits(),
+        m.buffer_peak,
+    )
+}
+
+/// Run a script against a server, recording each op's outcome so the
+/// two step modes can be compared decision by decision, not just on
+/// final metrics.
+fn drive_server(server: &mut MultimediaServer, ops: &[Op], disks: u32) -> Vec<String> {
+    let mut live: Vec<StreamId> = Vec::new();
+    let mut down: Option<DiskId> = None;
+    let mut trace = Vec::new();
+    for op in ops {
+        match op {
+            Op::Run(n) => server.run(*n).expect("run never fails without data loss"),
+            Op::Admit(i) => {
+                let obj = server.objects()[*i as usize % server.objects().len()];
+                match server.admit(obj) {
+                    Ok(id) => {
+                        live.push(id);
+                        trace.push(format!("admit {id:?}"));
+                    }
+                    Err(e) => trace.push(format!("admit err {e:?}")),
+                }
+            }
+            Op::Release(i) => {
+                if !live.is_empty() {
+                    let id = live.remove(*i as usize % live.len());
+                    trace.push(format!("release {id:?} {}", server.release(id)));
+                }
+            }
+            Op::Fail(d) => {
+                if down.is_none() {
+                    let disk = DiskId(u32::from(*d) % disks);
+                    let ok = server
+                        .inject(FailureEvent::fail(server.cycle(), disk))
+                        .is_ok();
+                    trace.push(format!("fail {disk:?} {ok}"));
+                    if ok {
+                        down = Some(disk);
+                    }
+                }
+            }
+            Op::Repair => {
+                if let Some(disk) = down.take() {
+                    let ok = server
+                        .inject(FailureEvent::repair(server.cycle(), disk))
+                        .is_ok();
+                    trace.push(format!("repair {disk:?} {ok}"));
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// Same script driver for a bare `Simulator` (grouped / baseline).
+fn drive_sim<S: SchemeScheduler>(sim: &mut Simulator<S>, ops: &[Op], disks: u32) -> Vec<String> {
+    let mut live: Vec<StreamId> = Vec::new();
+    let mut down: Option<DiskId> = None;
+    let mut trace = Vec::new();
+    for op in ops {
+        match op {
+            Op::Run(n) => sim.run(*n).expect("run never fails without data loss"),
+            Op::Admit(_) => match sim.admit(ObjectId(0)) {
+                Ok(id) => {
+                    live.push(id);
+                    trace.push(format!("admit {id:?}"));
+                }
+                Err(e) => trace.push(format!("admit err {e:?}")),
+            },
+            Op::Release(i) => {
+                if !live.is_empty() {
+                    let id = live.remove(*i as usize % live.len());
+                    trace.push(format!("release {id:?} {}", sim.release(id)));
+                }
+            }
+            Op::Fail(d) => {
+                if down.is_none() {
+                    let disk = DiskId(u32::from(*d) % disks);
+                    let ok = sim.fail_disk_now(disk, false).is_ok();
+                    trace.push(format!("fail {disk:?} {ok}"));
+                    if ok {
+                        down = Some(disk);
+                    }
+                }
+            }
+            Op::Repair => {
+                if let Some(disk) = down.take() {
+                    let ok = sim.repair_disk_now(disk).is_ok();
+                    trace.push(format!("repair {disk:?} {ok}"));
+                }
+            }
+        }
+    }
+    trace
+}
+
+fn build_server(scheme: Scheme, mode: StepMode) -> MultimediaServer {
+    let disks = if scheme == Scheme::ImprovedBandwidth {
+        8
+    } else {
+        10
+    };
+    let mut server = ServerBuilder::new(scheme)
+        .disks(disks)
+        .parity_group(5)
+        .data_mode(DataMode::MetadataOnly)
+        .movie("short", 0.02, BandwidthClass::Mpeg1)
+        .movie("long", 0.2, BandwidthClass::Mpeg1)
+        .build()
+        .expect("fixed geometry builds");
+    server.set_step_mode(mode);
+    server
+}
+
+/// A `Simulator` over a clustered catalog for the schedulers the
+/// server builder does not expose (grouped `k' | C−1`, baseline
+/// `k = k' = 1`).
+fn build_sim<S, F>(tracks: u64, k: usize, k_prime: usize, make: F, mode: StepMode) -> Simulator<S>
+where
+    S: SchemeScheduler,
+    F: FnOnce(CycleConfig, Catalog<ClusteredLayout>) -> S,
+{
+    let geo = Geometry::clustered(10, 5).unwrap();
+    let mut catalog = Catalog::new(ClusteredLayout::new(geo), 100_000);
+    catalog
+        .add(MediaObject::new(
+            ObjectId(0),
+            "m",
+            tracks,
+            BandwidthClass::Mpeg1,
+        ))
+        .unwrap();
+    let cfg = CycleConfig::new(
+        DiskParams::paper_table1(),
+        Bandwidth::from_megabits(1.5),
+        k,
+        k_prime,
+    );
+    let dir = ObjectDirectory::new([(ObjectId(0), tracks)], 4);
+    let mut sim = Simulator::new(
+        make(cfg, catalog),
+        DiskParams::paper_table1(),
+        10,
+        DataMode::MetadataOnly,
+        dir,
+    );
+    sim.set_step_mode(mode);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SR, SG, NC, and IB: a random script drives a cycle-by-cycle and
+    /// an event-horizon server to bit-identical outcomes.
+    #[test]
+    fn random_scripts_are_mode_independent_for_server_schemes(ops in arb_ops()) {
+        for scheme in Scheme::ALL {
+            let disks = if scheme == Scheme::ImprovedBandwidth { 8 } else { 10 };
+            let mut slow = build_server(scheme, StepMode::CycleByCycle);
+            let mut fast = build_server(scheme, StepMode::EventHorizon);
+            let t_slow = drive_server(&mut slow, &ops, disks);
+            let t_fast = drive_server(&mut fast, &ops, disks);
+            prop_assert_eq!(&t_slow, &t_fast, "{:?}: op outcomes diverged", scheme);
+            prop_assert_eq!(
+                observe(slow.metrics(), slow.cycle()),
+                observe(fast.metrics(), fast.cycle()),
+                "{:?}: observables diverged",
+                scheme
+            );
+        }
+    }
+
+    /// The grouped and unprotected-baseline schedulers, driven at the
+    /// `Simulator` level, are mode-independent too.
+    #[test]
+    fn random_scripts_are_mode_independent_for_grouped_and_baseline(ops in arb_ops()) {
+        let grouped = |cfg, cat| GroupedScheduler::new(cfg, cat);
+        let mut slow = build_sim(120, 4, 2, grouped, StepMode::CycleByCycle);
+        let mut fast = build_sim(120, 4, 2, grouped, StepMode::EventHorizon);
+        let t_slow = drive_sim(&mut slow, &ops, 10);
+        let t_fast = drive_sim(&mut fast, &ops, 10);
+        prop_assert_eq!(&t_slow, &t_fast, "grouped: op outcomes diverged");
+        prop_assert_eq!(
+            observe(slow.metrics(), slow.cycle()),
+            observe(fast.metrics(), fast.cycle()),
+            "grouped: observables diverged"
+        );
+
+        let baseline = |cfg, cat| BaselineScheduler::new(cfg, cat);
+        let mut slow = build_sim(120, 1, 1, baseline, StepMode::CycleByCycle);
+        let mut fast = build_sim(120, 1, 1, baseline, StepMode::EventHorizon);
+        let t_slow = drive_sim(&mut slow, &ops, 10);
+        let t_fast = drive_sim(&mut fast, &ops, 10);
+        prop_assert_eq!(&t_slow, &t_fast, "baseline: op outcomes diverged");
+        prop_assert_eq!(
+            observe(slow.metrics(), slow.cycle()),
+            observe(fast.metrics(), fast.cycle()),
+            "baseline: observables diverged"
+        );
+    }
+}

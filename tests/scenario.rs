@@ -59,8 +59,20 @@ fn second_fault_in_degraded_group_is_typed_data_loss_for_every_scheme() {
 
 #[test]
 fn corpus_invariants_hold_for_every_scheme() {
-    let (text, ok) = run_corpus_rendered(Parallelism::Sequential, true, None);
+    let (text, ok) = run_corpus_rendered(Parallelism::Sequential, true, None, false);
     assert!(ok, "corpus violations:\n{text}");
+}
+
+/// Fast-forwarded corpus runs render bit-identically to per-cycle runs
+/// — every loss count (including the exact Figures 6/7 NC transition
+/// losses), every metric line, every verdict.
+#[test]
+fn corpus_output_is_bit_identical_with_fast_forward() {
+    let (slow, ok) = run_corpus_rendered(Parallelism::Sequential, true, None, false);
+    assert!(ok);
+    let (fast, ok) = run_corpus_rendered(Parallelism::Sequential, true, None, true);
+    assert!(ok);
+    assert_eq!(slow, fast, "fast-forward changed the corpus output");
 }
 
 #[test]
@@ -76,10 +88,10 @@ fn nc_figure_scenarios_reproduce_exact_transition_losses() {
 
 #[test]
 fn corpus_output_is_bit_identical_across_thread_counts() {
-    let (seq, ok) = run_corpus_rendered(Parallelism::Sequential, true, None);
+    let (seq, ok) = run_corpus_rendered(Parallelism::Sequential, true, None, false);
     assert!(ok);
     for n in [2, 8] {
-        let (par, ok) = run_corpus_rendered(threads(n), true, None);
+        let (par, ok) = run_corpus_rendered(threads(n), true, None, false);
         assert!(ok);
         assert_eq!(seq, par, "corpus diverged at {n} threads");
     }
