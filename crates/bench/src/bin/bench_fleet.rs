@@ -1,0 +1,176 @@
+//! Fleet-tier throughput and reliability, written to `BENCH_fleet.json`.
+//!
+//! One 8-node fleet (chained-declustered catalog, replicated control
+//! plane) runs a "million-session day": every node drives its shard of
+//! the catalog through the heavy-traffic session engine in
+//! `StepMode::EventHorizon`, and the default horizon offers over a
+//! million session lifecycles in a single run. The same pass is
+//! executed at 1, 2, and 8 worker threads; `bit_identical` records
+//! that all three produced byte-for-byte the same shard report and
+//! Monte-Carlo estimates, which is the determinism contract and must
+//! hold on any host.
+//!
+//! Alongside throughput, the bench reports the fleet's node-level
+//! reliability: Monte-Carlo MTTF (chained declustering dies on an
+//! adjacent node pair, the node-level image of the paper's Eq. 5
+//! adjacency condition) and MTTDS (the control plane masks
+//! `ceil(N/2) - 1` concurrent node failures; one more stalls decrees).
+//!
+//! Usage: `bench_fleet [output.json] [--quick]`
+//!
+//! `--quick` shrinks the horizon and trial count for CI smoke runs.
+
+use mms_fleet::{fleet_mttds, fleet_mttf, FleetBuilder, ShardReport, ShardedLoad};
+use mms_server::disk::{ReliabilityParams, Time};
+use mms_server::sim::{SplitMix64, StepMode};
+use mms_server::Parallelism;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const SEED: u64 = 1995;
+const NODES: usize = 8;
+const MOVIES: usize = 32;
+const TRACKS: u64 = 100;
+const LOAD: f64 = 0.9;
+/// Node-level reliability for the Monte-Carlo estimators. Whole nodes
+/// fail far more often than the paper's disks (software, power, ops);
+/// more importantly the 10:1 MTTF:MTTR ratio keeps trials tractable —
+/// MTTDS needs `ceil(N/2)` *concurrent* node outages, which at
+/// disk-like ratios is so rare a single trial needs ~1e8 events.
+const NODE_MTTF_H: f64 = 1_000.0;
+const NODE_MTTR_H: f64 = 100.0;
+
+/// Everything one pass produces; compared verbatim across thread
+/// counts (f64s via `to_bits`, so "identical" means identical).
+#[derive(Clone, PartialEq)]
+struct PassResult {
+    report: ShardReport,
+    mttf_bits: u64,
+    mttds_bits: u64,
+}
+
+fn run_pass(threads: usize, cycles: u64, trials: usize) -> PassResult {
+    let par = Parallelism::threads(threads);
+    let mut fleet = FleetBuilder::new(NODES)
+        .catalog(MOVIES, TRACKS)
+        .step_mode(StepMode::EventHorizon)
+        .parallelism(par)
+        .control_seed(SEED)
+        .build()
+        .expect("bench fleet geometry builds");
+    let report = fleet
+        .run_sharded_sessions(&ShardedLoad {
+            cycles,
+            load: LOAD,
+            seed: SEED,
+            ..ShardedLoad::default()
+        })
+        .expect("failure-free sharded run cannot error");
+    let rel = ReliabilityParams {
+        mttf: Time::from_hours(NODE_MTTF_H),
+        mttr: Time::from_hours(NODE_MTTR_H),
+    };
+    let mut rng = SplitMix64::new(SEED);
+    let mttf = fleet_mttf(NODES, rel, &mut rng, trials, par);
+    let mttds = fleet_mttds(NODES, rel, &mut rng, trials, par);
+    PassResult {
+        report,
+        mttf_bits: mttf.mean.as_hours().to_bits(),
+        mttds_bits: mttds.mean.as_hours().to_bits(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".into());
+    // ~30 sessions/cycle at this geometry: 50k cycles offers ~1.5M.
+    let cycles: u64 = if quick { 1_500 } else { 50_000 };
+    let trials: usize = if quick { 50 } else { 2_000 };
+    println!(
+        "fleet bench: {NODES} nodes, {MOVIES} movies x {TRACKS} tracks, load {LOAD}, \
+         {cycles} cycles, {trials} Monte-Carlo trials"
+    );
+
+    let mut runs: Vec<(usize, f64, PassResult)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        #[allow(clippy::disallowed_methods)] // benchmark timing is wall-clock by definition
+        let start = Instant::now();
+        let pass = run_pass(threads, cycles, trials);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "{threads} thread(s): {secs:.2}s, {} session(s) offered",
+            pass.report.offered
+        );
+        runs.push((threads, secs, pass));
+    }
+    let bit_identical = runs.iter().all(|(_, _, p)| *p == runs[0].2);
+    let pass = &runs[0].2;
+    let r = pass.report;
+    let mttf_h = f64::from_bits(pass.mttf_bits);
+    let mttds_h = f64::from_bits(pass.mttds_bits);
+    println!("sessions offered  : {}", r.offered);
+    println!("fleet MTTF        : {mttf_h:.1} h (adjacent node pair)");
+    println!("fleet MTTDS       : {mttds_h:.1} h (control-plane quorum loss)");
+    println!("bit-identical across {THREAD_COUNTS:?} threads: {bit_identical}");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"nodes\": {NODES},\n"));
+    json.push_str(&format!(
+        "  \"catalog\": \"{MOVIES} movies x {TRACKS} tracks, chained declustering\",\n"
+    ));
+    json.push_str(&format!("  \"cycles\": {cycles},\n"));
+    json.push_str(&format!("  \"load\": {LOAD},\n"));
+    json.push_str(&format!("  \"thread_counts\": {THREAD_COUNTS:?},\n"));
+    json.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    json.push_str("  \"seconds_per_pass\": {");
+    json.push_str(
+        &runs
+            .iter()
+            .map(|(t, s, _)| format!("\"{t}\": {s:.2}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("},\n");
+    json.push_str("  \"sessions\": {\n");
+    json.push_str(&format!("    \"offered\": {},\n", r.offered));
+    json.push_str(&format!("    \"admitted\": {},\n", r.admitted));
+    json.push_str(&format!("    \"rejected\": {},\n", r.rejected));
+    json.push_str(&format!("    \"balked\": {},\n", r.balked));
+    json.push_str(&format!("    \"released_early\": {},\n", r.released_early));
+    json.push_str(&format!("    \"delivered_tracks\": {},\n", r.delivered));
+    json.push_str(&format!("    \"hiccups\": {}\n", r.hiccups));
+    json.push_str("  },\n");
+    json.push_str("  \"reliability\": {\n");
+    json.push_str(&format!("    \"node_mttf_hours\": {NODE_MTTF_H},\n"));
+    json.push_str(&format!("    \"node_mttr_hours\": {NODE_MTTR_H},\n"));
+    json.push_str(&format!("    \"trials\": {trials},\n"));
+    json.push_str(&format!(
+        "    \"fleet_mttf_hours\": {mttf_h:.1},\n    \"fleet_mttds_hours\": {mttds_h:.1}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str(
+        "  \"note\": \"one fleet-wide pass; MTTF = adjacent node pair fatal (chained \
+         declustering), MTTDS = ceil(N/2) concurrent node failures stall the control plane\"\n",
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+    if !quick {
+        assert!(
+            r.offered >= 1_000_000,
+            "horizon must offer a million-session day (got {})",
+            r.offered
+        );
+    }
+    assert!(
+        bit_identical,
+        "determinism contract violated: results differ across thread counts"
+    );
+}

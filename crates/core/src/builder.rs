@@ -12,7 +12,7 @@ use mms_sched::{
     CycleConfig, ImprovedScheduler, NonClusteredScheduler, StaggeredScheduler,
     StreamingRaidScheduler, TransitionPolicy,
 };
-use mms_sim::{DataMode, ObjectDirectory, Simulator};
+use mms_sim::{DataMode, ObjectDirectory, Simulator, StepMode};
 use std::fmt;
 
 /// The fault-tolerance scheme to deploy (Section 5's comparison set).
@@ -74,6 +74,7 @@ pub struct ServerBuilder {
     ib_parity_prefetch: bool,
     data_mode: DataMode,
     parallelism: Parallelism,
+    step_mode: StepMode,
     movies: Vec<(String, f64, BandwidthClass)>,
     raw_objects: Vec<MediaObject>,
 }
@@ -94,6 +95,7 @@ impl ServerBuilder {
             ib_parity_prefetch: false,
             data_mode: DataMode::Verified { track_bytes: 256 },
             parallelism: Parallelism::Auto,
+            step_mode: StepMode::CycleByCycle,
             movies: Vec::new(),
             raw_objects: Vec::new(),
         }
@@ -169,6 +171,22 @@ impl ServerBuilder {
     pub fn parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = par;
         self
+    }
+
+    /// Simulator step mode (`EventHorizon` fast-forwards idle spans;
+    /// observably identical to `Cycle`).
+    #[must_use]
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
+        self
+    }
+
+    /// Apply a unified [`crate::RunConfig`]: worker pool and step mode
+    /// in one call, so drivers configure the server from the same
+    /// object that configures their telemetry.
+    #[must_use]
+    pub fn run_config(self, cfg: &crate::RunConfig) -> Self {
+        self.parallelism(cfg.threads).step_mode(cfg.step_mode)
     }
 
     /// Register a movie by play length in minutes.
@@ -267,12 +285,9 @@ impl ServerBuilder {
             self.data_mode,
             directory,
         );
-        Ok(MultimediaServer::from_parts(
-            sim,
-            object_ids,
-            self.c,
-            self.parallelism,
-        ))
+        let mut server = MultimediaServer::from_parts(sim, object_ids, self.c, self.parallelism);
+        server.set_step_mode(self.step_mode);
+        Ok(server)
     }
 }
 

@@ -51,6 +51,7 @@ mod any;
 mod builder;
 mod error;
 mod library;
+mod runcfg;
 pub mod scenario;
 mod server;
 
@@ -58,6 +59,7 @@ pub use any::AnyScheduler;
 pub use builder::{BuildError, Scheme, ServerBuilder};
 pub use error::ServerError;
 pub use library::{Librarian, StagingJob};
+pub use runcfg::{RunConfig, TelemetryConfig};
 pub use server::MultimediaServer;
 
 // Legacy per-subsystem error enums, re-exported so pattern-matching

@@ -9,8 +9,8 @@ use mms_layout::{CatalogError, MediaObject, ObjectId};
 use mms_reliability::montecarlo::{CatastropheRule, MonteCarlo, TrialStats};
 use mms_sched::{CycleConfig, FailureReport, SchemeKind, SchemeScheduler, StreamId, StreamInfo};
 use mms_sim::{
-    CycleReport, FailureEvent, FailureSchedule, Metrics, RebuildSource, SessionEngine, Simulator,
-    StepMode, WorkloadGen,
+    CycleReport, FailureEvent, Metrics, RebuildSource, SessionEngine, Simulator, StepMode,
+    WorkloadGen,
 };
 use rand::Rng;
 
@@ -243,37 +243,9 @@ impl MultimediaServer {
         }
     }
 
-    /// Fail a disk effective next cycle.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `inject(FailureEvent::fail(cycle, disk))`"
-    )]
-    pub fn fail_disk(&mut self, disk: DiskId) -> Result<FailureReport, ServerError> {
-        Ok(self.sim.fail_disk_now(disk, false)?)
-    }
-
-    /// Fail a disk mid-cycle (after the current read schedule committed).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `inject(FailureEvent::fail_mid_cycle(cycle, disk))`"
-    )]
-    pub fn fail_disk_mid_cycle(&mut self, disk: DiskId) -> Result<FailureReport, ServerError> {
-        Ok(self.sim.fail_disk_now(disk, true)?)
-    }
-
     /// Repair a disk effective next cycle.
     pub fn repair_disk(&mut self, disk: DiskId) -> Result<(), ServerError> {
         Ok(self.sim.repair_disk_now(disk)?)
-    }
-
-    /// Install a failure/repair schedule.
-    #[deprecated(
-        since = "0.1.0",
-        note = "queue events with `inject`, or install whole schedules via \
-                `simulator_mut().set_failures`"
-    )]
-    pub fn set_failures(&mut self, failures: FailureSchedule) {
-        self.sim.set_failures(failures);
     }
 
     /// Begin rebuilding a failed disk from parity onto a spare. The

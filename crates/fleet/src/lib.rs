@@ -1,0 +1,42 @@
+//! # mms-fleet — sharded multi-node serving tier
+//!
+//! The paper's Improved Bandwidth scheme survives a *disk* failure by
+//! shifting its load one to the right inside a server (Section 4.4).
+//! This crate lifts the trick one level up: a [`Fleet`] of N whole
+//! simulated [`mms_server::MultimediaServer`] nodes with the catalog
+//! chained-declustered over them ([`PlacementMap`]), so a *node*
+//! failure re-routes its streams to exactly one ring neighbor.
+//!
+//! Three layers:
+//!
+//! * [`placement`] — the pure, immutable shard map: object `i` is
+//!   primary on node `i mod N`, replicated on `(i+1) mod N`.
+//! * [`control`] — a seeded, deterministic replicated control plane:
+//!   single-decree Paxos per log slot over SplitMix64-ordered message
+//!   delivery. No wall clocks, no hash maps; node death, leader
+//!   re-election, and catalog repair are just decrees in a log.
+//! * [`fleet`] — the front-end: routes admissions through the
+//!   placement and the *committed* liveness view, fails live streams
+//!   over when a `NodeDown` decree commits, and reports the typed
+//!   [`FleetError::DataLoss`] only when replication is exhausted.
+//!
+//! Everything is deterministic: same seeds → byte-identical traffic,
+//! decree logs, and scenario reports at any thread count. The
+//! [`scenario`] module scripts node-level fault cases the same way the
+//! single-server corpus scripts disk faults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod fleet;
+pub mod placement;
+pub mod scenario;
+
+pub use control::{Ballot, Command, ControlPlane, ControlStats};
+pub use fleet::{
+    fleet_mttds, fleet_mttf, Fleet, FleetBuilder, FleetError, FleetEvent, FleetMetrics,
+    FleetStreamId, ShardReport, ShardedLoad, TrafficReport,
+};
+pub use placement::{NodeId, PlacementMap, Role, RouteError};
+pub use scenario::{FleetCaseReport, FleetCheck, FleetScenario};

@@ -1,0 +1,235 @@
+//! Chained-declustered catalog placement across fleet nodes.
+//!
+//! The paper's Improved Bandwidth scheme survives a disk failure by
+//! shifting the failed disk's load "one to the right" inside a server
+//! (Section 4.4). The fleet tier lifts the same trick one level up:
+//! every object has a *primary* node and a *secondary* replica on the
+//! next node around the ring, so a whole-node failure re-routes its
+//! load to exactly one neighbor — the node-level analogue of the IB
+//! shift, known in the distributed-database literature as chained
+//! declustering.
+//!
+//! Placement is a pure function of the sorted object list and the node
+//! count: object `i` (in `ObjectId` order) is primary on node
+//! `i mod N` and secondary on node `(i mod N + 1) mod N`. No state is
+//! replicated to *compute* a route; what the control plane replicates
+//! is the *liveness view* the route consults (see
+//! [`crate::control::ControlPlane`]).
+
+use mms_layout::ObjectId;
+use std::fmt;
+
+/// Index of a node in the fleet ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Which copy of an object a node holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The node serves this object in normal operation.
+    Primary,
+    /// The node holds the chained replica and serves it only while the
+    /// primary node is down.
+    Secondary,
+}
+
+/// Why a route could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The object is not in the fleet catalog.
+    UnknownObject(ObjectId),
+    /// Both the primary and the secondary replica are down.
+    Unavailable(ObjectId),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::UnknownObject(o) => write!(f, "object {o:?} not in fleet catalog"),
+            RouteError::Unavailable(o) => {
+                write!(f, "object {o:?} unavailable: both replicas down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The deterministic chained-declustered placement of a catalog over
+/// `N` nodes.
+///
+/// The map is immutable after construction: node failures change the
+/// *liveness view* passed to [`PlacementMap::route`], never the
+/// placement itself, which is what makes re-routing under failure a
+/// pure deterministic function.
+#[derive(Debug, Clone)]
+pub struct PlacementMap {
+    nodes: usize,
+    /// The catalog, sorted ascending; the index in this list is the
+    /// object's placement index.
+    objects: Vec<ObjectId>,
+}
+
+impl PlacementMap {
+    /// Place `objects` over `nodes` nodes (sorted and deduplicated, so
+    /// the placement is independent of registration order).
+    ///
+    /// # Panics
+    /// Panics if `nodes < 2`: chained declustering needs a distinct
+    /// neighbor to hold the replica.
+    pub fn new(nodes: usize, objects: &[ObjectId]) -> Self {
+        assert!(
+            nodes >= 2,
+            "chained declustering needs at least 2 nodes for a distinct replica"
+        );
+        let mut objects = objects.to_vec();
+        objects.sort_unstable();
+        objects.dedup();
+        PlacementMap { nodes, objects }
+    }
+
+    /// Number of nodes in the ring.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The sorted catalog this map places.
+    pub fn objects(&self) -> &[ObjectId] {
+        &self.objects
+    }
+
+    /// Placement index of `object`, if it is in the catalog.
+    pub fn index_of(&self, object: ObjectId) -> Option<usize> {
+        self.objects.binary_search(&object).ok()
+    }
+
+    /// The node that serves `object` in normal operation.
+    pub fn primary(&self, object: ObjectId) -> Option<NodeId> {
+        self.index_of(object).map(|i| NodeId(i % self.nodes))
+    }
+
+    /// The node holding the chained replica: one step right on the
+    /// ring from the primary — the node-level IB shift.
+    pub fn secondary(&self, object: ObjectId) -> Option<NodeId> {
+        self.index_of(object)
+            .map(|i| NodeId((i % self.nodes + 1) % self.nodes))
+    }
+
+    /// Route an admission for `object` given the liveness view `up`
+    /// (indexed by node): the primary if it is up, else the chained
+    /// secondary, else [`RouteError::Unavailable`].
+    ///
+    /// This is the fleet's per-admission hot path; it is pure
+    /// arithmetic plus one binary search, with no allocation.
+    pub fn route(&self, object: ObjectId, up: &[bool]) -> Result<NodeId, RouteError> {
+        let Some(index) = self.index_of(object) else {
+            return Err(RouteError::UnknownObject(object));
+        };
+        let primary = index % self.nodes;
+        if up.get(primary).copied().unwrap_or(false) {
+            return Ok(NodeId(primary));
+        }
+        let secondary = (primary + 1) % self.nodes;
+        if up.get(secondary).copied().unwrap_or(false) {
+            return Ok(NodeId(secondary));
+        }
+        Err(RouteError::Unavailable(object))
+    }
+
+    /// Every object stored on `node`, with the role the node plays for
+    /// it — the node's on-disk catalog (primaries plus chained
+    /// replicas of the left neighbor's primaries).
+    pub fn placed_on(&self, node: NodeId) -> impl Iterator<Item = (ObjectId, Role)> + '_ {
+        let nodes = self.nodes;
+        self.objects.iter().enumerate().filter_map(move |(i, &o)| {
+            let primary = i % nodes;
+            if primary == node.0 {
+                Some((o, Role::Primary))
+            } else if (primary + 1) % nodes == node.0 {
+                Some((o, Role::Secondary))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u64) -> Vec<ObjectId> {
+        (0..n).map(ObjectId).collect()
+    }
+
+    #[test]
+    fn placement_is_round_robin_with_chained_replica() {
+        let map = PlacementMap::new(4, &ids(8));
+        for i in 0..8u64 {
+            let p = map.primary(ObjectId(i)).unwrap();
+            let s = map.secondary(ObjectId(i)).unwrap();
+            assert_eq!(p.0, (i % 4) as usize);
+            assert_eq!(s.0, (p.0 + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn placement_ignores_registration_order() {
+        let mut shuffled = ids(9);
+        shuffled.reverse();
+        let a = PlacementMap::new(3, &ids(9));
+        let b = PlacementMap::new(3, &shuffled);
+        for o in ids(9) {
+            assert_eq!(a.primary(o), b.primary(o));
+        }
+    }
+
+    #[test]
+    fn route_shifts_one_right_under_single_failure() {
+        let map = PlacementMap::new(4, &ids(12));
+        let mut up = [true; 4];
+        up[2] = false;
+        for o in ids(12) {
+            let routed = map.route(o, &up).unwrap();
+            let p = map.primary(o).unwrap();
+            if p.0 == 2 {
+                // The IB invariant one level up: failed node's load
+                // lands on exactly its right neighbor.
+                assert_eq!(routed.0, 3);
+            } else {
+                assert_eq!(routed, p);
+            }
+        }
+    }
+
+    #[test]
+    fn route_fails_typed_when_both_replicas_down() {
+        let map = PlacementMap::new(3, &ids(3));
+        let up = [false, false, true];
+        // Object 0: primary node0, secondary node1 — both down.
+        assert_eq!(
+            map.route(ObjectId(0), &up),
+            Err(RouteError::Unavailable(ObjectId(0)))
+        );
+        // Object 2: primary node2 is up.
+        assert_eq!(map.route(ObjectId(2), &up), Ok(NodeId(2)));
+    }
+
+    #[test]
+    fn placed_on_covers_each_object_exactly_twice() {
+        let map = PlacementMap::new(5, &ids(17));
+        let mut copies = [0usize; 17];
+        for n in 0..5 {
+            for (o, _) in map.placed_on(NodeId(n)) {
+                copies[o.0 as usize] += 1;
+            }
+        }
+        assert!(copies.iter().all(|&c| c == 2), "replication factor is 2");
+    }
+}

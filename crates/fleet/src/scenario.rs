@@ -1,0 +1,398 @@
+//! Scriptable fleet-level failure scenarios and the named corpus
+//! behind `mms-ctl fleet corpus`.
+//!
+//! The single-server corpus (`mms_server::scenario`) scripts disk
+//! deaths inside one node; this module scripts *node* deaths across
+//! the fleet. Every case is fully deterministic — seeded traffic,
+//! seeded consensus message delivery — so its rendered report is
+//! byte-identical at any thread count, which CI asserts.
+
+use crate::fleet::{FleetBuilder, FleetEvent, FleetMetrics, TrafficReport};
+use mms_exec::Parallelism;
+use mms_sim::{run_batch, SplitMix64};
+
+/// A named, scripted fleet scenario.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    /// Unique corpus name (CLI handle).
+    pub name: &'static str,
+    /// One-line human summary.
+    pub summary: &'static str,
+    /// Nodes in the ring.
+    pub nodes: usize,
+    /// Catalog size (uniform movies × tracks).
+    pub movies: usize,
+    /// Tracks per movie.
+    pub tracks: u64,
+    /// Cycles of Zipf/Poisson traffic to drive.
+    pub cycles: u64,
+    /// Poisson arrival rate, sessions per cycle (fleet-wide).
+    pub rate: f64,
+    /// Zipf skew over the catalog.
+    pub theta: f64,
+    /// Seed for both traffic and consensus delivery order.
+    pub seed: u64,
+    /// Scripted node/disk events.
+    pub events: Vec<FleetEvent>,
+    /// Invariants the run must satisfy.
+    pub checks: Vec<FleetCheck>,
+}
+
+/// An invariant checked after a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetCheck {
+    /// Replication must absorb every failover: zero tracks lost.
+    NoTracksLost,
+    /// Replication must be exhausted at least once (negative control).
+    ExpectDataLoss,
+    /// No stream may end the run stuck waiting for a failover decree.
+    NoStalledStreams,
+    /// At least one stream must end the run stalled (quorum loss).
+    ExpectStalledStreams,
+    /// Worst per-stream failover hiccup is at most this many cycles
+    /// (the consensus commit bound).
+    BoundedFailoverHiccups(u64),
+    /// The control plane re-elected a leader at least this many times.
+    ReElected(u64),
+    /// At least this many sessions were admitted.
+    MinAdmitted(u64),
+    /// At least this many live streams were failed over.
+    ReRouted(u64),
+}
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct FleetCaseReport {
+    /// The scenario name.
+    pub name: &'static str,
+    /// Traffic aggregate of the run.
+    pub traffic: TrafficReport,
+    /// Fleet counters at the end of the run.
+    pub metrics: FleetMetrics,
+    /// Streams still in failover limbo at the end.
+    pub stalled: usize,
+    /// Leader elections the control plane performed.
+    pub elections: u64,
+    /// Per-check verdicts, in scenario order: `(check, held)`.
+    pub verdicts: Vec<(FleetCheck, bool)>,
+    /// A hard error (not a data-loss verdict — those are absorbed).
+    pub error: Option<String>,
+}
+
+impl FleetCaseReport {
+    /// Whether every check held and no hard error occurred.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.error.is_none() && self.verdicts.iter().all(|&(_, held)| held)
+    }
+
+    /// Render the report as stable, diffable text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(e) = &self.error {
+            out.push_str(&format!("  ERROR {e}\n"));
+            return out;
+        }
+        let m = &self.metrics;
+        out.push_str(&format!(
+            "  traffic: offered={} admitted={} rejected={} unavailable={}\n",
+            self.traffic.offered,
+            self.traffic.admitted,
+            self.traffic.rejected,
+            self.traffic.unavailable,
+        ));
+        out.push_str(&format!(
+            "  failover: rounds={} re_routed={} dropped={} max_gap={} hiccup_cycles={}\n",
+            m.failovers,
+            m.re_routed_streams,
+            m.dropped_on_failover,
+            m.max_failover_gap,
+            m.failover_hiccup_cycles,
+        ));
+        out.push_str(&format!(
+            "  verdicts: tracks_lost={} data_loss_events={} stalled={} elections={}\n",
+            m.tracks_lost, m.data_loss_events, self.stalled, self.elections,
+        ));
+        for (check, held) in &self.verdicts {
+            out.push_str(&format!(
+                "  [{}] {check:?}\n",
+                if *held { "PASS" } else { "FAIL" }
+            ));
+        }
+        out
+    }
+}
+
+fn check_holds(check: FleetCheck, r: &FleetCaseReport) -> bool {
+    let m = &r.metrics;
+    match check {
+        FleetCheck::NoTracksLost => m.tracks_lost == 0,
+        FleetCheck::ExpectDataLoss => m.data_loss_events > 0,
+        FleetCheck::NoStalledStreams => r.stalled == 0,
+        FleetCheck::ExpectStalledStreams => r.stalled > 0,
+        FleetCheck::BoundedFailoverHiccups(bound) => m.max_failover_gap <= bound,
+        FleetCheck::ReElected(min) => r.elections >= min,
+        FleetCheck::MinAdmitted(min) => r.traffic.admitted >= min,
+        FleetCheck::ReRouted(min) => m.re_routed_streams >= min,
+    }
+}
+
+/// Run one scenario to completion and evaluate its checks.
+#[must_use]
+pub fn run_case(case: &FleetScenario) -> FleetCaseReport {
+    let mut report = FleetCaseReport {
+        name: case.name,
+        traffic: TrafficReport::default(),
+        metrics: FleetMetrics::default(),
+        stalled: 0,
+        elections: 0,
+        verdicts: Vec::new(),
+        error: None,
+    };
+    let built = FleetBuilder::new(case.nodes)
+        .catalog(case.movies, case.tracks)
+        .control_seed(case.seed)
+        .build();
+    let mut fleet = match built {
+        Ok(f) => f,
+        Err(e) => {
+            report.error = Some(e.to_string());
+            return report;
+        }
+    };
+    for &event in &case.events {
+        if let Err(e) = fleet.inject(event) {
+            report.error = Some(e.to_string());
+            return report;
+        }
+    }
+    let mut rng = SplitMix64::new(case.seed);
+    match fleet.run_with_traffic(case.cycles, case.rate, case.theta, &mut rng) {
+        Ok(t) => report.traffic = t,
+        Err(e) => {
+            report.error = Some(e.to_string());
+            return report;
+        }
+    }
+    report.metrics = *fleet.metrics();
+    report.stalled = fleet.stalled_sessions();
+    report.elections = fleet.control_stats().elections;
+    report.verdicts = case
+        .checks
+        .iter()
+        .map(|&c| (c, check_holds(c, &report)))
+        .collect();
+    report
+}
+
+/// Worst-case decree-commit gap the corpus tolerates: twice the
+/// control plane's own bounded-commit test margin, with slack for a
+/// concurrent election.
+const HICCUP_BOUND: u64 = 64;
+
+/// The named fleet scenario corpus (the `mms-ctl fleet corpus`
+/// registry).
+///
+/// `quick` halves the traffic horizon of the longer soaks; scripted
+/// events always stay inside the shortened horizon so verdicts are
+/// mode-independent.
+#[must_use]
+pub fn corpus(quick: bool) -> Vec<FleetScenario> {
+    let soak = |cycles: u64| if quick { cycles / 2 } else { cycles };
+    vec![
+        FleetScenario {
+            name: "fleet-failover",
+            summary: "one node dies mid-traffic; chained secondary absorbs every stream",
+            nodes: 4,
+            movies: 8,
+            tracks: 120,
+            cycles: soak(400),
+            rate: 1.5,
+            theta: 0.271,
+            seed: 9501,
+            events: vec![FleetEvent::fail_node(60, 2)],
+            checks: vec![
+                FleetCheck::NoTracksLost,
+                FleetCheck::ReRouted(1),
+                FleetCheck::BoundedFailoverHiccups(HICCUP_BOUND),
+                FleetCheck::NoStalledStreams,
+                FleetCheck::MinAdmitted(20),
+            ],
+        },
+        FleetScenario {
+            name: "fleet-leader-failover",
+            summary: "the consensus leader itself dies; the ring elects its right neighbor",
+            nodes: 4,
+            movies: 8,
+            tracks: 120,
+            cycles: soak(400),
+            rate: 1.5,
+            theta: 0.271,
+            seed: 9502,
+            events: vec![FleetEvent::fail_node(50, 0)],
+            checks: vec![
+                FleetCheck::NoTracksLost,
+                FleetCheck::ReElected(1),
+                FleetCheck::BoundedFailoverHiccups(HICCUP_BOUND),
+                FleetCheck::NoStalledStreams,
+            ],
+        },
+        FleetScenario {
+            name: "fleet-repair",
+            summary: "fail then repair one node; primaries return only after the NodeUp decree",
+            nodes: 4,
+            movies: 8,
+            tracks: 120,
+            cycles: soak(400),
+            rate: 1.5,
+            theta: 0.271,
+            seed: 9503,
+            events: vec![
+                FleetEvent::fail_node(50, 1),
+                FleetEvent::repair_node(150, 1),
+            ],
+            checks: vec![
+                FleetCheck::NoTracksLost,
+                FleetCheck::NoStalledStreams,
+                FleetCheck::MinAdmitted(20),
+            ],
+        },
+        FleetScenario {
+            name: "fleet-replication-exhausted",
+            summary: "adjacent double fault with quorum intact: typed data loss, fleet survives",
+            nodes: 5,
+            movies: 10,
+            // Long movies: the hold (tracks/k cycles) must exceed the
+            // decree-commit gap, or every stream expires before the
+            // second failover can find replication exhausted.
+            tracks: 400,
+            cycles: soak(400),
+            rate: 2.0,
+            theta: 0.271,
+            seed: 9504,
+            events: vec![FleetEvent::fail_node(40, 1), FleetEvent::fail_node(120, 2)],
+            checks: vec![
+                FleetCheck::ExpectDataLoss,
+                FleetCheck::NoStalledStreams,
+                FleetCheck::MinAdmitted(20),
+            ],
+        },
+        FleetScenario {
+            name: "fleet-quorum-loss",
+            summary: "two of four nodes down: the second NodeDown decree can never commit",
+            nodes: 4,
+            movies: 8,
+            tracks: 120,
+            cycles: soak(400),
+            rate: 1.5,
+            theta: 0.271,
+            seed: 9505,
+            events: vec![FleetEvent::fail_node(40, 0), FleetEvent::fail_node(120, 2)],
+            checks: vec![
+                FleetCheck::NoTracksLost,
+                FleetCheck::ExpectStalledStreams,
+                FleetCheck::ReElected(1),
+            ],
+        },
+        FleetScenario {
+            name: "fleet-storm",
+            summary: "rolling fail/repair storm, never two down at once: zero loss throughout",
+            nodes: 6,
+            movies: 12,
+            tracks: 120,
+            cycles: soak(600),
+            rate: 2.0,
+            theta: 0.271,
+            seed: 9506,
+            events: vec![
+                FleetEvent::fail_node(40, 0),
+                FleetEvent::repair_node(120, 0),
+                FleetEvent::fail_node(180, 3),
+                FleetEvent::repair_node(260, 3),
+                FleetEvent::fail_node(320, 5),
+                FleetEvent::repair_node(400, 5),
+            ],
+            checks: vec![
+                FleetCheck::NoTracksLost,
+                FleetCheck::BoundedFailoverHiccups(HICCUP_BOUND),
+                FleetCheck::NoStalledStreams,
+                FleetCheck::MinAdmitted(40),
+            ],
+        },
+    ]
+}
+
+/// Find a corpus scenario by name.
+#[must_use]
+pub fn find(name: &str, quick: bool) -> Option<FleetScenario> {
+    corpus(quick).into_iter().find(|c| c.name == name)
+}
+
+/// Run the whole corpus (or one named case) over the worker pool and
+/// render every report. Returns the rendered text and whether every
+/// check held. The text is bit-identical for every thread count.
+#[must_use]
+pub fn run_corpus_rendered(
+    parallelism: Parallelism,
+    quick: bool,
+    only: Option<&str>,
+) -> (String, bool) {
+    let cases: Vec<FleetScenario> = corpus(quick)
+        .into_iter()
+        .filter(|c| only.is_none_or(|n| c.name == n))
+        .collect();
+    let reports = run_batch(parallelism, &cases, run_case);
+    let mut out = String::new();
+    let mut all_passed = true;
+    for (case, report) in cases.iter().zip(&reports) {
+        out.push_str(&format!("== {} — {}\n", case.name, case.summary));
+        out.push_str(&report.render());
+        all_passed &= report.passed();
+    }
+    out.push_str(if all_passed {
+        "fleet corpus: all invariants held"
+    } else {
+        "fleet corpus: INVARIANT VIOLATIONS"
+    });
+    out.push('\n');
+    (out, all_passed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let cases = corpus(true);
+        assert!(cases.len() >= 6, "fleet corpus shrank to {}", cases.len());
+        let mut names: Vec<&str> = cases.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate fleet scenario names");
+        assert!(find("fleet-failover", true).is_some());
+        assert!(find("no-such-scenario", true).is_none());
+    }
+
+    #[test]
+    fn corpus_passes_in_both_modes() {
+        for quick in [true, false] {
+            let (text, passed) = run_corpus_rendered(Parallelism::Sequential, quick, None);
+            assert!(passed, "fleet corpus failed (quick={quick}):\n{text}");
+        }
+    }
+
+    #[test]
+    fn corpus_is_thread_count_invariant() {
+        let base = run_corpus_rendered(Parallelism::threads(1), true, None);
+        for threads in [2, 8] {
+            let other = run_corpus_rendered(Parallelism::threads(threads), true, None);
+            assert_eq!(
+                base.0, other.0,
+                "fleet corpus text diverged at {threads} threads"
+            );
+        }
+    }
+}

@@ -25,12 +25,13 @@ pub const RULE_NAMES: [&str; 5] = [
 /// reads, no iteration-order-random collections, no ambient randomness.
 /// (`mms-bench` measures wall time on purpose; `mms-lint` never runs
 /// inside a simulation.)
-pub const DETERMINISTIC_CRATES: [&str; 11] = [
+pub const DETERMINISTIC_CRATES: [&str; 12] = [
     "analysis",
     "buffer",
     "core",
     "disk",
     "exec",
+    "fleet",
     "layout",
     "parity",
     "reliability",
@@ -341,6 +342,24 @@ pub const HOT_FNS: &[HotFn] = &[
         impl_type: Some("HealthModel"),
         name: "observe",
         why: "per-event SLO update",
+    },
+    HotFn {
+        file: "crates/fleet/src/placement.rs",
+        impl_type: Some("PlacementMap"),
+        name: "route",
+        why: "per-admission fleet routing decision",
+    },
+    HotFn {
+        file: "crates/fleet/src/fleet.rs",
+        impl_type: Some("Fleet"),
+        name: "step",
+        why: "per-cycle fleet step (control plane + nodes)",
+    },
+    HotFn {
+        file: "crates/fleet/src/control.rs",
+        impl_type: Some("ControlPlane"),
+        name: "tick",
+        why: "per-cycle consensus message pump",
     },
 ];
 

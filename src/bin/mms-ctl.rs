@@ -41,11 +41,33 @@
 //!   --fail DISK@CYCLE      (repeatable; run degraded)
 //!   --seed N               (default 1995)
 //!   --fast-forward         event-horizon execution (identical results, faster)
+//! mms-ctl fleet [corpus|list|<case>] [options]  sharded multi-node tier
+//!   (no positional: run a fleet under traffic with scripted node faults)
+//!   --nodes N              fleet size (default 4)
+//!   --scheme sr|sg|nc|ib   per-node scheme (default sr)
+//!   --disks N              per-node disks (default 10; IB default 8)
+//!   --group C              (default 5)
+//!   --movies N             global catalog size (default 8)
+//!   --tracks N             tracks per movie (default 200)
+//!   --cycles N             (default 400)
+//!   --rate F               Poisson arrivals per cycle (default 2.0)
+//!   --theta F              Zipf skew (default 0.271)
+//!   --fail-node N@CYCLE    (repeatable; whole-node failure)
+//!   --repair-node N@CYCLE  (repeatable; node returns, catalog re-syncs)
+//!   --seed N               (default 1995)
+//!   --mttf TRIALS          Monte-Carlo fleet MTTF/MTTDS (default off)
+//!   --node-mttf-h H        node MTTF hours for --mttf (default 100000)
+//!   --node-mttr-h H        node MTTR hours for --mttf (default 24)
+//!   corpus [--quick]       run the fleet fault corpus (nonzero exit on violation)
+//!   list                   list the fleet corpus cases
 //! mms-ctl trace <flight.jsonl> [options]     walk a flight-recorder dump
 //!   --session ID           only records mentioning this stream/session
 //! ```
 //!
-//! `simulate`, `mttf`, `scenario`, and `workload` additionally take the
+//! Every run-style subcommand (`simulate`, `mttf`, `scenario`,
+//! `workload`, `fleet`) shares one [`RunConfig`]: the worker pool
+//! (`--threads N|auto|seq`), the step mode (`--fast-forward` selects
+//! event-horizon execution — identical results, faster), and the
 //! observability flags:
 //!
 //! ```text
@@ -58,6 +80,9 @@
 //!   --perfetto-out PATH    write the event stream as Chrome/Perfetto trace JSON
 //!   --slo                  print the HealthModel SLO panel at the end
 //! ```
+//!
+//! The config is parsed once per invocation and handed to builders
+//! directly (`ServerBuilder::run_config`, `FleetBuilder::run_config`).
 //!
 //! The flight recorder arms itself on the first `error`-level record
 //! (data loss, check violations); `--flight-recorder` also dumps on a
@@ -72,17 +97,15 @@ use ft_media_server::analysis::{
     design_space_par, table_rows, CostModel, SchemeParams, SystemParams,
 };
 use ft_media_server::disk::{DiskId, ReliabilityParams};
+use ft_media_server::fleet::{fleet_mttds, fleet_mttf, FleetBuilder, FleetEvent};
 use ft_media_server::layout::{BandwidthClass, MediaObject, ObjectId};
 use ft_media_server::reliability::{formulas, CatastropheRule, MonteCarlo, PoolMarkov};
 use ft_media_server::scenario;
 use ft_media_server::sim::{
-    AdmissionPolicy, ArrivalProcess, DataMode, FailureEvent, SessionEngine,
+    AdmissionPolicy, ArrivalProcess, DataMode, FailureEvent, SessionEngine, SplitMix64, StepMode,
 };
-use ft_media_server::telemetry::{
-    dashboard, jsonl, perfetto, prom, FlightRecorder, FlightSnapshot, HealthConfig, HealthModel,
-    Level, Recorder,
-};
-use ft_media_server::{Parallelism, Scheme, ServerBuilder, ServerError};
+use ft_media_server::telemetry::{FlightSnapshot, Recorder};
+use ft_media_server::{RunConfig, Scheme, ServerBuilder, ServerError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -96,10 +119,11 @@ fn main() -> ExitCode {
         Some("design") => cmd_design(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mms-ctl <table|simulate|mttf|design|scenario|workload|trace> …  (see --help in source)"
+                "usage: mms-ctl <table|simulate|mttf|design|scenario|workload|fleet|trace> …  (see --help in source)"
             );
             return ExitCode::FAILURE;
         }
@@ -172,135 +196,6 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     Ok(default)
 }
 
-/// The observability flags shared by `simulate`, `mttf`, `scenario`,
-/// and `workload`.
-struct TelemetryOpts {
-    /// JSONL export path (`--telemetry PATH`).
-    path: Option<String>,
-    /// Collection level (`--log-level`, default `info`).
-    level: Level,
-    /// Print the ASCII dashboard at the end (`--dash`).
-    dash: bool,
-    /// Flight-recorder dump path (`--flight-recorder PATH`).
-    flight: Option<String>,
-    /// Flight-recorder ring capacity (`--flight-capacity`, default 4096).
-    flight_capacity: usize,
-    /// Prometheus text-format export path (`--prom-out PATH`).
-    prom: Option<String>,
-    /// Chrome/Perfetto trace JSON export path (`--perfetto-out PATH`).
-    perfetto: Option<String>,
-    /// Print the HealthModel SLO panel at the end (`--slo`).
-    slo: bool,
-}
-
-impl TelemetryOpts {
-    fn parse(args: &[String]) -> Result<Self, String> {
-        let path_flag = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
-        Ok(TelemetryOpts {
-            path: path_flag("--telemetry"),
-            level: flag_value(args, "--log-level", Level::Info)?,
-            dash: args.iter().any(|a| a == "--dash"),
-            flight: path_flag("--flight-recorder"),
-            flight_capacity: flag_value(args, "--flight-capacity", 4096)?,
-            prom: path_flag("--prom-out"),
-            perfetto: path_flag("--perfetto-out"),
-            slo: args.iter().any(|a| a == "--slo"),
-        })
-    }
-
-    /// A recorder when any output was requested, else run untraced.
-    /// Flight recordings and Perfetto traces need the `Debug` cycle
-    /// spans for virtual-time stamps, so they raise the floor.
-    fn recorder(&self) -> Option<Recorder> {
-        let any = self.path.is_some()
-            || self.dash
-            || self.flight.is_some()
-            || self.prom.is_some()
-            || self.perfetto.is_some()
-            || self.slo;
-        let level = if self.flight.is_some() || self.perfetto.is_some() {
-            self.level.max(Level::Debug)
-        } else {
-            self.level
-        };
-        any.then(|| Recorder::new(level))
-    }
-
-    /// Export/print whatever the recorder collected. `scheme` labels
-    /// the derived `health.*` gauges ("all" for multi-scheme runs).
-    fn finish(&self, recorder: Recorder, scheme: &str) -> CmdResult {
-        use std::io::Write;
-        let mut events = recorder.take_events();
-
-        if self.slo {
-            let mut health = HealthModel::new(HealthConfig::default());
-            for event in &events {
-                health.observe(event);
-            }
-            let end = health.cycle();
-            health.finish(end);
-            recorder.with_registry_mut(|r| health.publish_to(r, scheme));
-            events.extend(health.alert_records());
-            println!("\n{}", health.panel());
-        }
-
-        let snapshot = recorder.snapshot();
-        if let Some(path) = &self.flight {
-            let mut flight = FlightRecorder::new(self.flight_capacity.max(1));
-            for event in &events {
-                flight.record(event.clone());
-            }
-            if !flight.triggered() {
-                flight.trigger("requested");
-            }
-            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-            flight.dump(&mut out)?;
-            out.flush()?;
-            println!(
-                "\nflight recorder: kept {} of {} record(s), trigger '{}' -> {path}",
-                flight.len(),
-                flight.recorded(),
-                flight.trigger_reason().unwrap_or("none"),
-            );
-        }
-        if let Some(path) = &self.prom {
-            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-            prom::write_snapshot(&mut out, &snapshot)?;
-            out.flush()?;
-            println!("prometheus snapshot -> {path}");
-        }
-        if let Some(path) = &self.perfetto {
-            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-            perfetto::write_trace(&mut out, &events)?;
-            out.flush()?;
-            println!("perfetto trace: {} event(s) -> {path}", events.len());
-        }
-        if let Some(path) = &self.path {
-            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-            jsonl::write_all(&mut out, &events, &snapshot)?;
-            out.flush()?;
-            let metric_lines = snapshot.counters.len()
-                + snapshot.gauges.len()
-                + snapshot.histograms.len()
-                + snapshot.quantiles.len();
-            println!(
-                "\ntelemetry: {} event(s) + {} metric line(s) -> {path}",
-                events.len(),
-                metric_lines
-            );
-        }
-        if self.dash {
-            let dash = dashboard::render(&snapshot);
-            if dash.is_empty() {
-                println!("\n(no metrics collected — dashboard empty)");
-            } else {
-                println!("\n{dash}");
-            }
-        }
-        Ok(())
-    }
-}
-
 /// Parse `--scheme` plus the per-scheme default disk count.
 fn parse_scheme(args: &[String]) -> Result<(Scheme, usize), String> {
     let scheme = match flag_value(args, "--scheme", "sr".to_string())?.as_str() {
@@ -328,8 +223,8 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     let fails = parse_events(args, "--fail")?;
     let repairs = parse_events(args, "--repair")?;
     let rebuilds = parse_events(args, "--rebuild")?;
-    let telem = TelemetryOpts::parse(args)?;
-    let recorder = telem.recorder();
+    let cfg = RunConfig::from_args(args)?;
+    let recorder = cfg.recorder();
     let _guard = recorder.as_ref().map(Recorder::install);
 
     let mut server = ServerBuilder::new(scheme)
@@ -411,7 +306,7 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     println!("buffer peak        : {} tracks", m.buffer_peak);
     println!("catastrophes       : {}", m.catastrophes);
     if let Some(recorder) = recorder {
-        telem.finish(recorder, scheme.abbrev())?;
+        cfg.finish(recorder, scheme.abbrev())?;
     }
     Ok(())
 }
@@ -421,9 +316,9 @@ fn cmd_mttf(args: &[String]) -> CmdResult {
     let d: usize = pos.first().map_or(Ok(1000), |s| s.parse())?;
     let c: usize = pos.get(1).map_or(Ok(10), |s| s.parse())?;
     let mc_trials: usize = flag_value(args, "--mc", 0)?;
-    let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
-    let telem = TelemetryOpts::parse(args)?;
-    let recorder = telem.recorder();
+    let cfg = RunConfig::from_args(args)?;
+    let par = cfg.threads;
+    let recorder = cfg.recorder();
     let _guard = recorder.as_ref().map(Recorder::install);
     let rel = ReliabilityParams::paper();
     println!("reliability for D = {d}, C = {c} (MTTF 300,000 h, MTTR 1 h)\n");
@@ -466,7 +361,7 @@ fn cmd_mttf(args: &[String]) -> CmdResult {
         }
     }
     if let Some(recorder) = recorder {
-        telem.finish(recorder, "all")?;
+        cfg.finish(recorder, "all")?;
     }
     Ok(())
 }
@@ -478,8 +373,7 @@ fn cmd_scenario(args: &[String]) -> CmdResult {
         .cloned()
         .ok_or("usage: mms-ctl scenario <name|all|list> [--quick] [--threads N|auto|seq]")?;
     let quick = args.iter().any(|a| a == "--quick");
-    let fast_forward = args.iter().any(|a| a == "--fast-forward");
-    let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
+    let cfg = RunConfig::from_args(args)?;
     if name == "list" {
         for case in scenario::corpus(quick) {
             println!("{:<26} {}", case.scenario.name, case.scenario.summary);
@@ -490,13 +384,13 @@ fn cmd_scenario(args: &[String]) -> CmdResult {
     if only.is_some() && scenario::find(&name, quick).is_none() {
         return Err(format!("unknown scenario '{name}' (try `mms-ctl scenario list`)").into());
     }
-    let telem = TelemetryOpts::parse(args)?;
-    let recorder = telem.recorder();
+    let recorder = cfg.recorder();
     let _guard = recorder.as_ref().map(Recorder::install);
-    let (text, ok) = scenario::run_corpus_rendered(par, quick, only, fast_forward);
+    let fast_forward = cfg.step_mode == StepMode::EventHorizon;
+    let (text, ok) = scenario::run_corpus_rendered(cfg.threads, quick, only, fast_forward);
     print!("{text}");
     if let Some(recorder) = recorder {
-        telem.finish(recorder, "all")?;
+        cfg.finish(recorder, "all")?;
     }
     if ok {
         Ok(())
@@ -508,7 +402,7 @@ fn cmd_scenario(args: &[String]) -> CmdResult {
 fn cmd_design(args: &[String]) -> CmdResult {
     let pos: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     let required: f64 = pos.first().map_or(Ok(1200.0), |s| s.parse())?;
-    let par: Parallelism = flag_value(args, "--threads", Parallelism::Auto)?;
+    let par = RunConfig::from_args(args)?.threads;
     let sys = SystemParams::paper_table1();
     let model = CostModel::paper_fig9();
     let best = design_space_par(&sys, &model, 2..=10, SchemeParams::paper_fig9, par)
@@ -537,8 +431,8 @@ fn cmd_workload(args: &[String]) -> CmdResult {
     let seed: u64 = flag_value(args, "--seed", 1995)?;
     let mut fails = parse_events(args, "--fail")?;
     fails.sort_by_key(|&(_, at)| at);
-    let telem = TelemetryOpts::parse(args)?;
-    let recorder = telem.recorder();
+    let cfg = RunConfig::from_args(args)?;
+    let recorder = cfg.recorder();
     let _guard = recorder.as_ref().map(Recorder::install);
 
     let arrivals = match args.windows(2).find(|w| w[0] == "--burst") {
@@ -574,7 +468,8 @@ fn cmd_workload(args: &[String]) -> CmdResult {
     let mut builder = ServerBuilder::new(scheme)
         .disks(disks)
         .parity_group(group)
-        .data_mode(DataMode::MetadataOnly);
+        .data_mode(DataMode::MetadataOnly)
+        .run_config(&cfg);
     for m in 0..movies.max(1) {
         builder = builder.object(MediaObject::new(
             ObjectId(m as u64),
@@ -584,13 +479,10 @@ fn cmd_workload(args: &[String]) -> CmdResult {
         ));
     }
     let mut server = builder.build()?;
-    if args.iter().any(|a| a == "--fast-forward") {
-        server.set_step_mode(ft_media_server::sim::StepMode::EventHorizon);
-    }
     // A session's nominal slot-hold time: one read cycle per group,
     // spaced k/k' cycles apart.
-    let cfg = server.cycle_config();
-    let nominal = tracks.div_ceil(cfg.k as u64) * cfg.read_period() as u64;
+    let cyc = server.cycle_config();
+    let nominal = tracks.div_ceil(cyc.k as u64) * cyc.read_period() as u64;
     let catalog: Vec<(ObjectId, u64)> = server.objects().iter().map(|&o| (o, nominal)).collect();
     let mut engine = SessionEngine::new(catalog, theta, arrivals, policy).with_abandonment(abandon);
     if let Some(w) = args.windows(2).find(|w| w[0] == "--vbr") {
@@ -669,7 +561,164 @@ fn cmd_workload(args: &[String]) -> CmdResult {
         m.utilization(server.cycle_config().t_cyc(), disks) * 100.0
     );
     if let Some(recorder) = recorder {
-        telem.finish(recorder, scheme.abbrev())?;
+        cfg.finish(recorder, scheme.abbrev())?;
+    }
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> CmdResult {
+    let sub = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = RunConfig::from_args(args)?;
+    match sub.as_deref() {
+        Some("list") => {
+            for case in ft_media_server::fleet::scenario::corpus(quick) {
+                println!("{:<28} {}", case.name, case.summary);
+            }
+            return Ok(());
+        }
+        Some("corpus") => {
+            let recorder = cfg.recorder();
+            let _guard = recorder.as_ref().map(Recorder::install);
+            let (text, ok) =
+                ft_media_server::fleet::scenario::run_corpus_rendered(cfg.threads, quick, None);
+            print!("{text}");
+            if let Some(recorder) = recorder {
+                cfg.finish(recorder, "fleet")?;
+            }
+            return if ok {
+                Ok(())
+            } else {
+                Err("fleet corpus invariants violated".into())
+            };
+        }
+        Some(name) => {
+            if ft_media_server::fleet::scenario::find(name, quick).is_none() {
+                return Err(
+                    format!("unknown fleet case '{name}' (try `mms-ctl fleet list`)").into(),
+                );
+            }
+            let recorder = cfg.recorder();
+            let _guard = recorder.as_ref().map(Recorder::install);
+            let (text, ok) = ft_media_server::fleet::scenario::run_corpus_rendered(
+                cfg.threads,
+                quick,
+                Some(name),
+            );
+            print!("{text}");
+            if let Some(recorder) = recorder {
+                cfg.finish(recorder, "fleet")?;
+            }
+            return if ok {
+                Ok(())
+            } else {
+                Err("fleet case invariants violated".into())
+            };
+        }
+        None => {}
+    }
+
+    // No positional: run a fleet under traffic with scripted node faults.
+    let nodes: usize = flag_value(args, "--nodes", 4)?;
+    let (scheme, default_disks) = parse_scheme(args)?;
+    let disks: usize = flag_value(args, "--disks", default_disks)?;
+    let group: usize = flag_value(args, "--group", 5)?;
+    let movies: usize = flag_value(args, "--movies", 8)?;
+    let tracks: u64 = flag_value(args, "--tracks", 200)?;
+    let cycles: u64 = flag_value(args, "--cycles", 400)?;
+    let rate: f64 = flag_value(args, "--rate", 2.0)?;
+    let theta: f64 = flag_value(args, "--theta", 0.271)?;
+    let seed: u64 = flag_value(args, "--seed", 1995)?;
+    let mttf_trials: usize = flag_value(args, "--mttf", 0)?;
+    let node_fails = parse_events(args, "--fail-node")?;
+    let node_repairs = parse_events(args, "--repair-node")?;
+    let recorder = cfg.recorder();
+    let _guard = recorder.as_ref().map(Recorder::install);
+
+    let mut fleet = FleetBuilder::new(nodes)
+        .scheme(scheme)
+        .disks(disks)
+        .parity_group(group)
+        .catalog(movies, tracks)
+        .control_seed(seed)
+        .run_config(&cfg)
+        .build()?;
+    println!(
+        "fleet | {nodes} nodes x ({} disks, C = {group}, {}), {} movies x {tracks} tracks, \
+         chained declustering + replicated control plane",
+        disks,
+        scheme.abbrev(),
+        movies.max(1),
+    );
+    for &(n, at) in &node_fails {
+        fleet.inject(FleetEvent::fail_node(at, n as usize))?;
+        println!("scheduled: node {n} fails at cycle {at}");
+    }
+    for &(n, at) in &node_repairs {
+        fleet.inject(FleetEvent::repair_node(at, n as usize))?;
+        println!("scheduled: node {n} repaired at cycle {at}");
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    let report = fleet.run_with_traffic(cycles, rate, theta, &mut rng)?;
+    let m = *fleet.metrics();
+    let cs = fleet.control_stats();
+    println!("\ncycles simulated   : {}", fleet.cycle());
+    println!(
+        "sessions offered   : {} ({} admitted, {} rejected, {} unavailable)",
+        report.offered, report.admitted, report.rejected, report.unavailable
+    );
+    println!(
+        "re-routed          : {} admissions, {} live streams (failovers: {})",
+        m.re_routed_admissions, m.re_routed_streams, m.failovers
+    );
+    println!(
+        "failover gap       : max {} cycle(s), {} hiccup-cycle(s) total",
+        m.max_failover_gap, m.failover_hiccup_cycles
+    );
+    println!(
+        "node events        : {} failure(s), {} repair(s); stalled streams {}",
+        m.node_failures,
+        m.node_repairs,
+        fleet.stalled_sessions()
+    );
+    println!(
+        "data loss          : {} track(s) in {} event(s)",
+        m.tracks_lost, m.data_loss_events
+    );
+    println!(
+        "control plane      : {} decree(s), {} election(s), {} message(s), epoch {}",
+        cs.decrees,
+        cs.elections,
+        cs.messages,
+        fleet.control().epoch()
+    );
+
+    if mttf_trials >= 2 {
+        let rel = ReliabilityParams {
+            mttf: ft_media_server::disk::Time::from_hours(flag_value(
+                args,
+                "--node-mttf-h",
+                100_000.0,
+            )?),
+            mttr: ft_media_server::disk::Time::from_hours(flag_value(args, "--node-mttr-h", 24.0)?),
+        };
+        let mut rng = SplitMix64::new(seed);
+        let mttf = fleet_mttf(nodes, rel, &mut rng, mttf_trials, cfg.threads);
+        let mttds = fleet_mttds(nodes, rel, &mut rng, mttf_trials, cfg.threads);
+        println!(
+            "\nfleet MTTF (adjacent pair)  : {:>12.1} h ± {:.1} ({mttf_trials} trials)",
+            mttf.mean.as_hours(),
+            mttf.ci95().as_hours()
+        );
+        println!(
+            "fleet MTTDS (quorum loss)   : {:>12.1} h ± {:.1}",
+            mttds.mean.as_hours(),
+            mttds.ci95().as_hours()
+        );
+    }
+    if let Some(recorder) = recorder {
+        cfg.finish(recorder, "fleet")?;
     }
     Ok(())
 }

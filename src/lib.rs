@@ -24,3 +24,8 @@
 #![forbid(unsafe_code)]
 
 pub use mms_server::*;
+
+/// The sharded multi-node serving tier ([`mms_fleet`]): chained-
+/// declustered placement, deterministic replicated control plane, and
+/// whole-node failover.
+pub use mms_fleet as fleet;

@@ -155,10 +155,12 @@ fn every_corpus_scenario_runs_for_each_of_its_schemes() {
     }
 }
 
-/// The deprecated single-method fault surface still works (compat).
+/// The unified `inject(FailureEvent)` surface covers everything the
+/// old per-method fault API did: immediate faults (with the typed
+/// `DataLoss` verdict on the second fault in a degraded group),
+/// repair, and scheduled future failures.
 #[test]
-#[allow(deprecated)]
-fn deprecated_fault_methods_remain_functional() {
+fn inject_covers_immediate_scheduled_and_repair_faults() {
     let mut s = ServerBuilder::new(Scheme::StreamingRaid)
         .disks(10)
         .parity_group(5)
@@ -167,11 +169,13 @@ fn deprecated_fault_methods_remain_functional() {
         .unwrap();
     let movie = s.objects()[0];
     s.admit(movie).unwrap();
-    let report = s.fail_disk(DiskId(1)).unwrap();
+    let report = s.inject(FailureEvent::fail(s.cycle(), DiskId(1))).unwrap();
     assert!(!report.catastrophic);
-    // Unlike `inject`, the legacy method reports catastrophe in-band.
-    let report = s.fail_disk(DiskId(2)).unwrap();
-    assert!(report.catastrophic);
+    // The second fault in the degraded group is the typed verdict.
+    assert!(matches!(
+        s.inject(FailureEvent::fail(s.cycle(), DiskId(2))),
+        Err(ServerError::DataLoss { .. })
+    ));
     s.repair_disk(DiskId(1)).unwrap();
     let mut s2 = ServerBuilder::new(Scheme::StreamingRaid)
         .disks(10)
@@ -179,7 +183,9 @@ fn deprecated_fault_methods_remain_functional() {
         .movie("m", 0.2, ft_media_server::layout::BandwidthClass::Mpeg1)
         .build()
         .unwrap();
-    s2.set_failures(ft_media_server::sim::FailureSchedule::fail_at(2, DiskId(0)));
+    // A future-dated event queues (empty report) and fires during `run`.
+    let report = s2.inject(FailureEvent::fail(2, DiskId(0))).unwrap();
+    assert!(!report.catastrophic && report.lost.is_empty());
     let movie = s2.objects()[0];
     s2.admit(movie).unwrap();
     s2.run(4).unwrap();
