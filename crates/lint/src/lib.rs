@@ -6,17 +6,19 @@
 //! enforced only by runtime tests that a refactor could silently route
 //! around. This crate is the static layer: a comment- and
 //! string-literal-aware token scanner ([`scan`]), a structural model of
-//! each file ([`model`]), and five rules ([`rules`]) that fail CI the
-//! moment a diff violates an invariant.
+//! each file ([`model`]), a workspace-wide symbol table ([`symbols`])
+//! with a conservative call graph ([`graph`]), and eight rules
+//! ([`rules`], [`taint`]) that fail CI the moment a diff violates an
+//! invariant.
 //!
-//! ## Rules
+//! ## Per-file rules
 //!
 //! * `determinism` — no `Instant`/`SystemTime`/`HashMap`/`HashSet`/
 //!   ambient randomness in the deterministic crates' library code.
-//! * `hot-path-alloc` — the registered hot functions (the simulation
-//!   step, every scheduler's `plan_cycle_into`, the XOR kernels, the
-//!   `BlockOracle` streaming paths) must not contain
-//!   `Vec::new`/`vec!`/`.to_vec()`/`Box::new`/`format!`/`.collect()`.
+//! * `hot-path-alloc` — the registered hot *roots* (the simulation
+//!   step, the XOR kernels, the fleet/control-plane steps) must not
+//!   contain `Vec::new`/`vec!`/`.to_vec()`/`Box::new`/`format!`/
+//!   `.collect()`/`.clone()`.
 //! * `unsafe-pragma` — every first-party crate root carries
 //!   `#![forbid(unsafe_code)]`.
 //! * `panic-policy` — `.unwrap()`/`.expect(…)`/`panic!` in non-test
@@ -24,6 +26,22 @@
 //! * `paper-refs` — comment citations must exist in the paper
 //!   (Eqs 1–19, Figures 1–9, Tables 1–3), and every equation's
 //!   registered implementing item must still exist and cite it.
+//!
+//! ## Interprocedural rules
+//!
+//! These run on the call graph, so a finding names the whole chain:
+//!
+//! * `transitive-alloc` — every function *reachable* from a hot root
+//!   must be allocation-free, at any call depth. The registry holds
+//!   only true roots; interior and dead entries are themselves
+//!   findings.
+//! * `determinism-taint` — nondeterminism sources taint callers
+//!   transitively, so wall-clock reads laundered through a helper in a
+//!   non-deterministic crate are caught at the frame where a
+//!   deterministic crate calls out.
+//! * `panic-reachability` — panic sites outside `panic-policy`'s
+//!   per-file jurisdiction (bins, integration tests, examples) must
+//!   state invariants when a hot root reaches them.
 //!
 //! ## Escape hatch
 //!
@@ -36,22 +54,30 @@
 //!
 //! The annotation names one or more rules, requires a reason after the
 //! colon, and applies to its own line or the next line carrying code.
-//! An annotation that suppresses nothing is itself an error, so stale
+//! For the graph rules the placement is semantic: on a *call-site* line
+//! the allow cuts that edge (suppressing only chains through that
+//! frame); on the *fact* line it clears the fact for all chains. An
+//! annotation that suppresses nothing is itself an error, so stale
 //! allows cannot accumulate.
 //!
 //! ## Usage
 //!
 //! ```text
 //! cargo run -p mms-lint -- check [--rule <name>] [--json] [--root <dir>]
+//!                                [--baseline <file>] [--write-baseline <file>]
+//! cargo run -p mms-lint -- graph [--dot] [--roots] [--why <from> <to>]
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod model;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
 use model::FileModel;
 use report::{EqCoverage, Finding, Report};
@@ -65,7 +91,7 @@ pub struct RuleSet {
 }
 
 impl RuleSet {
-    /// All five rules.
+    /// All eight rules.
     #[must_use]
     pub fn all() -> RuleSet {
         RuleSet {
@@ -93,6 +119,12 @@ impl RuleSet {
     pub fn is_active(&self, rule: &str) -> bool {
         self.active.iter().any(|r| r == rule)
     }
+
+    /// Whether any interprocedural rule is enforced by this run.
+    #[must_use]
+    pub fn any_graph_rule(&self) -> bool {
+        rules::GRAPH_RULES.iter().any(|r| self.is_active(r))
+    }
 }
 
 /// Per-file lint outcome: findings after annotation filtering, plus the
@@ -106,35 +138,29 @@ pub struct FileOutcome {
     pub hot_matched: Vec<bool>,
 }
 
-/// Lint a single source text as if it lived at workspace-relative
-/// `path`. This is the per-file core used both by [`check_workspace`]
-/// and by fixture tests.
-#[must_use]
-pub fn lint_source(path: &str, src: &str, set: &RuleSet) -> FileOutcome {
-    let m = FileModel::build(path, src);
+/// Run the per-file rules over one model, suppressing findings via
+/// allows (and marking them used). No hygiene — that runs once the
+/// graph rules have had their chance to use allows too.
+fn file_rules(m: &FileModel, set: &RuleSet, hot_matched: &mut [bool]) -> (Vec<Finding>, Vec<u32>) {
     let mut raw: Vec<Finding> = Vec::new();
     let mut eq_cited = Vec::new();
-    let mut hot_matched = vec![false; rules::HOT_FNS.len()];
     if set.is_active("determinism") {
-        raw.extend(rules::determinism(&m));
+        raw.extend(rules::determinism(m));
     }
     if set.is_active("hot-path-alloc") {
-        raw.extend(rules::hot_path_alloc(&m, &mut hot_matched));
+        raw.extend(rules::hot_path_alloc(m, hot_matched));
     }
     if set.is_active("unsafe-pragma") {
-        raw.extend(rules::unsafe_pragma(&m));
+        raw.extend(rules::unsafe_pragma(m));
     }
     if set.is_active("panic-policy") {
-        raw.extend(rules::panic_policy(&m));
+        raw.extend(rules::panic_policy(m));
     }
     if set.is_active("paper-refs") {
-        let (f, eqs) = rules::paper_refs(&m);
+        let (f, eqs) = rules::paper_refs(m);
         raw.extend(f);
         eq_cited.extend(eqs.iter().map(|c| c.num));
     }
-
-    // Annotation filtering: an allow for the finding's rule targeting
-    // the finding's line suppresses it and marks the allow used.
     let mut findings: Vec<Finding> = Vec::new();
     for f in raw {
         let mut suppressed = false;
@@ -148,12 +174,18 @@ pub fn lint_source(path: &str, src: &str, set: &RuleSet) -> FileOutcome {
             findings.push(f);
         }
     }
+    (findings, eq_cited)
+}
 
-    // Annotation hygiene: unknown rules, missing reasons, unused allows.
+/// Annotation hygiene for one model: unknown rules, missing reasons,
+/// unused allows. When `graph_ran` is false (per-file-only linting, as
+/// in [`lint_source`]), allows naming a graph rule are exempt from the
+/// unused check — nothing could have marked them.
+fn hygiene(m: &FileModel, set: &RuleSet, graph_ran: bool, out: &mut Vec<Finding>) {
     for a in &m.allows {
         for r in &a.rules {
             if !rules::RULE_NAMES.contains(&r.as_str()) {
-                findings.push(Finding {
+                out.push(Finding {
                     rule: "lint-allow".into(),
                     file: m.path.clone(),
                     line: a.line,
@@ -169,14 +201,21 @@ pub fn lint_source(path: &str, src: &str, set: &RuleSet) -> FileOutcome {
             continue;
         }
         if !a.has_reason {
-            findings.push(Finding {
+            out.push(Finding {
                 rule: "lint-allow".into(),
                 file: m.path.clone(),
                 line: a.line,
                 message: "`lint:allow(…)` requires a reason: `// lint:allow(<rule>): <why>`".into(),
             });
         } else if !a.used.get() {
-            findings.push(Finding {
+            let names_graph_rule = a
+                .rules
+                .iter()
+                .any(|r| rules::GRAPH_RULES.contains(&r.as_str()));
+            if names_graph_rule && !graph_ran {
+                continue;
+            }
+            out.push(Finding {
                 rule: "lint-allow".into(),
                 file: m.path.clone(),
                 line: a.line,
@@ -188,7 +227,18 @@ pub fn lint_source(path: &str, src: &str, set: &RuleSet) -> FileOutcome {
             });
         }
     }
+}
 
+/// Lint a single source text as if it lived at workspace-relative
+/// `path`. This is the per-file core used by fixture tests; the
+/// interprocedural rules need the whole workspace and only run in
+/// [`check_workspace`].
+#[must_use]
+pub fn lint_source(path: &str, src: &str, set: &RuleSet) -> FileOutcome {
+    let m = FileModel::build(path, src);
+    let mut hot_matched = vec![false; rules::HOT_FNS.len()];
+    let (mut findings, eq_cited) = file_rules(&m, set, &mut hot_matched);
+    hygiene(&m, set, false, &mut findings);
     FileOutcome {
         findings,
         eq_cited,
@@ -230,25 +280,13 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Run the active rules over the workspace rooted at `root`.
-///
-/// Beyond the per-file rules this adds the two registry cross-checks:
-/// every hot-function entry must match a function somewhere (a rename
-/// would otherwise silently drop protection), and every equation's
-/// implementing item must exist and be cited in its registered file.
-pub fn check_workspace(root: &Path, set: &RuleSet) -> Result<Report, String> {
+/// Load the workspace rooted at `root` into a symbol table (reading and
+/// modeling every first-party file). Shared by [`check_workspace`] and
+/// the `graph` subcommand.
+pub fn load_workspace(root: &Path) -> Result<symbols::Workspace, String> {
     let files = collect_files(root);
-    if files.is_empty() {
-        return Err(format!(
-            "no source files found under {} — wrong --root?",
-            root.display()
-        ));
-    }
-    let mut report = Report::default();
-    let mut hot_matched = vec![false; rules::HOT_FNS.len()];
-    let mut eqs_by_file: BTreeMap<String, Vec<u32>> = BTreeMap::new();
-    let mut item_present: BTreeMap<(String, String), bool> = BTreeMap::new();
-
+    let mut paths = Vec::new();
+    let mut models = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -260,27 +298,67 @@ pub fn check_workspace(root: &Path, set: &RuleSet) -> Result<Report, String> {
         }
         let src =
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        let outcome = lint_source(&rel, &src, set);
-        report.files_checked += 1;
-        report.findings.extend(outcome.findings);
-        for (i, m) in outcome.hot_matched.iter().enumerate() {
-            hot_matched[i] |= m;
-        }
+        models.push(FileModel::build(&rel, &src));
+        paths.push(rel);
+    }
+    if models.is_empty() {
+        return Err(format!(
+            "no source files found under {} — wrong --root?",
+            root.display()
+        ));
+    }
+    Ok(symbols::Workspace::build(root, paths, models))
+}
+
+/// Run the active rules over the workspace rooted at `root`.
+///
+/// Phases: per-file rules (allow-filtered), the interprocedural rules
+/// over the call graph (edge-cut and fact-clear allows applied), then
+/// annotation hygiene and the registry cross-checks — every
+/// hot-function entry must match a function somewhere (a rename would
+/// otherwise silently drop protection), and every equation's
+/// implementing item must exist and be cited in its registered file.
+pub fn check_workspace(root: &Path, set: &RuleSet) -> Result<Report, String> {
+    let ws = load_workspace(root)?;
+    let mut report = Report {
+        files_checked: ws.files.len(),
+        ..Report::default()
+    };
+    let mut hot_matched = vec![false; rules::HOT_FNS.len()];
+    let mut eqs_by_file: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+
+    for m in &ws.files {
+        let (findings, eq_cited) = file_rules(m, set, &mut hot_matched);
+        report.findings.extend(findings);
         if set.is_active("paper-refs") {
             eqs_by_file
-                .entry(rel.clone())
+                .entry(m.path.clone())
                 .or_default()
-                .extend(outcome.eq_cited);
-            // Track registry item presence in the files that matter.
-            for e in rules::EQ_REGISTRY {
-                if rel.ends_with(e.file) {
-                    let present = src.contains(e.item);
-                    *item_present
-                        .entry((e.file.to_string(), e.item.to_string()))
-                        .or_insert(false) |= present;
-                }
-            }
+                .extend(eq_cited);
         }
+    }
+
+    let graph_ran = set.any_graph_rule();
+    if graph_ran {
+        let g = graph::CallGraph::build(&ws);
+        let roots = taint::resolve_roots(&ws);
+        if set.is_active("transitive-alloc") {
+            report
+                .findings
+                .extend(taint::transitive_alloc(&ws, &g, &roots));
+        }
+        if set.is_active("determinism-taint") {
+            report.findings.extend(taint::determinism_taint(&ws, &g));
+        }
+        if set.is_active("panic-reachability") {
+            report
+                .findings
+                .extend(taint::panic_reachability(&ws, &g, &roots));
+        }
+    }
+
+    for m in &ws.files {
+        hygiene(m, set, graph_ran, &mut report.findings);
     }
 
     if set.is_active("hot-path-alloc") {
@@ -307,10 +385,12 @@ pub fn check_workspace(root: &Path, set: &RuleSet) -> Result<Report, String> {
             let cited = eqs_by_file
                 .iter()
                 .any(|(f, eqs)| f.ends_with(e.file) && eqs.contains(&e.eq));
-            let present = item_present
-                .get(&(e.file.to_string(), e.item.to_string()))
-                .copied()
-                .unwrap_or(false);
+            let present = ws
+                .paths
+                .iter()
+                .zip(&ws.files)
+                .filter(|(p, _)| p.ends_with(e.file))
+                .any(|(_, m)| m.toks.iter().any(|t| t.text.contains(e.item)));
             if !present {
                 report.findings.push(Finding {
                     rule: "paper-refs".into(),

@@ -19,6 +19,10 @@ pub struct FnSpan {
     pub line: u32,
     /// Whether the function lives in test-only code.
     pub is_test: bool,
+    /// Whether the function carries a `pub` qualifier (any visibility
+    /// restriction — `pub(crate)`, `pub(super)` — still counts: the
+    /// item is an entry point beyond its own module).
+    pub is_pub: bool,
 }
 
 /// One `// lint:allow(<rules>): <reason>` annotation.
@@ -309,6 +313,25 @@ fn find_fns(toks: &[Tok], in_test: &[bool]) -> Vec<FnSpan> {
                 .unwrap_or_default();
             let line = t.line;
             let is_test = in_test[code[k]];
+            // Look back over the qualifier run (`pub (crate) const async
+            // unsafe extern "C"`) for a `pub`; stop at tokens that end
+            // the previous item.
+            let mut is_pub = false;
+            let mut back = k;
+            while back > 0 {
+                back -= 1;
+                let tb = &toks[code[back]];
+                if is_ident(tb, "pub") {
+                    is_pub = true;
+                    break;
+                }
+                let qualifier = matches!(tb.kind, Kind::Ident | Kind::Str)
+                    || is_punct(tb, "(")
+                    || is_punct(tb, ")");
+                if !qualifier || k - back > 6 {
+                    break;
+                }
+            }
             // Find the body `{` (or `;` for bodyless declarations),
             // skipping generic lists so `>` closers can't confuse us.
             let mut j = k + 2;
@@ -335,6 +358,7 @@ fn find_fns(toks: &[Tok], in_test: &[bool]) -> Vec<FnSpan> {
                 body,
                 line,
                 is_test,
+                is_pub,
             });
             // Continue *into* the body so nested items keep depth honest.
             k += 1;

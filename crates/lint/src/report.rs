@@ -135,6 +135,45 @@ impl Report {
     }
 }
 
+/// One line of a findings baseline: `rule<TAB>file<TAB>message`. Line
+/// numbers are deliberately excluded so unrelated edits above a
+/// baselined finding don't churn the file.
+#[must_use]
+pub fn baseline_key(f: &Finding) -> String {
+    format!(
+        "{}\t{}\t{}",
+        f.rule,
+        f.file,
+        f.message.replace(['\t', '\n'], " ")
+    )
+}
+
+/// Serialize findings as a baseline file (sorted, deduplicated — a
+/// plain text format so the linter stays zero-dependency).
+#[must_use]
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut keys: Vec<String> = findings.iter().map(baseline_key).collect();
+    keys.sort();
+    keys.dedup();
+    let mut s = String::from("# mms-lint baseline: one `rule<TAB>file<TAB>message` per line\n");
+    for k in &keys {
+        s.push_str(k);
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse a baseline file back into its keys (comments and blank lines
+/// skipped).
+#[must_use]
+pub fn parse_baseline(text: &str) -> std::collections::BTreeSet<String> {
+    text.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
 /// Minimal JSON string escaping.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

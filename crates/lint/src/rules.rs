@@ -1,4 +1,4 @@
-//! The five invariant rules and their registries.
+//! The invariant rules and their registries.
 //!
 //! | Rule | Protects | Scope |
 //! |---|---|---|
@@ -7,18 +7,41 @@
 //! | `unsafe-pragma` | `#![forbid(unsafe_code)]` on every first-party crate | crate roots |
 //! | `panic-policy` | panics in library code state their invariant | non-test library code |
 //! | `paper-refs` | citations stay within the paper (Eqs 1–19, Figs 1–9, Tables 1–3) | all comments |
+//! | `transitive-alloc` | zero allocation everywhere *reachable* from a hot root | workspace call graph |
+//! | `determinism-taint` | no laundering nondeterminism through helper crates | workspace call graph |
+//! | `panic-reachability` | reachable panic sites outside library code state invariants | workspace call graph |
+//!
+//! The last three are interprocedural: they run on the call graph built
+//! by [`crate::graph`] over the symbol table of [`crate::symbols`], and
+//! live in [`crate::taint`]. This module keeps the per-file rules and
+//! the registries (hot roots, equations, fact patterns) both layers
+//! share.
 
 use crate::model::FileModel;
 use crate::report::Finding;
 use crate::scan::Kind;
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 8] = [
     "determinism",
     "hot-path-alloc",
     "unsafe-pragma",
     "panic-policy",
     "paper-refs",
+    "transitive-alloc",
+    "determinism-taint",
+    "panic-reachability",
+];
+
+/// The interprocedural rules: they need the whole-workspace call graph
+/// and cannot run per-file. `lint:allow` semantics differ too — an
+/// allow on a *call-site* line cuts that edge out of the graph
+/// (suppressing only chains through that frame), while an allow on the
+/// allocation/nondeterminism/panic *fact* line clears the fact itself.
+pub const GRAPH_RULES: [&str; 3] = [
+    "transitive-alloc",
+    "determinism-taint",
+    "panic-reachability",
 ];
 
 /// Crates whose library code must be deterministic: no wall-clock
@@ -41,7 +64,7 @@ pub const DETERMINISTIC_CRATES: [&str; 12] = [
 ];
 
 /// Identifiers whose mere presence in deterministic code is a finding.
-const NONDETERMINISTIC_IDENTS: [(&str, &str); 8] = [
+pub const NONDETERMINISTIC_IDENTS: [(&str, &str); 8] = [
     ("Instant", "wall-clock time leaks scheduling into results"),
     (
         "SystemTime",
@@ -69,99 +92,22 @@ pub struct HotFn {
     pub why: &'static str,
 }
 
-/// The zero-allocation registry (PR 3's guarantee, made static): the
-/// per-cycle simulation step, every scheduler's `plan_cycle_into`, the
-/// XOR kernels, and the `BlockOracle` streaming paths.
+/// The zero-allocation registry (PR 3's guarantee, made static).
+///
+/// Since `transitive-alloc` walks the call graph, the registry lists
+/// only the **roots** of the hot paths — the entry points a driver
+/// calls per cycle (or per event) — not every function on them.
+/// `Simulator::step`, the schedulers' `plan_cycle_into`/`fast_forward`
+/// family, the XOR kernels, and the `BlockOracle` streaming paths are
+/// all reachable from these roots and covered transitively;
+/// registering them again would be flagged as an interior node. A
+/// root nothing calls and nothing exports is flagged as dead.
 pub const HOT_FNS: &[HotFn] = &[
-    HotFn {
-        file: "crates/sim/src/simulator.rs",
-        impl_type: Some("Simulator"),
-        name: "step",
-        why: "per-cycle simulation step",
-    },
-    HotFn {
-        file: "crates/sched/src/baseline.rs",
-        impl_type: None,
-        name: "plan_cycle_into",
-        why: "per-cycle schedule planning (baseline)",
-    },
-    HotFn {
-        file: "crates/sched/src/grouped.rs",
-        impl_type: None,
-        name: "plan_cycle_into",
-        why: "per-cycle schedule planning (k' continuum)",
-    },
-    HotFn {
-        file: "crates/sched/src/improved.rs",
-        impl_type: None,
-        name: "plan_cycle_into",
-        why: "per-cycle schedule planning (IB)",
-    },
-    HotFn {
-        file: "crates/sched/src/nonclustered.rs",
-        impl_type: None,
-        name: "plan_cycle_into",
-        why: "per-cycle schedule planning (NC)",
-    },
-    HotFn {
-        file: "crates/sched/src/staggered.rs",
-        impl_type: None,
-        name: "plan_cycle_into",
-        why: "per-cycle schedule planning (SG)",
-    },
-    HotFn {
-        file: "crates/sched/src/streaming_raid.rs",
-        impl_type: None,
-        name: "plan_cycle_into",
-        why: "per-cycle schedule planning (SR)",
-    },
-    HotFn {
-        file: "crates/parity/src/block.rs",
-        impl_type: None,
-        name: "xor_slices",
-        why: "word-wise XOR kernel",
-    },
     HotFn {
         file: "crates/parity/src/block.rs",
         impl_type: None,
         name: "slice_is_zero",
-        why: "word-wise zero scan",
-    },
-    HotFn {
-        file: "crates/parity/src/block.rs",
-        impl_type: None,
-        name: "fingerprint_bytes",
-        why: "XOR-fold fingerprint kernel",
-    },
-    HotFn {
-        file: "crates/parity/src/block.rs",
-        impl_type: None,
-        name: "fill_synthetic",
-        why: "fused synthetic-stream fill",
-    },
-    HotFn {
-        file: "crates/parity/src/block.rs",
-        impl_type: None,
-        name: "xor_synthetic",
-        why: "fused synthetic-stream XOR",
-    },
-    HotFn {
-        file: "crates/parity/src/block.rs",
-        impl_type: None,
-        name: "synthetic_fingerprint",
-        why: "fused synthetic fingerprint",
-    },
-    HotFn {
-        file: "crates/parity/src/block.rs",
-        impl_type: Some("Block"),
-        name: "xor_assign",
-        why: "block XOR accumulate",
-    },
-    HotFn {
-        file: "crates/parity/src/block.rs",
-        impl_type: Some("Block"),
-        name: "xor_assign_bytes",
-        why: "block XOR accumulate (bytes)",
+        why: "word-wise zero scan (leaf kernel, called via is_zero wrappers)",
     },
     HotFn {
         file: "crates/parity/src/accum.rs",
@@ -176,160 +122,10 @@ pub const HOT_FNS: &[HotFn] = &[
         why: "reusable parity accumulation (bytes)",
     },
     HotFn {
-        file: "crates/sim/src/verify.rs",
-        impl_type: Some("BlockOracle"),
-        name: "write_data_block_into",
-        why: "streaming data-block synthesis",
-    },
-    HotFn {
-        file: "crates/sim/src/verify.rs",
-        impl_type: Some("BlockOracle"),
-        name: "parity_into",
-        why: "streaming parity synthesis",
-    },
-    HotFn {
-        file: "crates/sim/src/verify.rs",
-        impl_type: Some("BlockOracle"),
-        name: "verify_delivery",
-        why: "zero-allocation delivery verification",
-    },
-    HotFn {
-        file: "crates/sim/src/workload.rs",
-        impl_type: None,
-        name: "poisson",
-        why: "per-cycle arrival sampling",
-    },
-    HotFn {
-        file: "crates/sim/src/workload.rs",
-        impl_type: Some("ArrivalProcess"),
-        name: "arrivals",
-        why: "per-cycle arrival-process step",
-    },
-    HotFn {
-        file: "crates/sim/src/workload.rs",
-        impl_type: Some("SessionEngine"),
-        name: "tick",
-        why: "per-cycle session lifecycle",
-    },
-    HotFn {
-        file: "crates/sim/src/workload.rs",
-        impl_type: Some("SessionEngine"),
-        name: "admit_session",
-        why: "per-arrival admission decision",
-    },
-    HotFn {
-        file: "crates/sim/src/workload.rs",
-        impl_type: Some("SessionEngine"),
-        name: "sample_hold",
-        why: "per-arrival VBR/abandonment draw",
-    },
-    HotFn {
         file: "crates/sim/src/simulator.rs",
         impl_type: Some("Simulator"),
         name: "run_sessions",
-        why: "session-driven simulation loop",
-    },
-    HotFn {
-        file: "crates/sim/src/simulator.rs",
-        impl_type: Some("Simulator"),
-        name: "advance_quiescent",
-        why: "event-horizon fast-forward (probe, replay, extrapolate)",
-    },
-    HotFn {
-        file: "crates/sim/src/workload.rs",
-        impl_type: Some("SessionEngine"),
-        name: "draw_arrivals",
-        why: "cycle-ordered arrival draw shared by both step modes",
-    },
-    HotFn {
-        file: "crates/sim/src/workload.rs",
-        impl_type: Some("SessionEngine"),
-        name: "next_event_before",
-        why: "event-horizon lookahead over the session queue",
-    },
-    HotFn {
-        file: "crates/disk/src/disk.rs",
-        impl_type: Some("Disk"),
-        name: "replay_read",
-        why: "journaled disk charge replay during fast-forward",
-    },
-    HotFn {
-        file: "crates/sched/src/baseline.rs",
-        impl_type: None,
-        name: "plan_stability",
-        why: "fast-forward window computation (baseline)",
-    },
-    HotFn {
-        file: "crates/sched/src/baseline.rs",
-        impl_type: None,
-        name: "fast_forward",
-        why: "closed-form clock jump (baseline)",
-    },
-    HotFn {
-        file: "crates/sched/src/grouped.rs",
-        impl_type: None,
-        name: "plan_stability",
-        why: "fast-forward window computation (k' continuum)",
-    },
-    HotFn {
-        file: "crates/sched/src/grouped.rs",
-        impl_type: None,
-        name: "fast_forward",
-        why: "closed-form clock jump (k' continuum)",
-    },
-    HotFn {
-        file: "crates/sched/src/improved.rs",
-        impl_type: None,
-        name: "plan_stability",
-        why: "fast-forward window computation (IB)",
-    },
-    HotFn {
-        file: "crates/sched/src/improved.rs",
-        impl_type: None,
-        name: "fast_forward",
-        why: "closed-form clock jump (IB)",
-    },
-    HotFn {
-        file: "crates/sched/src/nonclustered.rs",
-        impl_type: None,
-        name: "plan_stability",
-        why: "fast-forward window computation (NC)",
-    },
-    HotFn {
-        file: "crates/sched/src/nonclustered.rs",
-        impl_type: None,
-        name: "fast_forward",
-        why: "closed-form clock jump (NC)",
-    },
-    HotFn {
-        file: "crates/sched/src/staggered.rs",
-        impl_type: None,
-        name: "plan_stability",
-        why: "fast-forward window computation (SG)",
-    },
-    HotFn {
-        file: "crates/sched/src/staggered.rs",
-        impl_type: None,
-        name: "fast_forward",
-        why: "closed-form clock jump (SG)",
-    },
-    HotFn {
-        file: "crates/sched/src/streaming_raid.rs",
-        impl_type: None,
-        name: "plan_stability",
-        why: "fast-forward window computation (SR)",
-    },
-    HotFn {
-        file: "crates/sched/src/streaming_raid.rs",
-        impl_type: None,
-        name: "fast_forward",
-        why: "closed-form clock jump (SR)",
-    },
-    HotFn {
-        file: "crates/telemetry/src/quantile.rs",
-        impl_type: Some("P2Quantile"),
-        name: "observe",
-        why: "streaming quantile update (per admission)",
+        why: "session-driven simulation loop (reaches step, schedulers, verify)",
     },
     HotFn {
         file: "crates/telemetry/src/flight.rs",
@@ -338,28 +134,10 @@ pub const HOT_FNS: &[HotFn] = &[
         why: "per-event black-box append",
     },
     HotFn {
-        file: "crates/telemetry/src/health.rs",
-        impl_type: Some("HealthModel"),
-        name: "observe",
-        why: "per-event SLO update",
-    },
-    HotFn {
-        file: "crates/fleet/src/placement.rs",
-        impl_type: Some("PlacementMap"),
-        name: "route",
-        why: "per-admission fleet routing decision",
-    },
-    HotFn {
         file: "crates/fleet/src/fleet.rs",
         impl_type: Some("Fleet"),
         name: "step",
-        why: "per-cycle fleet step (control plane + nodes)",
-    },
-    HotFn {
-        file: "crates/fleet/src/control.rs",
-        impl_type: Some("ControlPlane"),
-        name: "tick",
-        why: "per-cycle consensus message pump",
+        why: "per-cycle fleet step (control plane + nodes + routing)",
     },
 ];
 
@@ -503,7 +281,7 @@ pub const FIG_RANGE: (u32, u32) = (1, 9);
 pub const TABLE_RANGE: (u32, u32) = (1, 3);
 
 /// The crate directory name (`crates/<name>/…`) of a workspace path.
-fn crate_of(path: &str) -> Option<&str> {
+pub fn crate_of(path: &str) -> Option<&str> {
     let rest = path.strip_prefix("crates/")?;
     rest.split('/').next()
 }
@@ -511,7 +289,7 @@ fn crate_of(path: &str) -> Option<&str> {
 /// Whether `path` is library (non-binary, non-test-target) source of a
 /// first-party crate: `crates/<c>/src/**` excluding `src/bin/**`, or
 /// the root package's `src/lib.rs`.
-fn is_library_source(path: &str) -> bool {
+pub fn is_library_source(path: &str) -> bool {
     if path == "src/lib.rs" {
         return true;
     }
@@ -589,6 +367,10 @@ impl<'a> Seq<'a> {
         self.idx.get(k).map_or(0, |&i| self.m.toks[i].line)
     }
 
+    fn in_test(&self, k: usize) -> bool {
+        self.idx.get(k).is_some_and(|&i| self.m.in_test[i])
+    }
+
     fn len(&self) -> usize {
         self.idx.len()
     }
@@ -616,6 +398,78 @@ const HOT_FORBIDDEN: &[(&[&str], &str)] = &[
     (&[".", "cloned"], ".cloned()"),
 ];
 
+/// Allocation fact sites within a body token range: every occurrence
+/// of a [`HOT_FORBIDDEN`] pattern outside test code, as
+/// `(line, label)`. Shared by the per-file `hot-path-alloc` rule and
+/// the interprocedural `transitive-alloc` rule.
+#[must_use]
+pub fn alloc_sites(m: &FileModel, lo: usize, hi: usize) -> Vec<(u32, &'static str)> {
+    let seq = Seq::body(m, lo, hi);
+    let mut out = Vec::new();
+    for k in 0..seq.len() {
+        if seq.in_test(k) {
+            continue;
+        }
+        for (pat, label) in HOT_FORBIDDEN {
+            if seq.matches(k, pat) {
+                out.push((seq.line(k), *label));
+            }
+        }
+    }
+    out
+}
+
+/// Nondeterminism fact sites within a body token range: every
+/// [`NONDETERMINISTIC_IDENTS`] occurrence outside test code, as
+/// `(line, ident, why)`. Shared with the `determinism-taint` rule,
+/// which seeds its sources from these in *any* crate.
+#[must_use]
+pub fn nondet_sites(m: &FileModel, lo: usize, hi: usize) -> Vec<(u32, &'static str, &'static str)> {
+    let mut out = Vec::new();
+    for i in lo..=hi.min(m.toks.len().saturating_sub(1)) {
+        let t = &m.toks[i];
+        if m.in_test[i] || t.kind != Kind::Ident {
+            continue;
+        }
+        if let Some((ident, why)) = NONDETERMINISTIC_IDENTS
+            .iter()
+            .find(|(ident, _)| t.text == *ident)
+        {
+            out.push((t.line, *ident, *why));
+        }
+    }
+    out
+}
+
+/// Panic fact sites within a body token range: `.unwrap()`, and
+/// `.expect(…)`/`panic!(…)` whose message is not a string literal of at
+/// least [`MIN_PANIC_MSG`] chars — as `(line, short description)`.
+/// Shared with the `panic-reachability` rule.
+#[must_use]
+pub fn panic_sites(m: &FileModel, lo: usize, hi: usize) -> Vec<(u32, &'static str)> {
+    let seq = Seq::body(m, lo, hi);
+    let msg_ok = |k: usize| {
+        seq.idx.get(k).is_some_and(|&i| m.toks[i].kind == Kind::Str)
+            && seq.text(k).is_some_and(|s| s.trim().len() >= MIN_PANIC_MSG)
+    };
+    let mut out = Vec::new();
+    for k in 0..seq.len() {
+        if seq.in_test(k) {
+            continue;
+        }
+        if seq.matches(k, &[".", "unwrap", "(", ")"]) {
+            out.push((seq.line(k), "`.unwrap()`"));
+        }
+        if seq.matches(k, &[".", "expect", "("]) && !msg_ok(k + 3) {
+            out.push((seq.line(k), "`.expect(…)` without an invariant message"));
+        }
+        if seq.matches(k, &["panic", "!", "("]) && !msg_ok(k + 3) {
+            out.push((seq.line(k), "`panic!` without an invariant message"));
+        }
+    }
+    out
+}
+
 /// `hot-path-alloc`: registered hot functions must not allocate via the
 /// forbidden constructors.
 pub fn hot_path_alloc(m: &FileModel, matched: &mut [bool]) -> Vec<Finding> {
@@ -635,21 +489,16 @@ pub fn hot_path_alloc(m: &FileModel, matched: &mut [bool]) -> Vec<Finding> {
             }
             matched[reg_ix] = true;
             let Some((lo, hi)) = f.body else { continue };
-            let seq = Seq::body(m, lo, hi);
-            for k in 0..seq.len() {
-                for (pat, label) in HOT_FORBIDDEN {
-                    if seq.matches(k, pat) {
-                        out.push(finding(
-                            "hot-path-alloc",
-                            &m.path,
-                            seq.line(k),
-                            format!(
-                                "`{label}` in hot function `{}` ({}): the data path must not allocate",
-                                reg.name, reg.why
-                            ),
-                        ));
-                    }
-                }
+            for (line, label) in alloc_sites(m, lo, hi) {
+                out.push(finding(
+                    "hot-path-alloc",
+                    &m.path,
+                    line,
+                    format!(
+                        "`{label}` in hot function `{}` ({}): the data path must not allocate",
+                        reg.name, reg.why
+                    ),
+                ));
             }
         }
     }

@@ -126,7 +126,7 @@ fn check_on_the_real_workspace_exits_0() {
 }
 
 #[test]
-fn rules_subcommand_lists_all_five() {
+fn rules_subcommand_lists_all_eight() {
     let out = run(&["rules"]);
     assert_eq!(exit_code(&out), 0);
     let stdout = String::from_utf8(out.stdout).expect("utf-8 list");
@@ -138,7 +138,10 @@ fn rules_subcommand_lists_all_five() {
             "hot-path-alloc",
             "unsafe-pragma",
             "panic-policy",
-            "paper-refs"
+            "paper-refs",
+            "transitive-alloc",
+            "determinism-taint",
+            "panic-reachability"
         ]
     );
 }

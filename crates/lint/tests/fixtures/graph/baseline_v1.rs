@@ -1,0 +1,12 @@
+pub struct Simulator;
+
+impl Simulator {
+    pub fn run_sessions(&mut self) -> usize {
+        old_helper()
+    }
+}
+
+pub fn old_helper() -> usize {
+    let v: Vec<u32> = Vec::new();
+    v.len()
+}

@@ -1,0 +1,17 @@
+pub struct Simulator;
+
+impl Simulator {
+    pub fn run_sessions(&mut self) -> usize {
+        old_helper() + new_helper()
+    }
+}
+
+pub fn old_helper() -> usize {
+    let v: Vec<u32> = Vec::new();
+    v.len()
+}
+
+pub fn new_helper() -> usize {
+    let v = vec![9u32];
+    v.len()
+}

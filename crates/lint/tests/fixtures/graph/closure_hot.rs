@@ -1,0 +1,19 @@
+pub struct Simulator;
+
+impl Simulator {
+    pub fn run_sessions(&mut self) -> usize {
+        drain()
+    }
+}
+
+pub fn drain() -> usize {
+    accumulate(|n| {
+        let mut v = Vec::new();
+        v.push(n);
+        v.len()
+    })
+}
+
+pub fn accumulate<F: FnMut(u32) -> usize>(mut f: F) -> usize {
+    f(3)
+}

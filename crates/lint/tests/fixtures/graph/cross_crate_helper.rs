@@ -1,0 +1,5 @@
+pub fn lookup_blocks() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(7);
+    v
+}

@@ -1,0 +1,7 @@
+pub struct Simulator;
+
+impl Simulator {
+    pub fn run_sessions(&mut self) -> usize {
+        lookup_blocks().len()
+    }
+}

@@ -1,0 +1,3 @@
+pub fn stamp() -> u64 {
+    helper_now()
+}

@@ -1,0 +1,30 @@
+pub trait Planner {
+    fn plan(&mut self) -> usize;
+}
+
+pub struct CleanPlanner;
+
+impl Planner for CleanPlanner {
+    fn plan(&mut self) -> usize {
+        1
+    }
+}
+
+pub struct AllocPlanner;
+
+impl Planner for AllocPlanner {
+    fn plan(&mut self) -> usize {
+        let v = vec![1u32, 2];
+        v.len()
+    }
+}
+
+pub struct Simulator {
+    planner: Box<dyn Planner>,
+}
+
+impl Simulator {
+    pub fn run_sessions(&mut self) -> usize {
+        self.planner.plan()
+    }
+}

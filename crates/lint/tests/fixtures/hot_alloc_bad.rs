@@ -1,7 +1,7 @@
 pub struct Simulator;
 
 impl Simulator {
-    pub fn step(&mut self) -> usize {
+    pub fn run_sessions(&mut self) -> usize {
         let mut v = Vec::new();
         v.push(1u32);
         let w = vec![0u8; 4];

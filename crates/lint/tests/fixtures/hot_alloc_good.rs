@@ -1,7 +1,7 @@
 pub struct Simulator;
 
 impl Simulator {
-    pub fn step(&mut self, scratch: &mut Vec<u32>) -> usize {
+    pub fn run_sessions(&mut self, scratch: &mut Vec<u32>) -> usize {
         scratch.clear();
         scratch.extend(0..4u32);
         scratch.len()

@@ -84,15 +84,15 @@ fn hot_path_alloc_flags_every_forbidden_constructor() {
         ]
     );
     assert!(
-        out.hot_matched[0],
-        "Simulator::step must match registry entry 0"
+        out.hot_matched[3],
+        "Simulator::run_sessions must match its registry entry"
     );
 }
 
 #[test]
 fn hot_path_alloc_ignores_unregistered_functions() {
     // `Other::step` and the free `helper` allocate, but only
-    // `Simulator::step` is registered for this file.
+    // `Simulator::run_sessions` is registered for this file.
     let out = check(
         "crates/sim/src/simulator.rs",
         include_str!("fixtures/hot_alloc_good.rs"),
@@ -102,7 +102,7 @@ fn hot_path_alloc_ignores_unregistered_functions() {
         "clean fixture produced {:?}",
         out.findings
     );
-    assert!(out.hot_matched[0]);
+    assert!(out.hot_matched[3]);
 }
 
 #[test]

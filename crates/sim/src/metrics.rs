@@ -39,7 +39,10 @@ impl BufferSeries {
     pub fn with_capacity(cap: usize) -> Self {
         assert!(cap >= 2, "BufferSeries needs at least two points");
         BufferSeries {
-            points: Vec::new(),
+            // Reserve the full cap up front: `push` runs on the per-cycle
+            // path and must never grow the buffer (the cap merge keeps
+            // `len ≤ cap`, so this capacity is never exceeded).
+            points: Vec::with_capacity(cap),
             stride: 1,
             cap,
             bucket_max: 0,
@@ -60,11 +63,23 @@ impl BufferSeries {
         self.bucket_max = 0;
         self.bucket_fill = 0;
         if self.points.len() >= self.cap {
-            self.points = self
-                .points
-                .chunks(2)
-                .map(|pair| pair.iter().copied().max().unwrap_or(0))
-                .collect();
+            // Halve resolution with an in-place pairwise max-merge: the
+            // retained buffer is reused, so hitting the cap costs no
+            // allocation (this ran on the per-cycle path).
+            let n = self.points.len();
+            let mut w = 0;
+            let mut r = 0;
+            while r < n {
+                let m = if r + 1 < n {
+                    self.points[r].max(self.points[r + 1])
+                } else {
+                    self.points[r]
+                };
+                self.points[w] = m;
+                w += 1;
+                r += 2;
+            }
+            self.points.truncate(w);
             self.stride *= 2;
         }
     }
